@@ -1,0 +1,129 @@
+package naiad
+
+import (
+	"fmt"
+	"testing"
+
+	"naiad/internal/codec"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// runs the same iterative workload under one toggled mechanism, so
+// `go test -bench=Ablation` prints the cost of every design decision.
+
+// ablationWorkload runs a loop-heavy computation (iterative doubling with
+// an exchange each iteration) under the given config.
+func ablationWorkload(b *testing.B, cfg runtime.Config) {
+	b.Helper()
+	s, err := lib.NewScope(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, src := lib.NewInput[int64](s, "in", codec.Int64())
+	out := lib.Iterate(src, 50, func(inner *lib.Stream[int64]) *lib.Stream[int64] {
+		moved := lib.Exchange(inner, func(v int64) uint64 { return lib.Hash(v) })
+		return lib.Select(moved, func(v int64) int64 { return v + 1 }, codec.Int64())
+	})
+	lib.SubscribeParallel(out, func(int, int64, []int64) {})
+	if err := s.C.Start(); err != nil {
+		b.Fatal(err)
+	}
+	recs := workload.Records(7, 2000)
+	per := make([][]int64, cfg.Workers())
+	for i, r := range recs {
+		per[i%len(per)] = append(per[i%len(per)], r)
+	}
+	for w, batch := range per {
+		in.SendToWorker(w, batch)
+	}
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func baseCfg() runtime.Config {
+	return runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ablationWorkload(b, baseCfg())
+	}
+}
+
+// BenchmarkAblationNoFastPath disables §3.2's synchronous same-worker
+// delivery; every local message is queued and re-dispatched.
+func BenchmarkAblationNoFastPath(b *testing.B) {
+	cfg := baseCfg()
+	cfg.DisableLocalFastPath = true
+	for i := 0; i < b.N; i++ {
+		ablationWorkload(b, cfg)
+	}
+}
+
+// BenchmarkAblationNotificationsFirst inverts the messages-before-
+// notifications worker policy.
+func BenchmarkAblationNotificationsFirst(b *testing.B) {
+	cfg := baseCfg()
+	cfg.NotificationsFirst = true
+	for i := 0; i < b.N; i++ {
+		ablationWorkload(b, cfg)
+	}
+}
+
+// BenchmarkAblationAccumulation sweeps the §3.3 accumulation modes on the
+// same workload (the performance companion to Figure 6c's traffic view).
+func BenchmarkAblationAccumulation(b *testing.B) {
+	for _, acc := range []runtime.Accumulation{
+		runtime.AccNone, runtime.AccLocal, runtime.AccGlobal, runtime.AccLocalGlobal,
+	} {
+		b.Run(acc.String(), func(b *testing.B) {
+			cfg := baseCfg()
+			cfg.Accumulation = acc
+			for i := 0; i < b.N; i++ {
+				ablationWorkload(b, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize sweeps the exchange batching granularity.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, size := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			cfg := baseCfg()
+			cfg.BatchSize = size
+			for i := 0; i < b.N; i++ {
+				ablationWorkload(b, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReentrancy sweeps the synchronous re-entrancy depth for
+// a single-worker cycle, where the bound controls queue/recursion balance.
+func BenchmarkAblationReentrancy(b *testing.B) {
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprint(depth), func(b *testing.B) {
+			cfg := runtime.Config{Processes: 1, WorkersPerProcess: 1,
+				Accumulation: runtime.AccLocalGlobal, MaxReentrancy: depth}
+			for i := 0; i < b.N; i++ {
+				ablationWorkload(b, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTCP runs the workload over real loopback TCP sockets
+// instead of the in-memory transport.
+func BenchmarkAblationTCP(b *testing.B) {
+	cfg := baseCfg()
+	cfg.UseTCP = true
+	for i := 0; i < b.N; i++ {
+		ablationWorkload(b, cfg)
+	}
+}

@@ -1,0 +1,111 @@
+package naiad
+
+import (
+	"testing"
+	"time"
+
+	"naiad/internal/harness"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each runs its
+// harness driver at a reduced scale suitable for `go test -bench=.`; the
+// cmd/naiad-bench tool runs the full-scale versions and prints the rows.
+
+func BenchmarkFig6aThroughput(b *testing.B) {
+	opt := harness.Fig6aOptions{Processes: []int{2}, WorkersPerProcess: 2,
+		RecordsPerWorker: 5000, Iterations: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6a(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6bLatency(b *testing.B) {
+	opt := harness.Fig6bOptions{Processes: []int{2}, WorkersPerProcess: 2, Iterations: 200}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6b(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6cProtocol(b *testing.B) {
+	opt := harness.Fig6cOptions{Processes: 2, WorkersPerProcess: 2, Nodes: 300, Edges: 900}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6c(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6dStrongScaling(b *testing.B) {
+	opt := harness.Fig6dOptions{Workers: []int{1, 4}, Documents: 400, WordsPerDoc: 30,
+		Nodes: 400, Edges: 1200}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6d(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6eWeakScaling(b *testing.B) {
+	opt := harness.Fig6eOptions{Workers: []int{1, 4}, DocsPerWorker: 100, WordsPerDoc: 30,
+		EdgesPerWorker: 400, NodesPerWorker: 150}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6e(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1GraphAlgos(b *testing.B) {
+	opt := harness.Table1Options{Processes: 1, WorkersPerProcess: 4,
+		PRNodes: 300, PREdges: 1000, PageRankIters: 5,
+		WCCChains: 2, WCCLen: 15, SCCCycles: 2, SCCLen: 8,
+		ASPChains: 2, ASPLen: 15, ASPSources: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table1(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aPageRank(b *testing.B) {
+	opt := harness.Fig7aOptions{Workers: []int{2}, Nodes: 400, Edges: 1600, Iters: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7a(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7bAllReduce(b *testing.B) {
+	opt := harness.Fig7bOptions{Workers: []int{1, 4}, Records: 20000, Dim: 512, Iterations: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7b(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7cKExposure(b *testing.B) {
+	opt := harness.Fig7cOptions{Processes: 1, WorkersPerProcess: 2, Epochs: 6,
+		TweetsPerEpoch: 500, K: 8, CheckpointEvery: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7c(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Queries(b *testing.B) {
+	opt := harness.Fig8Options{Processes: 1, WorkersPerProcess: 2, Epochs: 6,
+		TweetsPerEpoch: 300, QueriesPerEpoch: 2, EpochInterval: time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig8(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command naiad-bench regenerates the paper's tables and figures: one
+// experiment per table/figure of the SOSP 2013 evaluation, printed as
+// aligned text tables. See EXPERIMENTS.md for recorded runs and the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	naiad-bench -exp=all          # run everything at default scale
+//	naiad-bench -exp=6a,6c,t1     # run a subset
+//	naiad-bench -exp=6d -scale=2  # double the workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"naiad/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8 or 'all'")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	type experiment struct {
+		id  string
+		run func(scale int) (*harness.Report, error)
+	}
+	experiments := []experiment{
+		{"6a", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig6a()
+			o.RecordsPerWorker *= k
+			return harness.Fig6a(o)
+		}},
+		{"6b", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig6b()
+			o.Iterations *= int64(k)
+			return harness.Fig6b(o)
+		}},
+		{"6c", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig6c()
+			o.Nodes *= k
+			o.Edges *= k
+			return harness.Fig6c(o)
+		}},
+		{"6d", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig6d()
+			o.Documents *= k
+			o.Edges *= k
+			o.Nodes *= k
+			return harness.Fig6d(o)
+		}},
+		{"6e", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig6e()
+			o.DocsPerWorker *= k
+			o.EdgesPerWorker *= k
+			o.NodesPerWorker *= k
+			return harness.Fig6e(o)
+		}},
+		{"t1", func(k int) (*harness.Report, error) {
+			o := harness.DefaultTable1()
+			o.PRNodes *= k
+			o.PREdges *= k
+			o.WCCLen *= k
+			o.ASPLen *= k
+			return harness.Table1(o)
+		}},
+		{"7a", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig7a()
+			o.Nodes *= k
+			o.Edges *= k
+			return harness.Fig7a(o)
+		}},
+		{"7b", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig7b()
+			o.Records *= k
+			return harness.Fig7b(o)
+		}},
+		{"7c", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig7c()
+			o.TweetsPerEpoch *= k
+			return harness.Fig7c(o)
+		}},
+		{"8", func(k int) (*harness.Report, error) {
+			o := harness.DefaultFig8()
+			o.TweetsPerEpoch *= k
+			return harness.Fig8(o)
+		}},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !want[e.id] {
+			continue
+		}
+		rep, err := e.run(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "naiad-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "naiad-bench: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Incremental: a live, correctable word count built on the incremental
+// collection operators (§4.1's "library for incremental computation" —
+// differential-dataflow-style weighted records). Documents can be added
+// *and retracted*; each epoch the dataflow emits only the corrections to
+// the count table, and the accumulated table always equals a from-scratch
+// recomputation.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"naiad"
+)
+
+func main() {
+	scope, err := naiad.NewScope(naiad.DefaultConfig(4))
+	if err != nil {
+		panic(err)
+	}
+
+	docs, stream := naiad.NewInput[naiad.Diff[string]](scope, "docs", nil)
+	words := naiad.DiffSelectMany(stream, strings.Fields, nil)
+	counts := naiad.DiffCount(words, nil)
+
+	var mu sync.Mutex
+	table := map[string]int64{}
+	naiad.Subscribe(counts, func(epoch int64, corrections []naiad.Diff[naiad.Pair[string, int64]]) {
+		mu.Lock()
+		for _, d := range corrections {
+			if d.Delta > 0 {
+				table[d.Rec.Key] = d.Rec.Val
+			} else if table[d.Rec.Key] == d.Rec.Val {
+				delete(table, d.Rec.Key)
+			}
+		}
+		fmt.Printf("epoch %d: %d corrections → table %s\n", epoch, len(corrections), render(table))
+		mu.Unlock()
+	})
+
+	if err := scope.C.Start(); err != nil {
+		panic(err)
+	}
+
+	// Epoch 0: two documents arrive.
+	docs.OnNext(
+		naiad.AddRec("the cat sat on the mat"),
+		naiad.AddRec("the dog sat"),
+	)
+	// Epoch 1: the first document is retracted — a correction, not a
+	// recomputation: only the affected words change.
+	docs.OnNext(naiad.DelRec("the cat sat on the mat"))
+	// Epoch 2: a replacement document arrives.
+	docs.OnNext(naiad.AddRec("the cat slept"))
+	docs.Close()
+	if err := scope.C.Join(); err != nil {
+		panic(err)
+	}
+}
+
+func render(table map[string]int64) string {
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, table[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,63 @@
+// Quickstart: the prototypical Naiad program of §4.1 — an incrementally
+// updated MapReduce (word count) fed epoch by epoch, with per-epoch
+// results delivered through Subscribe.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"naiad"
+)
+
+func main() {
+	// One process, four workers, default progress accumulation.
+	scope, err := naiad.NewScope(naiad.DefaultConfig(4))
+	if err != nil {
+		panic(err)
+	}
+
+	// 1a. Define the input stage.
+	docs, stream := naiad.NewInput[string](scope, "docs", naiad.StringCodec())
+
+	// 1b. Define the dataflow: SelectMany then Count (GroupBy+reduce).
+	words := naiad.SelectMany(stream, strings.Fields, naiad.StringCodec())
+	counts := naiad.Count(words, nil)
+
+	// 1c. Define the per-epoch output callback.
+	naiad.Subscribe(counts, func(epoch int64, records []naiad.Pair[string, int64]) {
+		sort.Slice(records, func(i, j int) bool {
+			if records[i].Val != records[j].Val {
+				return records[i].Val > records[j].Val
+			}
+			return records[i].Key < records[j].Key
+		})
+		fmt.Printf("epoch %d:", epoch)
+		for i, p := range records {
+			if i == 5 {
+				fmt.Printf(" …(%d more)", len(records)-5)
+				break
+			}
+			fmt.Printf(" %s=%d", p.Key, p.Val)
+		}
+		fmt.Println()
+	})
+
+	if err := scope.C.Start(); err != nil {
+		panic(err)
+	}
+
+	// 2. Supply epochs of input.
+	docs.OnNext(
+		"the quick brown fox jumps over the lazy dog",
+		"the dog barks",
+	)
+	docs.OnNext("a new epoch arrives with new words")
+	docs.OnNext("the end")
+	docs.Close()
+
+	if err := scope.C.Join(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Socialstream: the Figure 1 application — real-time queries against a
+// continually updated, iteratively computed view. Tweets stream in; an
+// incremental connected-components analysis of the mention graph and a
+// per-component top-hashtag table are maintained; interactive queries ask
+// for the hottest hashtag in a user's community, under both the Fresh and
+// the 1s-delay serving policies of §6.4.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"naiad"
+	"naiad/internal/socialgraph"
+	"naiad/internal/workload"
+)
+
+func main() {
+	for _, policy := range []socialgraph.Policy{socialgraph.Fresh, socialgraph.Stale} {
+		run(policy)
+	}
+}
+
+func run(policy socialgraph.Policy) {
+	var mu sync.Mutex
+	sent := map[int64]time.Time{}
+	type timedAnswer struct {
+		ans socialgraph.Answer
+		lat time.Duration
+	}
+	var answers []timedAnswer
+
+	cfg := naiad.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: naiad.AccLocalGlobal}
+	app, err := socialgraph.Build(cfg, policy, func(a socialgraph.Answer) {
+		mu.Lock()
+		answers = append(answers, timedAnswer{ans: a, lat: time.Since(sent[a.ID])})
+		mu.Unlock()
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := app.Scope.C.Start(); err != nil {
+		panic(err)
+	}
+
+	gen := workload.NewTweetGen(42, 20_000, 200)
+	id := int64(0)
+	for epoch := 0; epoch < 10; epoch++ {
+		app.Tweets.Send(gen.Batch(2000)...)
+		// Two interactive queries per epoch, for users from the stream.
+		for q := 0; q < 2; q++ {
+			user := gen.Batch(1)[0].User
+			mu.Lock()
+			sent[id] = time.Now()
+			mu.Unlock()
+			app.Queries.Send(socialgraph.Query{ID: id, User: user})
+			id++
+		}
+		app.Advance()
+	}
+	app.Close()
+	if err := app.Scope.C.Join(); err != nil {
+		panic(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("policy %q: %d answers\n", policy, len(answers))
+	for _, ta := range answers[:min(4, len(answers))] {
+		fmt.Printf("  user %6d → component %6d, top tag %-8s (epoch %d, %s)\n",
+			ta.ans.User, ta.ans.CID, orNone(ta.ans.TopTag), ta.ans.Epoch, ta.lat.Round(time.Microsecond))
+	}
+}
+
+func orNone(tag string) string {
+	if tag == "" {
+		return "(none)"
+	}
+	return tag
+}

@@ -1,0 +1,90 @@
+// Trending: sliding-window stream analytics — the hottest hashtags over
+// the last W epochs of a tweet stream, recomputed incrementally as the
+// window slides. Composes SlidingWindowDiffs (insert now, retract W epochs
+// later) with the incremental DiffCount and a per-epoch TopK — the
+// retraction-based windowing §7 of the paper points at.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"naiad"
+	"naiad/internal/workload"
+)
+
+const window = 3 // epochs
+
+func main() {
+	scope, err := naiad.NewScope(naiad.DefaultConfig(4))
+	if err != nil {
+		panic(err)
+	}
+
+	tweets, stream := naiad.NewInput[string](scope, "hashtags", naiad.StringCodec())
+	windowed := naiad.SlidingWindowDiffs(stream, window)
+	counts := naiad.DiffCount(windowed, nil)
+
+	// Maintain the live windowed count table and print the top 3 as each
+	// epoch completes.
+	var mu sync.Mutex
+	table := map[string]int64{}
+	naiad.Subscribe(counts, func(epoch int64, corrections []naiad.Diff[naiad.Pair[string, int64]]) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range corrections {
+			if d.Delta > 0 {
+				table[d.Rec.Key] = d.Rec.Val
+			} else if table[d.Rec.Key] == d.Rec.Val {
+				delete(table, d.Rec.Key)
+			}
+		}
+		type tc struct {
+			tag string
+			n   int64
+		}
+		top := make([]tc, 0, len(table))
+		for tag, n := range table {
+			top = append(top, tc{tag, n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].n != top[j].n {
+				return top[i].n > top[j].n
+			}
+			return top[i].tag < top[j].tag
+		})
+		if len(top) > 3 {
+			top = top[:3]
+		}
+		fmt.Printf("epoch %2d trending(last %d epochs):", epoch, window)
+		for _, t := range top {
+			fmt.Printf(" %s×%d", t.tag, t.n)
+		}
+		fmt.Println()
+	})
+
+	if err := scope.C.Start(); err != nil {
+		panic(err)
+	}
+
+	gen := workload.NewTweetGen(11, 10_000, 30)
+	for epoch := 0; epoch < 8; epoch++ {
+		var tags []string
+		for _, tw := range gen.Batch(400) {
+			tags = append(tags, tw.Hashtags...)
+		}
+		// A burst topic trends in epochs 3-4 and then falls out of the
+		// window as it slides.
+		if epoch == 3 || epoch == 4 {
+			for i := 0; i < 300; i++ {
+				tags = append(tags, "#breaking")
+			}
+		}
+		tweets.OnNext(tags...)
+	}
+	tweets.Close()
+	if err := scope.C.Join(); err != nil {
+		panic(err)
+	}
+}

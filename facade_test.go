@@ -1,0 +1,141 @@
+package naiad
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestFacadeOperatorSurface drives every facade wrapper in one program so
+// downstream users of package naiad have an executable reference for the
+// whole API.
+func TestFacadeOperatorSurface(t *testing.T) {
+	scope, err := NewScope(Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nums, numStream := NewInput[int64](scope, "nums", Int64Codec())
+	pairsIn, pairStream := NewInput[Pair[string, int64]](scope, "pairs", nil)
+
+	// Stateless chain: Where → Select → Exchange → Concat.
+	odds := Where(numStream, func(v int64) bool { return v%2 == 1 })
+	squares := Select(odds, func(v int64) int64 { return v * v }, Int64Codec())
+	moved := Exchange(squares, func(v int64) uint64 { return Hash(v) })
+	doubledToo := Select(numStream, func(v int64) int64 { return 2 * v }, Int64Codec())
+	merged := Concat(moved, doubledToo)
+	mergedCol := Collect(merged)
+
+	// Keyed operators.
+	mins := MinByKey(pairStream, func(a, b int64) bool { return a < b }, nil)
+	maxs := MaxByKey(pairStream, func(a, b int64) bool { return a < b }, nil)
+	sums := SumByKey(pairStream, nil)
+	folded := FoldByKey(pairStream, func(string) int64 { return 0 },
+		func(acc, v int64) int64 { return acc + 1 }, nil)
+	grouped := GroupBy(pairStream, func(p Pair[string, int64]) string { return p.Key },
+		func(k string, ps []Pair[string, int64]) []string { return []string{k} }, StringCodec())
+	joined := JoinByTime(mins, maxs, func(k string, lo, hi int64) string {
+		return fmt.Sprintf("%s:%d-%d", k, lo, hi)
+	}, StringCodec())
+	best := AggregateMonotonic(pairStream, func(c, i int64) bool { return c < i })
+	top := TopK(pairStream, 1, func(a, b Pair[string, int64]) bool { return a.Val < b.Val }, nil)
+	everywhere := Broadcast(grouped, StringCodec())
+
+	minCol := Collect(mins)
+	sumCol := Collect(sums)
+	foldCol := Collect(folded)
+	joinCol := Collect(joined)
+	bestCol := Collect(best)
+	topCol := Collect(top)
+	var bcastMu sync.Mutex
+	bcastSeen := map[int]int{}
+	SubscribeParallel(everywhere, func(w int, _ int64, recs []string) {
+		bcastMu.Lock()
+		bcastSeen[w] += len(recs)
+		bcastMu.Unlock()
+	})
+
+	// Windows over the numeric stream.
+	winSums := TumblingWindow(numStream, 2, func(w int64, recs []int64, emit func(int64)) {
+		var s int64
+		for _, v := range recs {
+			s += v
+		}
+		emit(s)
+	}, Int64Codec())
+	winCol := Collect(winSums)
+	sliding := SlidingWindowDiffs(numStream, 2)
+	slideCounts := DiffCount(Consolidate(DiffSelect(sliding, func(v int64) int64 { return v % 3 }, nil)), nil)
+	slideCol := Collect(slideCounts)
+
+	probe := NewProbe(merged)
+
+	if err := scope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	nums.Send(1, 2, 3)
+	pairsIn.Send(KV("x", int64(4)), KV("x", int64(9)), KV("y", int64(7)))
+	nums.Advance()
+	pairsIn.Advance()
+	probe.WaitFor(0)
+	nums.OnNext(5)
+	pairsIn.OnNext()
+	nums.Close()
+	pairsIn.Close()
+	if err := scope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spot checks across the surface.
+	got := mergedCol.Epoch(0)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if fmt.Sprint(got) != "[1 2 4 6 9]" { // squares of odds {1,9} ∪ doubles {2,4,6}
+		t.Fatalf("merged epoch 0 = %v", got)
+	}
+	if m := asMap(minCol.Epoch(0)); m["x"] != 4 || m["y"] != 7 {
+		t.Fatalf("mins = %v", m)
+	}
+	if m := asMap(sumCol.Epoch(0)); m["x"] != 13 || m["y"] != 7 {
+		t.Fatalf("sums = %v", m)
+	}
+	if m := asMap(foldCol.Epoch(0)); m["x"] != 2 || m["y"] != 1 {
+		t.Fatalf("fold counts = %v", m)
+	}
+	joins := joinCol.Epoch(0)
+	sort.Strings(joins)
+	if fmt.Sprint(joins) != "[x:4-9 y:7-7]" {
+		t.Fatalf("joins = %v", joins)
+	}
+	if last := bestCol.Epoch(0); len(last) == 0 {
+		t.Fatal("no monotonic emissions")
+	}
+	if tops := topCol.Epoch(0); len(tops) != 1 || tops[0].Val != 9 {
+		t.Fatalf("top = %v", tops)
+	}
+	bcastMu.Lock()
+	if len(bcastSeen) != 4 {
+		t.Fatalf("broadcast reached %d workers", len(bcastSeen))
+	}
+	bcastMu.Unlock()
+	// Window 0 = epochs 0+1 → sum of 1,2,3,5 = 11 (split across worker
+	// vertices; total is what matters).
+	var winTotal int64
+	for _, v := range winCol.Epoch(1) {
+		winTotal += v
+	}
+	if winTotal != 11 {
+		t.Fatalf("window sum = %d", winTotal)
+	}
+	if len(slideCol.Epochs()) == 0 {
+		t.Fatal("sliding window emitted nothing")
+	}
+}
+
+func asMap(ps []Pair[string, int64]) map[string]int64 {
+	m := map[string]int64{}
+	for _, p := range ps {
+		m[p.Key] = p.Val
+	}
+	return m
+}

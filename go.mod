@@ -1,0 +1,3 @@
+module naiad
+
+go 1.24

@@ -1,0 +1,161 @@
+// Package allreduce implements the AllReduce communication pattern of
+// §6.2 as a Naiad library, in the two variants the paper compares: the
+// data-parallel form where each of k workers reduces and broadcasts 1/k of
+// the vector (Naiad's), and the binary-tree form Vowpal Wabbit uses, whose
+// serial depth and root bottleneck make it slower on flat networks.
+//
+// Each input epoch performs one AllReduce: every worker contributes one
+// vector, and every worker receives the element-wise sum.
+package allreduce
+
+import (
+	"fmt"
+	"math/bits"
+
+	"naiad/internal/codec"
+	"naiad/internal/lib"
+	ts "naiad/internal/timestamp"
+)
+
+// Msg is the unit all AllReduce stages exchange: a (possibly partial)
+// vector addressed to a worker, tagged with the segment it covers.
+type Msg struct {
+	Target int64 // destination worker
+	Seg    int64 // segment index (data-parallel) or 0 (tree)
+	Vals   []float64
+}
+
+// MsgCodec is the fast binary codec for Msg.
+func MsgCodec() codec.Codec {
+	return codec.New(
+		func(e *codec.Encoder, m Msg) {
+			e.PutInt64(m.Target)
+			e.PutInt64(m.Seg)
+			e.PutUint32(uint32(len(m.Vals)))
+			for _, v := range m.Vals {
+				e.PutFloat64(v)
+			}
+		},
+		func(d *codec.Decoder) Msg {
+			m := Msg{Target: d.Int64(), Seg: d.Int64()}
+			m.Vals = make([]float64, d.Uint32())
+			for i := range m.Vals {
+				m.Vals[i] = d.Float64()
+			}
+			return m
+		},
+	)
+}
+
+func byTarget(m Msg) uint64 { return uint64(m.Target) }
+
+// addInto accumulates src into dst, growing dst as needed.
+func addInto(dst []float64, src []float64) []float64 {
+	if len(src) > len(dst) {
+		grown := make([]float64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// BuildDataParallel wires the data-parallel AllReduce: contributions are
+// split into `workers` segments, segment i is summed at worker i, and the
+// summed segments are rebroadcast and reassembled at every worker. The
+// result stream carries one Msg per worker per epoch with the full sum
+// (Seg = -1).
+func BuildDataParallel(in *lib.Stream[Msg], workers int, dim int) *lib.Stream[Msg] {
+	segSize := (dim + workers - 1) / workers
+	// Split each contribution into per-segment chunks routed to their
+	// owning worker.
+	chunks := lib.SelectMany(in, func(m Msg) []Msg {
+		out := make([]Msg, 0, workers)
+		for seg := 0; seg < workers; seg++ {
+			lo := seg * segSize
+			if lo >= len(m.Vals) {
+				break
+			}
+			hi := min(lo+segSize, len(m.Vals))
+			out = append(out, Msg{Target: int64(seg), Seg: int64(seg), Vals: m.Vals[lo:hi]})
+		}
+		return out
+	}, MsgCodec())
+	shuffled := lib.Exchange(chunks, byTarget)
+	// Sum each segment, then address a copy of the sum to every worker.
+	summed := lib.UnaryBuffer[Msg, Msg](shuffled, "seg-reduce", nil,
+		func(_ ts.Timestamp, recs []Msg, emit func(Msg)) {
+			sums := make(map[int64][]float64)
+			for _, m := range recs {
+				sums[m.Seg] = addInto(sums[m.Seg], m.Vals)
+			}
+			for seg, vals := range sums {
+				for w := 0; w < workers; w++ {
+					emit(Msg{Target: int64(w), Seg: seg, Vals: vals})
+				}
+			}
+		}, MsgCodec())
+	spread := lib.Exchange(summed, byTarget)
+	// Reassemble the full vector at each worker.
+	return lib.UnaryBuffer[Msg, Msg](spread, "assemble", nil,
+		func(_ ts.Timestamp, recs []Msg, emit func(Msg)) {
+			if len(recs) == 0 {
+				return
+			}
+			full := make([]float64, dim)
+			for _, m := range recs {
+				copy(full[int(m.Seg)*segSize:], m.Vals)
+			}
+			emit(Msg{Target: recs[0].Target, Seg: -1, Vals: full})
+		}, MsgCodec())
+}
+
+// BuildTree wires the binary-tree AllReduce that Vowpal Wabbit uses:
+// log₂(workers) reduce levels followed by log₂(workers) broadcast levels,
+// each moving whole vectors. The serial depth and the root's fan-in are
+// the structural costs §6.2 measures against.
+func BuildTree(in *lib.Stream[Msg], workers int) *lib.Stream[Msg] {
+	if workers&(workers-1) != 0 {
+		panic(fmt.Sprintf("allreduce: tree variant requires power-of-two workers, got %d", workers))
+	}
+	levels := bits.Len(uint(workers)) - 1
+	// Reduce up: address each contribution to its parent, then each level
+	// pair-sums and re-addresses to the next parent, until worker 0 holds
+	// the total after `levels` barriers.
+	cur := lib.Select(in, func(m Msg) Msg {
+		return Msg{Target: m.Target / 2, Vals: m.Vals}
+	}, MsgCodec())
+	for l := 0; l < levels; l++ {
+		cur = lib.UnaryBuffer[Msg, Msg](lib.Exchange(cur, byTarget), fmt.Sprintf("tree-reduce-%d", l), nil,
+			func(_ ts.Timestamp, recs []Msg, emit func(Msg)) {
+				if len(recs) == 0 {
+					return
+				}
+				var sum []float64
+				for _, m := range recs {
+					sum = addInto(sum, m.Vals)
+				}
+				emit(Msg{Target: recs[0].Target / 2, Vals: sum})
+			}, MsgCodec())
+	}
+	// Broadcast down by doubling: after step k, workers 0..2^(k+1)-1 hold
+	// the total.
+	for k := 0; k < levels; k++ {
+		span := int64(1) << k
+		cur = lib.UnaryBuffer[Msg, Msg](lib.Exchange(cur, byTarget), fmt.Sprintf("tree-bcast-%d", k), nil,
+			func(_ ts.Timestamp, recs []Msg, emit func(Msg)) {
+				for _, m := range recs {
+					emit(Msg{Target: m.Target, Vals: m.Vals})
+					if m.Target+span < int64(workers) {
+						emit(Msg{Target: m.Target + span, Vals: m.Vals})
+					}
+				}
+			}, MsgCodec())
+	}
+	final := lib.Exchange(cur, byTarget)
+	return lib.Select(final, func(m Msg) Msg {
+		return Msg{Target: m.Target, Seg: -1, Vals: m.Vals}
+	}, MsgCodec())
+}

@@ -1,0 +1,9 @@
+package allreduce
+
+import "naiad/internal/codec"
+
+// Tiny wrappers so the codec test reads cleanly.
+
+func newEnc() *codec.Encoder { return codec.NewEncoder(64) }
+
+func newDec(e *codec.Encoder) *codec.Decoder { return codec.NewDecoder(e.Bytes()) }

@@ -1,0 +1,69 @@
+package allreduce
+
+import (
+	"math"
+	"testing"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+)
+
+// TestPipelinedEpochs feeds many AllReduce rounds without waiting for any
+// of them: timely dataflow keeps the epochs separate while they execute
+// concurrently, and every round's result must still be exact. This is the
+// epoch-overlap behaviour the paper's coordination model exists to make
+// safe.
+func TestPipelinedEpochs(t *testing.T) {
+	const workers, dim, epochs = 4, 32, 25
+	cfg := runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+	for name, build := range map[string]func(*lib.Stream[Msg], int) *lib.Stream[Msg]{
+		"data-parallel": func(in *lib.Stream[Msg], w int) *lib.Stream[Msg] {
+			return BuildDataParallel(in, w, dim)
+		},
+		"tree": BuildTree,
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := lib.NewScope(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, src := lib.NewInput[Msg](s, "grads", MsgCodec())
+			col := lib.Collect(build(src, workers))
+			if err := s.C.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// Blast every epoch in without synchronizing.
+			for e := 0; e < epochs; e++ {
+				for w := 0; w < workers; w++ {
+					vec := make([]float64, dim)
+					for i := range vec {
+						vec[i] = float64(e*31+w*7) + float64(i)
+					}
+					in.SendToWorker(w, []Msg{{Target: int64(w), Vals: vec}})
+				}
+				in.Advance()
+			}
+			in.Close()
+			if err := s.C.Join(); err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < epochs; e++ {
+				msgs := col.Epoch(int64(e))
+				if len(msgs) != workers {
+					t.Fatalf("epoch %d: %d results", e, len(msgs))
+				}
+				for _, m := range msgs {
+					for i, v := range m.Vals {
+						var want float64
+						for w := 0; w < workers; w++ {
+							want += float64(e*31+w*7) + float64(i)
+						}
+						if math.Abs(v-want) > 1e-9 {
+							t.Fatalf("epoch %d worker %d [%d]: %v want %v", e, m.Target, i, v, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+package batch
+
+import (
+	"sync"
+
+	"naiad/internal/workload"
+)
+
+// WCC computes weakly connected components with synchronous full-relabel
+// iterations: every iteration recomputes every node's label from all of
+// its neighbors (no sparse/delta optimization — batch systems recompute
+// the full relation), then materializes the label table.
+func (e *Engine) WCC(edges []workload.Edge) map[int64]int64 {
+	adj := make(map[int64][]int64)
+	for _, ed := range edges {
+		if ed.Src == ed.Dst {
+			continue
+		}
+		adj[ed.Src] = append(adj[ed.Src], ed.Dst)
+		adj[ed.Dst] = append(adj[ed.Dst], ed.Src)
+	}
+	labels := make(map[int64]int64, len(adj))
+	var nodes []int64
+	for n := range adj {
+		labels[n] = n
+		nodes = append(nodes, n)
+	}
+	for {
+		e.iterations.Add(1)
+		next := make([]map[int64]int64, e.Workers)
+		changedBy := make([]bool, e.Workers)
+		e.parallel(func(p int) {
+			mine := make(map[int64]int64)
+			for i := p; i < len(nodes); i += e.Workers {
+				n := nodes[i]
+				best := labels[n]
+				for _, m := range adj[n] {
+					if l := labels[m]; l < best {
+						best = l
+					}
+				}
+				mine[n] = best
+				if best != labels[n] {
+					changedBy[p] = true
+				}
+			}
+			next[p] = mine
+		})
+		merged := make(map[int64]int64, len(labels))
+		changed := false
+		for p := range next {
+			for n, l := range next[p] {
+				merged[n] = l
+			}
+			changed = changed || changedBy[p]
+		}
+		labels = roundTrip(e, merged)
+		if !changed {
+			return labels
+		}
+	}
+}
+
+// PageRank runs the given number of synchronous power iterations,
+// materializing the rank vector between iterations.
+func (e *Engine) PageRank(edges []workload.Edge, nodes int64, iters int, d float64) map[int64]float64 {
+	outDeg := make(map[int64]int64)
+	present := make(map[int64]struct{})
+	for _, ed := range edges {
+		outDeg[ed.Src]++
+		present[ed.Src] = struct{}{}
+		present[ed.Dst] = struct{}{}
+	}
+	ranks := make(map[int64]float64, len(present))
+	for n := range present {
+		ranks[n] = 1 / float64(nodes)
+	}
+	base := (1 - d) / float64(nodes)
+	for it := 0; it < iters; it++ {
+		e.iterations.Add(1)
+		partial := make([]map[int64]float64, e.Workers)
+		e.parallel(func(p int) {
+			mine := make(map[int64]float64)
+			for i := p; i < len(edges); i += e.Workers {
+				ed := edges[i]
+				mine[ed.Dst] += d * ranks[ed.Src] / float64(outDeg[ed.Src])
+			}
+			partial[p] = mine
+		})
+		next := make(map[int64]float64, len(present))
+		for n := range present {
+			next[n] = base
+		}
+		for _, mine := range partial {
+			for n, c := range mine {
+				next[n] += c
+			}
+		}
+		ranks = roundTrip(e, next)
+	}
+	return ranks
+}
+
+// minLabels propagates minimum ids along edge direction synchronously.
+func (e *Engine) minLabels(edges []workload.Edge) map[int64]int64 {
+	labels := make(map[int64]int64)
+	for _, ed := range edges {
+		labels[ed.Src] = ed.Src
+		labels[ed.Dst] = ed.Dst
+	}
+	for {
+		e.iterations.Add(1)
+		var mu sync.Mutex
+		changed := false
+		next := make(map[int64]int64, len(labels))
+		for n, l := range labels {
+			next[n] = l
+		}
+		e.parallel(func(p int) {
+			local := make(map[int64]int64)
+			for i := p; i < len(edges); i += e.Workers {
+				ed := edges[i]
+				if l := labels[ed.Src]; l < labels[ed.Dst] {
+					if cur, ok := local[ed.Dst]; !ok || l < cur {
+						local[ed.Dst] = l
+					}
+				}
+			}
+			mu.Lock()
+			for n, l := range local {
+				if l < next[n] {
+					next[n] = l
+					changed = true
+				}
+			}
+			mu.Unlock()
+		})
+		labels = roundTrip(e, next)
+		if !changed {
+			return labels
+		}
+	}
+}
+
+// SCC runs the same forward/backward min-label trimming as the dataflow
+// implementation, but with synchronous materialized iterations.
+func (e *Engine) SCC(edges []workload.Edge) map[int64]int64 {
+	assign := make(map[int64]int64)
+	nodes := make(map[int64]struct{})
+	for _, ed := range edges {
+		nodes[ed.Src] = struct{}{}
+		nodes[ed.Dst] = struct{}{}
+	}
+	remaining := append([]workload.Edge(nil), edges...)
+	for len(remaining) > 0 {
+		fwd := e.minLabels(remaining)
+		rev := make([]workload.Edge, len(remaining))
+		for i, ed := range remaining {
+			rev[i] = workload.Edge{Src: ed.Dst, Dst: ed.Src}
+		}
+		bwd := e.minLabels(rev)
+		for n, f := range fwd {
+			if bwd[n] == f {
+				assign[n] = f
+			}
+		}
+		kept := remaining[:0]
+		for _, ed := range remaining {
+			if _, a := assign[ed.Src]; a {
+				continue
+			}
+			if _, b := assign[ed.Dst]; b {
+				continue
+			}
+			kept = append(kept, ed)
+		}
+		remaining = kept
+	}
+	for n := range nodes {
+		if _, ok := assign[n]; !ok {
+			assign[n] = n
+		}
+	}
+	return assign
+}
+
+// ASP computes BFS distances from the given sources with synchronous
+// frontier-free iterations: every iteration relaxes every edge for every
+// source (the dense batch formulation), materializing the distance table.
+func (e *Engine) ASP(edges []workload.Edge, sources []int64) map[SrcNode]int64 {
+	type sn = SrcNode
+	dist := make(map[sn]int64)
+	for _, s := range sources {
+		dist[sn{Src: s, Node: s}] = 0
+	}
+	undirected := make([]workload.Edge, 0, 2*len(edges))
+	for _, ed := range edges {
+		if ed.Src == ed.Dst {
+			continue
+		}
+		undirected = append(undirected, ed, workload.Edge{Src: ed.Dst, Dst: ed.Src})
+	}
+	for {
+		e.iterations.Add(1)
+		var mu sync.Mutex
+		changed := false
+		next := make(map[sn]int64, len(dist))
+		for k, v := range dist {
+			next[k] = v
+		}
+		e.parallel(func(p int) {
+			local := make(map[sn]int64)
+			for i := p; i < len(undirected); i += e.Workers {
+				ed := undirected[i]
+				for _, s := range sources {
+					if d, ok := dist[sn{Src: s, Node: ed.Src}]; ok {
+						k := sn{Src: s, Node: ed.Dst}
+						if cur, have := dist[k]; !have || d+1 < cur {
+							if lcur, lhave := local[k]; !lhave || d+1 < lcur {
+								local[k] = d + 1
+							}
+						}
+					}
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				if cur, have := next[k]; !have || v < cur {
+					next[k] = v
+					changed = true
+				}
+			}
+			mu.Unlock()
+		})
+		dist = roundTrip(e, next)
+		if !changed {
+			return dist
+		}
+	}
+}
+
+// SrcNode mirrors graphalgo.SrcNode without importing it (the batch engine
+// is independent of the timely stack).
+type SrcNode struct {
+	Src, Node int64
+}

@@ -1,0 +1,84 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"naiad/internal/graphalgo"
+	"naiad/internal/workload"
+)
+
+func TestBatchWCCMatchesUnionFind(t *testing.T) {
+	edges := workload.RandomGraph(4, 150, 300)
+	e := &Engine{Workers: 4, Materialize: true}
+	got := e.WCC(edges)
+	want := workload.ExpectedWCC(edges)
+	for n, wc := range want {
+		if gc, ok := got[n]; ok && gc != wc {
+			t.Fatalf("node %d: %d vs %d", n, gc, wc)
+		}
+	}
+	if e.BytesMaterialized() == 0 || e.Iterations() == 0 {
+		t.Fatal("materialization not exercised")
+	}
+}
+
+func TestBatchWCCWithoutMaterialization(t *testing.T) {
+	edges := workload.ChainGraph(2, 30)
+	e := &Engine{Workers: 2}
+	got := e.WCC(edges)
+	if e.BytesMaterialized() != 0 {
+		t.Fatal("bytes counted while disabled")
+	}
+	want := workload.ExpectedWCC(edges)
+	for n, wc := range want {
+		if got[n] != wc {
+			t.Fatalf("node %d: %d vs %d", n, got[n], wc)
+		}
+	}
+}
+
+func TestBatchPageRankMatchesSequential(t *testing.T) {
+	const nodes = 40
+	edges := workload.PowerLawGraph(9, nodes, 200, 1.4)
+	e := &Engine{Workers: 4, Materialize: true}
+	got := e.PageRank(edges, nodes, 8, 0.85)
+	want := workload.ExpectedPageRank(edges, nodes, 8, 0.85)
+	for n, r := range got {
+		if math.Abs(r-want[n]) > 1e-9 {
+			t.Fatalf("node %d: %v vs %v", n, r, want[n])
+		}
+	}
+}
+
+func TestBatchSCCMatchesTarjan(t *testing.T) {
+	edges := append(workload.CycleGraph(3, 5), workload.RandomGraph(5, 15, 20)...)
+	e := &Engine{Workers: 4, Materialize: true}
+	got := e.SCC(edges)
+	want := graphalgo.TarjanSCC(edges)
+	if len(got) != len(want) {
+		t.Fatalf("size: %d vs %d", len(got), len(want))
+	}
+	for n, wc := range want {
+		if got[n] != wc {
+			t.Fatalf("node %d: %d vs %d", n, got[n], wc)
+		}
+	}
+}
+
+func TestBatchASPMatchesBFS(t *testing.T) {
+	edges := workload.RandomGraph(6, 50, 120)
+	sources := []int64{0, 1, 2}
+	e := &Engine{Workers: 4, Materialize: true}
+	got := e.ASP(edges, sources)
+	want := graphalgo.BFSDistances(edges, sources)
+	// The batch version only tracks reachable pairs, same as BFS.
+	if len(got) != len(want) {
+		t.Fatalf("pairs: %d vs %d", len(got), len(want))
+	}
+	for k, wd := range want {
+		if got[SrcNode{Src: k.Src, Node: k.Node}] != wd {
+			t.Fatalf("%v: %d vs %d", k, got[SrcNode{Src: k.Src, Node: k.Node}], wd)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package codec serializes record batches crossing process boundaries.
+// Naiad serializes all inter-process data; this package provides a compact
+// little-endian binary encoding with fast paths for the record types the
+// workloads use, plus a gob-based fallback for arbitrary types.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+)
+
+// Encoder appends primitive values to a growing byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUint8 appends one byte.
+func (e *Encoder) PutUint8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutUint32 appends a little-endian uint32.
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// PutUint64 appends a little-endian uint64.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// PutInt64 appends a little-endian int64.
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutFloat64 appends a float64 bit pattern.
+func (e *Encoder) PutFloat64(v float64) {
+	e.PutUint64(math.Float64bits(v))
+}
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder reads primitive values from a byte slice.
+type Decoder struct {
+	data []byte
+	off  int
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.off }
+
+func (d *Decoder) need(n int) {
+	if d.off+n > len(d.data) {
+		panic(fmt.Sprintf("codec: truncated input: need %d bytes at offset %d of %d", n, d.off, len(d.data)))
+	}
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	d.need(1)
+	v := d.data[d.off]
+	d.off++
+	return v
+}
+
+// Uint32 reads a little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	d.need(4)
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+// Uint64 reads a little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	d.need(8)
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+
+// Int64 reads a little-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Float64 reads a float64.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.Uint32())
+	d.need(n)
+	s := string(d.data[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// BytesView reads a length-prefixed byte slice, aliasing the input.
+func (d *Decoder) BytesView() []byte {
+	n := int(d.Uint32())
+	d.need(n)
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Codec serializes batches of records (as []any holding a uniform concrete
+// type) for transmission between processes.
+type Codec interface {
+	// EncodeBatch appends the encoding of records to enc.
+	EncodeBatch(enc *Encoder, records []any)
+	// DecodeBatch reads n records from dec.
+	DecodeBatch(dec *Decoder, n int) []any
+}
+
+// funcCodec adapts per-record encode/decode functions for a concrete type.
+type funcCodec[T any] struct {
+	enc func(*Encoder, T)
+	dec func(*Decoder) T
+}
+
+func (c funcCodec[T]) EncodeBatch(enc *Encoder, records []any) {
+	for _, r := range records {
+		c.enc(enc, r.(T))
+	}
+}
+
+func (c funcCodec[T]) DecodeBatch(dec *Decoder, n int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = c.dec(dec)
+	}
+	return out
+}
+
+// New builds a codec for T from per-record encode/decode functions.
+func New[T any](enc func(*Encoder, T), dec func(*Decoder) T) Codec {
+	return funcCodec[T]{enc: enc, dec: dec}
+}
+
+// Int64 returns a codec for int64 records.
+func Int64() Codec {
+	return New(
+		func(e *Encoder, v int64) { e.PutInt64(v) },
+		func(d *Decoder) int64 { return d.Int64() },
+	)
+}
+
+// Float64 returns a codec for float64 records.
+func Float64() Codec {
+	return New(
+		func(e *Encoder, v float64) { e.PutFloat64(v) },
+		func(d *Decoder) float64 { return d.Float64() },
+	)
+}
+
+// String returns a codec for string records.
+func String() Codec {
+	return New(
+		func(e *Encoder, v string) { e.PutString(v) },
+		func(d *Decoder) string { return d.String() },
+	)
+}
+
+// gobCodec serializes []T batches with encoding/gob, amortizing type
+// information across the batch. It is the fallback for record types
+// without a hand-written codec.
+type gobCodec[T any] struct{}
+
+func (gobCodec[T]) EncodeBatch(enc *Encoder, records []any) {
+	slice := make([]T, len(records))
+	for i, r := range records {
+		slice[i] = r.(T)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(slice); err != nil {
+		panic(fmt.Sprintf("codec: gob encode: %v", err))
+	}
+	enc.PutBytes(buf.Bytes())
+}
+
+func (gobCodec[T]) DecodeBatch(dec *Decoder, n int) []any {
+	raw := dec.BytesView()
+	var slice []T
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&slice); err != nil {
+		panic(fmt.Sprintf("codec: gob decode: %v", err))
+	}
+	if len(slice) != n {
+		panic(fmt.Sprintf("codec: gob batch length %d, want %d", len(slice), n))
+	}
+	out := make([]any, n)
+	for i, v := range slice {
+		out[i] = v
+	}
+	return out
+}
+
+// Gob returns a gob-backed codec for arbitrary record types.
+func Gob[T any]() Codec { return gobCodec[T]{} }

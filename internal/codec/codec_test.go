@@ -1,0 +1,158 @@
+package codec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutUint8(7)
+	e.PutUint32(1 << 30)
+	e.PutUint64(1 << 60)
+	e.PutInt64(-42)
+	e.PutFloat64(3.25)
+	e.PutString("héllo")
+	e.PutBytes([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	if d.Uint8() != 7 || d.Uint32() != 1<<30 || d.Uint64() != 1<<60 {
+		t.Fatal("unsigned roundtrip")
+	}
+	if d.Int64() != -42 {
+		t.Fatal("int64 roundtrip")
+	}
+	if d.Float64() != 3.25 {
+		t.Fatal("float64 roundtrip")
+	}
+	if d.String() != "héllo" {
+		t.Fatal("string roundtrip")
+	}
+	if got := d.BytesView(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatal("bytes roundtrip")
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint64(1)
+	e.Reset()
+	if len(e.Bytes()) != 0 {
+		t.Fatal("reset should clear")
+	}
+}
+
+func TestDecoderTruncationPanics(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Uint64()
+}
+
+func roundtrip(t *testing.T, c Codec, records []any) []any {
+	t.Helper()
+	e := NewEncoder(64)
+	c.EncodeBatch(e, records)
+	d := NewDecoder(e.Bytes())
+	out := c.DecodeBatch(d, len(records))
+	if d.Remaining() != 0 {
+		t.Fatalf("decoder left %d bytes", d.Remaining())
+	}
+	return out
+}
+
+func TestInt64Codec(t *testing.T) {
+	in := []any{int64(1), int64(-5), int64(1 << 40)}
+	out := roundtrip(t, Int64(), in)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestFloat64Codec(t *testing.T) {
+	in := []any{1.5, -2.25, 0.0}
+	if out := roundtrip(t, Float64(), in); !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestStringCodec(t *testing.T) {
+	in := []any{"", "a", "longer string with spaces"}
+	if out := roundtrip(t, String(), in); !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+type pair struct {
+	K string
+	V int64
+}
+
+func TestCustomCodec(t *testing.T) {
+	c := New(
+		func(e *Encoder, p pair) { e.PutString(p.K); e.PutInt64(p.V) },
+		func(d *Decoder) pair { return pair{K: d.String(), V: d.Int64()} },
+	)
+	in := []any{pair{"x", 1}, pair{"y", -2}}
+	if out := roundtrip(t, c, in); !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestGobCodec(t *testing.T) {
+	c := Gob[pair]()
+	in := []any{pair{"x", 1}, pair{"y", -2}, pair{"", 0}}
+	if out := roundtrip(t, c, in); !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestGobCodecEmptyBatch(t *testing.T) {
+	c := Gob[int]()
+	if out := roundtrip(t, c, nil); len(out) != 0 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+// Property: arbitrary int64 batches roundtrip through the fast codec.
+func TestQuickInt64Roundtrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		in := make([]any, len(vals))
+		for i, v := range vals {
+			in[i] = v
+		}
+		e := NewEncoder(8 * len(vals))
+		c := Int64()
+		c.EncodeBatch(e, in)
+		out := c.DecodeBatch(NewDecoder(e.Bytes()), len(in))
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary string batches roundtrip.
+func TestQuickStringRoundtrip(t *testing.T) {
+	f := func(vals []string) bool {
+		in := make([]any, len(vals))
+		for i, v := range vals {
+			in[i] = v
+		}
+		e := NewEncoder(64)
+		c := String()
+		c.EncodeBatch(e, in)
+		out := c.DecodeBatch(NewDecoder(e.Bytes()), len(in))
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}

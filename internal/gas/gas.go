@@ -1,0 +1,257 @@
+// Package gas implements the PowerGraph gather-apply-scatter vertex-
+// program abstraction as a Naiad library. The paper's "Naiad Edge"
+// PageRank reuses most of its 547 lines for other GAS-model programs
+// (§6.1); this package is that reusable layer: per-superstep, each active
+// vertex gathers an accumulated value over its in-edges, applies an update
+// to its state, and scatters along out-edges, activating neighbors whose
+// gathered value changed.
+//
+// Like the paper's port it is a library over public Naiad primitives: a
+// custom vertex inside a loop, with gather messages riding the feedback
+// edge. Edge partitioning is by source (scatter-side locality) with
+// per-worker combining of gather contributions before the exchange — the
+// communication pattern PowerGraph's vertex cuts optimize for.
+package gas
+
+import (
+	"sort"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/workload"
+)
+
+// Program defines a GAS vertex program with state S and gather type G.
+type Program[S, G any] struct {
+	// Init builds a vertex's initial state.
+	Init func(node int64) S
+	// InitialActive reports whether a vertex starts active at superstep 0.
+	InitialActive func(node int64) bool
+	// GatherZero is the identity of Sum.
+	GatherZero G
+	// Sum combines two gather contributions (commutative, associative).
+	Sum func(a, b G) G
+	// Apply folds the gathered value into the state, returning the new
+	// state and whether the vertex should scatter this superstep.
+	Apply func(node int64, state S, gathered G, superstep int64) (S, bool)
+	// Scatter produces the contribution sent along one out-edge; the
+	// destination becomes active next superstep.
+	Scatter func(node int64, state S, deg int, dst int64) G
+	// MaxSupersteps bounds the computation.
+	MaxSupersteps int64
+	// GatherCodec serializes G (nil: gob).
+	GatherCodec codec.Codec
+	// StateCodec serializes emitted states (nil: gob).
+	StateCodec codec.Codec
+}
+
+// gatherMsg is one scatter contribution addressed to a vertex.
+type gatherMsg[G any] struct {
+	Dst int64
+	Val G
+}
+
+// snapshotG carries a vertex state out of the loop.
+type snapshotG[S any] struct {
+	Node      int64
+	Superstep int64
+	State     S
+}
+
+// gasVertex hosts a partition of the GAS graph.
+type gasVertex[S, G any] struct {
+	ctx *runtime.Context
+	p   *Program[S, G]
+
+	adj    map[int64][]int64
+	state  map[int64]S
+	seen   map[ts.Timestamp]bool
+	gather map[ts.Timestamp]map[int64]G
+}
+
+func (v *gasVertex[S, G]) OnRecv(input int, msg runtime.Message, t ts.Timestamp) {
+	if !v.seen[t] {
+		v.seen[t] = true
+		v.ctx.NotifyAt(t)
+	}
+	switch input {
+	case 0:
+		e := msg.(workload.Edge)
+		v.adj[e.Src] = append(v.adj[e.Src], e.Dst)
+		if _, ok := v.state[e.Src]; !ok {
+			v.state[e.Src] = v.p.Init(e.Src)
+		}
+	case 1:
+		m := msg.(gatherMsg[G])
+		g := v.gather[t]
+		if g == nil {
+			g = make(map[int64]G)
+			v.gather[t] = g
+		}
+		if cur, ok := g[m.Dst]; ok {
+			g[m.Dst] = v.p.Sum(cur, m.Val)
+		} else {
+			g[m.Dst] = m.Val
+		}
+	}
+}
+
+func (v *gasVertex[S, G]) OnNotify(t ts.Timestamp) {
+	delete(v.seen, t)
+	gathered := v.gather[t]
+	delete(v.gather, t)
+	super := t.Inner()
+
+	// Active set: initially-active vertices at superstep 0, plus every
+	// vertex with gathered contributions.
+	var active []int64
+	if super == 0 {
+		for node := range v.state {
+			if v.p.InitialActive == nil || v.p.InitialActive(node) {
+				active = append(active, node)
+			}
+		}
+	}
+	for node := range gathered {
+		if _, ok := v.state[node]; !ok {
+			v.state[node] = v.p.Init(node)
+		}
+		if super > 0 {
+			active = append(active, node)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	dedup := active[:0]
+	var last int64 = -1
+	for i, n := range active {
+		if i == 0 || n != last {
+			dedup = append(dedup, n)
+		}
+		last = n
+	}
+
+	for _, node := range dedup {
+		g, ok := gathered[node]
+		if !ok {
+			g = v.p.GatherZero
+		}
+		next, scatter := v.p.Apply(node, v.state[node], g, super)
+		v.state[node] = next
+		v.ctx.SendBy(1, snapshotG[S]{Node: node, Superstep: super, State: next}, t)
+		if !scatter {
+			continue
+		}
+		outs := v.adj[node]
+		for _, dst := range outs {
+			v.ctx.SendBy(0, gatherMsg[G]{Dst: dst, Val: v.p.Scatter(node, next, len(outs), dst)}, t)
+		}
+	}
+}
+
+// combineGather sums contributions per destination within each worker
+// before the exchange — the traffic reduction edge partitioning buys.
+func combineGather[G any](s *lib.Scope, in *lib.Stream[gatherMsg[G]], sum func(a, b G) G, cod codec.Codec) *lib.Stream[gatherMsg[G]] {
+	return lib.UnaryBuffer[gatherMsg[G], gatherMsg[G]](in, "gas-combiner", nil,
+		func(_ ts.Timestamp, recs []gatherMsg[G], emit func(gatherMsg[G])) {
+			sums := make(map[int64]G, len(recs))
+			var order []int64
+			for _, m := range recs {
+				if cur, ok := sums[m.Dst]; ok {
+					sums[m.Dst] = sum(cur, m.Val)
+				} else {
+					sums[m.Dst] = m.Val
+					order = append(order, m.Dst)
+				}
+			}
+			for _, dst := range order {
+				emit(gatherMsg[G]{Dst: dst, Val: sums[dst]})
+			}
+		}, cod)
+}
+
+// Run wires a GAS computation over an edge stream and returns each node's
+// final state per epoch.
+func Run[S, G any](s *lib.Scope, edges *lib.Stream[workload.Edge], p Program[S, G]) *lib.Stream[lib.Pair[int64, S]] {
+	c := s.C
+	edgesIn := lib.EnterLoop(edges, 1)
+	gatherCodec := p.GatherCodec
+	if gatherCodec == nil {
+		gatherCodec = codec.Gob[gatherMsg[G]]()
+	}
+	st := c.AddStage("gas", graph.RoleNormal, 1, func(ctx *runtime.Context) runtime.Vertex {
+		return &gasVertex[S, G]{
+			ctx: ctx, p: &p,
+			adj:    make(map[int64][]int64),
+			state:  make(map[int64]S),
+			seen:   make(map[ts.Timestamp]bool),
+			gather: make(map[ts.Timestamp]map[int64]G),
+		}
+	}, runtime.Ports(2))
+	fb := c.AddStage("gas-feedback", graph.RoleFeedback, 1, nil, runtime.MaxIterations(p.MaxSupersteps))
+	c.Connect(edgesIn.Stage(), 0, st, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(workload.Edge).Src)
+	}, codec.Gob[workload.Edge]())
+	// Scatter messages: combine per worker, then exchange by destination
+	// through the feedback edge.
+	scatters := lib.StreamOf[gatherMsg[G]](s, st, 0, gatherCodec, 1)
+	combined := combineGather(s, scatters, p.Sum, gatherCodec)
+	c.Connect(combined.Stage(), 0, fb, nil, gatherCodec)
+	c.Connect(fb, 0, st, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(gatherMsg[G]).Dst)
+	}, gatherCodec)
+
+	snaps := lib.LeaveLoop(lib.StreamOf[snapshotG[S]](s, st, 1, nil, 1))
+	latest := lib.FoldByKey(
+		lib.Select(snaps, func(sn snapshotG[S]) lib.Pair[int64, snapshotG[S]] {
+			return lib.KV(sn.Node, sn)
+		}, nil),
+		func(int64) snapshotG[S] { return snapshotG[S]{Superstep: -1} },
+		func(acc snapshotG[S], sn snapshotG[S]) snapshotG[S] {
+			if sn.Superstep >= acc.Superstep {
+				return sn
+			}
+			return acc
+		}, nil)
+	return lib.Select(latest, func(pr lib.Pair[int64, snapshotG[S]]) lib.Pair[int64, S] {
+		return lib.KV(pr.Key, pr.Val.State)
+	}, p.StateCodec)
+}
+
+// PageRank runs the GAS-model PageRank — the PowerGraph comparison point
+// of Figure 7a — for a fixed number of supersteps.
+func PageRank(s *lib.Scope, edgeList []workload.Edge, nodes int64, iters int64, damping float64) (map[int64]float64, error) {
+	in, edges := lib.NewInput[workload.Edge](s, "edges", nil)
+	finals := Run(s, edges, Program[float64, float64]{
+		Init:          func(int64) float64 { return 1 / float64(nodes) },
+		InitialActive: func(int64) bool { return true },
+		GatherZero:    0,
+		Sum:           func(a, b float64) float64 { return a + b },
+		Apply: func(_ int64, rank float64, gathered float64, super int64) (float64, bool) {
+			if super > 0 {
+				rank = (1-damping)/float64(nodes) + damping*gathered
+			}
+			return rank, super < iters
+		},
+		Scatter: func(_ int64, rank float64, deg int, _ int64) float64 {
+			return rank / float64(deg)
+		},
+		MaxSupersteps: iters + 1,
+	})
+	col := lib.Collect(finals)
+	if err := s.C.Start(); err != nil {
+		return nil, err
+	}
+	in.Send(edgeList...)
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		return nil, err
+	}
+	out := make(map[int64]float64)
+	for _, p := range col.All() {
+		out[p.Key] = p.Val
+	}
+	return out, nil
+}

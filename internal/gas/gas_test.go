@@ -1,0 +1,103 @@
+package gas
+
+import (
+	"math"
+	"testing"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+func scope(t *testing.T) *lib.Scope {
+	t.Helper()
+	s, err := lib.NewScope(runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fullInDegreeGraph builds a cycle (so every node has an in-edge, and GAS
+// activation reaches everyone each superstep) plus random chords.
+func fullInDegreeGraph(nodes int) []workload.Edge {
+	edges := workload.CycleGraph(1, nodes)
+	edges = append(edges, workload.RandomGraph(5, nodes, nodes*3)...)
+	return edges
+}
+
+func TestGASPageRankMatchesSequential(t *testing.T) {
+	const nodes = 40
+	const iters = 8
+	edges := fullInDegreeGraph(nodes)
+	got, err := PageRank(scope(t), edges, nodes, iters, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.ExpectedPageRank(edges, nodes, iters, 0.85)
+	if len(got) != nodes {
+		t.Fatalf("ranked %d nodes", len(got))
+	}
+	for n, r := range got {
+		if math.Abs(r-want[n]) > 1e-9 {
+			t.Fatalf("node %d: gas %.12f, dense %.12f", n, r, want[n])
+		}
+	}
+}
+
+// TestGASMinLabelWCC runs the GAS-style connected components: gather is
+// min over scattered labels, apply adopts improvements, and scatter fires
+// only on change — the sparse activation pattern the model is built for.
+func TestGASMinLabelWCC(t *testing.T) {
+	base := workload.ChainGraph(3, 15)
+	// Undirect so labels flow both ways.
+	var edges []workload.Edge
+	for _, e := range base {
+		edges = append(edges, e, workload.Edge{Src: e.Dst, Dst: e.Src})
+	}
+	s := scope(t)
+	in2, stream2 := lib.NewInput[workload.Edge](s, "edges", nil)
+	finals := Run(s, stream2, Program[int64, int64]{
+		Init:          func(n int64) int64 { return n },
+		InitialActive: func(int64) bool { return true },
+		GatherZero:    math.MaxInt64,
+		Sum: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Apply: func(_ int64, label int64, gathered int64, super int64) (int64, bool) {
+			if super == 0 {
+				return label, true // announce the initial label
+			}
+			if gathered < label {
+				return gathered, true // improved: scatter again
+			}
+			return label, false // no change: stay quiet
+		},
+		Scatter: func(_ int64, label int64, _ int, _ int64) int64 {
+			return label
+		},
+		MaxSupersteps: 1000,
+	})
+	col := lib.Collect(finals)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in2.Send(edges...)
+	in2.Close()
+	if err := s.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	want := workload.ExpectedWCC(edges)
+	got := map[int64]int64{}
+	for _, p := range col.All() {
+		got[p.Key] = p.Val
+	}
+	for n, wc := range want {
+		if got[n] != wc {
+			t.Fatalf("node %d: gas %d, union-find %d", n, got[n], wc)
+		}
+	}
+}

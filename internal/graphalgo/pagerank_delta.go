@@ -1,0 +1,139 @@
+package graphalgo
+
+import (
+	"math"
+
+	"naiad/internal/graph"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/workload"
+)
+
+// prDeltaVertex implements delta PageRank: instead of recomputing every
+// rank each iteration, vertices accumulate incoming rank *deltas* and
+// scatter damped shares only while the delta exceeds a threshold. The
+// computation converges by quiescence — the tail iterations touch only
+// the few nodes still changing, the sparse-iteration regime the paper
+// credits for its Table 1 wins and that PrIter [45] targets.
+//
+// The fixed point is the power-series PageRank: rank(v) = Σ_k (1-d)/N ·
+// (d·Aᵀ)^k, identical to running the dense iteration to convergence.
+type prDeltaVertex struct {
+	ctx     *runtime.Context
+	n       float64
+	damping float64
+	epsilon float64
+
+	adj   map[int64][]int64
+	rank  map[int64]float64
+	accum map[ts.Timestamp]map[int64]float64
+}
+
+func (v *prDeltaVertex) OnRecv(input int, msg runtime.Message, t ts.Timestamp) {
+	if v.accum[t] == nil {
+		v.accum[t] = make(map[int64]float64)
+		v.ctx.NotifyAt(t)
+	}
+	switch input {
+	case 0:
+		e := msg.(workload.Edge)
+		v.adj[e.Src] = append(v.adj[e.Src], e.Dst)
+	default: // looped contributions (1) and initial seeds (2)
+		p := msg.(lib.Pair[int64, float64])
+		v.accum[t][p.Key] += p.Val
+	}
+}
+
+func (v *prDeltaVertex) OnNotify(t ts.Timestamp) {
+	acc := v.accum[t]
+	delete(v.accum, t)
+	for node, delta := range acc {
+		v.rank[node] += delta
+		outs := v.adj[node]
+		if len(outs) == 0 || math.Abs(delta) < v.epsilon {
+			continue // converged here (or dangling): stop propagating
+		}
+		share := v.damping * delta / float64(len(outs))
+		for _, dst := range outs {
+			v.ctx.SendBy(0, lib.Pair[int64, float64]{Key: dst, Val: share}, t)
+		}
+	}
+	// Publish updated ranks tagged with the iteration so the latest wins.
+	for node := range acc {
+		v.ctx.SendBy(1, rankAt{Node: node, Iter: t.Inner(), Rank: v.rank[node]}, t)
+	}
+}
+
+// rankAt tags a rank observation with its iteration.
+type rankAt struct {
+	Node int64
+	Iter int64
+	Rank float64
+}
+
+// PageRankDelta runs delta PageRank to convergence (threshold epsilon) and
+// returns the final ranks. maxIters bounds the loop defensively; with a
+// positive epsilon the computation quiesces on its own.
+func PageRankDelta(s *lib.Scope, edgeList []workload.Edge, nodes int64, damping, epsilon float64, maxIters int64) (map[int64]float64, error) {
+	c := s.C
+	in, edges := lib.NewInput[workload.Edge](s, "edges", EdgeCodec())
+	edgesIn := lib.EnterLoop(edges, 1)
+
+	// Every node's teleport mass enters as its first delta, through the
+	// same contribution path the loop uses.
+	base := (1 - damping) / float64(nodes)
+	nodeSeeds := lib.Select(
+		lib.DistinctCumulative(lib.SelectMany(edges, func(e workload.Edge) []int64 {
+			return []int64{e.Src, e.Dst}
+		}, nil)),
+		func(n int64) lib.Pair[int64, float64] { return lib.KV(n, base) },
+		rankCodec())
+	seedsIn := lib.EnterLoop(nodeSeeds, 1)
+	pr := c.AddStage("pagerank-delta", graph.RoleNormal, 1, func(ctx *runtime.Context) runtime.Vertex {
+		return &prDeltaVertex{
+			ctx: ctx, n: float64(nodes), damping: damping, epsilon: epsilon,
+			adj:   make(map[int64][]int64),
+			rank:  make(map[int64]float64),
+			accum: make(map[ts.Timestamp]map[int64]float64),
+		}
+	}, runtime.Ports(2))
+	fb := c.AddStage("prd-feedback", graph.RoleFeedback, 1, nil, runtime.MaxIterations(maxIters))
+	c.Connect(edgesIn.Stage(), 0, pr, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(workload.Edge).Src)
+	}, EdgeCodec())
+	c.Connect(pr, 0, fb, nil, rankCodec())
+	c.Connect(fb, 0, pr, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(lib.Pair[int64, float64]).Key)
+	}, rankCodec())
+	// Seeds arrive on a third input; the vertex treats them exactly like
+	// looped contributions.
+	c.Connect(seedsIn.Stage(), 0, pr, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(lib.Pair[int64, float64]).Key)
+	}, rankCodec())
+
+	observations := lib.LeaveLoop(lib.StreamOf[rankAt](s, pr, 1, nil, 1))
+	latest := lib.FoldByKey(
+		lib.Select(observations, func(r rankAt) lib.Pair[int64, rankAt] { return lib.KV(r.Node, r) }, nil),
+		func(int64) rankAt { return rankAt{Iter: -1} },
+		func(acc rankAt, r rankAt) rankAt {
+			if r.Iter >= acc.Iter {
+				return r
+			}
+			return acc
+		}, nil)
+	col := lib.Collect(latest)
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	in.Send(edgeList...)
+	in.Close()
+	if err := c.Join(); err != nil {
+		return nil, err
+	}
+	out := make(map[int64]float64)
+	for _, p := range col.All() {
+		out[p.Key] = p.Val.Rank
+	}
+	return out, nil
+}

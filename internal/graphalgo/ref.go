@@ -1,0 +1,125 @@
+package graphalgo
+
+import (
+	"naiad/internal/workload"
+)
+
+// TarjanSCC computes strongly connected components sequentially, as the
+// validation reference for SCC. The returned map assigns every node the
+// minimum node id in its component. Iterative (explicit stack) so deep
+// graphs cannot overflow the goroutine stack.
+func TarjanSCC(edges []workload.Edge) map[int64]int64 {
+	adj := make(map[int64][]int64)
+	nodes := make(map[int64]struct{})
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		nodes[e.Src] = struct{}{}
+		nodes[e.Dst] = struct{}{}
+	}
+	index := make(map[int64]int)
+	low := make(map[int64]int)
+	onStack := make(map[int64]bool)
+	var stack []int64
+	comp := make(map[int64]int64)
+	next := 0
+
+	type frame struct {
+		node int64
+		edge int
+	}
+	for start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		call := []frame{{node: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.edge < len(adj[f.node]) {
+				child := adj[f.node][f.edge]
+				f.edge++
+				if _, seen := index[child]; !seen {
+					index[child] = next
+					low[child] = next
+					next++
+					stack = append(stack, child)
+					onStack[child] = true
+					call = append(call, frame{node: child})
+				} else if onStack[child] {
+					if index[child] < low[f.node] {
+						low[f.node] = index[child]
+					}
+				}
+				continue
+			}
+			// Post-order: pop the frame, fold lowlink into the parent.
+			n := f.node
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].node
+				if low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				// Root of an SCC: pop the component and label with min id.
+				var members []int64
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					members = append(members, m)
+					if m == n {
+						break
+					}
+				}
+				root := members[0]
+				for _, m := range members {
+					if m < root {
+						root = m
+					}
+				}
+				for _, m := range members {
+					comp[m] = root
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// BFSDistances computes undirected BFS distances from each source, as the
+// validation reference for ASP.
+func BFSDistances(edges []workload.Edge, sources []int64) map[SrcNode]int64 {
+	adj := make(map[int64][]int64)
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	out := make(map[SrcNode]int64)
+	for _, src := range sources {
+		dist := map[int64]int64{src: 0}
+		queue := []int64{src}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, m := range adj[n] {
+				if _, seen := dist[m]; !seen {
+					dist[m] = dist[n] + 1
+					queue = append(queue, m)
+				}
+			}
+		}
+		for n, d := range dist {
+			out[SrcNode{Src: src, Node: n}] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Package graphalgo implements the graph computations of the paper's
+// evaluation (§6.1): weakly connected components, PageRank in several
+// layerings, strongly connected components, and approximate shortest
+// paths — together with sequential references used to validate them.
+package graphalgo
+
+import (
+	"naiad/internal/codec"
+	"naiad/internal/lib"
+	"naiad/internal/workload"
+)
+
+// EdgeCodec is the fast binary codec for workload.Edge records.
+func EdgeCodec() codec.Codec {
+	return codec.New(
+		func(e *codec.Encoder, v workload.Edge) { e.PutInt64(v.Src); e.PutInt64(v.Dst) },
+		func(d *codec.Decoder) workload.Edge { return workload.Edge{Src: d.Int64(), Dst: d.Int64()} },
+	)
+}
+
+// PairCodec is the fast binary codec for Pair[int64, int64] records.
+func PairCodec() codec.Codec {
+	return codec.New(
+		func(e *codec.Encoder, v lib.Pair[int64, int64]) { e.PutInt64(v.Key); e.PutInt64(v.Val) },
+		func(d *codec.Decoder) lib.Pair[int64, int64] {
+			return lib.Pair[int64, int64]{Key: d.Int64(), Val: d.Int64()}
+		},
+	)
+}
+
+// BuildWCC wires the label-propagation weakly-connected-components dataflow
+// into a scope: every node's label converges to the minimum node id in its
+// (undirected) component. The computation is incremental across epochs
+// because min-label is monotone under edge additions — feeding more edges
+// in later epochs emits only label improvements (§6.4's incremental
+// connected components). The returned stream carries label improvements;
+// the final assignment for an epoch is the per-node minimum across all
+// emissions at or before it.
+func BuildWCC(s *lib.Scope, edges *lib.Stream[workload.Edge], maxIters int64) *lib.Stream[lib.Pair[int64, int64]] {
+	// Undirect the edges and key them by source.
+	both := lib.SelectMany(edges, func(e workload.Edge) []lib.Pair[int64, int64] {
+		if e.Src == e.Dst {
+			return nil
+		}
+		return []lib.Pair[int64, int64]{lib.KV(e.Src, e.Dst), lib.KV(e.Dst, e.Src)}
+	}, PairCodec())
+
+	// Every endpoint seeds itself with its own id as label.
+	seeds := lib.SelectMany(edges, func(e workload.Edge) []lib.Pair[int64, int64] {
+		return []lib.Pair[int64, int64]{lib.KV(e.Src, e.Src), lib.KV(e.Dst, e.Dst)}
+	}, PairCodec())
+
+	edgesIn := lib.EnterLoop(both, 1)
+	improvements := lib.Iterate(seeds, maxIters, func(inner *lib.Stream[lib.Pair[int64, int64]]) *lib.Stream[lib.Pair[int64, int64]] {
+		// Keep only label improvements; propose them to neighbors.
+		best := lib.AggregateMonotonic(inner, func(cand, inc int64) bool { return cand < inc })
+		return lib.Join(best, edgesIn, func(_ int64, label, neighbor int64) lib.Pair[int64, int64] {
+			return lib.KV(neighbor, label)
+		}, PairCodec())
+	})
+	// The loop feeds proposals back; what leaves the loop are the raw
+	// proposals. Reduce them (plus the self-seeds) to per-node minima with
+	// one more monotonic aggregate outside the loop.
+	all := lib.Concat(improvements, seeds)
+	return lib.AggregateMonotonic(all, func(cand, inc int64) bool { return cand < inc })
+}
+
+// WCC runs weakly connected components to convergence on one edge set and
+// returns each node's component (the minimum node id in it).
+func WCC(s *lib.Scope, edgeList []workload.Edge, maxIters int64) (map[int64]int64, error) {
+	in, edges := lib.NewInput[workload.Edge](s, "edges", EdgeCodec())
+	labels := BuildWCC(s, edges, maxIters)
+	col := lib.Collect(labels)
+	if err := s.C.Start(); err != nil {
+		return nil, err
+	}
+	in.Send(edgeList...)
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		return nil, err
+	}
+	out := make(map[int64]int64)
+	for _, p := range col.All() {
+		if cur, ok := out[p.Key]; !ok || p.Val < cur {
+			out[p.Key] = p.Val
+		}
+	}
+	return out, nil
+}

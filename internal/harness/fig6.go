@@ -1,0 +1,462 @@
+package harness
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/transport"
+	"naiad/internal/workload"
+)
+
+// Fig6aOptions sizes the all-to-all throughput microbenchmark (§5.1).
+type Fig6aOptions struct {
+	Processes         []int // sweep of process ("computer") counts
+	WorkersPerProcess int
+	RecordsPerWorker  int
+	Iterations        int64 // loop iterations: each is one all-to-all
+}
+
+// DefaultFig6a returns a laptop-scale configuration.
+func DefaultFig6a() Fig6aOptions {
+	return Fig6aOptions{
+		Processes:         []int{1, 2, 4},
+		WorkersPerProcess: 2,
+		RecordsPerWorker:  20000,
+		Iterations:        8,
+	}
+}
+
+// runExchange runs one cyclic all-to-all exchange and returns elapsed time
+// and remote data bytes.
+func runExchange(cfg runtime.Config, recordsPerWorker int, iters int64) (time.Duration, int64, error) {
+	s, err := lib.NewScope(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	in, src := lib.NewInput[int64](s, "records", codec.Int64())
+	out := lib.Iterate(src, iters, func(inner *lib.Stream[int64]) *lib.Stream[int64] {
+		// Remix each record every iteration so each all-to-all exchange
+		// re-routes it to a fresh destination worker.
+		remixed := lib.Select(inner, func(v int64) int64 {
+			return int64(lib.Hash(v))
+		}, codec.Int64())
+		return lib.Exchange(remixed, func(v int64) uint64 { return uint64(v) })
+	})
+	// Discard the egressed records at whichever worker holds them.
+	lib.SubscribeParallel(out, func(int, int64, []int64) {})
+	if err := s.C.Start(); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for w := 0; w < cfg.Workers(); w++ {
+		recs := workload.Records(int64(w+1), recordsPerWorker)
+		msgs := make([]int64, len(recs))
+		copy(msgs, recs)
+		in.SendToWorker(w, msgs)
+	}
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	bytes := s.C.TransportStats().Bytes(transport.KindData)
+	return elapsed, bytes, nil
+}
+
+// Fig6a measures aggregate all-to-all exchange throughput against the
+// number of processes (Figure 6a).
+func Fig6a(opt Fig6aOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6a",
+		Title:   "all-to-all exchange throughput vs processes (§5.1)",
+		Headers: []string{"processes", "workers", "records", "elapsed", "remote-MB", "agg-Mbps"},
+	}
+	for _, p := range opt.Processes {
+		cfg := runtime.Config{Processes: p, WorkersPerProcess: opt.WorkersPerProcess,
+			Accumulation: runtime.AccLocalGlobal}
+		elapsed, bytes, err := runExchange(cfg, opt.RecordsPerWorker, opt.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(
+			fmt.Sprint(p), fmt.Sprint(cfg.Workers()),
+			fmt.Sprint(opt.RecordsPerWorker*cfg.Workers()),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", float64(bytes)/1e6),
+			fmt.Sprintf("%.1f", mbps(bytes, elapsed)),
+		)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: throughput scales linearly with computers; here remote bytes grow with (p-1)/p and Mbps should rise with p")
+	return rep, nil
+}
+
+// barrierVertex drives the Figure 6b latency microbenchmark: it exchanges
+// no data and simply requests a completeness notification per iteration;
+// no iteration can proceed until every worker's previous notification has
+// retired, which is a global barrier through the progress protocol.
+type barrierVertex struct {
+	ctx   *runtime.Context
+	iters int64
+	rec   func(iter int64)
+}
+
+func (v *barrierVertex) OnRecv(_ int, _ runtime.Message, t ts.Timestamp) {
+	v.ctx.NotifyAt(t.WithInner(0))
+}
+
+func (v *barrierVertex) OnNotify(t ts.Timestamp) {
+	if v.rec != nil {
+		v.rec(t.Inner())
+	}
+	if t.Inner()+1 < v.iters {
+		v.ctx.NotifyAt(t.Tick())
+	}
+}
+
+// Fig6bOptions sizes the global barrier latency microbenchmark (§5.2).
+type Fig6bOptions struct {
+	Processes         []int
+	WorkersPerProcess int
+	Iterations        int64
+}
+
+// DefaultFig6b returns a laptop-scale configuration.
+func DefaultFig6b() Fig6bOptions {
+	return Fig6bOptions{Processes: []int{1, 2, 4}, WorkersPerProcess: 2, Iterations: 2000}
+}
+
+// Fig6b measures the distribution of global barrier latencies (Figure 6b).
+func Fig6b(opt Fig6bOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6b",
+		Title:   "global barrier latency per iteration (§5.2)",
+		Headers: []string{"processes", "workers", "iters", "median-ms", "p25-ms", "p75-ms", "p95-ms"},
+	}
+	for _, p := range opt.Processes {
+		cfg := runtime.Config{Processes: p, WorkersPerProcess: opt.WorkersPerProcess,
+			Accumulation: runtime.AccLocalGlobal}
+		var mu sync.Mutex
+		var stamps []time.Time
+		rec := func(iter int64) {
+			mu.Lock()
+			stamps = append(stamps, time.Now())
+			mu.Unlock()
+		}
+		s, err := lib.NewScope(cfg)
+		if err != nil {
+			return nil, err
+		}
+		in, src := lib.NewInput[int64](s, "seed", codec.Int64())
+		ing := s.C.AddStage("I", graph.RoleIngress, 0, nil)
+		bar := s.C.AddStage("barrier", graph.RoleNormal, 1, func(ctx *runtime.Context) runtime.Vertex {
+			v := &barrierVertex{ctx: ctx, iters: opt.Iterations}
+			if ctx.Worker() == 0 {
+				v.rec = rec
+			}
+			return v
+		})
+		s.C.Connect(src.Stage(), 0, ing, nil, codec.Int64())
+		s.C.Connect(ing, 0, bar, nil, codec.Int64())
+		if err := s.C.Start(); err != nil {
+			return nil, err
+		}
+		// Seed every worker so all of them join the barrier.
+		for w := 0; w < cfg.Workers(); w++ {
+			in.SendToWorker(w, []int64{1})
+		}
+		in.Close()
+		if err := s.C.Join(); err != nil {
+			return nil, err
+		}
+		var gaps []time.Duration
+		for i := 1; i < len(stamps); i++ {
+			gaps = append(gaps, stamps[i].Sub(stamps[i-1]))
+		}
+		q := quantiles(gaps, 0.5, 0.25, 0.75, 0.95)
+		rep.AddRow(fmt.Sprint(p), fmt.Sprint(cfg.Workers()), fmt.Sprint(len(gaps)),
+			ms(q[0]), ms(q[1]), ms(q[2]), ms(q[3]))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: median 753µs at 64 computers with a heavy p95 tail; expect sub-ms medians that grow with processes")
+	return rep, nil
+}
+
+// Fig6cOptions sizes the progress-protocol traffic experiment (§5.3).
+type Fig6cOptions struct {
+	Processes         int
+	WorkersPerProcess int
+	Nodes, Edges      int
+}
+
+// DefaultFig6c returns a laptop-scale configuration.
+func DefaultFig6c() Fig6cOptions {
+	return Fig6cOptions{Processes: 4, WorkersPerProcess: 2, Nodes: 800, Edges: 2400}
+}
+
+// Fig6c measures progress-protocol traffic for a WCC run under each
+// accumulation mode (Figure 6c).
+func Fig6c(opt Fig6cOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6c",
+		Title:   "progress protocol traffic by accumulation mode, WCC (§5.3)",
+		Headers: []string{"mode", "progress-MB", "progress-frames", "data-MB", "elapsed"},
+	}
+	edges := workload.RandomGraph(17, opt.Nodes, opt.Edges)
+	for _, acc := range []runtime.Accumulation{
+		runtime.AccNone, runtime.AccGlobal, runtime.AccLocal, runtime.AccLocalGlobal,
+	} {
+		cfg := runtime.Config{Processes: opt.Processes, WorkersPerProcess: opt.WorkersPerProcess,
+			Accumulation: acc}
+		s, err := lib.NewScope(cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := wccRun(s, edges); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		st := s.C.TransportStats()
+		rep.AddRow(acc.String(),
+			fmt.Sprintf("%.3f", float64(st.Bytes(transport.KindProgress))/1e6),
+			fmt.Sprint(st.Frames(transport.KindProgress)),
+			fmt.Sprintf("%.3f", float64(st.Bytes(transport.KindData))/1e6),
+			elapsed.Round(time.Millisecond).String(),
+		)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: accumulation cuts protocol traffic by 1-2 orders of magnitude (None >> GlobalAcc > LocalAcc > Local+Global)")
+	return rep, nil
+}
+
+// Fig6dOptions sizes the strong-scaling experiment (§5.4).
+type Fig6dOptions struct {
+	Workers      []int // worker counts (1 process, n workers each)
+	Documents    int
+	WordsPerDoc  int
+	Nodes, Edges int
+}
+
+// DefaultFig6d returns a laptop-scale configuration.
+func DefaultFig6d() Fig6dOptions {
+	return Fig6dOptions{Workers: []int{1, 2, 4, 8}, Documents: 2000, WordsPerDoc: 60,
+		Nodes: 4000, Edges: 12000}
+}
+
+// wordCountRun executes WordCount over pre-generated documents.
+func wordCountRun(cfg runtime.Config, docs []string) (time.Duration, error) {
+	s, err := lib.NewScope(cfg)
+	if err != nil {
+		return 0, err
+	}
+	in, src := lib.NewInput[string](s, "docs", codec.String())
+	words := lib.SelectMany(src, splitWords, codec.String())
+	counts := lib.GroupBy(words, func(w string) string { return w },
+		func(w string, ws []string) []lib.Pair[string, int64] {
+			return []lib.Pair[string, int64]{lib.KV(w, int64(len(ws)))}
+		}, nil)
+	lib.SubscribeParallel(counts, func(int, int64, []lib.Pair[string, int64]) {})
+	if err := s.C.Start(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	per := make([][]string, cfg.Workers())
+	for i, d := range docs {
+		per[i%cfg.Workers()] = append(per[i%cfg.Workers()], d)
+	}
+	for w, b := range per {
+		in.SendToWorker(w, b)
+	}
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func splitWords(doc string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(doc); i++ {
+		if doc[i] == ' ' {
+			if start >= 0 {
+				out = append(out, doc[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, doc[start:])
+	}
+	return out
+}
+
+// wccRun executes WCC over the given edges inside an existing scope.
+func wccRun(s *lib.Scope, edges []workload.Edge) (int, error) {
+	in, stream := lib.NewInput[workload.Edge](s, "edges", nil)
+	labels := buildWCCStream(s, stream)
+	var nResults int
+	var mu sync.Mutex
+	lib.SubscribeParallel(labels, func(_ int, _ int64, recs []lib.Pair[int64, int64]) {
+		mu.Lock()
+		nResults += len(recs)
+		mu.Unlock()
+	})
+	if err := s.C.Start(); err != nil {
+		return 0, err
+	}
+	per := make([][]workload.Edge, s.C.Config().Workers())
+	for i, e := range edges {
+		per[i%len(per)] = append(per[i%len(per)], e)
+	}
+	for w, b := range per {
+		msgs := make([]workload.Edge, len(b))
+		copy(msgs, b)
+		in.SendToWorker(w, msgs)
+	}
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		return 0, err
+	}
+	return nResults, nil
+}
+
+// Fig6d measures strong scaling of WordCount and WCC (Figure 6d). On a
+// host with fewer cores than workers the speedup column saturates at the
+// core count; the overhead column (elapsed relative to 1 worker, which on
+// a single core would ideally stay at 1.0x) isolates the coordination cost
+// that extra workers add.
+func Fig6d(opt Fig6dOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6d",
+		Title:   "strong scaling: fixed input, growing workers (§5.4)",
+		Headers: []string{"app", "workers", "elapsed", "speedup", "overhead-vs-1w"},
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("host has %d core(s): speedup is capped there; overhead-vs-1w is the single-core-ideal deviation", gomaxprocs()))
+	docs := workload.Documents(3, opt.Documents, opt.WordsPerDoc, 5000)
+	edges := workload.RandomGraph(23, opt.Nodes, opt.Edges)
+	var wcBase, wccBase time.Duration
+	for _, w := range opt.Workers {
+		cfg := runtime.Config{Processes: 1, WorkersPerProcess: w, Accumulation: runtime.AccLocalGlobal}
+		d, err := wordCountRun(cfg, docs)
+		if err != nil {
+			return nil, err
+		}
+		if wcBase == 0 {
+			wcBase = d
+		}
+		rep.AddRow("WordCount", fmt.Sprint(w), d.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(wcBase)/float64(d)),
+			fmt.Sprintf("%.2fx", float64(d)/float64(wcBase)))
+	}
+	for _, w := range opt.Workers {
+		cfg := runtime.Config{Processes: 1, WorkersPerProcess: w, Accumulation: runtime.AccLocalGlobal}
+		s, err := lib.NewScope(cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := wccRun(s, edges); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		if wccBase == 0 {
+			wccBase = d
+		}
+		rep.AddRow("WCC", fmt.Sprint(w), d.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(wccBase)/float64(d)),
+			fmt.Sprintf("%.2fx", float64(d)/float64(wccBase)))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: WordCount scales near-linearly (46x @ 64); WCC saturates earlier (38x @ 64)")
+	return rep, nil
+}
+
+// gomaxprocs reports the scheduler's processor count.
+func gomaxprocs() int { return goruntime.GOMAXPROCS(0) }
+
+// Fig6eOptions sizes the weak-scaling experiment (§5.4).
+type Fig6eOptions struct {
+	Workers        []int
+	DocsPerWorker  int
+	WordsPerDoc    int
+	EdgesPerWorker int
+	NodesPerWorker int
+}
+
+// DefaultFig6e returns a laptop-scale configuration.
+func DefaultFig6e() Fig6eOptions {
+	return Fig6eOptions{Workers: []int{1, 2, 4, 8}, DocsPerWorker: 500, WordsPerDoc: 60,
+		EdgesPerWorker: 3000, NodesPerWorker: 1000}
+}
+
+// Fig6e measures weak scaling: input grows with workers (Figure 6e). On a
+// host with fewer cores than workers the ideal slowdown is workers/cores
+// rather than 1.0; the normalized column divides that out, leaving the
+// coordination overhead the paper's figure isolates.
+func Fig6e(opt Fig6eOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6e",
+		Title:   "weak scaling: per-worker-constant input (§5.4)",
+		Headers: []string{"app", "workers", "input", "elapsed", "slowdown", "normalized"},
+	}
+	cores := gomaxprocs()
+	ideal := func(w int) float64 {
+		if w <= cores {
+			return 1
+		}
+		return float64(w) / float64(cores)
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("host has %d core(s): ideal slowdown at w workers is max(1, w/cores); 'normalized' divides it out", cores))
+	var wcBase, wccBase time.Duration
+	for _, w := range opt.Workers {
+		cfg := runtime.Config{Processes: 1, WorkersPerProcess: w, Accumulation: runtime.AccLocalGlobal}
+		docs := workload.Documents(3, opt.DocsPerWorker*w, opt.WordsPerDoc, 5000)
+		d, err := wordCountRun(cfg, docs)
+		if err != nil {
+			return nil, err
+		}
+		if wcBase == 0 {
+			wcBase = d
+		}
+		slow := float64(d) / float64(wcBase)
+		rep.AddRow("WordCount", fmt.Sprint(w), fmt.Sprintf("%d docs", len(docs)),
+			d.Round(time.Millisecond).String(), fmt.Sprintf("%.2fx", slow),
+			fmt.Sprintf("%.2fx", slow/ideal(w)))
+	}
+	for _, w := range opt.Workers {
+		cfg := runtime.Config{Processes: 1, WorkersPerProcess: w, Accumulation: runtime.AccLocalGlobal}
+		edges := workload.RandomGraph(29, opt.NodesPerWorker*w, opt.EdgesPerWorker*w)
+		s, err := lib.NewScope(cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := wccRun(s, edges); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		if wccBase == 0 {
+			wccBase = d
+		}
+		slow := float64(d) / float64(wccBase)
+		rep.AddRow("WCC", fmt.Sprint(w), fmt.Sprintf("%d edges", len(edges)),
+			d.Round(time.Millisecond).String(), fmt.Sprintf("%.2fx", slow),
+			fmt.Sprintf("%.2fx", slow/ideal(w)))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: WCC degrades to ~1.44x, WordCount to ~1.23x at 64 computers; expect mild slowdowns that grow with workers")
+	return rep, nil
+}

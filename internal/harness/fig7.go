@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"naiad/internal/allreduce"
+	"naiad/internal/gas"
+	"naiad/internal/graphalgo"
+	"naiad/internal/kexposure"
+	"naiad/internal/lib"
+	"naiad/internal/pregel"
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+// Fig7aOptions sizes the PageRank layering comparison (§6.1).
+type Fig7aOptions struct {
+	Workers      []int
+	Nodes, Edges int
+	Iters        int64
+}
+
+// DefaultFig7a returns a laptop-scale configuration. The edge/node ratio
+// is high (mean in-degree 40, Zipf-skewed) so that per-destination
+// combining has real duplicates to collapse, as on the Twitter follower
+// graph.
+func DefaultFig7a() Fig7aOptions {
+	return Fig7aOptions{Workers: []int{1, 2, 4}, Nodes: 1000, Edges: 40000, Iters: 5}
+}
+
+// Fig7a compares PageRank per-iteration time across the three layerings of
+// Figure 7a: the custom vertex partitioned by node ("Naiad Vertex"), the
+// combiner-augmented variant standing in for edge partitioning ("Naiad
+// Edge"), and the Pregel port.
+func Fig7a(opt Fig7aOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig7a",
+		Title:   "PageRank per-iteration time by layering (§6.1)",
+		Headers: []string{"variant", "workers", "per-iter", "total"},
+	}
+	edges := workload.PowerLawGraph(37, opt.Nodes, opt.Edges, 1.3)
+	for _, w := range opt.Workers {
+		// One worker per process so the exchange crosses serialization
+		// boundaries, which is where the Edge variant's combiners save.
+		cfg := runtime.Config{Processes: w, WorkersPerProcess: 1, Accumulation: runtime.AccLocalGlobal}
+		for _, variant := range []string{"Naiad Vertex", "Naiad Edge", "Naiad GAS", "Naiad Pregel"} {
+			start := time.Now()
+			var err error
+			switch variant {
+			case "Naiad Vertex", "Naiad Edge":
+				var s *lib.Scope
+				s, err = lib.NewScope(cfg)
+				if err == nil {
+					_, err = graphalgo.PageRank(s, edges, graphalgo.PageRankConfig{
+						Nodes: int64(opt.Nodes), Iters: opt.Iters, Damping: 0.85,
+						Combiner: variant == "Naiad Edge",
+					})
+				}
+			case "Naiad GAS":
+				var s *lib.Scope
+				s, err = lib.NewScope(cfg)
+				if err == nil {
+					_, err = gas.PageRank(s, edges, int64(opt.Nodes), opt.Iters, 0.85)
+				}
+			case "Naiad Pregel":
+				err = pregelPageRank(cfg, edges, int64(opt.Nodes), opt.Iters)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s/%dw: %w", variant, w, err)
+			}
+			total := time.Since(start)
+			rep.AddRow(variant, fmt.Sprint(w),
+				(total / time.Duration(opt.Iters)).Round(time.Microsecond).String(),
+				total.Round(time.Millisecond).String())
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: specialized low-level vertices (Edge) beat Vertex and the GAS/PowerGraph layering, which beat the Pregel abstraction's overhead")
+	return rep, nil
+}
+
+func pregelPageRank(cfg runtime.Config, edges []workload.Edge, nodes, iters int64) error {
+	s, err := lib.NewScope(cfg)
+	if err != nil {
+		return err
+	}
+	in, stream := lib.NewInput[workload.Edge](s, "edges", graphalgo.EdgeCodec())
+	d := 0.85
+	finals := pregel.Run(s, stream, pregel.Config[float64, float64]{
+		Init: func(int64) float64 { return 1 / float64(nodes) },
+		Compute: func(ctx *pregel.Context[float64], rank *float64, msgs []float64) {
+			if ctx.Superstep() > 0 {
+				sum := 0.0
+				for _, m := range msgs {
+					sum += m
+				}
+				*rank = (1-d)/float64(nodes) + d*sum
+			}
+			if deg := len(ctx.OutEdges()); deg > 0 {
+				ctx.SendToAll(*rank / float64(deg))
+			}
+		},
+		MaxSupersteps: iters + 1,
+	})
+	lib.SubscribeParallel(finals, func(int, int64, []lib.Pair[int64, float64]) {})
+	if err := s.C.Start(); err != nil {
+		return err
+	}
+	in.Send(edges...)
+	in.Close()
+	return s.C.Join()
+}
+
+// Fig7bOptions sizes the logistic-regression AllReduce experiment (§6.2).
+type Fig7bOptions struct {
+	Workers    []int // power-of-two worker counts
+	Records    int   // total training records (split across workers)
+	Dim        int   // model dimension
+	Iterations int
+}
+
+// DefaultFig7b returns a laptop-scale configuration.
+func DefaultFig7b() Fig7bOptions {
+	return Fig7bOptions{Workers: []int{1, 2, 4, 8}, Records: 200_000, Dim: 4096, Iterations: 3}
+}
+
+// lrIteration mimics one logistic-regression iteration's compute phases
+// (§6.2): a constant-cost local state update, then training over the
+// worker's shard of the records. It returns a synthetic gradient.
+func lrGradient(worker, workers, records, dim int, iter int) []float64 {
+	grad := make([]float64, dim)
+	// Phase 1: constant-cost local update over the model.
+	for i := range grad {
+		grad[i] = float64((worker+1)*(iter+1)) / float64(dim)
+	}
+	// Phase 2: training over records/workers examples.
+	shard := records / workers
+	acc := 0.0
+	for r := 0; r < shard; r++ {
+		x := float64(r%97) * 0.013
+		acc += x / (1 + x*x) // a few flops per example
+		grad[r%dim] += acc * 1e-9
+	}
+	return grad
+}
+
+// Fig7b compares time per logistic-regression iteration using the
+// data-parallel AllReduce (Naiad's) against the binary-tree AllReduce
+// (Vowpal Wabbit's), reporting speedup over one worker (Figure 7b).
+func Fig7b(opt Fig7bOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig7b",
+		Title:   "logistic regression iteration: data-parallel vs tree AllReduce (§6.2)",
+		Headers: []string{"variant", "workers", "per-iter", "speedup-vs-1w", "barriers"},
+	}
+	base := map[string]time.Duration{}
+	for _, variant := range []string{"Naiad (data-parallel)", "VW-style (tree)"} {
+		for _, w := range opt.Workers {
+			cfg := runtime.Config{Processes: 1, WorkersPerProcess: w, Accumulation: runtime.AccLocalGlobal}
+			if w > 1 {
+				cfg = runtime.Config{Processes: 2, WorkersPerProcess: w / 2, Accumulation: runtime.AccLocalGlobal}
+			}
+			perIter, err := runLR(cfg, variant == "Naiad (data-parallel)", opt)
+			if err != nil {
+				return nil, err
+			}
+			if w == opt.Workers[0] {
+				base[variant] = perIter
+			}
+			// The coordination critical path: the data-parallel form has a
+			// constant two notification barriers per AllReduce, the tree
+			// 2·log₂(w) — the structural reason it loses on flat networks.
+			barriers := 2
+			if variant == "VW-style (tree)" {
+				barriers = 0
+				for n := w; n > 1; n /= 2 {
+					barriers += 2
+				}
+			}
+			rep.AddRow(variant, fmt.Sprint(w), perIter.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2fx", float64(base[variant])/float64(perIter)),
+				fmt.Sprint(barriers))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: Naiad's data-parallel AllReduce gives a ~35% asymptotic improvement over VW's tree; constant phases cap scaling",
+		"on a single-core host wall-clock favours whoever does least total work; the barrier column shows the critical-path advantage that dominates on a real network")
+	return rep, nil
+}
+
+func runLR(cfg runtime.Config, dataParallel bool, opt Fig7bOptions) (time.Duration, error) {
+	s, err := lib.NewScope(cfg)
+	if err != nil {
+		return 0, err
+	}
+	workers := cfg.Workers()
+	in, src := lib.NewInput[allreduce.Msg](s, "grads", allreduce.MsgCodec())
+	var out *lib.Stream[allreduce.Msg]
+	if dataParallel {
+		out = allreduce.BuildDataParallel(src, workers, opt.Dim)
+	} else {
+		out = allreduce.BuildTree(src, workers)
+	}
+	col := lib.Collect(out)
+	if err := s.C.Start(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for it := 0; it < opt.Iterations; it++ {
+		for w := 0; w < workers; w++ {
+			grad := lrGradient(w, workers, opt.Records, opt.Dim, it)
+			in.SendToWorker(w, []allreduce.Msg{{Target: int64(w), Vals: grad}})
+		}
+		in.Advance()
+		col.WaitFor(int64(it))
+	}
+	elapsed := time.Since(start)
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		return 0, err
+	}
+	return elapsed / time.Duration(opt.Iterations), nil
+}
+
+// Fig7cOptions sizes the k-exposure fault-tolerance experiment (§6.3).
+type Fig7cOptions struct {
+	Processes         int
+	WorkersPerProcess int
+	Epochs            int
+	TweetsPerEpoch    int
+	K                 int64
+	CheckpointEvery   int
+}
+
+// DefaultFig7c returns a laptop-scale configuration.
+func DefaultFig7c() Fig7cOptions {
+	return Fig7cOptions{Processes: 2, WorkersPerProcess: 2, Epochs: 60,
+		TweetsPerEpoch: 2000, K: 16, CheckpointEvery: 5}
+}
+
+// Fig7c measures k-exposure throughput and response-latency quantiles
+// under the three fault-tolerance modes (Figure 7c).
+func Fig7c(opt Fig7cOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig7c",
+		Title:   "k-exposure under fault-tolerance modes (§6.3)",
+		Headers: []string{"mode", "tweets/s", "median-ms", "p95-ms", "max-ms", "topics"},
+	}
+	cfg := runtime.Config{Processes: opt.Processes, WorkersPerProcess: opt.WorkersPerProcess,
+		Accumulation: runtime.AccLocalGlobal}
+	for _, mode := range []kexposure.FTMode{kexposure.FTNone, kexposure.FTCheckpoint, kexposure.FTLogging} {
+		res, err := kexposure.Run(cfg, opt.Epochs, opt.TweetsPerEpoch, opt.K, mode, opt.CheckpointEvery)
+		if err != nil {
+			return nil, err
+		}
+		q := quantiles(res.EpochLatencies, 0.5, 0.95, 1.0)
+		rep.AddRow(mode.String(),
+			fmt.Sprintf("%.0f", res.TweetsPerSecond),
+			ms(q[0]), ms(q[1]), ms(q[2]),
+			fmt.Sprint(res.Controversial))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: 483K/322K/274K t/s for None/Checkpoint/Logging; logging taxes every batch, checkpoints only the tail")
+	return rep, nil
+}

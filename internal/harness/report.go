@@ -1,0 +1,75 @@
+// Package harness drives the experiments of the paper's evaluation
+// (§5–§6): one driver per table and figure, each generating the workload,
+// running the system (and baselines), and reporting the same rows or
+// series the paper plots. Absolute numbers differ from the paper's 64-node
+// cluster — the shapes (who wins, by what factor, where scaling bends) are
+// the reproduction target; see EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Report is a printable experiment result: a title, column headers, and
+// rows of cells.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Headers, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// quantiles returns the q-th quantiles of a duration sample.
+func quantiles(ds []time.Duration, qs ...float64) []time.Duration {
+	if len(ds) == 0 {
+		out := make([]time.Duration, len(qs))
+		return out
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(sorted)-1))
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+// mbps renders bytes over a duration as megabits per second.
+func mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / d.Seconds()
+}
+
+// ms renders a duration in milliseconds with sub-ms precision.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,91 @@
+package kexposure
+
+import (
+	"testing"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+func cfg() runtime.Config {
+	return runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+}
+
+func TestExposureCrossesThresholdOnce(t *testing.T) {
+	s, err := lib.NewScope(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, tweets := lib.NewInput[workload.Tweet](s, "tweets", nil)
+	topics := Build(s, tweets, 3, false)
+	col := lib.Collect(topics)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Users 1..4 use #x; only 2 users use #y. Duplicate uses don't count.
+	mk := func(user int64, tag string) workload.Tweet {
+		return workload.Tweet{User: user, Hashtags: []string{tag}}
+	}
+	in.OnNext(mk(1, "#x"), mk(1, "#x"), mk(2, "#x"), mk(1, "#y"))
+	in.OnNext(mk(3, "#x"), mk(4, "#x"), mk(2, "#y"))
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	all := col.All()
+	if len(all) != 1 || all[0].Key != "#x" || all[0].Val != 3 {
+		t.Fatalf("crossings = %v (want #x at 3, exactly once)", all)
+	}
+}
+
+func TestMentionsCountAsExposure(t *testing.T) {
+	s, err := lib.NewScope(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, tweets := lib.NewInput[workload.Tweet](s, "tweets", nil)
+	topics := Build(s, tweets, 3, false)
+	col := lib.Collect(topics)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One tweet exposing author + two mentioned users = 3 distinct users.
+	in.OnNext(workload.Tweet{User: 1, Mentions: []int64{2, 3}, Hashtags: []string{"#z"}})
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	all := col.All()
+	if len(all) != 1 || all[0].Key != "#z" {
+		t.Fatalf("crossings = %v", all)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []FTMode{FTNone, FTCheckpoint, FTLogging} {
+		res, err := Run(cfg(), 5, 200, 5, mode, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Tweets != 1000 || len(res.EpochLatencies) != 5 {
+			t.Fatalf("%v: %+v", mode, res)
+		}
+		if res.TweetsPerSecond <= 0 {
+			t.Fatalf("%v: throughput %v", mode, res.TweetsPerSecond)
+		}
+		if mode == FTLogging && res.LoggedBatches == 0 {
+			t.Fatal("logging mode logged nothing")
+		}
+		if mode != FTLogging && res.LoggedBatches != 0 {
+			t.Fatalf("%v: unexpected logging", mode)
+		}
+	}
+}
+
+func TestFTModeString(t *testing.T) {
+	if FTNone.String() != "None" || FTCheckpoint.String() != "Checkpoint" ||
+		FTLogging.String() != "Logging" || FTMode(9).String() != "ft(9)" {
+		t.Fatal("FTMode.String")
+	}
+}

@@ -1,0 +1,177 @@
+package lib
+
+import (
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+// UnaryBuffer is the generic buffering operator most synchronous library
+// operators build on (§4.2): OnRecv appends records to a list indexed by
+// timestamp; once the time completes, f transforms the list and emits.
+// part, when non-nil, exchanges the input first.
+func UnaryBuffer[A, B any](s *Stream[A], name string, part func(A) uint64,
+	f func(t ts.Timestamp, recs []A, emit func(B)), cod codec.Codec) *Stream[B] {
+	c := s.scope.C
+	st := c.AddStage(name, graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[ts.Timestamp][]A)
+		emit := func(t ts.Timestamp) func(B) {
+			return func(out B) { ctx.SendBy(0, out, t) }
+		}
+		return &vertexOf[A]{
+			recv: func(_ int, rec A, t ts.Timestamp) {
+				if _, ok := buf[t]; !ok {
+					ctx.NotifyAt(t)
+				}
+				buf[t] = append(buf[t], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				recs := buf[t]
+				delete(buf, t)
+				f(t, recs, emit(t))
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, partitionBy(part), s.cod)
+	return &Stream[B]{scope: s.scope, stage: st, port: 0, cod: orGob[B](cod), depth: s.depth}
+}
+
+// UnaryBufferStateful is UnaryBuffer for operators with cross-epoch
+// per-vertex state: mk runs once per vertex (on its owning worker) and
+// returns that vertex's transformation, so captured state is never shared
+// between workers.
+func UnaryBufferStateful[A, B any](s *Stream[A], name string, part func(A) uint64,
+	mk func() func(t ts.Timestamp, recs []A, emit func(B)), cod codec.Codec) *Stream[B] {
+	c := s.scope.C
+	st := c.AddStage(name, graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		f := mk()
+		buf := make(map[ts.Timestamp][]A)
+		return &vertexOf[A]{
+			recv: func(_ int, rec A, t ts.Timestamp) {
+				if _, ok := buf[t]; !ok {
+					ctx.NotifyAt(t)
+				}
+				buf[t] = append(buf[t], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				recs := buf[t]
+				delete(buf, t)
+				f(t, recs, func(out B) { ctx.SendBy(0, out, t) })
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, partitionBy(part), s.cod)
+	return &Stream[B]{scope: s.scope, stage: st, port: 0, cod: orGob[B](cod), depth: s.depth}
+}
+
+// GroupBy collates records by key and applies the reduction once all
+// records for a time have arrived — the paper's GroupBy (§4.1). cod may be
+// nil to use gob for R.
+func GroupBy[A any, K comparable, R any](s *Stream[A], key func(A) K,
+	reduce func(K, []A) []R, cod codec.Codec) *Stream[R] {
+	part := func(a A) uint64 { return Hash(key(a)) }
+	return UnaryBuffer[A, R](s, "GroupBy", part, func(_ ts.Timestamp, recs []A, emit func(R)) {
+		groups := make(map[K][]A)
+		var order []K
+		for _, r := range recs {
+			k := key(r)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+		for _, k := range order {
+			for _, out := range reduce(k, groups[k]) {
+				emit(out)
+			}
+		}
+	}, cod)
+}
+
+// FoldByKey folds each key's values at each time into a single state,
+// emitting one (key, state) pair when the time completes.
+func FoldByKey[K comparable, V any, S any](s *Stream[Pair[K, V]],
+	init func(K) S, fold func(S, V) S, cod codec.Codec) *Stream[Pair[K, S]] {
+	c := s.scope.C
+	st := c.AddStage("FoldByKey", graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		type epochState struct {
+			m     map[K]S
+			order []K
+		}
+		states := make(map[ts.Timestamp]*epochState)
+		return &vertexOf[Pair[K, V]]{
+			recv: func(_ int, rec Pair[K, V], t ts.Timestamp) {
+				es := states[t]
+				if es == nil {
+					es = &epochState{m: make(map[K]S)}
+					states[t] = es
+					ctx.NotifyAt(t)
+				}
+				st, ok := es.m[rec.Key]
+				if !ok {
+					st = init(rec.Key)
+					es.order = append(es.order, rec.Key)
+				}
+				es.m[rec.Key] = fold(st, rec.Val)
+			},
+			notify: func(t ts.Timestamp) {
+				es := states[t]
+				delete(states, t)
+				for _, k := range es.order {
+					ctx.SendBy(0, Pair[K, S]{Key: k, Val: es.m[k]}, t)
+				}
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, partitionBy(HashPair[K, V]), s.cod)
+	return &Stream[Pair[K, S]]{scope: s.scope, stage: st, port: 0, cod: orGob[Pair[K, S]](cod), depth: s.depth}
+}
+
+// Count counts occurrences of each record at each time (Figure 4's
+// output2).
+func Count[A comparable](s *Stream[A], cod codec.Codec) *Stream[Pair[A, int64]] {
+	keyed := Select(s, func(a A) Pair[A, int64] { return Pair[A, int64]{Key: a, Val: 1} }, nil)
+	return FoldByKey(keyed, func(A) int64 { return 0 },
+		func(acc, v int64) int64 { return acc + v }, cod)
+}
+
+// minState tracks a running extremum; OK distinguishes "no value yet" from
+// a genuine zero value.
+type minState[V any] struct {
+	V  V
+	OK bool
+}
+
+// MinByKey keeps each key's minimum value per time, by the given less.
+func MinByKey[K comparable, V any](s *Stream[Pair[K, V]], less func(a, b V) bool,
+	cod codec.Codec) *Stream[Pair[K, V]] {
+	folded := FoldByKey(s,
+		func(K) minState[V] { return minState[V]{} },
+		func(acc minState[V], v V) minState[V] {
+			if !acc.OK || less(v, acc.V) {
+				return minState[V]{V: v, OK: true}
+			}
+			return acc
+		}, nil)
+	return Select(folded, func(p Pair[K, minState[V]]) Pair[K, V] {
+		return KV(p.Key, p.Val.V)
+	}, cod)
+}
+
+// MaxByKey keeps each key's maximum value per time, by the given less.
+func MaxByKey[K comparable, V any](s *Stream[Pair[K, V]], less func(a, b V) bool,
+	cod codec.Codec) *Stream[Pair[K, V]] {
+	return MinByKey(s, func(a, b V) bool { return less(b, a) }, cod)
+}
+
+// Barrier forwards nothing and notifies per time; it exists to create pure
+// synchronization points (the Figure 6b microbenchmark). Records are
+// consumed and dropped; one zero-valued record is emitted per completed
+// time so downstream stages can observe the barrier.
+func Barrier[A any](s *Stream[A]) *Stream[A] {
+	return UnaryBuffer[A, A](s, "Barrier", nil, func(_ ts.Timestamp, _ []A, emit func(A)) {
+		var zero A
+		emit(zero)
+	}, s.cod)
+}

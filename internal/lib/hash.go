@@ -1,0 +1,53 @@
+package lib
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+)
+
+// Hash maps a comparable key to a well-mixed 64-bit value for data
+// exchange. Fast paths cover the key types the workloads use; anything
+// else falls back to a gob+FNV encoding (correct, slower).
+func Hash[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case int:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(v))
+	case int64:
+		return mix64(uint64(v))
+	case uint32:
+		return mix64(uint64(v))
+	case uint64:
+		return mix64(v)
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return mix64(h.Sum64())
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			panic(fmt.Sprintf("lib: unhashable key %T: %v", v, err))
+		}
+		h := fnv.New64a()
+		h.Write(buf.Bytes())
+		return mix64(h.Sum64())
+	}
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche mixing so that modular
+// reduction over worker counts spreads sequential keys evenly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashPair hashes a Pair by its key, the exchange function for keyed
+// operators.
+func HashPair[K comparable, V any](p Pair[K, V]) uint64 { return Hash(p.Key) }

@@ -1,0 +1,235 @@
+package lib
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"naiad/internal/codec"
+)
+
+// accumulate folds a collector of diffs into final multiplicities per
+// record, across all epochs up to and including `upTo`.
+func accumulate[T comparable](col *Collector[Diff[T]], upTo int64) map[T]int64 {
+	out := map[T]int64{}
+	for _, e := range col.Epochs() {
+		if e > upTo {
+			continue
+		}
+		for _, d := range col.Epoch(e) {
+			out[d.Rec] += d.Delta
+			if out[d.Rec] == 0 {
+				delete(out, d.Rec)
+			}
+		}
+	}
+	return out
+}
+
+func TestDiffDistinctInsertDelete(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Diff[int64]](s, "in", nil)
+	out := DiffDistinct(src)
+	col := Collect(out)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0: insert 1 twice and 2 once → set {1, 2}.
+	in.OnNext(Add(int64(1)), Add(int64(1)), Add(int64(2)))
+	// Epoch 1: delete one copy of 1 → still {1, 2}: no output.
+	in.OnNext(Del(int64(1)))
+	// Epoch 2: delete the last copy of 1 → {2}: emit -1.
+	in.OnNext(Del(int64(1)))
+	in.Close()
+	join(t, s)
+	if set := accumulate(col, 0); len(set) != 2 || set[1] != 1 || set[2] != 1 {
+		t.Fatalf("epoch 0 set = %v", set)
+	}
+	if diffs := col.Epoch(1); len(diffs) != 0 {
+		t.Fatalf("epoch 1 emitted %v for a multiplicity-only change", diffs)
+	}
+	if set := accumulate(col, 2); len(set) != 1 || set[2] != 1 {
+		t.Fatalf("final set = %v", set)
+	}
+}
+
+func TestDiffCountCorrections(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Diff[string]](s, "in", nil)
+	counts := DiffCount(src, nil)
+	col := Collect(counts)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(Add("a"), Add("a"), Add("b"))
+	in.OnNext(Del("a"), Add("b"))
+	in.Close()
+	join(t, s)
+	// Epoch 0 output: +{a,2} +{b,1}.
+	got0 := accumulate(col, 0)
+	if got0[KV("a", int64(2))] != 1 || got0[KV("b", int64(1))] != 1 || len(got0) != 2 {
+		t.Fatalf("epoch 0 = %v", got0)
+	}
+	// Epoch 1: a drops to 1, b rises to 2 — accumulated table reflects it.
+	got1 := accumulate(col, 1)
+	if got1[KV("a", int64(1))] != 1 || got1[KV("b", int64(2))] != 1 || len(got1) != 2 {
+		t.Fatalf("epoch 1 accumulated = %v", got1)
+	}
+	// And the epoch-1 emissions are exactly the corrections.
+	raw := col.Epoch(1)
+	if len(raw) != 4 {
+		t.Fatalf("epoch 1 corrections = %v", raw)
+	}
+}
+
+func TestDiffJoinBilinear(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	inA, a := NewInput[Diff[Pair[int64, string]]](s, "a", nil)
+	inB, b := NewInput[Diff[Pair[int64, int64]]](s, "b", nil)
+	joined := DiffJoin(a, b, func(k int64, av string, bv int64) string {
+		return fmt.Sprintf("%d:%s:%d", k, av, bv)
+	}, nil)
+	col := Collect(joined)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0: both sides get key 1.
+	inA.OnNext(Add(KV(int64(1), "x")))
+	inB.OnNext(Add(KV(int64(1), int64(10))))
+	// Epoch 1: a second right value arrives → one new match.
+	inA.OnNext()
+	inB.OnNext(Add(KV(int64(1), int64(11))))
+	// Epoch 2: the left record is deleted → both matches retract.
+	inA.OnNext(Del(KV(int64(1), "x")))
+	inB.OnNext()
+	inA.Close()
+	inB.Close()
+	join(t, s)
+	if got := accumulate(col, 0); len(got) != 1 || got["1:x:10"] != 1 {
+		t.Fatalf("epoch 0 = %v", got)
+	}
+	if got := accumulate(col, 1); len(got) != 2 || got["1:x:11"] != 1 {
+		t.Fatalf("epoch 1 = %v", got)
+	}
+	if got := accumulate(col, 2); len(got) != 0 {
+		t.Fatalf("epoch 2: join did not fully retract: %v", got)
+	}
+}
+
+func TestConsolidateCancels(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Diff[int64]](s, "in", nil)
+	out := Consolidate(src)
+	col := Collect(out)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(Add(int64(1)), Del(int64(1)), Add(int64(2)), Add(int64(2)))
+	in.Close()
+	join(t, s)
+	diffs := col.Epoch(0)
+	if len(diffs) != 1 || diffs[0].Rec != 2 || diffs[0].Delta != 2 {
+		t.Fatalf("consolidated = %v", diffs)
+	}
+}
+
+func TestDiffSelectManyWhere(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Diff[string]](s, "docs", nil)
+	words := DiffSelectMany(src, strings.Fields, nil)
+	kept := DiffWhere(words, func(w string) bool { return w != "the" })
+	upper := DiffSelect(kept, strings.ToUpper, nil)
+	col := Collect(upper)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(Add("the quick fox"))
+	in.OnNext(Del("the quick fox"))
+	in.Close()
+	join(t, s)
+	if got := accumulate(col, 1); len(got) != 0 {
+		t.Fatalf("after deletion, accumulation = %v", got)
+	}
+	if got := accumulate(col, 0); got["QUICK"] != 1 || got["FOX"] != 1 {
+		t.Fatalf("epoch 0 = %v", got)
+	}
+}
+
+// TestIncrementalWordCountMatchesBatch is the end-to-end property: the
+// accumulated output of the incremental pipeline equals a from-scratch
+// batch recomputation after every epoch, across random insertions and
+// deletions.
+func TestIncrementalWordCountMatchesBatch(t *testing.T) {
+	const epochs = 8
+	r := rand.New(rand.NewSource(21))
+	vocab := []string{"a", "b", "c", "d", "e"}
+
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Diff[string]](s, "words", codec.Gob[Diff[string]]())
+	counts := DiffCount(src, nil)
+	col := Collect(counts)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]int64{}
+	type epochLog map[string]int64
+	var logs []epochLog
+	for e := 0; e < epochs; e++ {
+		var batch []Diff[string]
+		for i := 0; i < 10; i++ {
+			w := vocab[r.Intn(len(vocab))]
+			if live[w] > 0 && r.Intn(3) == 0 {
+				batch = append(batch, Del(w))
+				live[w]--
+			} else {
+				batch = append(batch, Add(w))
+				live[w]++
+			}
+		}
+		in.OnNext(batch...)
+		snap := epochLog{}
+		for w, n := range live {
+			if n > 0 {
+				snap[w] = n
+			}
+		}
+		logs = append(logs, snap)
+	}
+	in.Close()
+	join(t, s)
+	for e, want := range logs {
+		got := accumulate(col, int64(e))
+		table := map[string]int64{}
+		for rec, mult := range got {
+			if mult != 1 {
+				t.Fatalf("epoch %d: count record %v has multiplicity %d", e, rec, mult)
+			}
+			table[rec.Key] = rec.Val
+		}
+		if len(table) != len(want) {
+			t.Fatalf("epoch %d: table %v, want %v", e, table, want)
+		}
+		for w, n := range want {
+			if table[w] != n {
+				t.Fatalf("epoch %d: %q = %d, want %d", e, w, table[w], n)
+			}
+		}
+	}
+}
+
+func TestDiffMisusePanics(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Diff[int64]](s, "in", nil)
+	out := DiffDistinct(src)
+	Collect(out)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(Del(int64(9))) // deletion of an absent record
+	in.Close()
+	err := s.C.Join()
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("Join error = %v", err)
+	}
+}

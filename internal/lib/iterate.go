@@ -1,0 +1,137 @@
+package lib
+
+import (
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+// Loop is a loop context under construction (§4.3): streams enter through
+// ingress stages, circulate through a feedback stage, and leave through
+// egress stages. Only the feedback stage's output may be used before its
+// input is connected, which is what lets cycles be built at all.
+type Loop[T any] struct {
+	scope    *Scope
+	depth    uint8 // depth inside the loop
+	feedback runtime.StageID
+	fbOut    *Stream[T]
+	closed   bool
+}
+
+// NewLoop opens a loop context at the depth below s, returning the loop
+// and the feedback stage's output stream (timestamps already advanced by
+// one iteration). maxIters bounds the loop; records reaching that
+// iteration count are dropped by the feedback stage.
+func NewLoop[T any](scope *Scope, depth uint8, exampleCodec *Stream[T], maxIters int64) *Loop[T] {
+	c := scope.C
+	fb := c.AddStage("Feedback", graph.RoleFeedback, depth+1, nil, runtime.MaxIterations(maxIters))
+	l := &Loop[T]{scope: scope, depth: depth + 1, feedback: fb}
+	l.fbOut = &Stream[T]{scope: scope, stage: fb, port: 0, cod: exampleCodec.cod, depth: depth + 1}
+	return l
+}
+
+// Enter brings a stream into the loop through an ingress stage: its
+// records appear inside at iteration 0 of their outer time.
+func (l *Loop[T]) Enter(s *Stream[T]) *Stream[T] {
+	return EnterLoop(s, l.depth)
+}
+
+// Feedback returns the feedback stage's output: the values sent to Return,
+// one iteration later.
+func (l *Loop[T]) Feedback() *Stream[T] { return l.fbOut }
+
+// Return connects a stream inside the loop to the feedback stage,
+// closing the cycle. It must be called exactly once.
+func (l *Loop[T]) Return(s *Stream[T]) {
+	if l.closed {
+		panic("lib: loop Return called twice")
+	}
+	if s.depth != l.depth {
+		panic("lib: Return stream is at the wrong loop depth")
+	}
+	l.closed = true
+	l.scope.C.Connect(s.stage, s.port, l.feedback, nil, s.cod)
+}
+
+// EnterLoop passes one stream through an ingress stage into a loop at the
+// given inner depth.
+func EnterLoop[T any](s *Stream[T], innerDepth uint8) *Stream[T] {
+	if s.depth+1 != innerDepth {
+		panic("lib: EnterLoop depth mismatch")
+	}
+	c := s.scope.C
+	ing := c.AddStage("Ingress", graph.RoleIngress, s.depth, nil)
+	c.Connect(s.stage, s.port, ing, nil, s.cod)
+	return &Stream[T]{scope: s.scope, stage: ing, port: 0, cod: s.cod, depth: innerDepth}
+}
+
+// LeaveLoop passes a stream through an egress stage out of its loop,
+// erasing the innermost loop counter.
+func LeaveLoop[T any](s *Stream[T]) *Stream[T] {
+	if s.depth == 0 {
+		panic("lib: LeaveLoop outside any loop")
+	}
+	c := s.scope.C
+	eg := c.AddStage("Egress", graph.RoleEgress, s.depth, nil)
+	c.Connect(s.stage, s.port, eg, nil, s.cod)
+	return &Stream[T]{scope: s.scope, stage: eg, port: 0, cod: s.cod, depth: s.depth - 1}
+}
+
+// IterateBatched builds a bulk-synchronous fixed-point loop: per
+// iteration, f receives everything circulating at that iteration (batched
+// by a notification barrier, per worker partition) and returns the records
+// to continue circulating plus the records that are done and should leave
+// the loop. The loop ends when nothing continues, or at maxIters.
+//
+// Compare Iterate, whose body runs record-at-a-time without coordination:
+// IterateBatched trades per-iteration barriers for the ability to see each
+// iteration's complete (per-partition) state — the synchronous end of the
+// §2.4 spectrum.
+func IterateBatched[T any](s *Stream[T], maxIters int64, part func(T) uint64,
+	f func(iter int64, recs []T) (continue_, done []T)) *Stream[T] {
+	loop := NewLoop(s.scope, s.depth, s, maxIters)
+	inner := Concat(loop.Enter(s), loop.Feedback())
+	c := s.scope.C
+	st := c.AddStage("IterateBatched", graph.RoleNormal, inner.depth, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[ts.Timestamp][]T)
+		return &vertexOf[T]{
+			recv: func(_ int, rec T, t ts.Timestamp) {
+				if _, ok := buf[t]; !ok {
+					ctx.NotifyAt(t)
+				}
+				buf[t] = append(buf[t], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				recs := buf[t]
+				delete(buf, t)
+				cont, done := f(t.Inner(), recs)
+				for _, rec := range cont {
+					ctx.SendBy(0, rec, t)
+				}
+				for _, rec := range done {
+					ctx.SendBy(1, rec, t)
+				}
+			},
+		}
+	}, runtime.Ports(2))
+	c.Connect(inner.stage, inner.port, st, partitionBy(part), inner.cod)
+	body := &Stream[T]{scope: s.scope, stage: st, port: 0, cod: s.cod, depth: inner.depth}
+	loop.Return(body)
+	out := &Stream[T]{scope: s.scope, stage: st, port: 1, cod: s.cod, depth: inner.depth}
+	return LeaveLoop(out)
+}
+
+// Iterate builds the standard fixed-point loop: body transforms the
+// circulating stream; its output feeds back (bounded by maxIters) and also
+// leaves the loop. The loop runs until the body stops producing records —
+// dataflow quiescence is the fixed-point test — or the bound is hit, so
+// bodies should emit only changed values. The returned stream carries every
+// record the body emitted, at the loop's outer time.
+func Iterate[T any](s *Stream[T], maxIters int64,
+	body func(inner *Stream[T]) *Stream[T]) *Stream[T] {
+	loop := NewLoop(s.scope, s.depth, s, maxIters)
+	inner := Concat(loop.Enter(s), loop.Feedback())
+	result := body(inner)
+	loop.Return(result)
+	return LeaveLoop(result)
+}

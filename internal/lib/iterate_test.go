@@ -1,0 +1,74 @@
+package lib
+
+import (
+	"fmt"
+	"testing"
+
+	"naiad/internal/codec"
+)
+
+// TestIterateBatchedCollatz runs bulk-synchronous iteration: each round,
+// every circulating value takes one Collatz step; values reaching 1 leave
+// the loop tagged with nothing but themselves. All seeds must terminate.
+func TestIterateBatchedCollatz(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	done := IterateBatched(src, 1000, func(v int64) uint64 { return Hash(v) },
+		func(_ int64, recs []int64) (cont, out []int64) {
+			for _, v := range recs {
+				switch {
+				case v == 1:
+					out = append(out, v)
+				case v%2 == 0:
+					cont = append(cont, v/2)
+				default:
+					cont = append(cont, 3*v+1)
+				}
+			}
+			return cont, out
+		})
+	col := Collect(done)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(7, 27, 97)
+	in.Close()
+	join(t, s)
+	if got := col.Epoch(0); fmt.Sprint(got) != "[1 1 1]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestIterateBatchedSeesWholeIteration verifies the barrier: per
+// iteration, a partition sees all of its records at once (we use one
+// worker so the partition is global) and iteration numbers advance one at
+// a time.
+func TestIterateBatchedSeesWholeIteration(t *testing.T) {
+	cfg := testCfg()
+	cfg.Processes = 1
+	cfg.WorkersPerProcess = 1
+	s := newTestScope(t, cfg)
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	var batches []string
+	done := IterateBatched(src, 10, nil,
+		func(iter int64, recs []int64) (cont, out []int64) {
+			batches = append(batches, fmt.Sprintf("%d:%d", iter, len(recs)))
+			if iter >= 2 {
+				return nil, recs
+			}
+			return recs, nil
+		})
+	col := Collect(done)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(10, 20, 30)
+	in.Close()
+	join(t, s)
+	if fmt.Sprint(batches) != "[0:3 1:3 2:3]" {
+		t.Fatalf("batches = %v", batches)
+	}
+	if got := sortedInts(col.Epoch(0)); fmt.Sprint(got) != "[10 20 30]" {
+		t.Fatalf("out = %v", got)
+	}
+}

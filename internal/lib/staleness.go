@@ -1,0 +1,46 @@
+package lib
+
+import (
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+// BoundedStaleness forwards records unchanged while constraining how far
+// asynchronous iteration may run ahead (§2.4): when iteration i is first
+// observed, the stage requests a notification guaranteed at iteration i
+// but holding a capability at iteration i+k. Until iteration i completes,
+// that capability blocks every notification at iterations ≥ i+k anywhere
+// in the loop, so no coordinated work proceeds more than k iterations
+// beyond an incomplete one.
+//
+// The stream must be inside a loop context. Purely asynchronous vertices
+// (which never request notifications) are unaffected — the bound
+// constrains exactly the coordinated parts of the computation, which is
+// the §2.4 semantics.
+func BoundedStaleness[T any](s *Stream[T], k int64) *Stream[T] {
+	if s.depth == 0 {
+		panic("lib: BoundedStaleness requires a stream inside a loop context")
+	}
+	if k < 1 {
+		panic("lib: BoundedStaleness requires k ≥ 1")
+	}
+	c := s.scope.C
+	st := c.AddStage("BoundedStaleness", graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		seen := make(map[ts.Timestamp]bool)
+		return &vertexOf[T]{
+			recv: func(_ int, rec T, t ts.Timestamp) {
+				if !seen[t] {
+					seen[t] = true
+					ctx.NotifyAtCap(t, t.WithInner(t.Inner()+k))
+				}
+				ctx.SendBy(0, rec, t)
+			},
+			notify: func(t ts.Timestamp) {
+				delete(seen, t)
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, nil, s.cod)
+	return &Stream[T]{scope: s.scope, stage: st, port: 0, cod: s.cod, depth: s.depth}
+}

@@ -1,0 +1,133 @@
+package lib
+
+import (
+	"sort"
+	"sync"
+
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+// Subscribe gathers each epoch's records at one vertex and invokes the
+// callback once per completed epoch, in epoch order at that vertex — the
+// output stage of §4.1 ("result.Subscribe(result => …)"). The callback
+// runs on a worker thread. The stream must be outside any loop.
+// It returns the subscribe stage's id so callers can attach probes: epoch
+// completion at that stage implies the callback for the epoch has returned.
+func Subscribe[T any](s *Stream[T], f func(epoch int64, records []T)) runtime.StageID {
+	if s.depth != 0 {
+		panic("lib: Subscribe requires a stream outside any loop context")
+	}
+	c := s.scope.C
+	st := c.AddStage("Subscribe", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[int64][]T)
+		started := make(map[int64]bool)
+		return &vertexOf[T]{
+			recv: func(_ int, rec T, t ts.Timestamp) {
+				if !started[t.Epoch] {
+					started[t.Epoch] = true
+					ctx.NotifyAt(t)
+				}
+				buf[t.Epoch] = append(buf[t.Epoch], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				recs := buf[t.Epoch]
+				delete(buf, t.Epoch)
+				delete(started, t.Epoch)
+				f(t.Epoch, recs)
+			},
+		}
+	}, runtime.Pinned(0))
+	c.Connect(s.stage, s.port, st, func(runtime.Message) uint64 { return 0 }, s.cod)
+	return st
+}
+
+// SubscribeParallel invokes the callback once per completed epoch at every
+// worker, with that worker's share of the records. Callbacks on different
+// workers run concurrently.
+func SubscribeParallel[T any](s *Stream[T], f func(worker int, epoch int64, records []T)) {
+	if s.depth != 0 {
+		panic("lib: SubscribeParallel requires a stream outside any loop context")
+	}
+	c := s.scope.C
+	st := c.AddStage("SubscribeN", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[int64][]T)
+		started := make(map[int64]bool)
+		return &vertexOf[T]{
+			recv: func(_ int, rec T, t ts.Timestamp) {
+				if !started[t.Epoch] {
+					started[t.Epoch] = true
+					ctx.NotifyAt(t)
+				}
+				buf[t.Epoch] = append(buf[t.Epoch], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				recs := buf[t.Epoch]
+				delete(buf, t.Epoch)
+				delete(started, t.Epoch)
+				f(ctx.Worker(), t.Epoch, recs)
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, nil, s.cod)
+}
+
+// Collector subscribes to a stream and accumulates per-epoch results for
+// inspection from other goroutines — the pattern tests and examples use to
+// read a computation's output.
+type Collector[T any] struct {
+	mu     sync.Mutex
+	epochs map[int64][]T
+	probe  *runtime.Probe
+}
+
+// Collect attaches a Collector to a stream.
+func Collect[T any](s *Stream[T]) *Collector[T] {
+	col := &Collector[T]{epochs: make(map[int64][]T)}
+	stage := Subscribe(s, func(epoch int64, records []T) {
+		col.mu.Lock()
+		col.epochs[epoch] = append(col.epochs[epoch], records...)
+		col.mu.Unlock()
+	})
+	col.probe = s.scope.C.NewProbe(stage)
+	return col
+}
+
+// WaitFor blocks until the given epoch has fully drained into the
+// collector: the per-epoch callback has returned and its records are
+// readable.
+func (c *Collector[T]) WaitFor(epoch int64) { c.probe.WaitFor(epoch) }
+
+// Done reports whether the epoch has drained into the collector.
+func (c *Collector[T]) Done(epoch int64) bool { return c.probe.Done(epoch) }
+
+// Epoch returns a copy of the records collected for an epoch.
+func (c *Collector[T]) Epoch(e int64) []T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]T(nil), c.epochs[e]...)
+}
+
+// Epochs returns the epochs with any records, sorted.
+func (c *Collector[T]) Epochs() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, 0, len(c.epochs))
+	for e := range c.epochs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns every collected record across epochs.
+func (c *Collector[T]) All() []T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []T
+	for _, recs := range c.epochs {
+		out = append(out, recs...)
+	}
+	return out
+}

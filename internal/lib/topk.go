@@ -1,0 +1,102 @@
+package lib
+
+import (
+	"sort"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+// TopK emits, once each time completes, the k records greatest under
+// `less` — the "most popular hashtag" shape of §6.4. The reduction runs in
+// two levels: each worker selects its local top k, then one vertex merges
+// the candidates, so the exchange carries k·workers records instead of
+// everything.
+func TopK[A any](s *Stream[A], k int, less func(a, b A) bool, cod codec.Codec) *Stream[A] {
+	if k <= 0 {
+		panic("lib: TopK requires k ≥ 1")
+	}
+	if cod == nil {
+		cod = s.cod
+	}
+	local := UnaryBuffer[A, A](s, "TopK-local", nil,
+		func(_ ts.Timestamp, recs []A, emit func(A)) {
+			for _, r := range selectTop(recs, k, less) {
+				emit(r)
+			}
+		}, cod)
+	c := s.scope.C
+	st := c.AddStage("TopK-merge", graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[ts.Timestamp][]A)
+		return &vertexOf[A]{
+			recv: func(_ int, rec A, t ts.Timestamp) {
+				if _, ok := buf[t]; !ok {
+					ctx.NotifyAt(t)
+				}
+				buf[t] = append(buf[t], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				recs := buf[t]
+				delete(buf, t)
+				for _, r := range selectTop(recs, k, less) {
+					ctx.SendBy(0, r, t)
+				}
+			},
+		}
+	}, runtime.Pinned(0))
+	c.Connect(local.stage, local.port, st, func(runtime.Message) uint64 { return 0 }, cod)
+	return &Stream[A]{scope: s.scope, stage: st, port: 0, cod: cod, depth: s.depth}
+}
+
+// selectTop returns the k greatest records under less, in descending
+// order.
+func selectTop[A any](recs []A, k int, less func(a, b A) bool) []A {
+	out := append([]A(nil), recs...)
+	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SumByKey folds int64 values per key per time.
+func SumByKey[K comparable](s *Stream[Pair[K, int64]], cod codec.Codec) *Stream[Pair[K, int64]] {
+	return FoldByKey(s, func(K) int64 { return 0 },
+		func(acc, v int64) int64 { return acc + v }, cod)
+}
+
+// Broadcast delivers a copy of every record to one vertex on every worker
+// — the pattern behind AllReduce's distribution step and Pregel
+// aggregators. The output stage's vertices each see the full stream.
+func Broadcast[A any](s *Stream[A], cod codec.Codec) *Stream[A] {
+	if cod == nil {
+		cod = s.cod
+	}
+	c := s.scope.C
+	workers := c.Config().Workers()
+	// Stage 1: replicate each record once per worker, tagged.
+	type tagged struct {
+		Worker int64
+		Rec    A
+	}
+	rep := c.AddStage("Broadcast-rep", graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		return &vertexOf[A]{recv: func(_ int, rec A, t ts.Timestamp) {
+			for w := 0; w < workers; w++ {
+				ctx.SendBy(0, tagged{Worker: int64(w), Rec: rec}, t)
+			}
+		}}
+	})
+	c.Connect(s.stage, s.port, rep, nil, s.cod)
+	// Stage 2: exchange by the tag and strip it.
+	strip := c.AddStage("Broadcast", graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
+		return &vertexOf[tagged]{recv: func(_ int, rec tagged, t ts.Timestamp) {
+			ctx.SendBy(0, rec.Rec, t)
+		}}
+	})
+	c.Connect(rep, 0, strip, func(m runtime.Message) uint64 {
+		return uint64(m.(tagged).Worker)
+	}, codec.Gob[tagged]())
+	return &Stream[A]{scope: s.scope, stage: strip, port: 0, cod: cod, depth: s.depth}
+}

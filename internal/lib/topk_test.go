@@ -1,0 +1,105 @@
+package lib
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"naiad/internal/codec"
+)
+
+func TestTopK(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	spread := Exchange(src, func(v int64) uint64 { return uint64(v) })
+	top := TopK(spread, 3, func(a, b int64) bool { return a < b }, codec.Int64())
+	col := Collect(top)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(5, 1, 9, 3, 7, 2, 8)
+	in.OnNext(4)
+	in.Close()
+	join(t, s)
+	if got := col.Epoch(0); fmt.Sprint(got) != "[9 8 7]" {
+		t.Fatalf("epoch 0 top3 = %v", got)
+	}
+	if got := col.Epoch(1); fmt.Sprint(got) != "[4]" {
+		t.Fatalf("epoch 1 top3 = %v", got)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	top := TopK(src, 10, func(a, b int64) bool { return a < b }, codec.Int64())
+	col := Collect(top)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(2, 1)
+	in.Close()
+	join(t, s)
+	if got := col.Epoch(0); fmt.Sprint(got) != "[2 1]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	_, src := NewInput[int64](s, "in", codec.Int64())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TopK(src, 0, func(a, b int64) bool { return a < b }, nil)
+}
+
+func TestSumByKey(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[Pair[string, int64]](s, "in", nil)
+	sums := SumByKey(src, nil)
+	col := Collect(sums)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(KV("a", int64(1)), KV("a", int64(2)), KV("b", int64(5)))
+	in.Close()
+	join(t, s)
+	got := map[string]int64{}
+	for _, p := range col.Epoch(0) {
+		got[p.Key] = p.Val
+	}
+	if got["a"] != 3 || got["b"] != 5 {
+		t.Fatalf("sums = %v", got)
+	}
+}
+
+func TestBroadcastReachesAllWorkers(t *testing.T) {
+	cfg := testCfg() // 2 procs × 2 workers
+	s := newTestScope(t, cfg)
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	everywhere := Broadcast(src, codec.Int64())
+	var mu sync.Mutex
+	perWorker := map[int][]int64{}
+	SubscribeParallel(everywhere, func(worker int, _ int64, recs []int64) {
+		mu.Lock()
+		perWorker[worker] = append(perWorker[worker], recs...)
+		mu.Unlock()
+	})
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(7, 8)
+	in.Close()
+	join(t, s)
+	if len(perWorker) != 4 {
+		t.Fatalf("workers reached = %d: %v", len(perWorker), perWorker)
+	}
+	for w, recs := range perWorker {
+		if got := sortedInts(recs); fmt.Sprint(got) != "[7 8]" {
+			t.Fatalf("worker %d got %v", w, got)
+		}
+	}
+}

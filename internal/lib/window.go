@@ -1,0 +1,74 @@
+package lib
+
+import (
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+// TumblingWindow groups records from `size` consecutive epochs and applies
+// f once per window, when the window's last epoch completes. The outputs
+// carry the window's final epoch as their timestamp. Windows cut short by
+// input closure still flush (the pending notification becomes deliverable
+// once the frontier drains).
+func TumblingWindow[A, B any](s *Stream[A], size int64,
+	f func(window int64, recs []A, emit func(B)), cod codec.Codec) *Stream[B] {
+	if s.depth != 0 {
+		panic("lib: TumblingWindow requires a stream outside any loop context")
+	}
+	if size < 1 {
+		panic("lib: TumblingWindow requires size ≥ 1")
+	}
+	c := s.scope.C
+	st := c.AddStage("TumblingWindow", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[int64][]A)
+		return &vertexOf[A]{
+			recv: func(_ int, rec A, t ts.Timestamp) {
+				w := t.Epoch / size
+				if _, ok := buf[w]; !ok {
+					// Wake at the window's closing epoch; the capability
+					// there also lets the flush emit at that time.
+					ctx.NotifyAt(ts.Root((w+1)*size - 1))
+				}
+				buf[w] = append(buf[w], rec)
+			},
+			notify: func(t ts.Timestamp) {
+				w := t.Epoch / size
+				recs := buf[w]
+				delete(buf, w)
+				f(w, recs, func(out B) { ctx.SendBy(0, out, t) })
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, nil, s.cod)
+	return &Stream[B]{scope: s.scope, stage: st, port: 0, cod: orGob[B](cod), depth: 0}
+}
+
+// SlidingWindowDiffs converts a stream into an incremental collection over
+// a sliding window of the last `size` epochs: each record is inserted at
+// its own epoch and retracted `size` epochs later. Composing this with
+// the Diff operators yields sliding-window analyses — the pattern §7
+// cites (sliding-window connected components) as requiring retractions.
+func SlidingWindowDiffs[A any](s *Stream[A], size int64) *Stream[Diff[A]] {
+	if s.depth != 0 {
+		panic("lib: SlidingWindowDiffs requires a stream outside any loop context")
+	}
+	if size < 1 {
+		panic("lib: SlidingWindowDiffs requires size ≥ 1")
+	}
+	c := s.scope.C
+	st := c.AddStage("SlidingWindow", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+		return &vertexOf[A]{
+			recv: func(_ int, rec A, t ts.Timestamp) {
+				// Insert now; schedule the retraction at the future epoch
+				// when the record leaves the window (always ≥ the current
+				// callback time, so the capability rule permits it).
+				ctx.SendBy(0, Diff[A]{Rec: rec, Delta: 1}, t)
+				ctx.SendBy(0, Diff[A]{Rec: rec, Delta: -1}, ts.Root(t.Epoch+size))
+			},
+		}
+	})
+	c.Connect(s.stage, s.port, st, nil, s.cod)
+	return &Stream[Diff[A]]{scope: s.scope, stage: st, port: 0, cod: orGob[Diff[A]](nil), depth: 0}
+}

@@ -1,0 +1,123 @@
+package lib
+
+import (
+	"fmt"
+	"testing"
+
+	"naiad/internal/codec"
+)
+
+func TestTumblingWindowSums(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	sums := TumblingWindow(src, 2, func(w int64, recs []int64, emit func(int64)) {
+		var sum int64
+		for _, v := range recs {
+			sum += v
+		}
+		emit(sum)
+	}, codec.Int64())
+	col := Collect(sums)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(1, 2) // epoch 0 } window 0
+	in.OnNext(3)    // epoch 1 }
+	in.OnNext(10)   // epoch 2 } window 1 (cut short by close)
+	in.Close()
+	join(t, s)
+	// Window 0 flushes at epoch 1; per-worker vertices each emit their
+	// local sum, so total across emissions is what we check.
+	total := func(e int64) int64 {
+		var sum int64
+		for _, v := range col.Epoch(e) {
+			sum += v
+		}
+		return sum
+	}
+	if got := total(1); got != 6 {
+		t.Fatalf("window 0 sum = %d", got)
+	}
+	if got := total(3); got != 10 {
+		t.Fatalf("window 1 sum = %d", got)
+	}
+}
+
+func TestTumblingWindowPanics(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	_, src := NewInput[int64](s, "in", codec.Int64())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TumblingWindow(src, 0, func(int64, []int64, func(int64)) {}, nil)
+}
+
+// TestSlidingWindowCount composes SlidingWindowDiffs with DiffCount: the
+// accumulated count table at each epoch must equal the count over the
+// last `size` epochs only.
+func TestSlidingWindowCount(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[string](s, "in", codec.String())
+	windowed := SlidingWindowDiffs(src, 2)
+	counts := DiffCount(windowed, nil)
+	col := Collect(counts)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext("a", "a", "b") // epoch 0
+	in.OnNext("a")           // epoch 1: window = {a×3, b}
+	in.OnNext()              // epoch 2: window = {a×1} (epoch 0 expired)
+	in.OnNext()              // epoch 3: window = {}
+	in.Close()
+	join(t, s)
+	table := func(upTo int64) map[string]int64 {
+		acc := map[string]int64{}
+		for _, e := range col.Epochs() {
+			if e > upTo {
+				continue
+			}
+			for _, d := range col.Epoch(e) {
+				if d.Delta > 0 {
+					acc[d.Rec.Key] = d.Rec.Val
+				} else if acc[d.Rec.Key] == d.Rec.Val {
+					delete(acc, d.Rec.Key)
+				}
+			}
+		}
+		return acc
+	}
+	if got := table(0); got["a"] != 2 || got["b"] != 1 {
+		t.Fatalf("epoch 0 window = %v", got)
+	}
+	if got := table(1); got["a"] != 3 || got["b"] != 1 {
+		t.Fatalf("epoch 1 window = %v", got)
+	}
+	if got := table(2); got["a"] != 1 || got["b"] != 0 {
+		t.Fatalf("epoch 2 window = %v", got)
+	}
+	if got := table(3); len(got) != 0 {
+		t.Fatalf("epoch 3 window = %v", got)
+	}
+}
+
+func TestSlidingWindowDiffsPanicInLoop(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	_, src := NewInput[int64](s, "in", codec.Int64())
+	inner := EnterLoop(src, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SlidingWindowDiffs(inner, 2)
+}
+
+func TestWindowRender(t *testing.T) {
+	// Exercise fmt paths on Diff for documentation examples.
+	d := Add("x")
+	if fmt.Sprint(d) != "{x 1}" {
+		t.Fatalf("diff rendering = %v", d)
+	}
+}

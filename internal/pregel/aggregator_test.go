@@ -1,0 +1,118 @@
+package pregel
+
+import (
+	"math"
+	"testing"
+
+	"naiad/internal/workload"
+)
+
+// TestAggregatorGlobalMax has every vertex contribute its id at superstep
+// 0; at superstep 1 each reads the global maximum from the aggregator and
+// adopts it, then halts. All states must equal the maximum id.
+func TestAggregatorGlobalMax(t *testing.T) {
+	edges := workload.ChainGraph(3, 4) // nodes 0..11, max src id 10, dst 11
+	cfg := Config[float64, int64]{
+		Init: func(n int64) float64 { return float64(n) },
+		Compute: func(ctx *Context[int64], state *float64, _ []int64) {
+			switch ctx.Superstep() {
+			case 0:
+				ctx.Aggregate(float64(ctx.Node()))
+				// Mail keeps every vertex active into superstep 1.
+				ctx.SendToAll(0)
+			case 1:
+				*state = ctx.AggValue()
+				ctx.VoteToHalt()
+			default:
+				ctx.VoteToHalt()
+			}
+		},
+		MaxSupersteps: 4,
+		Aggregator: &Aggregator{
+			Zero:    math.Inf(-1),
+			Combine: math.Max,
+		},
+	}
+	got := runPregel(t, edges, cfg)
+	// Only source nodes exist at superstep 0 (destinations are created by
+	// their first message, a superstep later), so the contributed maximum
+	// is the largest src id.
+	var wantMax float64 = -1
+	for _, e := range edges {
+		if float64(e.Src) > wantMax {
+			wantMax = float64(e.Src)
+		}
+	}
+	for n, s := range got {
+		if s != wantMax {
+			t.Fatalf("node %d adopted %v, want global max %v (all: %v)", n, s, wantMax, got)
+		}
+	}
+}
+
+// TestAggregatorSumConvergence uses the aggregator the classic way: the
+// global sum of per-vertex deltas decides when to halt.
+func TestAggregatorSumConvergence(t *testing.T) {
+	// Star graph: node 0 points at 1..5. Each vertex's value moves toward
+	// 100 by halving the gap; all halt when the global gap sum < 1.
+	var edges []workload.Edge
+	for i := int64(1); i <= 5; i++ {
+		edges = append(edges, workload.Edge{Src: 0, Dst: i})
+		edges = append(edges, workload.Edge{Src: i, Dst: 0})
+	}
+	type state struct {
+		Val  float64
+		Done bool
+	}
+	cfg := Config[state, int64]{
+		Init: func(int64) state { return state{} },
+		Compute: func(ctx *Context[int64], s *state, _ []int64) {
+			if ctx.Superstep() > 0 && ctx.AggValue() < 1 {
+				s.Done = true
+				ctx.VoteToHalt()
+				return
+			}
+			gap := 100 - s.Val
+			s.Val += gap / 2
+			ctx.Aggregate(math.Abs(100 - s.Val))
+			ctx.SendToAll(0) // stay active
+		},
+		MaxSupersteps: 64,
+		Aggregator:    &Aggregator{Zero: 0, Combine: func(a, b float64) float64 { return a + b }},
+	}
+	got := runPregel(t, edges, cfg)
+	if len(got) != 6 {
+		t.Fatalf("nodes = %d", len(got))
+	}
+	for n, s := range got {
+		if !s.Done {
+			t.Fatalf("node %d never converged: %+v", n, s)
+		}
+		if math.Abs(100-s.Val) > 1 {
+			t.Fatalf("node %d value %v too far from 100", n, s.Val)
+		}
+	}
+}
+
+func TestAggregateWithoutAggregatorPanics(t *testing.T) {
+	edges := []workload.Edge{{Src: 0, Dst: 1}}
+	cfg := Config[int64, int64]{
+		Init: func(int64) int64 { return 0 },
+		Compute: func(ctx *Context[int64], _ *int64, _ []int64) {
+			ctx.Aggregate(1)
+		},
+		MaxSupersteps: 2,
+	}
+	s := scope(t)
+	in, stream := lib2NewInput(s)
+	finals := Run(s, stream, cfg)
+	lib2Drain(finals)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.Send(edges...)
+	in.Close()
+	if err := s.C.Join(); err == nil {
+		t.Fatal("expected the vertex panic to surface from Join")
+	}
+}

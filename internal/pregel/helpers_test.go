@@ -1,0 +1,16 @@
+package pregel
+
+import (
+	"naiad/internal/lib"
+	"naiad/internal/workload"
+)
+
+// Small aliases keeping aggregator_test readable.
+
+func lib2NewInput(s *lib.Scope) (*lib.Input[workload.Edge], *lib.Stream[workload.Edge]) {
+	return lib.NewInput[workload.Edge](s, "edges", nil)
+}
+
+func lib2Drain[T any](s *lib.Stream[lib.Pair[int64, T]]) {
+	lib.SubscribeParallel(s, func(int, int64, []lib.Pair[int64, T]) {})
+}

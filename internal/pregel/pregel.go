@@ -1,0 +1,359 @@
+// Package pregel ports the Pregel bulk-synchronous vertex-program model
+// onto timely dataflow as a library (§4.2): supersteps are loop iterations,
+// message exchange rides the feedback edge, barriers come from
+// notifications, and graph mutation is supported by mutating the adjacency
+// held in vertex state. Halting follows Pregel: a graph vertex is active
+// in a superstep only if it received messages (after superstep 0), and the
+// computation ends when no messages circulate — which is exactly dataflow
+// quiescence.
+package pregel
+
+import (
+	"sort"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/workload"
+)
+
+// Context is handed to a vertex program each superstep.
+type Context[M any] struct {
+	node      int64
+	superstep int64
+	adj       *[]int64
+	send      func(dst int64, m M)
+	emit      func()
+	halted    *bool
+	aggIn     float64
+	aggOut    func(float64)
+}
+
+// Node returns the graph vertex id.
+func (c *Context[M]) Node() int64 { return c.node }
+
+// Superstep returns the current superstep number, starting at 0.
+func (c *Context[M]) Superstep() int64 { return c.superstep }
+
+// OutEdges returns the node's current out-neighbors.
+func (c *Context[M]) OutEdges() []int64 { return *c.adj }
+
+// Send delivers m to dst at the next superstep.
+func (c *Context[M]) Send(dst int64, m M) { c.send(dst, m) }
+
+// SendToAll sends m along every out-edge.
+func (c *Context[M]) SendToAll(m M) {
+	for _, dst := range *c.adj {
+		c.send(dst, m)
+	}
+}
+
+// AddEdge adds an out-edge (graph mutation).
+func (c *Context[M]) AddEdge(dst int64) { *c.adj = append(*c.adj, dst) }
+
+// RemoveEdge removes all out-edges to dst (graph mutation).
+func (c *Context[M]) RemoveEdge(dst int64) {
+	kept := (*c.adj)[:0]
+	for _, d := range *c.adj {
+		if d != dst {
+			kept = append(kept, d)
+		}
+	}
+	*c.adj = kept
+}
+
+// VoteToHalt marks the vertex inactive; incoming messages reactivate it.
+func (c *Context[M]) VoteToHalt() { *c.halted = true }
+
+// AggValue returns the global aggregate computed in the previous superstep
+// (the configured Aggregator's Zero before any contribution arrives).
+func (c *Context[M]) AggValue() float64 { return c.aggIn }
+
+// Aggregate contributes a value to this superstep's global aggregate,
+// visible to every vertex at the next superstep.
+func (c *Context[M]) Aggregate(v float64) {
+	if c.aggOut == nil {
+		panic("pregel: Aggregate called without an Aggregator configured")
+	}
+	c.aggOut(v)
+}
+
+// Aggregator folds per-superstep contributions into one global value
+// (Pregel's aggregators): Combine must be commutative and associative,
+// Zero its identity.
+type Aggregator struct {
+	Zero    float64
+	Combine func(a, b float64) float64
+}
+
+// Program computes one vertex for one superstep: state may be mutated,
+// messages from the previous superstep are provided, and messages for the
+// next are sent through ctx.
+type Program[S, M any] func(ctx *Context[M], state *S, msgs []M)
+
+// Config parameterizes a Pregel run.
+type Config[S, M any] struct {
+	// Init builds a node's initial state.
+	Init func(node int64) S
+	// Compute is the vertex program.
+	Compute Program[S, M]
+	// MaxSupersteps bounds the computation.
+	MaxSupersteps int64
+	// Aggregator, when non-nil, enables the global aggregate channel: a
+	// second feedback loop carrying each superstep's combined value back
+	// to every partition (the "aggregated values" input of §4.2's port).
+	Aggregator *Aggregator
+	// MsgCodec serializes messages crossing processes (nil: gob).
+	MsgCodec codec.Codec
+	// StateCodec serializes emitted final states (nil: gob).
+	StateCodec codec.Codec
+}
+
+// pregelVertex is the custom timely vertex hosting a partition of the
+// Pregel graph. Input 0: adjacency edges (superstep 0). Input 1: messages
+// (Pair[node, M]) from the previous superstep via feedback. Port 0 feeds
+// messages back; port 1 emits (node, state, superstep) snapshots.
+type pregelVertex[S, M any] struct {
+	ctx *runtime.Context
+	cfg *Config[S, M]
+
+	adj    map[int64][]int64
+	state  map[int64]*S
+	halted map[int64]bool
+	inbox  map[ts.Timestamp]map[int64][]M
+	seen   map[ts.Timestamp]bool
+	aggIn  map[ts.Timestamp]float64
+}
+
+// snapshot carries a node's state out of the loop, tagged with its
+// superstep so the latest wins.
+type snapshot[S any] struct {
+	Node      int64
+	Superstep int64
+	State     S
+}
+
+func (v *pregelVertex[S, M]) OnRecv(input int, msg runtime.Message, t ts.Timestamp) {
+	if !v.seen[t] {
+		v.seen[t] = true
+		v.ctx.NotifyAt(t)
+	}
+	switch input {
+	case 0:
+		e := msg.(workload.Edge)
+		v.adj[e.Src] = append(v.adj[e.Src], e.Dst)
+		if _, ok := v.state[e.Src]; !ok {
+			s := v.cfg.Init(e.Src)
+			v.state[e.Src] = &s
+		}
+	case 1:
+		p := msg.(lib.Pair[int64, M])
+		if v.inbox[t] == nil {
+			v.inbox[t] = make(map[int64][]M)
+		}
+		v.inbox[t][p.Key] = append(v.inbox[t][p.Key], p.Val)
+	case 2:
+		// The previous superstep's global aggregate for this partition.
+		v.aggIn[t] = msg.(lib.Pair[int64, float64]).Val
+	}
+}
+
+func (v *pregelVertex[S, M]) OnNotify(t ts.Timestamp) {
+	delete(v.seen, t)
+	inbox := v.inbox[t]
+	delete(v.inbox, t)
+	super := t.Inner()
+
+	// Nodes created by messages to previously unknown ids.
+	for node := range inbox {
+		if _, ok := v.state[node]; !ok {
+			s := v.cfg.Init(node)
+			v.state[node] = &s
+		}
+	}
+	// Active set: every node at superstep 0; afterwards, nodes with mail
+	// or not halted.
+	var active []int64
+	for node := range v.state {
+		if super == 0 || len(inbox[node]) > 0 || !v.halted[node] {
+			active = append(active, node)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+
+	aggInVal := 0.0
+	if v.cfg.Aggregator != nil {
+		aggInVal = v.cfg.Aggregator.Zero
+		if got, ok := v.aggIn[t]; ok {
+			aggInVal = got
+		}
+		delete(v.aggIn, t)
+	}
+	localAgg := 0.0
+	hasLocalAgg := false
+	aggOut := func(x float64) {
+		if !hasLocalAgg {
+			localAgg = x
+			hasLocalAgg = true
+			return
+		}
+		localAgg = v.cfg.Aggregator.Combine(localAgg, x)
+	}
+
+	for _, node := range active {
+		halted := false
+		adj := v.adj[node]
+		c := &Context[M]{
+			node: node, superstep: super, adj: &adj, halted: &halted,
+			aggIn: aggInVal,
+			send: func(dst int64, m M) {
+				v.ctx.SendBy(0, lib.KV(dst, m), t)
+			},
+		}
+		if v.cfg.Aggregator != nil {
+			c.aggOut = aggOut
+		}
+		v.cfg.Compute(c, v.state[node], inbox[node])
+		v.adj[node] = adj
+		v.halted[node] = halted
+		v.ctx.SendBy(1, snapshot[S]{Node: node, Superstep: super, State: *v.state[node]}, t)
+	}
+
+	// Ship this partition's combined aggregate contribution (port 2).
+	if hasLocalAgg {
+		v.ctx.SendBy(2, localAgg, t)
+	}
+
+	// Pregel runs non-halted vertices every superstep even without mail,
+	// so the partition self-schedules the next superstep while any of its
+	// nodes remains active (bounded by MaxSupersteps).
+	if super+1 < v.cfg.MaxSupersteps {
+		for node := range v.state {
+			if !v.halted[node] {
+				next := t.Tick()
+				if !v.seen[next] {
+					v.seen[next] = true
+					v.ctx.NotifyAt(next)
+				}
+				break
+			}
+		}
+	}
+}
+
+// Run wires a Pregel computation over an edge stream and returns the
+// stream of per-superstep state snapshots leaving the loop. Latest(r) of
+// the snapshots gives each node's final state.
+func Run[S, M any](s *lib.Scope, edges *lib.Stream[workload.Edge], cfg Config[S, M]) *lib.Stream[lib.Pair[int64, S]] {
+	c := s.C
+	edgesIn := lib.EnterLoop(edges, 1)
+	st := c.AddStage("pregel", graph.RoleNormal, 1, func(ctx *runtime.Context) runtime.Vertex {
+		return &pregelVertex[S, M]{
+			ctx: ctx, cfg: &cfg,
+			adj:    make(map[int64][]int64),
+			state:  make(map[int64]*S),
+			halted: make(map[int64]bool),
+			inbox:  make(map[ts.Timestamp]map[int64][]M),
+			seen:   make(map[ts.Timestamp]bool),
+			aggIn:  make(map[ts.Timestamp]float64),
+		}
+	}, runtime.Ports(3))
+	fb := c.AddStage("pregel-feedback", graph.RoleFeedback, 1, nil, runtime.MaxIterations(cfg.MaxSupersteps))
+	c.Connect(edgesIn.Stage(), 0, st, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(workload.Edge).Src)
+	}, codec.Gob[workload.Edge]())
+	// Messages loop: stage port 0 → feedback → exchanged by destination.
+	c.Connect(st, 0, fb, nil, orGobMsg[M](cfg.MsgCodec))
+	c.Connect(fb, 0, st, func(m runtime.Message) uint64 {
+		return lib.Hash(m.(lib.Pair[int64, M]).Key)
+	}, orGobMsg[M](cfg.MsgCodec))
+	if cfg.Aggregator != nil {
+		wireAggregator(s, st, cfg.Aggregator, cfg.MaxSupersteps)
+	}
+
+	snaps := lib.StreamOf[snapshot[S]](s, st, 1, codec.Gob[snapshot[S]](), 1)
+	out := lib.LeaveLoop(snaps)
+	// Keep each node's latest snapshot per epoch.
+	latest := lib.FoldByKey(
+		lib.Select(out, func(sn snapshot[S]) lib.Pair[int64, snapshot[S]] {
+			return lib.KV(sn.Node, sn)
+		}, nil),
+		func(int64) snapshot[S] { return snapshot[S]{Superstep: -1} },
+		func(acc snapshot[S], sn snapshot[S]) snapshot[S] {
+			if sn.Superstep >= acc.Superstep {
+				return sn
+			}
+			return acc
+		}, nil)
+	return lib.Select(latest, func(p lib.Pair[int64, snapshot[S]]) lib.Pair[int64, S] {
+		return lib.KV(p.Key, p.Val.State)
+	}, cfg.StateCodec)
+}
+
+func orGobMsg[M any](c codec.Codec) codec.Codec {
+	if c != nil {
+		return c
+	}
+	return codec.Gob[lib.Pair[int64, M]]()
+}
+
+// wireAggregator builds the second feedback loop of §4.2's Pregel port:
+// per-partition contributions (pregel port 2) flow to one combining
+// vertex, whose global value is fed back and exchanged to every partition
+// for the next superstep.
+func wireAggregator(s *lib.Scope, pregelStage runtime.StageID, agg *Aggregator, maxSupersteps int64) {
+	c := s.C
+	workers := c.Config().Workers()
+	floatCodec := codec.New(
+		func(e *codec.Encoder, v float64) { e.PutFloat64(v) },
+		func(d *codec.Decoder) float64 { return d.Float64() },
+	)
+	pairCodec := codec.New(
+		func(e *codec.Encoder, v lib.Pair[int64, float64]) { e.PutInt64(v.Key); e.PutFloat64(v.Val) },
+		func(d *codec.Decoder) lib.Pair[int64, float64] {
+			return lib.Pair[int64, float64]{Key: d.Int64(), Val: d.Float64()}
+		},
+	)
+	combiner := c.AddStage("pregel-agg", graph.RoleNormal, 1, func(ctx *runtime.Context) runtime.Vertex {
+		buf := make(map[ts.Timestamp][]float64)
+		return &aggVertex{
+			recv: func(val float64, t ts.Timestamp) {
+				if _, ok := buf[t]; !ok {
+					ctx.NotifyAt(t)
+				}
+				buf[t] = append(buf[t], val)
+			},
+			notify: func(t ts.Timestamp) {
+				vals := buf[t]
+				delete(buf, t)
+				combined := agg.Zero
+				for _, v := range vals {
+					combined = agg.Combine(combined, v)
+				}
+				for w := 0; w < workers; w++ {
+					ctx.SendBy(0, lib.Pair[int64, float64]{Key: int64(w), Val: combined}, t)
+				}
+			},
+		}
+	}, runtime.Pinned(0))
+	fb2 := c.AddStage("pregel-agg-feedback", graph.RoleFeedback, 1, nil, runtime.MaxIterations(maxSupersteps))
+	c.Connect(pregelStage, 2, combiner, func(runtime.Message) uint64 { return 0 }, floatCodec)
+	c.Connect(combiner, 0, fb2, nil, pairCodec)
+	c.Connect(fb2, 0, pregelStage, func(m runtime.Message) uint64 {
+		return uint64(m.(lib.Pair[int64, float64]).Key)
+	}, pairCodec)
+}
+
+// aggVertex adapts the combiner closures to the Vertex interface.
+type aggVertex struct {
+	recv   func(float64, ts.Timestamp)
+	notify func(ts.Timestamp)
+}
+
+func (v *aggVertex) OnRecv(_ int, msg runtime.Message, t ts.Timestamp) {
+	v.recv(msg.(float64), t)
+}
+
+func (v *aggVertex) OnNotify(t ts.Timestamp) { v.notify(t) }

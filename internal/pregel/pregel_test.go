@@ -1,0 +1,177 @@
+package pregel
+
+import (
+	"math"
+	"testing"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+func scope(t *testing.T) *lib.Scope {
+	t.Helper()
+	s, err := lib.NewScope(runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runPregel[S, M any](t *testing.T, edges []workload.Edge, cfg Config[S, M]) map[int64]S {
+	t.Helper()
+	s := scope(t)
+	in, stream := lib.NewInput[workload.Edge](s, "edges", nil)
+	finals := Run(s, stream, cfg)
+	col := lib.Collect(finals)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.Send(edges...)
+	in.Close()
+	if err := s.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int64]S)
+	for _, p := range col.All() {
+		out[p.Key] = p.Val
+	}
+	return out
+}
+
+// TestPregelPageRank runs the classic Pregel PageRank vertex program and
+// compares against the sequential reference.
+func TestPregelPageRank(t *testing.T) {
+	const nodes = 30
+	const iters = 8
+	const d = 0.85
+	edges := workload.PowerLawGraph(13, nodes, 150, 1.4)
+	// Ensure every node has an out-edge home vertex by construction of the
+	// program below (nodes appearing only as destinations are created by
+	// their incoming messages and hold rank but send nothing).
+	cfg := Config[float64, float64]{
+		Init: func(int64) float64 { return 1.0 / nodes },
+		Compute: func(ctx *Context[float64], rank *float64, msgs []float64) {
+			if ctx.Superstep() > 0 {
+				sum := 0.0
+				for _, m := range msgs {
+					sum += m
+				}
+				*rank = (1-d)/nodes + d*sum
+			}
+			if deg := len(ctx.OutEdges()); deg > 0 {
+				ctx.SendToAll(*rank / float64(deg))
+			}
+		},
+		MaxSupersteps: iters + 1,
+	}
+	got := runPregel(t, edges, cfg)
+	want := workload.ExpectedPageRank(edges, nodes, iters, d)
+	for n, r := range got {
+		if math.Abs(r-want[n]) > 1e-9 {
+			t.Fatalf("node %d: got %.12f want %.12f", n, r, want[n])
+		}
+	}
+}
+
+// TestPregelMinPropagation uses VoteToHalt: vertices propagate the minimum
+// id they have seen and halt until new mail arrives — the Pregel WCC.
+func TestPregelMinPropagation(t *testing.T) {
+	edges := workload.ChainGraph(2, 10) // components {0..9}, {10..19}
+	// Undirect the chain so the minimum can propagate both ways.
+	var und []workload.Edge
+	for _, e := range edges {
+		und = append(und, e, workload.Edge{Src: e.Dst, Dst: e.Src})
+	}
+	cfg := Config[int64, int64]{
+		Init: func(n int64) int64 { return n },
+		Compute: func(ctx *Context[int64], best *int64, msgs []int64) {
+			improved := ctx.Superstep() == 0
+			for _, m := range msgs {
+				if m < *best {
+					*best = m
+					improved = true
+				}
+			}
+			if improved {
+				ctx.SendToAll(*best)
+			}
+			ctx.VoteToHalt()
+		},
+		MaxSupersteps: 100,
+	}
+	got := runPregel(t, und, cfg)
+	for n, c := range got {
+		want := (n / 10) * 10
+		if c != want {
+			t.Fatalf("node %d: component %d, want %d", n, c, want)
+		}
+	}
+}
+
+// TestPregelGraphMutation removes edges during the computation and checks
+// the mutation affects message routing in later supersteps.
+func TestPregelGraphMutation(t *testing.T) {
+	// 0→1, 0→2: at superstep 1, node 0 removes the edge to 2, then sends.
+	edges := []workload.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}
+	type state struct{ Got int64 }
+	cfg := Config[state, int64]{
+		Init: func(int64) state { return state{Got: -1} },
+		Compute: func(ctx *Context[int64], s *state, msgs []int64) {
+			for _, m := range msgs {
+				s.Got = m
+			}
+			if ctx.Node() == 0 {
+				switch ctx.Superstep() {
+				case 0:
+					// no sends yet; just mutate
+					ctx.RemoveEdge(2)
+				case 1:
+					ctx.SendToAll(7)
+				}
+			}
+			if ctx.Superstep() >= 2 {
+				ctx.VoteToHalt()
+			}
+		},
+		MaxSupersteps: 5,
+	}
+	got := runPregel(t, edges, cfg)
+	if got[1].Got != 7 {
+		t.Fatalf("node 1 = %+v, want mail 7", got[1])
+	}
+	// Node 2 never receives mail once the edge is removed, so it is never
+	// instantiated at all (Pregel creates vertices on first message).
+	if st, ok := got[2]; ok && st.Got != -1 {
+		t.Fatalf("node 2 = %+v, want no mail after edge removal", st)
+	}
+}
+
+// TestPregelAddEdge grows the graph at runtime.
+func TestPregelAddEdge(t *testing.T) {
+	edges := []workload.Edge{{Src: 0, Dst: 1}}
+	type state struct{ Got int64 }
+	cfg := Config[state, int64]{
+		Init: func(int64) state { return state{Got: -1} },
+		Compute: func(ctx *Context[int64], s *state, msgs []int64) {
+			for _, m := range msgs {
+				s.Got = m
+			}
+			if ctx.Node() == 0 && ctx.Superstep() == 0 {
+				ctx.AddEdge(5) // node 5 does not exist yet
+				ctx.SendToAll(9)
+			}
+			if ctx.Superstep() >= 1 {
+				ctx.VoteToHalt()
+			}
+		},
+		MaxSupersteps: 5,
+	}
+	got := runPregel(t, edges, cfg)
+	if got[5].Got != 9 {
+		t.Fatalf("node 5 = %+v, want mail 9 (created by message)", got[5])
+	}
+	if got[1].Got != 9 {
+		t.Fatalf("node 1 = %+v", got[1])
+	}
+}

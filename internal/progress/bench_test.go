@@ -1,0 +1,80 @@
+package progress
+
+import (
+	"testing"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+func benchGraph(b *testing.B) (*graph.Graph, []graph.Location) {
+	b.Helper()
+	g := graph.New()
+	in := g.AddStage("in", graph.RoleInput, 0)
+	ing := g.AddStage("I", graph.RoleIngress, 0)
+	s1 := g.AddStage("A", graph.RoleNormal, 1)
+	s2 := g.AddStage("B", graph.RoleNormal, 1)
+	fb := g.AddStage("F", graph.RoleFeedback, 1)
+	eg := g.AddStage("E", graph.RoleEgress, 1)
+	out := g.AddStage("out", graph.RoleNormal, 0)
+	g.AddConnector(in, ing)
+	g.AddConnector(ing, s1)
+	g.AddConnector(s1, s2)
+	g.AddConnector(s2, fb)
+	g.AddConnector(fb, s1)
+	g.AddConnector(s2, eg)
+	g.AddConnector(eg, out)
+	if err := g.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	return g, []graph.Location{
+		graph.StageLoc(s1), graph.StageLoc(s2), graph.ConnLoc(2), graph.ConnLoc(3),
+	}
+}
+
+// BenchmarkTrackerUpdate measures the steady-state cost of one
+// occurrence-count update against a working set of active pointstamps.
+func BenchmarkTrackerUpdate(b *testing.B) {
+	g, locs := benchGraph(b)
+	tr := NewTracker(g)
+	// A realistic active set: a few iterations in flight.
+	for i := int64(0); i < 8; i++ {
+		tr.Update(Pointstamp{Time: ts.Make(0, i), Loc: locs[i%2]}, 1)
+	}
+	p := Pointstamp{Time: ts.Make(0, 4), Loc: locs[2]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Update(p, 1)
+		tr.Update(p, -1)
+	}
+}
+
+// BenchmarkFrontierQuery measures the notification-deliverability test.
+func BenchmarkFrontierQuery(b *testing.B) {
+	g, locs := benchGraph(b)
+	tr := NewTracker(g)
+	for i := int64(0); i < 16; i++ {
+		tr.Update(Pointstamp{Time: ts.Make(0, i), Loc: locs[int(i)%len(locs)]}, 1)
+	}
+	p := Pointstamp{Time: ts.Make(0, 0), Loc: locs[0]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.SomePrecursorOf(p)
+	}
+}
+
+// BenchmarkBufferDrain measures the combine-and-sort path of the protocol.
+func BenchmarkBufferDrain(b *testing.B) {
+	_, locs := benchGraph(b)
+	buf := NewBuffer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := int64(0); j < 64; j++ {
+			buf.Add(Pointstamp{Time: ts.Make(0, j%8), Loc: locs[int(j)%len(locs)]}, 1)
+			buf.Add(Pointstamp{Time: ts.Make(0, j%8), Loc: locs[int(j)%len(locs)]}, -1)
+		}
+		if us := buf.Drain(); len(us) != 0 {
+			b.Fatal("cancelling updates should drain empty")
+		}
+	}
+}

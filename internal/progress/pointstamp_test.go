@@ -1,0 +1,112 @@
+package progress
+
+import (
+	"testing"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+func TestPointstampLessDeterministic(t *testing.T) {
+	a := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(1)}
+	b := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(2)}
+	c := Pointstamp{Time: ts.Root(1), Loc: graph.StageLoc(0)}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("location tiebreak")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("time major")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	u := Update{P: Pointstamp{Time: ts.Root(0)}, D: 1}
+	if got := u.EncodedSize(); got != 4+8+1+8 {
+		t.Fatalf("depth-0 size = %d", got)
+	}
+	u2 := Update{P: Pointstamp{Time: ts.Make(0, 1, 2)}, D: 1}
+	if got := u2.EncodedSize(); got != 4+8+1+16+8 {
+		t.Fatalf("depth-2 size = %d", got)
+	}
+}
+
+func TestBufferCombinesAndCancels(t *testing.T) {
+	b := NewBuffer()
+	p := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(0)}
+	q := Pointstamp{Time: ts.Root(1), Loc: graph.StageLoc(0)}
+	b.Add(p, 1)
+	b.Add(p, 2)
+	b.Add(q, -1)
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	b.Add(p, -3) // cancels entirely
+	if b.Len() != 1 || b.Empty() {
+		t.Fatalf("len = %d", b.Len())
+	}
+	b.Add(p, 0) // no-op
+	us := b.Drain()
+	if len(us) != 1 || us[0] != (Update{P: q, D: -1}) {
+		t.Fatalf("drain = %v", us)
+	}
+	if !b.Empty() || b.Drain() != nil {
+		t.Fatal("drain should empty the buffer")
+	}
+}
+
+func TestDrainPositivesFirst(t *testing.T) {
+	b := NewBuffer()
+	p := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(0)}
+	q := Pointstamp{Time: ts.Root(1), Loc: graph.StageLoc(0)}
+	r := Pointstamp{Time: ts.Root(2), Loc: graph.StageLoc(0)}
+	b.Add(p, -1)
+	b.Add(q, 1)
+	b.Add(r, -2)
+	us := b.Drain()
+	if len(us) != 3 || us[0].D <= 0 {
+		t.Fatalf("positives must come first: %v", us)
+	}
+	if us[1].D > 0 || us[2].D > 0 {
+		t.Fatalf("negatives after positives: %v", us)
+	}
+	if !us[1].P.Less(us[2].P) {
+		t.Fatalf("deterministic order within sign class: %v", us)
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	b := NewBuffer()
+	p := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(0)}
+	b.AddAll([]Update{{P: p, D: 1}, {P: p, D: 1}})
+	if got := b.Drain(); len(got) != 1 || got[0].D != 2 {
+		t.Fatalf("AddAll combined = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	p := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(0)}
+	s.CountRemote([]Update{{P: p, D: 1}, {P: p, D: -1}})
+	s.CountRemote(nil) // no-op
+	s.CountFlush()
+	if s.RemoteMessages() != 1 || s.UpdatesSent() != 2 {
+		t.Fatalf("messages=%d updates=%d", s.RemoteMessages(), s.UpdatesSent())
+	}
+	if s.RemoteBytes() != 2*21 {
+		t.Fatalf("bytes = %d", s.RemoteBytes())
+	}
+	if s.Flushes() != 1 {
+		t.Fatalf("flushes = %d", s.Flushes())
+	}
+	s.Reset()
+	if s.RemoteBytes() != 0 || s.RemoteMessages() != 0 || s.Flushes() != 0 || s.UpdatesSent() != 0 {
+		t.Fatal("reset")
+	}
+	// nil receiver is a no-op for convenience in unwired paths.
+	var nilStats *Stats
+	nilStats.CountRemote([]Update{{P: p, D: 1}})
+	nilStats.CountFlush()
+}

@@ -1,0 +1,181 @@
+package progress
+
+import (
+	"math/rand"
+	"testing"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// TestDistributedSafetyProperty is a randomized simulation of the
+// distributed protocol checking the safety property the paper's companion
+// proof establishes [4]: *no local frontier ever moves ahead of the global
+// frontier*. Concretely: whenever a worker's local view says pointstamp p
+// has no active precursor, the ground-truth set of outstanding events must
+// contain no event that could-result-in p.
+//
+// The simulation models N workers processing events (retiring a pointstamp
+// may spawn successor events along graph edges), broadcasting update
+// batches over per-link FIFO channels with arbitrary delivery delays, with
+// positives sorted before negatives within each batch — exactly the
+// runtime's discipline. The adversary (seeded rand) chooses interleavings.
+func TestDistributedSafetyProperty(t *testing.T) {
+	g, stages := loopGraph(t)
+	// Successor moves: from a stage location, events can spawn events on
+	// outgoing connectors (with the stage's timestamp action); from a
+	// connector, at its destination stage (same time or later).
+	type link struct {
+		from, to graph.Location
+	}
+	var succs []link
+	for i := 0; i < g.NumStages(); i++ {
+		for _, cid := range g.Outputs(graph.StageID(i)) {
+			succs = append(succs, link{graph.StageLoc(graph.StageID(i)), graph.ConnLoc(cid)})
+		}
+	}
+	for i := 0; i < g.NumConnectors(); i++ {
+		c := g.Connector(graph.ConnectorID(i))
+		succs = append(succs, link{graph.ConnLoc(c.ID), graph.StageLoc(c.Dst)})
+	}
+	succsFrom := map[graph.Location][]graph.Location{}
+	for _, l := range succs {
+		succsFrom[l.from] = append(succsFrom[l.from], l.to)
+	}
+	// Timestamp adjustment for a stage→connector hop.
+	adjust := func(from graph.Location, tm ts.Timestamp) ts.Timestamp {
+		if !from.IsStage() {
+			return tm
+		}
+		switch g.Stage(from.Stage()).Role {
+		case graph.RoleIngress:
+			return tm.PushLoop()
+		case graph.RoleEgress:
+			return tm.PopLoop()
+		case graph.RoleFeedback:
+			return tm.Tick()
+		}
+		return tm
+	}
+
+	const workers = 3
+	for trial := 0; trial < 40; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+
+		// Ground truth: outstanding events with owners.
+		type event struct {
+			p     Pointstamp
+			owner int
+		}
+		var outstanding []event
+		truth := map[Pointstamp]int64{}
+
+		// Per-worker local views, seeded identically with the input
+		// pointstamp — as the runtime seeds them.
+		inLoc := graph.StageLoc(stages["in"])
+		seed := Pointstamp{Time: ts.Root(0), Loc: inLoc}
+		views := make([]*Tracker, workers)
+		for w := range views {
+			views[w] = NewTracker(g)
+			views[w].Update(seed, 1)
+		}
+		outstanding = append(outstanding, event{p: seed, owner: 0})
+		truth[seed]++
+
+		// FIFO links: channel[from][to] carries update batches.
+		channels := make([][][][]Update, workers)
+		for i := range channels {
+			channels[i] = make([][][]Update, workers)
+		}
+
+		checkSafety := func() {
+			for w := 0; w < workers; w++ {
+				for _, p := range views[w].Frontier() {
+					for q, n := range truth {
+						if n > 0 && q != p && g.CouldResultIn(q.Time, q.Loc, p.Time, p.Loc) {
+							t.Fatalf("trial %d: worker %d frontier has %v but outstanding %v precedes it",
+								trial, w, p, q)
+						}
+					}
+				}
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			switch r.Intn(3) {
+			case 0: // a worker processes one of its events
+				who := r.Intn(workers)
+				var mine []int
+				for i, ev := range outstanding {
+					if ev.owner == who {
+						mine = append(mine, i)
+					}
+				}
+				if len(mine) == 0 {
+					continue
+				}
+				idx := mine[r.Intn(len(mine))]
+				ev := outstanding[idx]
+				outstanding = append(outstanding[:idx], outstanding[idx+1:]...)
+				var batch []Update
+				// Spawn 0..2 successors before retiring (SendBy precedes
+				// completion, so positives are chronologically first).
+				for k := 0; k < r.Intn(3); k++ {
+					nexts := succsFrom[ev.p.Loc]
+					if len(nexts) == 0 {
+						continue
+					}
+					to := nexts[r.Intn(len(nexts))]
+					np := Pointstamp{Time: adjust(ev.p.Loc, ev.p.Time), Loc: to}
+					owner := r.Intn(workers)
+					outstanding = append(outstanding, event{p: np, owner: owner})
+					truth[np]++
+					batch = append(batch, Update{P: np, D: 1})
+				}
+				truth[ev.p]--
+				if truth[ev.p] == 0 {
+					delete(truth, ev.p)
+				}
+				batch = append(batch, Update{P: ev.p, D: -1})
+				SortUpdates(batch) // positives first
+				from := ev.owner
+				for to := 0; to < workers; to++ {
+					cp := append([]Update(nil), batch...)
+					channels[from][to] = append(channels[from][to], cp)
+				}
+			case 1: // deliver the oldest batch on a random non-empty link
+				from, to := r.Intn(workers), r.Intn(workers)
+				if len(channels[from][to]) == 0 {
+					continue
+				}
+				batch := channels[from][to][0]
+				channels[from][to] = channels[from][to][1:]
+				views[to].Apply(batch)
+				views[to].CheckInvariants()
+			case 2:
+				checkSafety()
+			}
+		}
+		// Drain all channels and verify every view converges to truth.
+		for from := 0; from < workers; from++ {
+			for to := 0; to < workers; to++ {
+				for _, batch := range channels[from][to] {
+					views[to].Apply(batch)
+				}
+				channels[from][to] = nil
+			}
+		}
+		checkSafety()
+		for w := 0; w < workers; w++ {
+			for q, n := range truth {
+				if views[w].Occurrence(q) != n {
+					t.Fatalf("trial %d: worker %d sees occ(%v)=%d, truth %d",
+						trial, w, q, views[w].Occurrence(q), n)
+				}
+			}
+			if len(truth) == 0 && !views[w].Empty() {
+				t.Fatalf("trial %d: worker %d not drained", trial, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package progress
+
+import "sync/atomic"
+
+// Stats counts progress-protocol traffic for the Figure 6c experiment.
+// Only traffic that crosses a process boundary is counted: intra-process
+// delivery is shared memory in Naiad and free here too. All counters are
+// safe for concurrent use.
+type Stats struct {
+	remoteMessages atomic.Int64
+	remoteBytes    atomic.Int64
+	updatesSent    atomic.Int64
+	flushes        atomic.Int64
+}
+
+// CountRemote records the delivery of a batch across a process boundary.
+func (s *Stats) CountRemote(batch []Update) {
+	if s == nil || len(batch) == 0 {
+		return
+	}
+	var bytes int64
+	for _, u := range batch {
+		bytes += int64(u.EncodedSize())
+	}
+	s.remoteMessages.Add(1)
+	s.remoteBytes.Add(bytes)
+	s.updatesSent.Add(int64(len(batch)))
+}
+
+// CountFlush records one worker flush (for diagnostics).
+func (s *Stats) CountFlush() {
+	if s == nil {
+		return
+	}
+	s.flushes.Add(1)
+}
+
+// RemoteMessages returns the number of remote protocol messages sent.
+func (s *Stats) RemoteMessages() int64 { return s.remoteMessages.Load() }
+
+// RemoteBytes returns the number of remote protocol bytes sent.
+func (s *Stats) RemoteBytes() int64 { return s.remoteBytes.Load() }
+
+// UpdatesSent returns the total update entries crossing process boundaries.
+func (s *Stats) UpdatesSent() int64 { return s.updatesSent.Load() }
+
+// Flushes returns the number of worker flushes.
+func (s *Stats) Flushes() int64 { return s.flushes.Load() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.remoteMessages.Store(0)
+	s.remoteBytes.Store(0)
+	s.updatesSent.Store(0)
+	s.flushes.Store(0)
+}

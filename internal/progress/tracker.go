@@ -1,0 +1,188 @@
+package progress
+
+import (
+	"fmt"
+	"sort"
+
+	"naiad/internal/graph"
+)
+
+// entry records the state of one tracked pointstamp.
+type entry struct {
+	occ  int64 // net occurrence count (may be negative transiently, §pkg doc)
+	prec int64 // number of other active pointstamps that could-result-in this one
+}
+
+// Tracker maintains the set of active pointstamps with occurrence and
+// precursor counts exactly as §2.3 prescribes, over the could-result-in
+// relation derived from a frozen logical graph. A pointstamp is in the
+// frontier when it is active (net occurrence > 0) and its precursor count
+// is zero; notifications in the frontier may be delivered.
+type Tracker struct {
+	g       *graph.Graph
+	entries map[Pointstamp]*entry
+	active  int // number of entries with occ > 0
+}
+
+// NewTracker returns a tracker over the given frozen graph.
+func NewTracker(g *graph.Graph) *Tracker {
+	if !g.Frozen() {
+		panic("progress: tracker requires a frozen graph")
+	}
+	return &Tracker{g: g, entries: make(map[Pointstamp]*entry)}
+}
+
+// couldResultIn reports the strict precedence used for precursor counts:
+// p ≠ q and a path summary maps p's time at or below q's time.
+func (t *Tracker) couldResultIn(p, q Pointstamp) bool {
+	if p == q {
+		return false
+	}
+	return t.g.CouldResultIn(p.Time, p.Loc, q.Time, q.Loc)
+}
+
+// Update adds delta to the occurrence count of p, maintaining precursor
+// counts across activation and deactivation transitions.
+func (t *Tracker) Update(p Pointstamp, delta int64) {
+	if delta == 0 {
+		return
+	}
+	e := t.entries[p]
+	if e == nil {
+		e = &entry{}
+		t.entries[p] = e
+	}
+	wasActive := e.occ > 0
+	e.occ += delta
+	isActive := e.occ > 0
+	switch {
+	case !wasActive && isActive:
+		t.activate(p, e)
+	case wasActive && !isActive:
+		t.deactivate(p, e)
+	}
+	if e.occ == 0 && e.prec == 0 {
+		delete(t.entries, p)
+	}
+}
+
+// Apply applies a batch of updates positives-first, so that transient
+// states during the batch never show an artificially advanced frontier.
+func (t *Tracker) Apply(us []Update) {
+	for _, u := range us {
+		if u.D > 0 {
+			t.Update(u.P, u.D)
+		}
+	}
+	for _, u := range us {
+		if u.D < 0 {
+			t.Update(u.P, u.D)
+		}
+	}
+}
+
+// activate initializes p's precursor count to the number of existing
+// active pointstamps that could-result-in p, and increments the precursor
+// count of any active pointstamp p could-result-in.
+func (t *Tracker) activate(p Pointstamp, e *entry) {
+	t.active++
+	e.prec = 0
+	for q, qe := range t.entries {
+		if qe.occ <= 0 || q == p {
+			continue
+		}
+		if t.couldResultIn(q, p) {
+			e.prec++
+		}
+		if t.couldResultIn(p, q) {
+			qe.prec++
+		}
+	}
+}
+
+// deactivate decrements the precursor count of every active pointstamp p
+// could-result-in.
+func (t *Tracker) deactivate(p Pointstamp, e *entry) {
+	t.active--
+	for q, qe := range t.entries {
+		if qe.occ <= 0 || q == p {
+			continue
+		}
+		if t.couldResultIn(p, q) {
+			qe.prec--
+			if qe.prec < 0 {
+				panic(fmt.Sprintf("progress: precursor count of %v went negative", q))
+			}
+		}
+	}
+	// p's own precursor count is recomputed on reactivation.
+	e.prec = 0
+}
+
+// InFrontier reports whether p is active with no active precursors, i.e.
+// a notification at p may be delivered (§2.3).
+func (t *Tracker) InFrontier(p Pointstamp) bool {
+	e := t.entries[p]
+	return e != nil && e.occ > 0 && e.prec == 0
+}
+
+// Frontier returns the active pointstamps with zero precursor count, in
+// deterministic order.
+func (t *Tracker) Frontier() []Pointstamp {
+	var out []Pointstamp
+	for p, e := range t.entries {
+		if e.occ > 0 && e.prec == 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Active returns the number of active pointstamps.
+func (t *Tracker) Active() int { return t.active }
+
+// Empty reports whether no pointstamp is active: every event in the
+// computation (as seen by this view) has drained.
+func (t *Tracker) Empty() bool { return t.active == 0 }
+
+// Occurrence returns the net occurrence count of p.
+func (t *Tracker) Occurrence(p Pointstamp) int64 {
+	if e := t.entries[p]; e != nil {
+		return e.occ
+	}
+	return 0
+}
+
+// SomePrecursorOf reports whether any active pointstamp (other than p
+// itself) could-result-in p. Unlike InFrontier it does not require p to be
+// active; the runtime uses it to decide whether a time is "complete" at a
+// location even when no notification was requested there.
+func (t *Tracker) SomePrecursorOf(p Pointstamp) bool {
+	for q, qe := range t.entries {
+		if qe.occ > 0 && q != p && t.couldResultIn(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants recomputes every precursor count from scratch and panics
+// on divergence. Tests and the runtime's debug mode call this; it is O(n²)
+// in the number of tracked pointstamps.
+func (t *Tracker) CheckInvariants() {
+	for p, e := range t.entries {
+		if e.occ <= 0 {
+			continue
+		}
+		var want int64
+		for q, qe := range t.entries {
+			if qe.occ > 0 && q != p && t.couldResultIn(q, p) {
+				want++
+			}
+		}
+		if e.prec != want {
+			panic(fmt.Sprintf("progress: %v precursor count %d, recomputed %d", p, e.prec, want))
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package progress
+
+import (
+	"math/rand"
+	"testing"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// loopGraph builds in → I → B → C → E → out with feedback F: C → B, and
+// returns it with the named stage ids.
+func loopGraph(t testing.TB) (*graph.Graph, map[string]graph.StageID) {
+	t.Helper()
+	g := graph.New()
+	s := map[string]graph.StageID{}
+	s["in"] = g.AddStage("in", graph.RoleInput, 0)
+	s["I"] = g.AddStage("I", graph.RoleIngress, 0)
+	s["B"] = g.AddStage("B", graph.RoleNormal, 1)
+	s["C"] = g.AddStage("C", graph.RoleNormal, 1)
+	s["F"] = g.AddStage("F", graph.RoleFeedback, 1)
+	s["E"] = g.AddStage("E", graph.RoleEgress, 1)
+	s["out"] = g.AddStage("out", graph.RoleNormal, 0)
+	g.AddConnector(s["in"], s["I"])
+	g.AddConnector(s["I"], s["B"])
+	g.AddConnector(s["B"], s["C"])
+	g.AddConnector(s["C"], s["F"])
+	g.AddConnector(s["F"], s["B"])
+	g.AddConnector(s["C"], s["E"])
+	g.AddConnector(s["E"], s["out"])
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestTrackerRequiresFrozenGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTracker(graph.New())
+}
+
+func TestFrontierBasics(t *testing.T) {
+	g, s := loopGraph(t)
+	tr := NewTracker(g)
+	if !tr.Empty() {
+		t.Fatal("new tracker should be empty")
+	}
+	inP := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}
+	tr.Update(inP, 1)
+	if tr.Empty() || tr.Active() != 1 {
+		t.Fatal("input pointstamp should be active")
+	}
+	if !tr.InFrontier(inP) {
+		t.Fatal("sole pointstamp must be in frontier")
+	}
+	// A notification downstream at B is blocked by the input pointstamp.
+	bN := Pointstamp{Time: ts.Make(0, 0), Loc: graph.StageLoc(s["B"])}
+	tr.Update(bN, 1)
+	if tr.InFrontier(bN) {
+		t.Fatal("B's notification must wait for the input to close")
+	}
+	if !tr.InFrontier(inP) {
+		t.Fatal("input stays in frontier")
+	}
+	// Closing the input epoch unblocks B.
+	tr.Update(inP, -1)
+	if !tr.InFrontier(bN) {
+		t.Fatal("B should be deliverable once input retires")
+	}
+	fr := tr.Frontier()
+	if len(fr) != 1 || fr[0] != bN {
+		t.Fatalf("frontier = %v", fr)
+	}
+	tr.CheckInvariants()
+}
+
+func TestIterationOrdering(t *testing.T) {
+	g, s := loopGraph(t)
+	tr := NewTracker(g)
+	b := graph.StageLoc(s["B"])
+	n1 := Pointstamp{Time: ts.Make(0, 1), Loc: b}
+	n2 := Pointstamp{Time: ts.Make(0, 2), Loc: b}
+	tr.Update(n2, 1)
+	tr.Update(n1, 1)
+	if !tr.InFrontier(n1) {
+		t.Fatal("iteration 1 deliverable")
+	}
+	if tr.InFrontier(n2) {
+		t.Fatal("iteration 2 blocked by iteration 1 (feedback path)")
+	}
+	tr.Update(n1, -1)
+	if !tr.InFrontier(n2) {
+		t.Fatal("iteration 2 deliverable after 1 retires")
+	}
+	tr.CheckInvariants()
+}
+
+func TestEpochsAreConcurrent(t *testing.T) {
+	// Pointstamps in different epochs at the same location do block
+	// later epochs (identity path), but an earlier epoch at a *later*
+	// location does not block an earlier location's later epoch.
+	g, s := loopGraph(t)
+	tr := NewTracker(g)
+	outP := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["out"])}
+	inP := Pointstamp{Time: ts.Root(1), Loc: graph.StageLoc(s["in"])}
+	tr.Update(outP, 1)
+	tr.Update(inP, 1)
+	if !tr.InFrontier(outP) || !tr.InFrontier(inP) {
+		t.Fatal("no path out→in: both are frontier elements")
+	}
+	tr.CheckInvariants()
+}
+
+func TestNegativeOvertaking(t *testing.T) {
+	// A retirement (-1) arriving before its creation (+1) leaves the net
+	// count negative; the pointstamp must not be considered active, and a
+	// subsequent +1 must restore balance without disturbing others.
+	g, s := loopGraph(t)
+	tr := NewTracker(g)
+	p := Pointstamp{Time: ts.Make(0, 0), Loc: graph.StageLoc(s["B"])}
+	q := Pointstamp{Time: ts.Make(0, 1), Loc: graph.StageLoc(s["B"])}
+	tr.Update(q, 1)
+	tr.Update(p, -1)
+	if tr.Occurrence(p) != -1 {
+		t.Fatalf("occ = %d", tr.Occurrence(p))
+	}
+	if !tr.InFrontier(q) {
+		t.Fatal("negative pointstamp must not block the frontier")
+	}
+	tr.Update(p, 1) // the overtaken creation arrives
+	if tr.Occurrence(p) != 0 || tr.Active() != 1 {
+		t.Fatal("creation should cancel the early retirement")
+	}
+	if !tr.InFrontier(q) {
+		t.Fatal("q remains deliverable")
+	}
+	tr.CheckInvariants()
+}
+
+func TestApplyOrdersPositivesFirst(t *testing.T) {
+	g, s := loopGraph(t)
+	tr := NewTracker(g)
+	p := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}
+	q := Pointstamp{Time: ts.Root(1), Loc: graph.StageLoc(s["in"])}
+	// Batch carries the epoch handoff: open 1, close 0.
+	tr.Update(p, 1)
+	tr.Apply([]Update{{P: p, D: -1}, {P: q, D: 1}})
+	if tr.Occurrence(p) != 0 || tr.Occurrence(q) != 1 {
+		t.Fatal("apply did not settle")
+	}
+	tr.CheckInvariants()
+}
+
+// Property: the incremental tracker agrees with brute-force recomputation
+// of the frontier from occurrence counts under random update sequences.
+func TestTrackerMatchesBruteForce(t *testing.T) {
+	g, s := loopGraph(t)
+	locs := []graph.Location{
+		graph.StageLoc(s["in"]), graph.StageLoc(s["I"]), graph.StageLoc(s["B"]),
+		graph.StageLoc(s["C"]), graph.StageLoc(s["E"]), graph.StageLoc(s["out"]),
+		graph.ConnLoc(1), graph.ConnLoc(2), graph.ConnLoc(4),
+	}
+	times := []ts.Timestamp{}
+	for e := int64(0); e < 2; e++ {
+		times = append(times, ts.Root(e))
+		for c := int64(0); c < 3; c++ {
+			times = append(times, ts.Make(e, c))
+		}
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		tr := NewTracker(g)
+		counts := map[Pointstamp]int64{}
+		for step := 0; step < 120; step++ {
+			loc := locs[r.Intn(len(locs))]
+			depth := g.LocationDepth(loc)
+			var tm ts.Timestamp
+			for {
+				tm = times[r.Intn(len(times))]
+				if tm.Depth == depth {
+					break
+				}
+			}
+			p := Pointstamp{Time: tm, Loc: loc}
+			var d int64 = 1
+			if counts[p] > 0 && r.Intn(2) == 0 {
+				d = -1
+			}
+			tr.Update(p, d)
+			counts[p] += d
+			tr.CheckInvariants()
+
+			// Brute force: p in frontier iff counts[p] > 0 and no other
+			// positive q could-result-in p.
+			for _, q := range append([]graph.Location(nil), locs...) {
+				_ = q
+			}
+			for pp, c := range counts {
+				want := c > 0
+				if want {
+					for qq, qc := range counts {
+						if qc > 0 && qq != pp && g.CouldResultIn(qq.Time, qq.Loc, pp.Time, pp.Loc) {
+							want = false
+							break
+						}
+					}
+				}
+				if got := tr.InFrontier(pp); got != want {
+					t.Fatalf("trial %d step %d: InFrontier(%v) = %v, want %v", trial, step, pp, got, want)
+				}
+				if want != false && tr.SomePrecursorOf(pp) {
+					t.Fatalf("SomePrecursorOf inconsistent with frontier for %v", pp)
+				}
+			}
+		}
+	}
+}
+
+func TestSomePrecursorOf(t *testing.T) {
+	g, s := loopGraph(t)
+	tr := NewTracker(g)
+	inP := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}
+	tr.Update(inP, 1)
+	// No notification requested at out, but out@(0) is still preceded.
+	outP := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["out"])}
+	if !tr.SomePrecursorOf(outP) {
+		t.Fatal("input precedes out@(0)")
+	}
+	earlier := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}
+	if tr.SomePrecursorOf(earlier) {
+		t.Fatal("a pointstamp does not precede itself")
+	}
+	tr.Update(inP, -1)
+	if tr.SomePrecursorOf(outP) {
+		t.Fatal("drained tracker has no precursors")
+	}
+}

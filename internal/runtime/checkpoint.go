@@ -1,0 +1,177 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"naiad/internal/codec"
+)
+
+// Checkpointer is the fault tolerance interface of §3.4: stateful vertices
+// serialize their state on demand and reconstruct it on recovery. Both
+// calls run on the vertex's owning worker thread, so no locking is needed.
+type Checkpointer interface {
+	Checkpoint(enc *codec.Encoder)
+	Restore(dec *codec.Decoder)
+}
+
+// Snapshot is a consistent checkpoint of every stateful vertex plus the
+// input epoch positions, taken across all workers (§3.4). Snapshots are
+// taken at epoch boundaries: the caller quiesces the computation first
+// (stop feeding, wait on a probe), which is the "pause and flush" step of
+// the paper's protocol.
+type Snapshot struct {
+	Vertices    map[StageID]map[int][]byte // stage → vertex index → state
+	InputEpochs map[StageID]int64
+}
+
+// checkpointState is the rendezvous object shared by the workers while a
+// checkpoint or restore is in progress.
+type checkpointState struct {
+	mu   sync.Mutex
+	snap *Snapshot
+}
+
+// Checkpoint pauses each worker in turn at a quantum boundary, flushes its
+// queued deliveries, and serializes every vertex implementing
+// Checkpointer. Call it only when the fed epochs have completed (e.g.
+// after Probe.WaitFor); checkpointing a computation with in-flight work
+// returns an inconsistent snapshot.
+func (c *Computation) Checkpoint() (*Snapshot, error) {
+	if !c.started {
+		return nil, fmt.Errorf("runtime: Checkpoint before Start")
+	}
+	snap := &Snapshot{
+		Vertices:    make(map[StageID]map[int][]byte),
+		InputEpochs: make(map[StageID]int64),
+	}
+	for _, in := range c.inputs {
+		snap.InputEpochs[in.stage] = in.Epoch()
+	}
+	cp := &checkpointState{snap: snap}
+	if err := c.rendezvous(ctlCheckpoint, cp); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Restore loads a snapshot into a freshly started computation: vertex
+// states are handed to Restore on their owning workers, and the inputs are
+// advanced to their checkpointed epochs so the progress protocol accounts
+// for the skipped epochs.
+func (c *Computation) Restore(snap *Snapshot) error {
+	if !c.started {
+		return fmt.Errorf("runtime: Restore before Start")
+	}
+	cp := &checkpointState{snap: snap}
+	if err := c.rendezvous(ctlRestore, cp); err != nil {
+		return err
+	}
+	for _, in := range c.inputs {
+		if e, ok := snap.InputEpochs[in.stage]; ok && e > in.Epoch() {
+			in.AdvanceTo(e)
+		}
+	}
+	return nil
+}
+
+// rendezvous sends a control message to every worker and collects acks.
+func (c *Computation) rendezvous(op controlOp, cp *checkpointState) error {
+	acks := make([]chan error, len(c.workers))
+	for i, w := range c.workers {
+		acks[i] = make(chan error, 1)
+		w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{op: op, cp: cp, ack: acks[i]}})
+	}
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// checkpointVertices runs on the worker thread: it flushes queued local
+// deliveries and serializes the worker's stateful vertices.
+func (w *worker) checkpointVertices(cp *checkpointState) error {
+	w.deliverAll()
+	for _, vs := range w.vsList {
+		cpr, ok := vs.vertex.(Checkpointer)
+		if !ok {
+			continue
+		}
+		enc := codec.NewEncoder(256)
+		cpr.Checkpoint(enc)
+		cp.mu.Lock()
+		m := cp.snap.Vertices[vs.si.id]
+		if m == nil {
+			m = make(map[int][]byte)
+			cp.snap.Vertices[vs.si.id] = m
+		}
+		m[vs.vertexIdx] = append([]byte(nil), enc.Bytes()...)
+		cp.mu.Unlock()
+	}
+	return nil
+}
+
+// restoreVertices runs on the worker thread: it hands each stateful vertex
+// its checkpointed bytes.
+func (w *worker) restoreVertices(cp *checkpointState) error {
+	for _, vs := range w.vsList {
+		cpr, ok := vs.vertex.(Checkpointer)
+		if !ok {
+			continue
+		}
+		cp.mu.Lock()
+		data, found := cp.snap.Vertices[vs.si.id][vs.vertexIdx]
+		cp.mu.Unlock()
+		if !found {
+			continue
+		}
+		cpr.Restore(codec.NewDecoder(data))
+	}
+	return nil
+}
+
+// EncodeSnapshot serializes a snapshot for durable storage.
+func EncodeSnapshot(s *Snapshot) []byte {
+	enc := codec.NewEncoder(1024)
+	enc.PutUint32(uint32(len(s.Vertices)))
+	for sid, m := range s.Vertices {
+		enc.PutUint32(uint32(sid))
+		enc.PutUint32(uint32(len(m)))
+		for idx, data := range m {
+			enc.PutUint32(uint32(idx))
+			enc.PutBytes(data)
+		}
+	}
+	enc.PutUint32(uint32(len(s.InputEpochs)))
+	for sid, e := range s.InputEpochs {
+		enc.PutUint32(uint32(sid))
+		enc.PutInt64(e)
+	}
+	return enc.Bytes()
+}
+
+// DecodeSnapshot parses a serialized snapshot.
+func DecodeSnapshot(data []byte) *Snapshot {
+	dec := codec.NewDecoder(data)
+	s := &Snapshot{
+		Vertices:    make(map[StageID]map[int][]byte),
+		InputEpochs: make(map[StageID]int64),
+	}
+	for n := int(dec.Uint32()); n > 0; n-- {
+		sid := StageID(dec.Uint32())
+		m := make(map[int][]byte)
+		for k := int(dec.Uint32()); k > 0; k-- {
+			idx := int(dec.Uint32())
+			m[idx] = append([]byte(nil), dec.BytesView()...)
+		}
+		s.Vertices[sid] = m
+	}
+	for n := int(dec.Uint32()); n > 0; n-- {
+		sid := StageID(dec.Uint32())
+		s.InputEpochs[sid] = dec.Int64()
+	}
+	return s
+}

@@ -1,0 +1,331 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/transport"
+)
+
+// Partitioner maps a record to an integer; the system routes all records
+// that map to the same integer (mod the destination parallelism) to the
+// same downstream vertex (§3.1). A nil partitioner delivers each message to
+// the destination vertex co-located with the sender.
+type Partitioner func(Message) uint64
+
+// StageID identifies a stage of a Computation (aliasing the logical graph's
+// id space).
+type StageID = graph.StageID
+
+// stageInfo is the runtime's view of a logical stage.
+type stageInfo struct {
+	id          graph.StageID
+	name        string
+	role        graph.Role
+	factory     VertexFactory
+	numPorts    int
+	outPorts    [][]graph.ConnectorID
+	pinned      int // worker id, or -1 for one vertex per worker
+	reentrancy  int // max synchronous re-entrant deliveries; 0 = config default
+	maxIter     int64
+	hasMaxIter  bool
+	logged      bool // deliveries are written to the computation's log sink
+	checkpoints bool // set when any constructed vertex implements Checkpointer
+}
+
+func (s *stageInfo) parallelism(workers int) int {
+	if s.pinned >= 0 {
+		return 1
+	}
+	return workers
+}
+
+// vertexFor maps a destination vertex index to its hosting worker.
+func (s *stageInfo) workerFor(vertexIdx int) int {
+	if s.pinned >= 0 {
+		return s.pinned
+	}
+	return vertexIdx
+}
+
+// connInfo is the runtime's view of a logical connector.
+type connInfo struct {
+	id       graph.ConnectorID
+	src, dst graph.StageID
+	srcPort  int
+	inputIdx int // index among dst's inputs, in connection order
+	part     Partitioner
+	cod      codec.Codec
+}
+
+// StageOption customizes AddStage.
+type StageOption func(*stageInfo)
+
+// Pinned places the stage's single vertex on the given worker instead of
+// one vertex per worker.
+func Pinned(worker int) StageOption {
+	return func(s *stageInfo) { s.pinned = worker }
+}
+
+// Ports declares the number of output ports (default 1). SendBy(i, …)
+// emits on every connector attached to port i.
+func Ports(n int) StageOption {
+	return func(s *stageInfo) { s.numPorts = n }
+}
+
+// Reentrancy permits up to depth synchronous re-entrant deliveries into a
+// vertex of this stage (§3.2); the default is 1 (not re-entrant).
+func Reentrancy(depth int) StageOption {
+	return func(s *stageInfo) { s.reentrancy = depth }
+}
+
+// MaxIterations makes a feedback stage drop messages whose loop counter has
+// reached n, bounding the iterations of a loop.
+func MaxIterations(n int64) StageOption {
+	return func(s *stageInfo) { s.maxIter, s.hasMaxIter = n, true }
+}
+
+// Logged records every message delivered to this stage in the computation's
+// log sink before the vertex sees it — the continual-logging fault
+// tolerance mode of §3.4 / Figure 7c.
+func Logged() StageOption {
+	return func(s *stageInfo) { s.logged = true }
+}
+
+// Computation owns a timely dataflow graph and the cluster executing it.
+// Build the dataflow single-threaded (AddStage/Connect/NewInput), then call
+// Start, feed the inputs, and Join.
+type Computation struct {
+	cfg    Config
+	lg     *graph.Graph
+	stages []*stageInfo
+	conns  []*connInfo
+	inputs []*Input
+	probes []*Probe
+
+	trans    transport.Transport
+	procs    []*process
+	workers  []*worker
+	globAcc  *accumulator
+	accs     []*accumulator // per-process accumulators (AccLocal modes)
+	workerWG sync.WaitGroup
+
+	maxEpoch atomic.Int64 // highest epoch opened across inputs
+	started  bool
+	finished atomic.Bool
+	aborted  atomic.Bool
+	failMu   sync.Mutex
+	failErr  error
+
+	logMu    sync.Mutex
+	logSink  LogSink
+	logCount atomic.Int64
+
+	counters *stageCounters
+}
+
+// LogSink receives continually-logged message batches (§3.4). Writes are
+// serialized by the computation.
+type LogSink interface {
+	LogBatch(stage StageID, payload []byte) error
+}
+
+// NewComputation returns an empty computation with the given configuration.
+func NewComputation(cfg Config) (*Computation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Computation{cfg: cfg, lg: graph.New()}, nil
+}
+
+// Config returns the computation's configuration.
+func (c *Computation) Config() Config { return c.cfg }
+
+// AddStage adds a stage with the given timestamp role and loop depth. The
+// factory runs once per vertex, on its owning worker, at Start.
+func (c *Computation) AddStage(name string, role graph.Role, depth uint8, factory VertexFactory, opts ...StageOption) StageID {
+	if c.started {
+		panic("runtime: AddStage after Start")
+	}
+	id := c.lg.AddStage(name, role, depth)
+	si := &stageInfo{id: id, name: name, role: role, factory: factory, numPorts: 1, pinned: -1}
+	for _, o := range opts {
+		o(si)
+	}
+	si.outPorts = make([][]graph.ConnectorID, si.numPorts)
+	c.stages = append(c.stages, si)
+	return id
+}
+
+// Connect attaches src's output port srcPort to a new input of dst. The
+// partitioner routes records between parallel vertices (nil keeps them
+// local); the codec serializes records that cross process boundaries and
+// may be nil only in single-process configurations. It returns the input
+// index dst will observe in OnRecv.
+func (c *Computation) Connect(src StageID, srcPort int, dst StageID, part Partitioner, cod codec.Codec) int {
+	if c.started {
+		panic("runtime: Connect after Start")
+	}
+	if cod == nil && c.cfg.Processes > 1 {
+		panic(fmt.Sprintf("runtime: connector %s→%s needs a codec in multi-process configurations",
+			c.stages[src].name, c.stages[dst].name))
+	}
+	ss := c.stages[src]
+	if srcPort < 0 || srcPort >= ss.numPorts {
+		panic(fmt.Sprintf("runtime: stage %s has %d ports, not %d", ss.name, ss.numPorts, srcPort+1))
+	}
+	id := c.lg.AddConnector(src, dst)
+	ci := &connInfo{id: id, src: src, dst: dst, srcPort: srcPort,
+		inputIdx: len(c.lg.Inputs(dst)) - 1, part: part, cod: cod}
+	c.conns = append(c.conns, ci)
+	ss.outPorts[srcPort] = append(ss.outPorts[srcPort], id)
+	return ci.inputIdx
+}
+
+// SetLogSink installs the sink for Logged stages. Must be set before Start
+// when any stage uses Logged.
+func (c *Computation) SetLogSink(s LogSink) { c.logSink = s }
+
+// LoggedBatches returns the number of batches written to the log sink.
+func (c *Computation) LoggedBatches() int64 { return c.logCount.Load() }
+
+// Graph exposes the underlying logical graph (frozen after Start).
+func (c *Computation) Graph() *graph.Graph { return c.lg }
+
+// TransportStats returns the traffic counters (valid after Start).
+func (c *Computation) TransportStats() *transport.Stats { return c.trans.Stats() }
+
+// Start freezes the graph, builds the cluster, and launches the workers.
+func (c *Computation) Start() error {
+	if c.started {
+		return fmt.Errorf("runtime: already started")
+	}
+	for _, si := range c.stages {
+		if !si.logged {
+			continue
+		}
+		if c.logSink == nil {
+			return fmt.Errorf("runtime: stage %s is Logged but no log sink is set", si.name)
+		}
+		// Logging serializes every delivered batch, so each in-connector
+		// needs a codec even in single-process configurations.
+		for _, cid := range c.lg.Inputs(si.id) {
+			if c.conns[cid].cod == nil {
+				return fmt.Errorf("runtime: Logged stage %s needs a codec on connector from %s",
+					si.name, c.stages[c.conns[cid].src].name)
+			}
+		}
+	}
+	if err := c.lg.Freeze(); err != nil {
+		return err
+	}
+	c.started = true
+	c.counters = newStageCounters(len(c.stages))
+
+	if c.cfg.UseTCP {
+		t, err := transport.NewTCPLoopback(c.cfg.Processes)
+		if err != nil {
+			return err
+		}
+		c.trans = t
+	} else {
+		c.trans = transport.NewMem(c.cfg.Processes)
+	}
+
+	// Accumulators (§3.3).
+	switch c.cfg.Accumulation {
+	case AccGlobal, AccLocalGlobal:
+		c.globAcc = newAccumulator(func(us []update) { c.broadcastProgress(0, us) })
+	}
+	if c.cfg.Accumulation == AccLocal || c.cfg.Accumulation == AccLocalGlobal {
+		c.accs = make([]*accumulator, c.cfg.Processes)
+		for p := 0; p < c.cfg.Processes; p++ {
+			p := p
+			emit := func(us []update) { c.broadcastProgress(p, us) }
+			if c.cfg.Accumulation == AccLocalGlobal {
+				emit = func(us []update) { c.sendToGlobalAcc(p, us) }
+			}
+			c.accs[p] = newAccumulator(emit)
+		}
+	}
+
+	// Processes and workers.
+	c.procs = make([]*process, c.cfg.Processes)
+	c.workers = make([]*worker, c.cfg.Workers())
+	for p := 0; p < c.cfg.Processes; p++ {
+		c.procs[p] = &process{comp: c, id: p}
+	}
+	for wid := 0; wid < c.cfg.Workers(); wid++ {
+		proc := wid / c.cfg.WorkersPerProcess
+		w := newWorker(c, wid, proc)
+		c.workers[wid] = w
+		c.procs[proc].workers = append(c.procs[proc].workers, w)
+	}
+	for p := 0; p < c.cfg.Processes; p++ {
+		proc := c.procs[p]
+		c.trans.SetHandler(p, proc.onFrame)
+	}
+	for _, w := range c.workers {
+		c.workerWG.Add(1)
+		go w.run()
+	}
+	return nil
+}
+
+// Join waits for the computation to drain (all inputs closed and every
+// event retired) and releases all resources. It returns the first vertex
+// panic, if any.
+func (c *Computation) Join() error {
+	c.workerWG.Wait()
+	c.finished.Store(true)
+	if c.globAcc != nil {
+		c.globAcc.close()
+	}
+	for _, a := range c.accs {
+		a.close()
+	}
+	c.trans.Close()
+	for _, p := range c.probes {
+		p.finish()
+	}
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.failErr
+}
+
+// fail records the first error and aborts all workers.
+func (c *Computation) fail(err error) {
+	c.failMu.Lock()
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	c.failMu.Unlock()
+	if !c.aborted.Swap(true) {
+		for _, w := range c.workers {
+			w.mailbox.close()
+		}
+		for _, p := range c.probes {
+			p.finish()
+		}
+	}
+}
+
+// stage returns the stageInfo by id.
+func (c *Computation) stage(id StageID) *stageInfo { return c.stages[id] }
+
+// conn returns the connInfo by id.
+func (c *Computation) conn(id graph.ConnectorID) *connInfo { return c.conns[id] }
+
+// logBatch serializes a Logged stage's delivered batch to the sink.
+func (c *Computation) logBatch(stage StageID, payload []byte) {
+	c.logMu.Lock()
+	err := c.logSink.LogBatch(stage, payload)
+	c.logMu.Unlock()
+	c.logCount.Add(1)
+	if err != nil {
+		c.fail(fmt.Errorf("runtime: log sink: %w", err))
+	}
+}

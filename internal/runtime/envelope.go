@@ -1,0 +1,51 @@
+package runtime
+
+import (
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// Data frames carry one batch of records for a single (connector,
+// destination vertex, timestamp) triple:
+//
+//	connector u32 | dstVertex u32 | epoch i64 | depth u8 | counters 8·d |
+//	count u32 | records (connector codec)
+
+// encodeData serializes a record batch for transmission.
+func encodeData(ci *connInfo, dstVertex int, t ts.Timestamp, records []Message) []byte {
+	e := codec.NewEncoder(32 + 16*len(records))
+	e.PutUint32(uint32(ci.id))
+	e.PutUint32(uint32(dstVertex))
+	e.PutInt64(t.Epoch)
+	e.PutUint8(t.Depth)
+	for i := uint8(0); i < t.Depth; i++ {
+		e.PutInt64(t.Counters[i])
+	}
+	e.PutUint32(uint32(len(records)))
+	ci.cod.EncodeBatch(e, records)
+	return e.Bytes()
+}
+
+// peekDataHeader reads only the routing fields of a data frame.
+func peekDataHeader(payload []byte) (graph.ConnectorID, int) {
+	d := codec.NewDecoder(payload)
+	conn := graph.ConnectorID(d.Uint32())
+	dstVertex := int(d.Uint32())
+	return conn, dstVertex
+}
+
+// decodeData parses a full data frame using the connector's codec.
+func decodeData(c *Computation, payload []byte) (ci *connInfo, dstVertex int, t ts.Timestamp, records []Message) {
+	d := codec.NewDecoder(payload)
+	ci = c.conn(graph.ConnectorID(d.Uint32()))
+	dstVertex = int(d.Uint32())
+	t.Epoch = d.Int64()
+	t.Depth = d.Uint8()
+	for i := uint8(0); i < t.Depth; i++ {
+		t.Counters[i] = d.Int64()
+	}
+	n := int(d.Uint32())
+	records = ci.cod.DecodeBatch(d, n)
+	return ci, dstVertex, t, records
+}

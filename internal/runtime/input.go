@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"naiad/internal/graph"
+)
+
+// Input is the handle an external producer uses to supply epochs of data
+// (§2.1, §4.1). Input stages have one vertex per worker; records are
+// scattered round-robin unless directed with SendToWorker. An Input is safe
+// for use by one producer goroutine.
+type Input struct {
+	comp  *Computation
+	stage StageID
+
+	mu     sync.Mutex
+	epoch  int64
+	closed bool
+	rr     int // round-robin cursor for Send
+}
+
+// NewInput adds an input stage and returns its handle. Records introduced
+// here are serialized by the consuming connectors' codecs when they cross
+// process boundaries.
+func (c *Computation) NewInput(name string) *Input {
+	if c.started {
+		panic("runtime: NewInput after Start")
+	}
+	id := c.AddStage(name, graph.RoleInput, 0, nil)
+	in := &Input{comp: c, stage: id}
+	c.inputs = append(c.inputs, in)
+	return in
+}
+
+// Stage returns the input's stage id, for connecting consumers.
+func (in *Input) Stage() StageID { return in.stage }
+
+// Epoch returns the current (open) epoch.
+func (in *Input) Epoch() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.epoch
+}
+
+// Send introduces records into the current epoch, scattering them
+// round-robin across the workers.
+func (in *Input) Send(records ...Message) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.checkOpen()
+	nw := in.comp.cfg.Workers()
+	if len(records) == 0 {
+		return
+	}
+	per := make([][]Message, nw)
+	for _, r := range records {
+		per[in.rr%nw] = append(per[in.rr%nw], r)
+		in.rr++
+	}
+	for w, batch := range per {
+		if len(batch) > 0 {
+			in.feedLocked(w, batch)
+		}
+	}
+}
+
+// SendToWorker introduces records into the current epoch at a specific
+// worker's input vertex — the per-computer ingestion pattern of §5.4's
+// scaling experiments. The records slice is owned by the runtime after the
+// call.
+func (in *Input) SendToWorker(worker int, records []Message) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.checkOpen()
+	if worker < 0 || worker >= in.comp.cfg.Workers() {
+		panic(fmt.Sprintf("runtime: SendToWorker(%d) with %d workers", worker, in.comp.cfg.Workers()))
+	}
+	if len(records) > 0 {
+		in.feedLocked(worker, records)
+	}
+}
+
+func (in *Input) feedLocked(worker int, records []Message) {
+	in.comp.workers[worker].mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
+		op: ctlInputFeed, stage: in.stage, epoch: in.epoch, records: records,
+	}})
+}
+
+// Advance completes the current epoch and opens the next: the external
+// producer's statement that no more records with the current label will
+// arrive (§2.1).
+func (in *Input) Advance() { in.AdvanceTo(in.Epoch() + 1) }
+
+// AdvanceTo completes every epoch below e and makes e current.
+func (in *Input) AdvanceTo(e int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.checkOpen()
+	if e < in.epoch {
+		panic(fmt.Sprintf("runtime: input %d cannot retreat from epoch %d to %d", in.stage, in.epoch, e))
+	}
+	if e == in.epoch {
+		return
+	}
+	in.epoch = e
+	for cur := in.comp.maxEpoch.Load(); e > cur; cur = in.comp.maxEpoch.Load() {
+		if in.comp.maxEpoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	for _, w := range in.comp.workers {
+		w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
+			op: ctlInputAdvance, stage: in.stage, epoch: e,
+		}})
+	}
+}
+
+// OnNext supplies one epoch of records and advances, mirroring the paper's
+// prototypical program (§4.1).
+func (in *Input) OnNext(records ...Message) {
+	in.Send(records...)
+	in.Advance()
+}
+
+// Close marks the input complete; once every input closes and drains, the
+// computation shuts down and Join returns (§2.1).
+func (in *Input) Close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.closed = true
+	for _, w := range in.comp.workers {
+		w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
+			op: ctlInputClose, stage: in.stage,
+		}})
+	}
+}
+
+func (in *Input) checkOpen() {
+	if in.closed {
+		panic(fmt.Sprintf("runtime: input %d used after Close", in.stage))
+	}
+	if !in.comp.started {
+		panic("runtime: input used before Start")
+	}
+}

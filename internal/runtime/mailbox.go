@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"sync"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// mailKind tags mailbox items.
+type mailKind uint8
+
+const (
+	// mailLocalData is a record batch from a worker in the same process
+	// (no serialization; Naiad's shared-memory path).
+	mailLocalData mailKind = iota
+	// mailRawData is a serialized record batch from another process.
+	mailRawData
+	// mailProgress is a progress update batch (shared read-only).
+	mailProgress
+	// mailControl is a runtime control message.
+	mailControl
+)
+
+// mailItem is one unit of work delivered to a worker.
+type mailItem struct {
+	kind mailKind
+
+	// mailLocalData:
+	conn      graph.ConnectorID
+	dstVertex int
+	time      ts.Timestamp
+	records   []Message
+
+	// mailRawData:
+	payload []byte
+
+	// mailProgress:
+	updates []update
+
+	// mailControl:
+	ctl *controlMsg
+}
+
+// controlOp enumerates control messages.
+type controlOp uint8
+
+const (
+	ctlInputFeed controlOp = iota
+	ctlInputAdvance
+	ctlInputClose
+	ctlCheckpoint
+	ctlRestore
+)
+
+// controlMsg carries input and checkpoint commands from the user thread
+// (and the checkpoint coordinator) to a worker.
+type controlMsg struct {
+	op      controlOp
+	stage   StageID
+	epoch   int64
+	records []Message
+	// checkpoint/restore rendezvous:
+	cp  *checkpointState
+	ack chan error
+}
+
+// mailbox is the unbounded MPSC queue feeding a worker: data batches,
+// progress batches, and control messages, in arrival order. Pushes signal
+// the worker if it is parked.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []mailItem
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push appends an item. Items pushed after close are dropped.
+func (m *mailbox) push(it mailItem) {
+	m.mu.Lock()
+	if !m.closed {
+		m.items = append(m.items, it)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// drain removes all queued items. If block is set and the queue is empty,
+// it parks until an item arrives or the mailbox closes. The second result
+// is false once the mailbox is closed and drained.
+func (m *mailbox) drain(block bool, spare []mailItem) ([]mailItem, bool) {
+	m.mu.Lock()
+	if block {
+		for len(m.items) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+	}
+	items := m.items
+	m.items = spare[:0]
+	closed := m.closed
+	m.mu.Unlock()
+	return items, !closed
+}
+
+// empty reports whether the queue is currently empty.
+func (m *mailbox) empty() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items) == 0
+}
+
+// close wakes the worker and marks the mailbox dead (used on abort).
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

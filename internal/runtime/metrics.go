@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"naiad/internal/transport"
+)
+
+// StageMetrics is one stage's delivery counters.
+type StageMetrics struct {
+	Stage         StageID
+	Name          string
+	Records       int64 // OnRecv invocations
+	Notifications int64 // OnNotify invocations
+}
+
+// MetricsSnapshot is a point-in-time view of the computation's activity:
+// per-stage delivery counts plus transport traffic. Safe to take while the
+// computation runs.
+type MetricsSnapshot struct {
+	Stages         []StageMetrics
+	DataFrames     int64
+	DataBytes      int64
+	ProgressFrames int64
+	ProgressBytes  int64
+	LoggedBatches  int64
+}
+
+// String renders the snapshot as an aligned table.
+func (m *MetricsSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stage metrics (%d stages):\n", len(m.Stages))
+	for _, s := range m.Stages {
+		fmt.Fprintf(&sb, "  %-20s records=%-10d notifications=%d\n", s.Name, s.Records, s.Notifications)
+	}
+	fmt.Fprintf(&sb, "transport: data %d frames / %d bytes, progress %d frames / %d bytes\n",
+		m.DataFrames, m.DataBytes, m.ProgressFrames, m.ProgressBytes)
+	return sb.String()
+}
+
+// stageCounters holds the per-stage atomic counters, sized at Start.
+type stageCounters struct {
+	records       []atomic.Int64
+	notifications []atomic.Int64
+}
+
+func newStageCounters(n int) *stageCounters {
+	return &stageCounters{
+		records:       make([]atomic.Int64, n),
+		notifications: make([]atomic.Int64, n),
+	}
+}
+
+// Metrics returns a snapshot of delivery and traffic counters. Before
+// Start it returns an empty snapshot.
+func (c *Computation) Metrics() *MetricsSnapshot {
+	snap := &MetricsSnapshot{LoggedBatches: c.logCount.Load()}
+	if c.counters == nil {
+		return snap
+	}
+	for _, si := range c.stages {
+		snap.Stages = append(snap.Stages, StageMetrics{
+			Stage:         si.id,
+			Name:          si.name,
+			Records:       c.counters.records[si.id].Load(),
+			Notifications: c.counters.notifications[si.id].Load(),
+		})
+	}
+	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Stage < snap.Stages[j].Stage })
+	if c.trans != nil {
+		st := c.trans.Stats()
+		snap.DataFrames = st.Frames(transport.KindData)
+		snap.DataBytes = st.Bytes(transport.KindData)
+		snap.ProgressFrames = st.Frames(transport.KindProgress)
+		snap.ProgressBytes = st.Bytes(transport.KindProgress)
+	}
+	return snap
+}

@@ -1,0 +1,55 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"naiad/internal/codec"
+)
+
+func TestMetricsCountDeliveries(t *testing.T) {
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	dbl := mapStage(c, "double", func(v int64) int64 { return 2 * v })
+	c.Connect(in.Stage(), 0, dbl, hashPart, codec.Int64())
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(dbl, 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+	if c.Metrics().Stages != nil {
+		t.Fatal("pre-start metrics should be empty")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1), int64(2), int64(3))
+	in.OnNext(int64(4))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	byName := map[string]StageMetrics{}
+	for _, sm := range m.Stages {
+		byName[sm.Name] = sm
+	}
+	if byName["double"].Records != 4 {
+		t.Fatalf("double records = %d", byName["double"].Records)
+	}
+	if byName["sink"].Records != 4 {
+		t.Fatalf("sink records = %d", byName["sink"].Records)
+	}
+	// The sink requests one notification per non-empty epoch.
+	if byName["sink"].Notifications != 2 {
+		t.Fatalf("sink notifications = %d", byName["sink"].Notifications)
+	}
+	if m.ProgressFrames == 0 || m.ProgressBytes == 0 {
+		t.Fatal("no progress traffic recorded in a 2-process run")
+	}
+	if !strings.Contains(m.String(), "double") || !strings.Contains(m.String(), "transport:") {
+		t.Fatalf("render:\n%s", m.String())
+	}
+}

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"naiad/internal/graph"
+)
+
+// Probe observes epoch completion at a stage: WaitFor(e) blocks until no
+// event at epoch e (or earlier) can still reach the stage. Probes are how
+// external code synchronizes with the dataflow — the equivalent of Naiad's
+// Computation.Sync. Probes must be created before Start.
+type Probe struct {
+	loc       graph.Location
+	completed atomic.Int64 // highest epoch known complete; -1 initially
+	done      atomic.Bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// NewProbe registers a probe at a stage's location.
+func (c *Computation) NewProbe(stage StageID) *Probe {
+	if c.started {
+		panic("runtime: NewProbe after Start")
+	}
+	p := &Probe{loc: graph.StageLoc(stage)}
+	p.completed.Store(-1)
+	p.cond = sync.NewCond(&p.mu)
+	c.probes = append(c.probes, p)
+	return p
+}
+
+// advance publishes a newly completed epoch (called by worker 0). The lock
+// pairs the store with the broadcast so WaitFor cannot miss a wakeup.
+func (p *Probe) advance(epoch int64) {
+	p.mu.Lock()
+	p.completed.Store(epoch)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// finish wakes all waiters permanently (computation drained or failed).
+func (p *Probe) finish() {
+	p.mu.Lock()
+	p.done.Store(true)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Done reports whether epoch is complete at the probe's location.
+func (p *Probe) Done(epoch int64) bool {
+	return p.completed.Load() >= epoch || p.done.Load()
+}
+
+// Completed returns the highest completed epoch (-1 before any).
+func (p *Probe) Completed() int64 { return p.completed.Load() }
+
+// WaitFor blocks until epoch completes at the probe's location, or the
+// computation finishes or fails.
+func (p *Probe) WaitFor(epoch int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.Done(epoch) {
+		p.cond.Wait()
+	}
+}

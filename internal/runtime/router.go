@@ -1,0 +1,211 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/transport"
+)
+
+type update = progress.Update
+
+// progress frame subtypes (first payload byte).
+const (
+	progBroadcast byte = iota // apply at every worker of the receiving process
+	progToGlobal              // enqueue into the cluster-level accumulator
+)
+
+// accumulator merges queued update batches and emits their net effect,
+// positives first (§3.3). Batches from one source are merged in arrival
+// order, so the per-link FIFO discipline the protocol's safety proof needs
+// is preserved: merging only delays updates, never reorders a negative
+// ahead of the positives that causally precede it.
+type accumulator struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]update
+	closed bool
+	done   chan struct{}
+}
+
+func newAccumulator(emit func([]update)) *accumulator {
+	a := &accumulator{done: make(chan struct{})}
+	a.cond = sync.NewCond(&a.mu)
+	go a.run(emit)
+	return a
+}
+
+func (a *accumulator) enqueue(us []update) {
+	if len(us) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if !a.closed {
+		a.queue = append(a.queue, us)
+	}
+	a.mu.Unlock()
+	a.cond.Signal()
+}
+
+func (a *accumulator) run(emit func([]update)) {
+	defer close(a.done)
+	buf := progress.NewBuffer()
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		batches := a.queue
+		a.queue = nil
+		closed := a.closed
+		a.mu.Unlock()
+		for _, b := range batches {
+			buf.AddAll(b)
+		}
+		if out := buf.Drain(); len(out) > 0 {
+			emit(out)
+		}
+		if closed && len(batches) == 0 {
+			return
+		}
+	}
+}
+
+func (a *accumulator) close() {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+	<-a.done
+}
+
+// encodeProgress serializes a progress frame: subtype, count, then each
+// update as (location, epoch, depth, counters, delta).
+func encodeProgress(subtype byte, us []update) []byte {
+	e := codec.NewEncoder(5 + len(us)*24)
+	e.PutUint8(subtype)
+	e.PutUint32(uint32(len(us)))
+	for _, u := range us {
+		e.PutUint32(uint32(u.P.Loc))
+		e.PutInt64(u.P.Time.Epoch)
+		e.PutUint8(u.P.Time.Depth)
+		for i := uint8(0); i < u.P.Time.Depth; i++ {
+			e.PutInt64(u.P.Time.Counters[i])
+		}
+		e.PutInt64(u.D)
+	}
+	return e.Bytes()
+}
+
+// decodeProgress parses a progress frame, returning its subtype.
+func decodeProgress(payload []byte) (byte, []update) {
+	d := codec.NewDecoder(payload)
+	subtype := d.Uint8()
+	n := int(d.Uint32())
+	us := make([]update, n)
+	for i := range us {
+		us[i].P.Loc = graph.Location(d.Uint32())
+		us[i].P.Time.Epoch = d.Int64()
+		us[i].P.Time.Depth = d.Uint8()
+		if us[i].P.Time.Depth > ts.MaxLoopDepth {
+			panic(fmt.Sprintf("runtime: corrupt progress frame: depth %d", us[i].P.Time.Depth))
+		}
+		for j := uint8(0); j < us[i].P.Time.Depth; j++ {
+			us[i].P.Time.Counters[j] = d.Int64()
+		}
+		us[i].D = d.Int64()
+	}
+	return subtype, us
+}
+
+// broadcastProgress delivers an update batch to every worker in the
+// cluster: local workers via their mailboxes, remote processes via one
+// serialized frame each.
+func (c *Computation) broadcastProgress(fromProc int, us []update) {
+	if len(us) == 0 {
+		return
+	}
+	var payload []byte
+	if c.cfg.Processes > 1 {
+		payload = encodeProgress(progBroadcast, us)
+	}
+	for p := 0; p < c.cfg.Processes; p++ {
+		if p == fromProc {
+			c.deliverProgressLocal(p, us)
+		} else {
+			c.trans.Send(fromProc, p, transport.KindProgress, payload)
+		}
+	}
+}
+
+// deliverProgressLocal fans a batch out to every worker of a process. The
+// slice is shared read-only between the workers.
+func (c *Computation) deliverProgressLocal(proc int, us []update) {
+	for _, w := range c.procs[proc].workers {
+		w.mailbox.push(mailItem{kind: mailProgress, updates: us})
+	}
+}
+
+// sendToGlobalAcc routes a batch to the cluster-level accumulator, which
+// lives in process 0.
+func (c *Computation) sendToGlobalAcc(fromProc int, us []update) {
+	if len(us) == 0 {
+		return
+	}
+	if fromProc == 0 {
+		c.globAcc.enqueue(us)
+		return
+	}
+	c.trans.Send(fromProc, 0, transport.KindProgress, encodeProgress(progToGlobal, us))
+}
+
+// routeWorkerFlush dispatches one worker's drained updates according to the
+// configured accumulation mode (§3.3, Figure 6c).
+func (c *Computation) routeWorkerFlush(fromProc int, us []update) {
+	switch c.cfg.Accumulation {
+	case AccNone:
+		// Broadcast every update individually, uncombined.
+		for i := range us {
+			c.broadcastProgress(fromProc, us[i:i+1])
+		}
+	case AccLocal, AccLocalGlobal:
+		c.accs[fromProc].enqueue(us)
+	case AccGlobal:
+		c.sendToGlobalAcc(fromProc, us)
+	}
+}
+
+// process is one transport domain hosting a group of workers.
+type process struct {
+	comp    *Computation
+	id      int
+	workers []*worker
+}
+
+// onFrame dispatches a received transport frame. It runs on the transport's
+// delivery goroutine; per-link FIFO order is preserved by doing all
+// dispatching inline.
+func (p *process) onFrame(from int, kind transport.Kind, payload []byte) {
+	switch kind {
+	case transport.KindData:
+		conn, dstVertex := peekDataHeader(payload)
+		ci := p.comp.conn(conn)
+		wid := p.comp.stage(ci.dst).workerFor(dstVertex)
+		p.comp.workers[wid].mailbox.push(mailItem{kind: mailRawData, payload: payload})
+	case transport.KindProgress:
+		subtype, us := decodeProgress(payload)
+		switch subtype {
+		case progToGlobal:
+			p.comp.globAcc.enqueue(us)
+		default:
+			p.comp.deliverProgressLocal(p.id, us)
+		}
+	case transport.KindControl:
+		// Control traffic is coordinated in shared memory in this
+		// all-in-one build; no frames of this kind are sent.
+	}
+}

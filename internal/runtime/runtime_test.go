@@ -1,0 +1,690 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// sink collects records per epoch, thread-safely (vertices of a parallel
+// sink stage run on different workers).
+type sink struct {
+	mu       sync.Mutex
+	byEpoch  map[int64][]int64
+	notified []int64
+}
+
+func newSink() *sink { return &sink{byEpoch: make(map[int64][]int64)} }
+
+func (s *sink) add(e int64, v int64) {
+	s.mu.Lock()
+	s.byEpoch[e] = append(s.byEpoch[e], v)
+	s.mu.Unlock()
+}
+
+func (s *sink) sorted(e int64) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]int64(nil), s.byEpoch[e]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sinkVertex feeds a sink and requests one notification per epoch.
+type sinkVertex struct {
+	ctx  *Context
+	s    *sink
+	seen map[int64]bool
+}
+
+func (v *sinkVertex) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	if v.seen == nil {
+		v.seen = make(map[int64]bool)
+	}
+	if !v.seen[t.Epoch] {
+		v.seen[t.Epoch] = true
+		v.ctx.NotifyAt(t)
+	}
+	v.s.add(t.Epoch, msg.(int64))
+}
+
+func (v *sinkVertex) OnNotify(t ts.Timestamp) {
+	v.s.mu.Lock()
+	v.s.notified = append(v.s.notified, t.Epoch)
+	v.s.mu.Unlock()
+}
+
+func sinkStage(c *Computation, s *sink, name string) StageID {
+	return c.AddStage(name, graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &sinkVertex{ctx: ctx, s: s}
+	}, Pinned(0))
+}
+
+// mapVertex applies f to every record.
+type mapVertex struct {
+	ctx *Context
+	f   func(int64) int64
+}
+
+func (v *mapVertex) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	v.ctx.SendBy(0, v.f(msg.(int64)), t)
+}
+
+func (v *mapVertex) OnNotify(ts.Timestamp) {}
+
+func mapStage(c *Computation, name string, f func(int64) int64) StageID {
+	return c.AddStage(name, graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &mapVertex{ctx: ctx, f: f}
+	})
+}
+
+func hashPart(m Message) uint64 { return uint64(m.(int64)) }
+
+func configs() map[string]Config {
+	return map[string]Config{
+		"1p1w":          {Processes: 1, WorkersPerProcess: 1, Accumulation: AccLocalGlobal},
+		"1p4w":          {Processes: 1, WorkersPerProcess: 4, Accumulation: AccLocalGlobal},
+		"2p2w":          {Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal},
+		"2p2w-none":     {Processes: 2, WorkersPerProcess: 2, Accumulation: AccNone},
+		"2p2w-local":    {Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocal},
+		"2p2w-global":   {Processes: 2, WorkersPerProcess: 2, Accumulation: AccGlobal},
+		"4p2w-checked":  {Processes: 4, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, CheckInvariants: true},
+		"2p2w-tcp":      {Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, UseTCP: true},
+		"2p2w-smallbat": {Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, BatchSize: 2},
+	}
+}
+
+func TestPipelineAllConfigs(t *testing.T) {
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			c, err := NewComputation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := c.NewInput("in")
+			dbl := mapStage(c, "double", func(v int64) int64 { return 2 * v })
+			c.Connect(in.Stage(), 0, dbl, hashPart, codec.Int64())
+			s := newSink()
+			snk := sinkStage(c, s, "sink")
+			c.Connect(dbl, 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+			if err := c.Start(); err != nil {
+				t.Fatal(err)
+			}
+			in.OnNext(int64(1), int64(2), int64(3))
+			in.OnNext(int64(10))
+			in.OnNext() // empty epoch
+			in.Close()
+			if err := c.Join(); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.sorted(0); fmt.Sprint(got) != "[2 4 6]" {
+				t.Fatalf("epoch 0 = %v", got)
+			}
+			if got := s.sorted(1); fmt.Sprint(got) != "[20]" {
+				t.Fatalf("epoch 1 = %v", got)
+			}
+			if got := s.sorted(2); len(got) != 0 {
+				t.Fatalf("epoch 2 = %v", got)
+			}
+			// Notifications fired for the two non-empty epochs, in order.
+			if fmt.Sprint(s.notified) != "[0 1]" {
+				t.Fatalf("notified = %v", s.notified)
+			}
+		})
+	}
+}
+
+// distinctCount is the Figure 4 vertex: distinct records stream out of
+// port 0 immediately, per-time counts out of port 1 on notification.
+type distinctCount struct {
+	ctx    *Context
+	counts map[ts.Timestamp]map[int64]int64
+}
+
+func (v *distinctCount) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	if v.counts == nil {
+		v.counts = make(map[ts.Timestamp]map[int64]int64)
+	}
+	if v.counts[t] == nil {
+		v.counts[t] = make(map[int64]int64)
+		v.ctx.NotifyAt(t)
+	}
+	k := msg.(int64)
+	if _, seen := v.counts[t][k]; !seen {
+		v.ctx.SendBy(0, k, t)
+	}
+	v.counts[t][k]++
+}
+
+func (v *distinctCount) OnNotify(t ts.Timestamp) {
+	for k, n := range v.counts[t] {
+		v.ctx.SendBy(1, k*1000+n, t) // encode (key, count) compactly
+	}
+	delete(v.counts, t)
+}
+
+func TestFigure4DistinctCount(t *testing.T) {
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	dc := c.AddStage("distinct", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &distinctCount{ctx: ctx}
+	}, Ports(2))
+	c.Connect(in.Stage(), 0, dc, hashPart, codec.Int64())
+	distinct, counts := newSink(), newSink()
+	ds := sinkStage(c, distinct, "distinctSink")
+	cs := sinkStage(c, counts, "countSink")
+	c.Connect(dc, 0, ds, func(Message) uint64 { return 0 }, codec.Int64())
+	c.Connect(dc, 1, cs, func(Message) uint64 { return 0 }, codec.Int64())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(7), int64(7), int64(8), int64(7), int64(8))
+	in.OnNext(int64(7))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := distinct.sorted(0); fmt.Sprint(got) != "[7 8]" {
+		t.Fatalf("distinct epoch 0 = %v", got)
+	}
+	if got := counts.sorted(0); fmt.Sprint(got) != "[7003 8002]" {
+		t.Fatalf("counts epoch 0 = %v", got)
+	}
+	if got := counts.sorted(1); fmt.Sprint(got) != "[7001]" {
+		t.Fatalf("counts epoch 1 = %v", got)
+	}
+}
+
+// loopBody increments values; values below the threshold circulate to the
+// feedback port, values at it exit via the egress port.
+type loopBody struct {
+	ctx   *Context
+	limit int64
+}
+
+func (v *loopBody) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	x := msg.(int64) + 1
+	if x < v.limit {
+		v.ctx.SendBy(0, x, t)
+	} else {
+		v.ctx.SendBy(1, x, t)
+	}
+}
+
+func (v *loopBody) OnNotify(ts.Timestamp) {}
+
+func buildLoopComputation(t *testing.T, cfg Config, limit int64) (*Computation, *Input, *sink) {
+	t.Helper()
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	ing := c.AddStage("I", graph.RoleIngress, 0, nil)
+	body := c.AddStage("body", graph.RoleNormal, 1, func(ctx *Context) Vertex {
+		return &loopBody{ctx: ctx, limit: limit}
+	}, Ports(2))
+	fb := c.AddStage("F", graph.RoleFeedback, 1, nil)
+	eg := c.AddStage("E", graph.RoleEgress, 1, nil)
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(in.Stage(), 0, ing, hashPart, codec.Int64())
+	c.Connect(ing, 0, body, hashPart, codec.Int64())
+	c.Connect(body, 0, fb, nil, codec.Int64())
+	c.Connect(fb, 0, body, hashPart, codec.Int64())
+	c.Connect(body, 1, eg, nil, codec.Int64())
+	c.Connect(eg, 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+	return c, in, s
+}
+
+func TestIterativeLoop(t *testing.T) {
+	for _, name := range []string{"1p1w", "2p2w", "2p2w-none", "2p2w-tcp"} {
+		cfg := configs()[name]
+		t.Run(name, func(t *testing.T) {
+			c, in, s := buildLoopComputation(t, cfg, 10)
+			if err := c.Start(); err != nil {
+				t.Fatal(err)
+			}
+			in.OnNext(int64(0), int64(3), int64(9))
+			in.OnNext(int64(5))
+			in.Close()
+			if err := c.Join(); err != nil {
+				t.Fatal(err)
+			}
+			// Every value iterates up to exactly 10.
+			if got := s.sorted(0); fmt.Sprint(got) != "[10 10 10]" {
+				t.Fatalf("epoch 0 = %v", got)
+			}
+			if got := s.sorted(1); fmt.Sprint(got) != "[10]" {
+				t.Fatalf("epoch 1 = %v", got)
+			}
+		})
+	}
+}
+
+// loopNotify requests a notification inside the loop each iteration and
+// counts how many fire, testing notification delivery at loop depth.
+type loopNotify struct {
+	ctx     *Context
+	s       *sink
+	pending map[ts.Timestamp][]int64
+}
+
+func (v *loopNotify) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	if v.pending == nil {
+		v.pending = make(map[ts.Timestamp][]int64)
+	}
+	if v.pending[t] == nil {
+		v.ctx.NotifyAt(t)
+	}
+	v.pending[t] = append(v.pending[t], msg.(int64))
+}
+
+func (v *loopNotify) OnNotify(t ts.Timestamp) {
+	// Batch-synchronous: forward the batch only when the iteration is done.
+	for _, x := range v.pending[t] {
+		if x++; x < 5 {
+			v.ctx.SendBy(0, x, t)
+		} else {
+			v.ctx.SendBy(1, x, t)
+		}
+	}
+	delete(v.pending, t)
+	v.s.add(int64(t.Inner()), 1) // record one notification per iteration
+}
+
+func TestLoopWithNotifications(t *testing.T) {
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, CheckInvariants: true}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterSink := newSink()
+	in := c.NewInput("in")
+	ing := c.AddStage("I", graph.RoleIngress, 0, nil)
+	body := c.AddStage("body", graph.RoleNormal, 1, func(ctx *Context) Vertex {
+		return &loopNotify{ctx: ctx, s: iterSink}
+	}, Ports(2))
+	fb := c.AddStage("F", graph.RoleFeedback, 1, nil)
+	eg := c.AddStage("E", graph.RoleEgress, 1, nil)
+	out := newSink()
+	snk := sinkStage(c, out, "sink")
+	c.Connect(in.Stage(), 0, ing, hashPart, codec.Int64())
+	c.Connect(ing, 0, body, hashPart, codec.Int64())
+	c.Connect(body, 0, fb, nil, codec.Int64())
+	c.Connect(fb, 0, body, hashPart, codec.Int64())
+	c.Connect(body, 1, eg, nil, codec.Int64())
+	c.Connect(eg, 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(0), int64(1))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.sorted(0); fmt.Sprint(got) != "[5 5]" {
+		t.Fatalf("out = %v", got)
+	}
+}
+
+func TestProbeWaitFor(t *testing.T) {
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(in.Stage(), 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+	probe := c.NewProbe(snk)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1), int64(2))
+	probe.WaitFor(0)
+	if got := s.sorted(0); fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("after WaitFor(0): %v", got)
+	}
+	if !probe.Done(0) || probe.Done(1) {
+		t.Fatal("Done flags wrong")
+	}
+	in.OnNext(int64(3))
+	probe.WaitFor(1)
+	if got := s.sorted(1); fmt.Sprint(got) != "[3]" {
+		t.Fatalf("after WaitFor(1): %v", got)
+	}
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Completed() < 1 {
+		t.Fatalf("completed = %d", probe.Completed())
+	}
+}
+
+func TestVertexPanicPropagates(t *testing.T) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	bad := mapStage(c, "bad", func(v int64) int64 { panic("kaboom") })
+	c.Connect(in.Stage(), 0, bad, hashPart, nil)
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(bad, 0, snk, nil, nil)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1))
+	err = c.Join()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Join error = %v", err)
+	}
+}
+
+func TestSendBackwardsInTimePanics(t *testing.T) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 1, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	bad := c.AddStage("bad", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &funcVertex{onRecv: func(_ int, m Message, t ts.Timestamp) {
+			ctx.SendBy(0, m, ts.Root(t.Epoch-1))
+		}}
+	})
+	c.Connect(in.Stage(), 0, bad, nil, nil)
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(bad, 0, snk, nil, nil)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.AdvanceTo(5)
+	in.Send(int64(1))
+	err = c.Join()
+	if err == nil || !strings.Contains(err.Error(), "backwards in time") {
+		t.Fatalf("Join error = %v", err)
+	}
+}
+
+// funcVertex adapts closures to the Vertex interface for tests.
+type funcVertex struct {
+	onRecv   func(int, Message, ts.Timestamp)
+	onNotify func(ts.Timestamp)
+}
+
+func (v *funcVertex) OnRecv(i int, m Message, t ts.Timestamp) {
+	if v.onRecv != nil {
+		v.onRecv(i, m, t)
+	}
+}
+
+func (v *funcVertex) OnNotify(t ts.Timestamp) {
+	if v.onNotify != nil {
+		v.onNotify(t)
+	}
+}
+
+func TestPurgeNotification(t *testing.T) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	s := newSink()
+	purged := newSink()
+	stage := c.AddStage("purger", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		seen := map[int64]bool{}
+		return &funcVertex{
+			onRecv: func(_ int, m Message, t ts.Timestamp) {
+				if !seen[t.Epoch] {
+					seen[t.Epoch] = true
+					ctx.NotifyAtPurge(t)
+				}
+				ctx.SendBy(0, m.(int64), t)
+			},
+			onNotify: func(t ts.Timestamp) { purged.add(t.Epoch, 1) },
+		}
+	})
+	c.Connect(in.Stage(), 0, stage, hashPart, nil)
+	snk := sinkStage(c, s, "sink")
+	c.Connect(stage, 0, snk, nil, nil)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1), int64(2), int64(3))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	purged.mu.Lock()
+	n := len(purged.byEpoch[0])
+	purged.mu.Unlock()
+	if n == 0 {
+		t.Fatal("purge notification never delivered")
+	}
+	if got := s.sorted(0); fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("records = %v", got)
+	}
+}
+
+func TestSendFromPurgeNotificationPanics(t *testing.T) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 1, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	stage := c.AddStage("bad", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &funcVertex{
+			onRecv: func(_ int, m Message, t ts.Timestamp) { ctx.NotifyAtPurge(t) },
+			onNotify: func(t ts.Timestamp) {
+				ctx.SendBy(0, int64(1), t) // forbidden: no capability held
+			},
+		}
+	})
+	c.Connect(in.Stage(), 0, stage, nil, nil)
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(stage, 0, snk, nil, nil)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1))
+	in.Close()
+	err = c.Join()
+	if err == nil || !strings.Contains(err.Error(), "purge notification") {
+		t.Fatalf("Join error = %v", err)
+	}
+}
+
+func TestReentrancyBoundsCycleInOneWorker(t *testing.T) {
+	// A tight cycle within a single worker must queue rather than recurse
+	// unboundedly; the computation still terminates correctly.
+	cfg := Config{Processes: 1, WorkersPerProcess: 1, Accumulation: AccLocalGlobal, MaxReentrancy: 1}
+	c, in, s := buildLoopComputation(t, cfg, 2000)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(0))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.sorted(0); fmt.Sprint(got) != "[2000]" {
+		t.Fatalf("out = %v", got)
+	}
+}
+
+func TestMaxIterationsBoundsLoop(t *testing.T) {
+	// A loop that never voluntarily exits is cut off by the feedback
+	// stage's iteration bound; the computation drains.
+	cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	ing := c.AddStage("I", graph.RoleIngress, 0, nil)
+	body := mapStageAt(c, "inc", 1, func(v int64) int64 { return v + 1 })
+	fb := c.AddStage("F", graph.RoleFeedback, 1, nil, MaxIterations(7))
+	c.Connect(in.Stage(), 0, ing, hashPart, nil)
+	c.Connect(ing, 0, body, hashPart, nil)
+	c.Connect(body, 0, fb, nil, nil)
+	c.Connect(fb, 0, body, hashPart, nil)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(0))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mapStageAt(c *Computation, name string, depth uint8, f func(int64) int64) StageID {
+	return c.AddStage(name, graph.RoleNormal, depth, func(ctx *Context) Vertex {
+		return &mapVertex{ctx: ctx, f: f}
+	})
+}
+
+func TestBuilderMisusePanics(t *testing.T) {
+	mk := func() *Computation {
+		c, err := NewComputation(Config{Processes: 1, WorkersPerProcess: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for name, f := range map[string]func(){
+		"bad config": func() {
+			if _, err := NewComputation(Config{}); err == nil {
+				panic("want error")
+			}
+			panic("ok")
+		},
+		"connect bad port": func() {
+			c := mk()
+			a := mapStage(c, "a", nil)
+			b := mapStage(c, "b", nil)
+			c.Connect(a, 1, b, nil, nil)
+		},
+		"codec required multiproc": func() {
+			c, err := NewComputation(Config{Processes: 2, WorkersPerProcess: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := mapStage(c, "a", nil)
+			b := mapStage(c, "b", nil)
+			c.Connect(a, 0, b, nil, nil)
+		},
+		"no factory": func() {
+			c := mk()
+			in := c.NewInput("in")
+			st := c.AddStage("x", graph.RoleNormal, 0, nil)
+			c.Connect(in.Stage(), 0, st, nil, nil)
+			if err := c.Start(); err != nil {
+				t.Fatal(err)
+			}
+			in.Close()
+			if err := c.Join(); err != nil {
+				panic(err.Error())
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestLoggedStageWritesBatches(t *testing.T) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged struct {
+		mu sync.Mutex
+		n  int
+	}
+	c.SetLogSink(logSinkFunc(func(stage StageID, payload []byte) error {
+		logged.mu.Lock()
+		logged.n++
+		logged.mu.Unlock()
+		return nil
+	}))
+	in := c.NewInput("in")
+	s := newSink()
+	snk := c.AddStage("sink", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &sinkVertex{ctx: ctx, s: s}
+	}, Pinned(0), Logged())
+	c.Connect(in.Stage(), 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1), int64(2))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if c.LoggedBatches() == 0 {
+		t.Fatal("no batches logged")
+	}
+	if got := s.sorted(0); fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("records = %v", got)
+	}
+}
+
+type logSinkFunc func(StageID, []byte) error
+
+func (f logSinkFunc) LogBatch(s StageID, p []byte) error { return f(s, p) }
+
+func TestLoggedWithoutSinkFailsStart(t *testing.T) {
+	c, err := NewComputation(Config{Processes: 1, WorkersPerProcess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	s := newSink()
+	snk := c.AddStage("sink", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &sinkVertex{ctx: ctx, s: s}
+	}, Pinned(0), Logged())
+	c.Connect(in.Stage(), 0, snk, nil, nil)
+	if err := c.Start(); err == nil {
+		t.Fatal("Start should fail without a log sink")
+	}
+}
+
+func TestAccumulationModeString(t *testing.T) {
+	for a, want := range map[Accumulation]string{
+		AccNone: "None", AccLocal: "LocalAcc", AccGlobal: "GlobalAcc",
+		AccLocalGlobal: "Local+GlobalAcc", Accumulation(9): "acc(9)",
+	} {
+		if a.String() != want {
+			t.Errorf("%d → %q want %q", a, a.String(), want)
+		}
+	}
+}

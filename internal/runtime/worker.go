@@ -1,0 +1,559 @@
+package runtime
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+
+	"naiad/internal/graph"
+	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/transport"
+)
+
+// notifyReq is a pending notification request (§2.2, generalized per §2.4
+// with separate guarantee and capability times).
+type notifyReq struct {
+	guarantee  ts.Timestamp
+	capability ts.Timestamp
+	hasCap     bool
+}
+
+// frame is one entry of a vertex's callback-time stack: the timestamp the
+// current callback runs at, and whether sending is permitted (false inside
+// purge notifications, which hold no capability).
+type timeFrame struct {
+	t       ts.Timestamp
+	canSend bool
+}
+
+// vertexState is a worker's record of one vertex it hosts.
+type vertexState struct {
+	si        *stageInfo
+	ctx       *Context
+	vertex    Vertex
+	vertexIdx int
+	timeStack []timeFrame
+	pending   []notifyReq // sorted by guarantee (Compare order)
+
+	// input-stage bookkeeping:
+	inputEpoch  int64
+	inputClosed bool
+}
+
+// outKey identifies one pending outgoing batch.
+type outKey struct {
+	conn      graph.ConnectorID
+	dstWorker int
+	time      ts.Timestamp
+}
+
+// delivery is a queued batch of messages awaiting local delivery.
+type delivery struct {
+	ci      *connInfo
+	vs      *vertexState
+	time    ts.Timestamp
+	records []Message
+}
+
+// worker is one scheduler thread (§3.2): it owns a partition of the
+// vertices, delivers their messages and notifications single-threadedly,
+// and participates in the progress protocol through its local tracker.
+type worker struct {
+	comp    *Computation
+	id      int
+	proc    int
+	mailbox *mailbox
+
+	vertices []*vertexState // indexed by stage id; nil when not hosted
+	vsList   []*vertexState // hosted vertices, in stage order
+
+	tracker     *progress.Tracker
+	pbuf        *progress.Buffer
+	raw         []update // AccNone: chronological, uncombined
+	outData     map[outKey][]Message
+	localQ      []delivery
+	localQHead  int
+	notifyCount int
+	spare       []mailItem
+}
+
+func newWorker(c *Computation, id, proc int) *worker {
+	return &worker{
+		comp:    c,
+		id:      id,
+		proc:    proc,
+		mailbox: newMailbox(),
+		pbuf:    progress.NewBuffer(),
+		outData: make(map[outKey][]Message),
+	}
+}
+
+// run is the worker main loop.
+func (w *worker) run() {
+	defer w.comp.workerWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			w.comp.fail(fmt.Errorf("runtime: worker %d: %v\n%s", w.id, r, debug.Stack()))
+		}
+	}()
+	w.initVertices()
+	w.seedInputs()
+	idle := false
+	for {
+		items, ok := w.mailbox.drain(idle, w.spare)
+		if !ok {
+			return // aborted
+		}
+		for i := range items {
+			w.handleItem(&items[i])
+		}
+		w.spare = items
+		w.deliverAll()
+		w.flushData()
+		w.flushProgress()
+		if w.id == 0 {
+			w.checkProbes()
+		}
+		if w.tracker.Empty() && w.notifyCount == 0 && !w.haveLocalQ() && w.mailbox.empty() {
+			// The local view has drained; the protocol's safety property
+			// (a local frontier never passes the global frontier) makes
+			// this a sound global termination test.
+			break
+		}
+		idle = !w.haveLocalQ()
+	}
+	w.shutdownVertices()
+}
+
+// initVertices instantiates this worker's partition of every stage.
+func (w *worker) initVertices() {
+	c := w.comp
+	w.vertices = make([]*vertexState, len(c.stages))
+	for _, si := range c.stages {
+		var idx int
+		switch {
+		case si.pinned >= 0:
+			if si.pinned != w.id {
+				continue
+			}
+			idx = 0
+		default:
+			idx = w.id
+		}
+		vs := &vertexState{si: si, vertexIdx: idx}
+		vs.ctx = &Context{w: w, vs: vs, index: idx, peers: si.parallelism(c.cfg.Workers())}
+		if si.factory != nil {
+			vs.vertex = si.factory(vs.ctx)
+		} else if si.role == graph.RoleNormal {
+			panic(fmt.Sprintf("runtime: stage %s has no vertex factory", si.name))
+		} else {
+			// System stages (ingress, egress, feedback) forward messages;
+			// the timestamp action happens in sendBy. Input stages never
+			// receive messages.
+			if si.role != graph.RoleInput {
+				vs.vertex = &forwardVertex{ctx: vs.ctx}
+			}
+		}
+		w.vertices[si.id] = vs
+		w.vsList = append(w.vsList, vs)
+	}
+	w.tracker = progress.NewTracker(c.lg)
+}
+
+// seedInputs installs the initial input pointstamps (§2.3) directly into
+// the local tracker. Every worker seeds identically — one occurrence per
+// physical input vertex — so local views are conservative from the first
+// instant without any broadcast.
+func (w *worker) seedInputs() {
+	for _, si := range w.comp.stages {
+		if si.role != graph.RoleInput {
+			continue
+		}
+		n := int64(si.parallelism(w.comp.cfg.Workers()))
+		w.tracker.Update(progress.Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(si.id)}, n)
+	}
+}
+
+func (w *worker) haveLocalQ() bool { return w.localQHead < len(w.localQ) }
+
+// handleItem processes one mailbox item.
+func (w *worker) handleItem(it *mailItem) {
+	switch it.kind {
+	case mailLocalData:
+		ci := w.comp.conn(it.conn)
+		w.enqueueLocal(ci, it.time, it.records)
+	case mailRawData:
+		ci, _, t, records := decodeData(w.comp, it.payload)
+		w.enqueueLocal(ci, t, records)
+	case mailProgress:
+		w.tracker.Apply(it.updates)
+		if w.comp.cfg.CheckInvariants {
+			w.tracker.CheckInvariants()
+		}
+	case mailControl:
+		w.handleControl(it.ctl)
+	}
+}
+
+func (w *worker) enqueueLocal(ci *connInfo, t ts.Timestamp, records []Message) {
+	vs := w.vertices[ci.dst]
+	if vs == nil {
+		panic(fmt.Sprintf("runtime: worker %d received batch for unhosted stage %s",
+			w.id, w.comp.stage(ci.dst).name))
+	}
+	w.localQ = append(w.localQ, delivery{ci: ci, vs: vs, time: t, records: records})
+}
+
+func (w *worker) handleControl(ctl *controlMsg) {
+	switch ctl.op {
+	case ctlInputFeed:
+		vs := w.vertices[ctl.stage]
+		if vs.inputClosed {
+			panic(fmt.Sprintf("runtime: input %s fed after close", vs.si.name))
+		}
+		if ctl.epoch != vs.inputEpoch {
+			panic(fmt.Sprintf("runtime: input %s fed at epoch %d, current %d",
+				vs.si.name, ctl.epoch, vs.inputEpoch))
+		}
+		t := ts.Root(ctl.epoch)
+		for _, rec := range ctl.records {
+			w.sendBy(vs, 0, rec, t)
+		}
+	case ctlInputAdvance:
+		vs := w.vertices[ctl.stage]
+		loc := graph.StageLoc(ctl.stage)
+		for e := vs.inputEpoch; e < ctl.epoch; e++ {
+			w.postUpdate(progress.Pointstamp{Time: ts.Root(e + 1), Loc: loc}, 1)
+			w.postUpdate(progress.Pointstamp{Time: ts.Root(e), Loc: loc}, -1)
+		}
+		vs.inputEpoch = ctl.epoch
+	case ctlInputClose:
+		vs := w.vertices[ctl.stage]
+		if !vs.inputClosed {
+			vs.inputClosed = true
+			w.postUpdate(progress.Pointstamp{Time: ts.Root(vs.inputEpoch), Loc: graph.StageLoc(ctl.stage)}, -1)
+		}
+	case ctlCheckpoint:
+		ctl.ack <- w.checkpointVertices(ctl.cp)
+	case ctlRestore:
+		ctl.ack <- w.restoreVertices(ctl.cp)
+	}
+}
+
+// deliverAll drains local work: queued messages first, then deliverable
+// notifications, repeating until quiescent (§3.2's messages-before-
+// notifications policy; Config.NotificationsFirst inverts it for
+// ablation).
+func (w *worker) deliverAll() {
+	for {
+		progressed := false
+		if w.comp.cfg.NotificationsFirst {
+			for w.deliverOneNotify() {
+				progressed = true
+			}
+		}
+		for w.haveLocalQ() {
+			d := w.localQ[w.localQHead]
+			w.localQ[w.localQHead] = delivery{}
+			w.localQHead++
+			w.deliverBatch(d)
+			progressed = true
+		}
+		if w.localQHead == len(w.localQ) {
+			w.localQ = w.localQ[:0]
+			w.localQHead = 0
+		}
+		if w.deliverOneNotify() {
+			progressed = true
+			continue
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// deliverBatch invokes OnRecv for each record of a queued batch and then
+// retires the batch's occurrence counts.
+func (w *worker) deliverBatch(d delivery) {
+	if d.vs.si.logged {
+		w.comp.logBatch(d.vs.si.id, encodeData(d.ci, d.vs.vertexIdx, d.time, d.records))
+	}
+	input := d.ci.inputIdx
+	loc := graph.ConnLoc(d.ci.id)
+	for _, rec := range d.records {
+		w.invokeRecv(d.vs, input, rec, d.time)
+		w.postUpdate(progress.Pointstamp{Time: d.time, Loc: loc}, -1)
+	}
+}
+
+// invokeRecv runs a single OnRecv callback with time-stack bookkeeping.
+func (w *worker) invokeRecv(vs *vertexState, input int, rec Message, t ts.Timestamp) {
+	w.comp.counters.records[vs.si.id].Add(1)
+	vs.timeStack = append(vs.timeStack, timeFrame{t: t, canSend: true})
+	vs.ctx.executing++
+	vs.vertex.OnRecv(input, rec, t)
+	vs.ctx.executing--
+	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+}
+
+// deliverOneNotify delivers at most one pending notification whose
+// guarantee time has no active precursor in the local view. It reports
+// whether a notification was delivered.
+func (w *worker) deliverOneNotify() bool {
+	for _, vs := range w.vsList {
+		if len(vs.pending) == 0 {
+			continue
+		}
+		loc := graph.StageLoc(vs.si.id)
+		for i, nr := range vs.pending {
+			p := progress.Pointstamp{Time: nr.guarantee, Loc: loc}
+			if w.tracker.SomePrecursorOf(p) {
+				continue
+			}
+			vs.pending = append(vs.pending[:i], vs.pending[i+1:]...)
+			w.notifyCount--
+			w.comp.counters.notifications[vs.si.id].Add(1)
+			vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
+			vs.ctx.executing++
+			vs.vertex.OnNotify(nr.guarantee)
+			vs.ctx.executing--
+			vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+			if nr.hasCap {
+				w.postUpdate(progress.Pointstamp{Time: nr.capability, Loc: loc}, -1)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// sendBy implements Context.SendBy: timestamp adjustment for structural
+// stages, occurrence-count updates, routing, and the synchronous local
+// fast path with re-entrancy bounding (§3.2).
+func (w *worker) sendBy(vs *vertexState, port int, msg Message, t ts.Timestamp) {
+	si := vs.si
+	if n := len(vs.timeStack); n > 0 {
+		top := vs.timeStack[n-1]
+		if !top.canSend {
+			panic(fmt.Sprintf("runtime: %s sent a message from a purge notification", si.name))
+		}
+		if !top.t.LessEq(t) {
+			panic(fmt.Sprintf("runtime: %s sent backwards in time: %v < callback time %v", si.name, t, top.t))
+		}
+	}
+	if port < 0 || port >= si.numPorts {
+		panic(fmt.Sprintf("runtime: stage %s: SendBy on invalid port %d", si.name, port))
+	}
+	outT := t
+	switch si.role {
+	case graph.RoleIngress:
+		outT = t.PushLoop()
+	case graph.RoleEgress:
+		outT = t.PopLoop()
+	case graph.RoleFeedback:
+		outT = t.Tick()
+		if si.hasMaxIter && outT.Inner() >= si.maxIter {
+			return // iteration bound reached; drop the message
+		}
+	}
+	for _, cid := range si.outPorts[port] {
+		w.routeMessage(w.comp.conn(cid), msg, outT)
+	}
+}
+
+// routeMessage delivers msg on one connector: synchronously when the
+// destination vertex is local and not too deeply re-entered, queued
+// locally otherwise, or batched for transmission.
+func (w *worker) routeMessage(ci *connInfo, msg Message, t ts.Timestamp) {
+	c := w.comp
+	dstSi := c.stage(ci.dst)
+	peers := dstSi.parallelism(c.cfg.Workers())
+	var dstVertex int
+	switch {
+	case ci.part != nil:
+		dstVertex = int(ci.part(msg) % uint64(peers))
+	case dstSi.pinned >= 0:
+		dstVertex = 0
+	default:
+		dstVertex = w.id
+	}
+	dstWorker := dstSi.workerFor(dstVertex)
+	w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, 1)
+
+	if dstWorker == w.id {
+		vsDst := w.vertices[ci.dst]
+		limit := dstSi.reentrancy
+		if limit == 0 {
+			limit = c.cfg.maxReentrancy()
+		}
+		if c.cfg.DisableLocalFastPath {
+			limit = 0
+		}
+		if vsDst.ctx.executing < limit {
+			if dstSi.logged {
+				w.comp.logBatch(dstSi.id, encodeData(ci, dstVertex, t, []Message{msg}))
+			}
+			w.invokeRecv(vsDst, ci.inputIdx, msg, t)
+			w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, -1)
+		} else {
+			w.localQ = append(w.localQ, delivery{ci: ci, vs: vsDst, time: t, records: []Message{msg}})
+		}
+		return
+	}
+	key := outKey{conn: ci.id, dstWorker: dstWorker, time: t}
+	w.outData[key] = append(w.outData[key], msg)
+	if len(w.outData[key]) >= w.comp.cfg.batchSize() {
+		w.flushOne(key)
+	}
+}
+
+// flushOne sends one pending outgoing batch.
+func (w *worker) flushOne(key outKey) {
+	records := w.outData[key]
+	delete(w.outData, key)
+	c := w.comp
+	ci := c.conn(key.conn)
+	dstProc := key.dstWorker / c.cfg.WorkersPerProcess
+	dstSi := c.stage(ci.dst)
+	dstVertex := key.dstWorker
+	if dstSi.pinned >= 0 {
+		dstVertex = 0
+	}
+	if dstProc == w.proc {
+		c.workers[key.dstWorker].mailbox.push(mailItem{
+			kind: mailLocalData, conn: key.conn, dstVertex: dstVertex,
+			time: key.time, records: records,
+		})
+		return
+	}
+	payload := encodeData(ci, dstVertex, key.time, records)
+	c.trans.Send(w.proc, dstProc, transport.KindData, payload)
+}
+
+// flushData sends all pending outgoing batches in a deterministic order.
+func (w *worker) flushData() {
+	if len(w.outData) == 0 {
+		return
+	}
+	keys := make([]outKey, 0, len(w.outData))
+	for k := range w.outData {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].conn != keys[j].conn {
+			return keys[i].conn < keys[j].conn
+		}
+		if keys[i].dstWorker != keys[j].dstWorker {
+			return keys[i].dstWorker < keys[j].dstWorker
+		}
+		return keys[i].time.Compare(keys[j].time) < 0
+	})
+	for _, k := range keys {
+		w.flushOne(k)
+	}
+}
+
+// postUpdate records a progress update for the next flush. Occurrence
+// counts reach trackers (including this worker's own) only through the
+// broadcast protocol, never directly.
+func (w *worker) postUpdate(p progress.Pointstamp, delta int64) {
+	if w.comp.cfg.Accumulation == AccNone {
+		w.raw = append(w.raw, update{P: p, D: delta})
+		return
+	}
+	w.pbuf.Add(p, delta)
+}
+
+// flushProgress broadcasts this worker's pending updates (§3.3).
+func (w *worker) flushProgress() {
+	if w.comp.cfg.Accumulation == AccNone {
+		if len(w.raw) == 0 {
+			return
+		}
+		us := w.raw
+		w.raw = nil
+		w.comp.routeWorkerFlush(w.proc, us)
+		return
+	}
+	if w.pbuf.Empty() {
+		return
+	}
+	w.comp.routeWorkerFlush(w.proc, w.pbuf.Drain())
+}
+
+// notifyAt implements Context.NotifyAt and NotifyAtPurge.
+func (w *worker) notifyAt(vs *vertexState, guarantee, capability ts.Timestamp, hasCap bool) {
+	w.notifyAtChecked(vs, guarantee, capability, hasCap)
+}
+
+// notifyAtCap implements Context.NotifyAtCap.
+func (w *worker) notifyAtCap(vs *vertexState, guarantee, capability ts.Timestamp) {
+	w.notifyAtChecked(vs, guarantee, capability, true)
+}
+
+func (w *worker) notifyAtChecked(vs *vertexState, guarantee, capability ts.Timestamp, hasCap bool) {
+	if n := len(vs.timeStack); n > 0 {
+		top := vs.timeStack[n-1]
+		if !top.t.LessEq(guarantee) {
+			panic(fmt.Sprintf("runtime: %s requested notification before callback time: %v < %v",
+				vs.si.name, guarantee, top.t))
+		}
+		if hasCap && (!top.canSend || !top.t.LessEq(capability)) {
+			panic(fmt.Sprintf("runtime: %s requested capability it does not hold: %v at callback time %v",
+				vs.si.name, capability, top.t))
+		}
+	}
+	if hasCap {
+		w.postUpdate(progress.Pointstamp{Time: capability, Loc: graph.StageLoc(vs.si.id)}, 1)
+	}
+	nr := notifyReq{guarantee: guarantee, capability: capability, hasCap: hasCap}
+	// Insert sorted by guarantee so earlier notifications deliver first.
+	i := sort.Search(len(vs.pending), func(i int) bool {
+		return guarantee.Compare(vs.pending[i].guarantee) < 0
+	})
+	vs.pending = append(vs.pending, notifyReq{})
+	copy(vs.pending[i+1:], vs.pending[i:])
+	vs.pending[i] = nr
+	w.notifyCount++
+}
+
+// checkProbes advances registered probes past epochs that are complete at
+// their location, according to this worker's (conservative) local view.
+func (w *worker) checkProbes() {
+	maxEpoch := w.comp.maxEpoch.Load()
+	for _, pr := range w.comp.probes {
+		next := pr.completed.Load() + 1
+		for next <= maxEpoch {
+			p := progress.Pointstamp{Time: ts.Root(next), Loc: pr.loc}
+			if w.tracker.SomePrecursorOf(p) || w.tracker.Occurrence(p) > 0 {
+				break
+			}
+			pr.advance(next)
+			next++
+		}
+	}
+}
+
+// shutdownVertices delivers OnShutdown to vertices that want it.
+func (w *worker) shutdownVertices() {
+	for _, vs := range w.vsList {
+		if n, ok := vs.vertex.(Notifiable); ok {
+			n.OnShutdown()
+		}
+	}
+}
+
+// forwardVertex is the system vertex of ingress, egress, and feedback
+// stages: it forwards every message on port 0, letting sendBy apply the
+// stage's timestamp action.
+type forwardVertex struct {
+	ctx *Context
+}
+
+func (v *forwardVertex) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	v.ctx.SendBy(0, msg, t)
+}
+
+func (v *forwardVertex) OnNotify(ts.Timestamp) {}

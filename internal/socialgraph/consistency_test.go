@@ -1,0 +1,77 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+// TestComponentsMatchUnionFindAcrossEpochs streams random mention edges
+// over many epochs with a fresh query per user at the end, and checks the
+// application's component answers against a union-find over everything
+// ingested — the incremental dataflow must agree with the batch oracle.
+func TestComponentsMatchUnionFindAcrossEpochs(t *testing.T) {
+	const users = 120
+	const epochs = 6
+	r := rand.New(rand.NewSource(77))
+
+	var mu sync.Mutex
+	answers := map[int64]Answer{}
+	cfg := runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+	app, err := Build(cfg, Fresh, func(a Answer) {
+		mu.Lock()
+		answers[a.ID] = a
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Scope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var allEdges []workload.Edge
+	for e := 0; e < epochs; e++ {
+		var tweets []workload.Tweet
+		for i := 0; i < 25; i++ {
+			u := int64(r.Intn(users))
+			m := int64(r.Intn(users))
+			if u == m {
+				continue
+			}
+			tweets = append(tweets, workload.Tweet{User: u, Mentions: []int64{m}, Hashtags: []string{"#t"}})
+			allEdges = append(allEdges, workload.Edge{Src: u, Dst: m})
+		}
+		app.Tweets.Send(tweets...)
+		app.Advance()
+	}
+	// Final epoch: one query per user.
+	for u := int64(0); u < users; u++ {
+		app.Queries.Send(Query{ID: u, User: u})
+	}
+	app.Advance()
+	app.Close()
+	if err := app.Scope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := workload.ExpectedWCC(allEdges)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(answers) != users {
+		t.Fatalf("answered %d of %d queries", len(answers), users)
+	}
+	for u := int64(0); u < users; u++ {
+		a := answers[u]
+		wc, touched := want[u]
+		if !touched {
+			wc = u // isolated users are their own component
+		}
+		if a.CID != wc {
+			t.Fatalf("user %d: app component %d, union-find %d", u, a.CID, wc)
+		}
+	}
+}

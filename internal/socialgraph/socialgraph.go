@@ -1,0 +1,224 @@
+// Package socialgraph is the paper's flagship application (Figure 1,
+// §6.4): it ingests a stream of tweets, maintains an incremental
+// connected-components analysis of the mention graph, computes the most
+// popular hashtag in each component, and serves interactive queries for
+// the top hashtag in a user's component.
+//
+// Two serving policies reproduce Figure 8: Fresh answers a query only once
+// the epoch it arrived in has fully updated the component structure
+// (consistent and fresh, but queued behind the update work); Stale answers
+// immediately from the last completed epoch's tables (consistent but about
+// one epoch stale), which is the "1 s delay" line of the figure.
+package socialgraph
+
+import (
+	"sort"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/graphalgo"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/workload"
+)
+
+// Query asks for the top hashtag in a user's connected component.
+type Query struct {
+	ID   int64
+	User int64
+}
+
+// Answer is the response to a Query.
+type Answer struct {
+	ID     int64
+	User   int64
+	CID    int64
+	TopTag string
+	Epoch  int64
+}
+
+// Policy selects the Figure 8 serving mode.
+type Policy uint8
+
+const (
+	// Fresh waits for the query's own epoch to complete.
+	Fresh Policy = iota
+	// Stale serves from the previous completed epoch on arrival.
+	Stale
+)
+
+// String names the policy as Figure 8 labels it.
+func (p Policy) String() string {
+	if p == Fresh {
+		return "Fresh"
+	}
+	return "1s delay"
+}
+
+// userTag is a (user, hashtag) use event.
+type userTag struct {
+	User int64
+	Tag  string
+}
+
+// analytics maintains the joined view: user → component (from the
+// incremental WCC), hashtag counts per user, and a per-epoch table of each
+// component's top hashtag. It is pinned to one worker, mirroring the
+// query-serving frontend of the Figure 1 dataflow.
+type analytics struct {
+	ctx      *runtime.Context
+	policy   Policy
+	onAnswer func(Answer)
+
+	cid      map[int64]int64  // user → component id (min label seen)
+	tagUses  []userTag        // all (user, tag) events
+	top      map[int64]string // component → top hashtag, last completed epoch
+	topEpoch int64
+	pending  map[int64][]Query // epoch → queries awaiting freshness
+	seen     map[int64]bool
+}
+
+func (a *analytics) OnRecv(input int, msg runtime.Message, t ts.Timestamp) {
+	if !a.seen[t.Epoch] {
+		a.seen[t.Epoch] = true
+		a.ctx.NotifyAt(t)
+	}
+	switch input {
+	case 0: // component label improvements
+		p := msg.(lib.Pair[int64, int64])
+		if cur, ok := a.cid[p.Key]; !ok || p.Val < cur {
+			a.cid[p.Key] = p.Val
+		}
+	case 1: // hashtag uses
+		a.tagUses = append(a.tagUses, msg.(userTag))
+	case 2: // queries
+		q := msg.(Query)
+		if a.policy == Stale {
+			a.answer(q, a.topEpoch)
+			return
+		}
+		a.pending[t.Epoch] = append(a.pending[t.Epoch], q)
+	}
+}
+
+func (a *analytics) OnNotify(t ts.Timestamp) {
+	delete(a.seen, t.Epoch)
+	// Rebuild the component → top-hashtag table from the consistent
+	// snapshot at the end of this epoch.
+	counts := make(map[int64]map[string]int64)
+	for _, ut := range a.tagUses {
+		comp := a.component(ut.User)
+		m := counts[comp]
+		if m == nil {
+			m = make(map[string]int64)
+			counts[comp] = m
+		}
+		m[ut.Tag]++
+	}
+	a.top = make(map[int64]string, len(counts))
+	for comp, m := range counts {
+		tags := make([]string, 0, len(m))
+		for tag := range m {
+			tags = append(tags, tag)
+		}
+		sort.Slice(tags, func(i, j int) bool {
+			if m[tags[i]] != m[tags[j]] {
+				return m[tags[i]] > m[tags[j]]
+			}
+			return tags[i] < tags[j]
+		})
+		a.top[comp] = tags[0]
+	}
+	a.topEpoch = t.Epoch
+	for _, q := range a.pending[t.Epoch] {
+		a.answer(q, t.Epoch)
+	}
+	delete(a.pending, t.Epoch)
+}
+
+// component resolves a user's component id, defaulting to the user itself
+// when it has never appeared in a mention edge.
+func (a *analytics) component(user int64) int64 {
+	if c, ok := a.cid[user]; ok {
+		return c
+	}
+	return user
+}
+
+func (a *analytics) answer(q Query, epoch int64) {
+	comp := a.component(q.User)
+	a.onAnswer(Answer{ID: q.ID, User: q.User, CID: comp, TopTag: a.top[comp], Epoch: epoch})
+}
+
+// App is a running social-graph analytics pipeline.
+type App struct {
+	Scope   *lib.Scope
+	Tweets  *lib.Input[workload.Tweet]
+	Queries *lib.Input[Query]
+	// Done tracks epoch completion at the analytics stage: Done.WaitFor(e)
+	// returns once epoch e's updates and fresh answers have been produced.
+	Done *runtime.Probe
+}
+
+// Build wires the Figure 1 dataflow: tweets feed both the incremental
+// connected-components computation (over mention edges) and the hashtag
+// extraction; queries join against the maintained results. onAnswer runs
+// on a worker thread.
+func Build(cfg runtime.Config, policy Policy, onAnswer func(Answer)) (*App, error) {
+	s, err := lib.NewScope(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tweetsIn, tweets := lib.NewInput[workload.Tweet](s, "tweets", nil)
+	queriesIn, queries := lib.NewInput[Query](s, "queries", nil)
+
+	// Mention edges drive the incremental connected components (§6.4).
+	mentions := lib.SelectMany(tweets, func(tw workload.Tweet) []workload.Edge {
+		out := make([]workload.Edge, 0, len(tw.Mentions))
+		for _, m := range tw.Mentions {
+			if m != tw.User {
+				out = append(out, workload.Edge{Src: tw.User, Dst: m})
+			}
+		}
+		return out
+	}, graphalgo.EdgeCodec())
+	labels := graphalgo.BuildWCC(s, mentions, 1_000_000)
+
+	// Hashtag use events.
+	uses := lib.SelectMany(tweets, func(tw workload.Tweet) []userTag {
+		out := make([]userTag, 0, len(tw.Hashtags))
+		for _, tag := range tw.Hashtags {
+			out = append(out, userTag{User: tw.User, Tag: tag})
+		}
+		return out
+	}, nil)
+
+	st := s.C.AddStage("analytics", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+		return &analytics{
+			ctx: ctx, policy: policy, onAnswer: onAnswer,
+			cid:      make(map[int64]int64),
+			top:      make(map[int64]string),
+			topEpoch: -1,
+			pending:  make(map[int64][]Query),
+			seen:     make(map[int64]bool),
+		}
+	}, runtime.Pinned(0))
+	s.C.Connect(labels.Stage(), 0, st, func(runtime.Message) uint64 { return 0 }, labels.Codec())
+	s.C.Connect(uses.Stage(), 0, st, func(runtime.Message) uint64 { return 0 }, uses.Codec())
+	s.C.Connect(queries.Stage(), 0, st, func(runtime.Message) uint64 { return 0 }, codec.Gob[Query]())
+
+	return &App{Scope: s, Tweets: tweetsIn, Queries: queriesIn, Done: s.C.NewProbe(st)}, nil
+}
+
+// Advance completes the current epoch on both inputs.
+func (a *App) Advance() {
+	a.Tweets.Advance()
+	a.Queries.Advance()
+}
+
+// Close closes both inputs.
+func (a *App) Close() {
+	a.Tweets.Close()
+	a.Queries.Close()
+}

@@ -1,0 +1,115 @@
+package socialgraph
+
+import (
+	"sync"
+	"testing"
+
+	"naiad/internal/runtime"
+	"naiad/internal/workload"
+)
+
+func cfg() runtime.Config {
+	return runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+}
+
+type answers struct {
+	mu   sync.Mutex
+	byID map[int64]Answer
+}
+
+func (a *answers) record(ans Answer) {
+	a.mu.Lock()
+	a.byID[ans.ID] = ans
+	a.mu.Unlock()
+}
+
+func (a *answers) get(id int64) (Answer, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ans, ok := a.byID[id]
+	return ans, ok
+}
+
+func tweet(user int64, mentions []int64, tags ...string) workload.Tweet {
+	return workload.Tweet{User: user, Mentions: mentions, Hashtags: tags}
+}
+
+func TestFreshQueriesSeeOwnEpoch(t *testing.T) {
+	got := &answers{byID: make(map[int64]Answer)}
+	app, err := Build(cfg(), Fresh, got.record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Scope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0: users 1,2,3 form one component via mentions; #go dominates.
+	app.Tweets.Send(
+		tweet(1, []int64{2}, "#go", "#go"),
+		tweet(2, []int64{3}, "#go"),
+		tweet(3, nil, "#rust"),
+	)
+	// A fresh query in the same epoch must see the full epoch's state.
+	app.Queries.Send(Query{ID: 100, User: 3})
+	app.Advance()
+
+	// Epoch 1: user 9's separate world.
+	app.Tweets.Send(tweet(9, []int64{8}, "#zig"))
+	app.Queries.Send(Query{ID: 101, User: 8}, Query{ID: 102, User: 1})
+	app.Advance()
+	app.Close()
+	if err := app.Scope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+
+	ans, ok := got.get(100)
+	if !ok || ans.CID != 1 || ans.TopTag != "#go" || ans.Epoch != 0 {
+		t.Fatalf("query 100 = %+v", ans)
+	}
+	ans, ok = got.get(101)
+	if !ok || ans.CID != 8 || ans.TopTag != "#zig" || ans.Epoch != 1 {
+		t.Fatalf("query 101 = %+v", ans)
+	}
+	ans, ok = got.get(102)
+	if !ok || ans.TopTag != "#go" {
+		t.Fatalf("query 102 = %+v", ans)
+	}
+}
+
+func TestStaleQueriesSeePreviousEpoch(t *testing.T) {
+	got := &answers{byID: make(map[int64]Answer)}
+	app, err := Build(cfg(), Stale, got.record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Scope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	app.Tweets.Send(tweet(1, []int64{2}, "#old"))
+	app.Advance()
+
+	// Wait until epoch 0 is complete so the stale table is epoch 0's.
+	app.Done.WaitFor(0)
+	// Epoch 1 changes the top tag, and asks a stale query in the same
+	// epoch: it must see epoch 0's table.
+	app.Tweets.Send(tweet(1, []int64{2}, "#new"), tweet(1, nil, "#new"))
+	app.Queries.Send(Query{ID: 7, User: 2})
+	app.Advance()
+	app.Close()
+	if err := app.Scope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	ans, ok := got.get(7)
+	if !ok {
+		t.Fatal("no answer")
+	}
+	if ans.Epoch != 0 || ans.TopTag != "#old" {
+		t.Fatalf("stale answer = %+v, want epoch 0's #old", ans)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Fresh.String() != "Fresh" || Stale.String() != "1s delay" {
+		t.Fatal("Policy.String")
+	}
+}

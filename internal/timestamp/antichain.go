@@ -1,0 +1,176 @@
+package timestamp
+
+import "sort"
+
+// Antichain is a set of mutually incomparable timestamps, maintained as the
+// minimal elements of everything inserted. It represents a frontier: times
+// at or beyond which messages may still appear.
+type Antichain struct {
+	mins []Timestamp
+}
+
+// NewAntichain returns an antichain holding the minimal elements of ts.
+func NewAntichain(ts ...Timestamp) *Antichain {
+	a := &Antichain{}
+	for _, t := range ts {
+		a.Insert(t)
+	}
+	return a
+}
+
+// Insert adds t unless it is dominated; it evicts elements t dominates.
+// It reports whether the antichain changed.
+func (a *Antichain) Insert(t Timestamp) bool {
+	for _, m := range a.mins {
+		if m.LessEq(t) {
+			return false
+		}
+	}
+	kept := a.mins[:0]
+	for _, m := range a.mins {
+		if !t.LessEq(m) {
+			kept = append(kept, m)
+		}
+	}
+	a.mins = append(kept, t)
+	return true
+}
+
+// LessEqAny reports whether some element of the antichain is ≤ t, i.e.
+// whether t is at or beyond the frontier.
+func (a *Antichain) LessEqAny(t Timestamp) bool {
+	for _, m := range a.mins {
+		if m.LessEq(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LessAny reports whether some element of the antichain is strictly < t.
+func (a *Antichain) LessAny(t Timestamp) bool {
+	for _, m := range a.mins {
+		if m.Less(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether t is an element of the antichain.
+func (a *Antichain) Contains(t Timestamp) bool {
+	for _, m := range a.mins {
+		if m == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Elements returns the antichain's elements sorted by Compare. The returned
+// slice is freshly allocated.
+func (a *Antichain) Elements() []Timestamp {
+	out := append([]Timestamp(nil), a.mins...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Len returns the number of elements.
+func (a *Antichain) Len() int { return len(a.mins) }
+
+// Empty reports whether the antichain has no elements (a closed frontier:
+// no further times can appear).
+func (a *Antichain) Empty() bool { return len(a.mins) == 0 }
+
+// Clear removes all elements.
+func (a *Antichain) Clear() { a.mins = a.mins[:0] }
+
+// Equal reports whether two antichains hold the same elements.
+func (a *Antichain) Equal(b *Antichain) bool {
+	if len(a.mins) != len(b.mins) {
+		return false
+	}
+	for _, m := range a.mins {
+		if !b.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// MutableAntichain tracks a multiset of timestamps under ±count updates and
+// maintains the antichain of minimal elements with non-zero net count. This
+// is the bookkeeping a vertex needs to observe an input frontier that the
+// progress tracker reports incrementally.
+type MutableAntichain struct {
+	counts   map[Timestamp]int64
+	frontier Antichain
+	dirty    bool
+}
+
+// NewMutableAntichain returns an empty multiset with an empty frontier.
+func NewMutableAntichain() *MutableAntichain {
+	return &MutableAntichain{counts: make(map[Timestamp]int64)}
+}
+
+// Update adjusts the multiplicity of t by delta and reports whether the
+// frontier may have changed (precisely: whether it changed).
+func (m *MutableAntichain) Update(t Timestamp, delta int64) bool {
+	if delta == 0 {
+		return false
+	}
+	prev := m.counts[t]
+	next := prev + delta
+	if next < 0 {
+		panic("timestamp: MutableAntichain count went negative")
+	}
+	if next == 0 {
+		delete(m.counts, t)
+	} else {
+		m.counts[t] = next
+	}
+	appeared := prev == 0 && next > 0
+	vanished := prev > 0 && next == 0
+	if !appeared && !vanished {
+		return false
+	}
+	if appeared && !vanished {
+		// A new time can only change the frontier if not already covered.
+		if m.frontier.LessEqAny(t) && !m.frontier.Contains(t) {
+			return false
+		}
+	}
+	old := append([]Timestamp(nil), m.frontier.mins...)
+	m.rebuild()
+	if len(old) != len(m.frontier.mins) {
+		return true
+	}
+	for _, t := range old {
+		if !m.frontier.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *MutableAntichain) rebuild() {
+	m.frontier.Clear()
+	for t := range m.counts {
+		m.frontier.Insert(t)
+	}
+}
+
+// Frontier returns the current antichain of minimal live timestamps. The
+// returned value is owned by the MutableAntichain and must not be retained
+// across updates.
+func (m *MutableAntichain) Frontier() *Antichain { return &m.frontier }
+
+// LessEqAny reports whether some live timestamp is ≤ t, i.e. whether work
+// at time t must still be expected.
+func (m *MutableAntichain) LessEqAny(t Timestamp) bool { return m.frontier.LessEqAny(t) }
+
+// Empty reports whether no timestamps are live.
+func (m *MutableAntichain) Empty() bool { return m.frontier.Empty() }
+
+// Count returns the net multiplicity of t.
+func (m *MutableAntichain) Count(t Timestamp) int64 { return m.counts[t] }

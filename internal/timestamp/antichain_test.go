@@ -1,0 +1,157 @@
+package timestamp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAntichainInsert(t *testing.T) {
+	a := NewAntichain()
+	if !a.Insert(Make(0, 2)) {
+		t.Fatal("insert into empty should change")
+	}
+	if a.Insert(Make(0, 3)) {
+		t.Fatal("dominated insert should not change")
+	}
+	if !a.Insert(Make(0, 1)) {
+		t.Fatal("dominating insert should change")
+	}
+	if a.Len() != 1 || !a.Contains(Make(0, 1)) {
+		t.Fatalf("antichain = %v", a.Elements())
+	}
+	// Incomparable element (later epoch, smaller counter).
+	if !a.Insert(Make(1, 0)) {
+		t.Fatal("incomparable insert should change")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("len = %d", a.Len())
+	}
+}
+
+func TestAntichainQueries(t *testing.T) {
+	a := NewAntichain(Make(0, 2), Make(1, 0))
+	if !a.LessEqAny(Make(0, 2)) || !a.LessEqAny(Make(1, 7)) {
+		t.Error("LessEqAny false negatives")
+	}
+	if a.LessEqAny(Make(0, 1)) {
+		t.Error("LessEqAny false positive")
+	}
+	if a.LessAny(Make(0, 2)) {
+		t.Error("LessAny should be strict")
+	}
+	if !a.LessAny(Make(0, 3)) {
+		t.Error("LessAny false negative")
+	}
+	b := NewAntichain(Make(1, 0), Make(0, 2))
+	if !a.Equal(b) {
+		t.Error("Equal should ignore order")
+	}
+	b.Insert(Make(0, 0))
+	if a.Equal(b) {
+		t.Error("Equal false positive")
+	}
+}
+
+func TestAntichainElementsSorted(t *testing.T) {
+	a := NewAntichain(Make(1, 0), Make(0, 2))
+	el := a.Elements()
+	if len(el) != 2 || el[0] != Make(0, 2) || el[1] != Make(1, 0) {
+		t.Fatalf("Elements = %v", el)
+	}
+}
+
+// Property: every inserted element is either in the antichain or dominated
+// by a member; members are mutually incomparable.
+func TestAntichainInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		a := NewAntichain()
+		var inserted []Timestamp
+		for i := 0; i < 20; i++ {
+			ts := randTimestamp(r, 2)
+			a.Insert(ts)
+			inserted = append(inserted, ts)
+		}
+		for _, ts := range inserted {
+			if !a.LessEqAny(ts) {
+				t.Fatalf("inserted %v not covered by %v", ts, a.Elements())
+			}
+		}
+		el := a.Elements()
+		for i := range el {
+			for j := range el {
+				if i != j && el[i].LessEq(el[j]) {
+					t.Fatalf("members comparable: %v ≤ %v", el[i], el[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMutableAntichainFrontierMoves(t *testing.T) {
+	m := NewMutableAntichain()
+	if !m.Empty() {
+		t.Fatal("new multiset should be empty")
+	}
+	if !m.Update(Make(0, 0), 1) {
+		t.Fatal("first insert changes frontier")
+	}
+	if m.Update(Make(0, 1), 1) {
+		t.Fatal("dominated time should not change frontier")
+	}
+	if m.Count(Make(0, 1)) != 1 {
+		t.Fatal("count should still be tracked")
+	}
+	// Removing the minimal element exposes the dominated one.
+	if !m.Update(Make(0, 0), -1) {
+		t.Fatal("removing minimum changes frontier")
+	}
+	if !m.Frontier().Contains(Make(0, 1)) {
+		t.Fatalf("frontier = %v", m.Frontier().Elements())
+	}
+	if !m.Update(Make(0, 1), -1) {
+		t.Fatal("draining changes frontier")
+	}
+	if !m.Empty() {
+		t.Fatal("drained multiset should be empty")
+	}
+}
+
+func TestMutableAntichainNegativePanics(t *testing.T) {
+	m := NewMutableAntichain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative count")
+		}
+	}()
+	m.Update(Root(0), -1)
+}
+
+// Property: the frontier of a MutableAntichain equals the antichain of
+// times with positive count, under arbitrary interleaved updates.
+func TestMutableAntichainMatchesRecomputation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := NewMutableAntichain()
+		ref := map[Timestamp]int64{}
+		for i := 0; i < 50; i++ {
+			ts := randTimestamp(r, 1)
+			var delta int64 = 1
+			if ref[ts] > 0 && r.Intn(2) == 0 {
+				delta = -1
+			}
+			m.Update(ts, delta)
+			ref[ts] += delta
+			if ref[ts] == 0 {
+				delete(ref, ts)
+			}
+		}
+		want := NewAntichain()
+		for ts := range ref {
+			want.Insert(ts)
+		}
+		if !m.Frontier().Equal(want) {
+			t.Fatalf("frontier %v, want %v", m.Frontier().Elements(), want.Elements())
+		}
+	}
+}

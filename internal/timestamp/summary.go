@@ -1,0 +1,199 @@
+package timestamp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary is the canonical form of a path summary (§2.3): the effect on a
+// timestamp of traversing some path through ingress, egress, and feedback
+// vertices. Every such composite reduces to
+//
+//	keep the first Truncate loop counters of the input,
+//	add Delta to the surviving innermost counter (counter Truncate-1),
+//	append ConstLen constant counters Consts[0..ConstLen).
+//
+// Egress pops discard any increments accumulated on the popped counter,
+// which is why a single Delta on the surviving boundary suffices.
+type Summary struct {
+	Truncate uint8
+	Delta    int64
+	ConstLen uint8
+	Consts   [MaxLoopDepth]int64
+}
+
+// Identity returns the summary of the empty path at a location with the
+// given loop depth.
+func Identity(depth uint8) Summary {
+	return Summary{Truncate: depth}
+}
+
+// InputDepth reports the loop depth of timestamps the summary applies to.
+// The canonical form does not retain it beyond Truncate, so summaries built
+// by composition track it implicitly; structural constructors know it.
+func (s Summary) OutputDepth() uint8 { return s.Truncate + s.ConstLen }
+
+// ThenIngress extends the path with an ingress vertex (push a 0 counter).
+func (s Summary) ThenIngress() Summary {
+	if s.OutputDepth() >= MaxLoopDepth {
+		panic("timestamp: summary nesting exceeds MaxLoopDepth")
+	}
+	s.Consts[s.ConstLen] = 0
+	s.ConstLen++
+	return s
+}
+
+// ThenEgress extends the path with an egress vertex (pop a counter).
+// Popping the boundary counter discards its accumulated Delta.
+func (s Summary) ThenEgress() Summary {
+	if s.ConstLen > 0 {
+		s.ConstLen--
+		s.Consts[s.ConstLen] = 0
+		return s
+	}
+	if s.Truncate == 0 {
+		panic("timestamp: summary egress below depth 0")
+	}
+	s.Truncate--
+	s.Delta = 0
+	return s
+}
+
+// ThenFeedback extends the path with a feedback vertex (increment the
+// innermost counter).
+func (s Summary) ThenFeedback() Summary {
+	if s.ConstLen > 0 {
+		s.Consts[s.ConstLen-1]++
+		return s
+	}
+	if s.Truncate == 0 {
+		panic("timestamp: summary feedback at depth 0")
+	}
+	s.Delta++
+	return s
+}
+
+// Then composes path summaries: (s.Then(u))(t) == u(s(t)). u's input depth
+// must equal s's output depth.
+func (s Summary) Then(u Summary) Summary {
+	if u.Truncate <= s.Truncate {
+		out := Summary{Truncate: u.Truncate, Delta: u.Delta, ConstLen: u.ConstLen, Consts: u.Consts}
+		if u.Truncate == s.Truncate {
+			out.Delta += s.Delta
+		}
+		return out
+	}
+	// u keeps all of s's surviving counters plus some of s's constants.
+	keep := u.Truncate - s.Truncate // constants of s that survive
+	if keep > s.ConstLen {
+		panic(fmt.Sprintf("timestamp: composing summaries with mismatched depths (%d > %d)", u.Truncate, s.OutputDepth()))
+	}
+	out := Summary{Truncate: s.Truncate, Delta: s.Delta}
+	for i := uint8(0); i < keep; i++ {
+		out.Consts[i] = s.Consts[i]
+	}
+	out.Consts[keep-1] += u.Delta
+	for i := uint8(0); i < u.ConstLen; i++ {
+		out.Consts[keep+i] = u.Consts[i]
+	}
+	out.ConstLen = keep + u.ConstLen
+	return out
+}
+
+// Apply transforms a timestamp along the summarized path. The timestamp's
+// depth must be at least Truncate; the result has depth OutputDepth().
+func (s Summary) Apply(t Timestamp) Timestamp {
+	if t.Depth < s.Truncate {
+		panic(fmt.Sprintf("timestamp: applying summary (truncate %d) to %v", s.Truncate, t))
+	}
+	out := Timestamp{Epoch: t.Epoch, Depth: s.Truncate}
+	copy(out.Counters[:s.Truncate], t.Counters[:s.Truncate])
+	if s.Truncate > 0 {
+		out.Counters[s.Truncate-1] += s.Delta
+	}
+	for i := uint8(0); i < s.ConstLen; i++ {
+		out.Counters[out.Depth] = s.Consts[i]
+		out.Depth++
+	}
+	return out
+}
+
+// LessEq reports whether s(t) ≤ u(t) for every timestamp t, for summaries
+// with equal Truncate (summaries between the same pair of locations that
+// truncate to different depths are treated as incomparable, a conservative
+// choice that only affects antichain compactness, never correctness).
+func (s Summary) LessEq(u Summary) bool {
+	if s.Truncate != u.Truncate || s.ConstLen != u.ConstLen {
+		return false
+	}
+	if s.Delta != u.Delta {
+		return s.Delta < u.Delta
+	}
+	return lexLessEq(s.Consts[:s.ConstLen], u.Consts[:u.ConstLen])
+}
+
+// String renders the summary, e.g. "keep 2 +1 ++<0>".
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "keep %d", s.Truncate)
+	if s.Delta != 0 {
+		fmt.Fprintf(&sb, " +%d", s.Delta)
+	}
+	if s.ConstLen > 0 {
+		sb.WriteString(" ++<")
+		for i := uint8(0); i < s.ConstLen; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", s.Consts[i])
+		}
+		sb.WriteString(">")
+	}
+	return sb.String()
+}
+
+// SummarySet is an antichain of path summaries: the minimal summaries over
+// all paths between a pair of locations. could-result-in holds if any
+// member maps the source time at or below the target time.
+type SummarySet struct {
+	mins []Summary
+}
+
+// Insert adds s, dropping it if dominated and evicting members it
+// dominates. It reports whether the set changed.
+func (ss *SummarySet) Insert(s Summary) bool {
+	for _, m := range ss.mins {
+		if m.LessEq(s) {
+			return false
+		}
+	}
+	kept := ss.mins[:0]
+	for _, m := range ss.mins {
+		if !s.LessEq(m) {
+			kept = append(kept, m)
+		}
+	}
+	ss.mins = append(kept, s)
+	return true
+}
+
+// Elements returns the minimal summaries. The slice is owned by the set.
+func (ss *SummarySet) Elements() []Summary { return ss.mins }
+
+// Empty reports whether no path exists (the set has no summaries).
+func (ss *SummarySet) Empty() bool { return len(ss.mins) == 0 }
+
+// CouldResultIn reports whether a pointstamp at time t at the set's source
+// location could lead to one at or before time u at its target location:
+// ∃ s ∈ set, s(t) ≤ u.
+func (ss *SummarySet) CouldResultIn(t, u Timestamp) bool {
+	for _, s := range ss.mins {
+		if s.Truncate > t.Depth {
+			continue
+		}
+		if s.Apply(t).LessEq(u) {
+			return true
+		}
+	}
+	return false
+}

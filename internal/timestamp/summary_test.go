@@ -1,0 +1,205 @@
+package timestamp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentitySummary(t *testing.T) {
+	id := Identity(2)
+	ts := Make(5, 3, 4)
+	if got := id.Apply(ts); got != ts {
+		t.Fatalf("identity.Apply(%v) = %v", ts, got)
+	}
+	if id.OutputDepth() != 2 {
+		t.Fatalf("OutputDepth = %d", id.OutputDepth())
+	}
+}
+
+func TestStructuralActions(t *testing.T) {
+	ts := Make(1, 2)
+	in := Identity(1).ThenIngress()
+	if got := in.Apply(ts); got != Make(1, 2, 0) {
+		t.Fatalf("ingress: %v", got)
+	}
+	eg := Identity(1).ThenEgress()
+	if got := eg.Apply(ts); got != Root(1) {
+		t.Fatalf("egress: %v", got)
+	}
+	fb := Identity(1).ThenFeedback()
+	if got := fb.Apply(ts); got != Make(1, 3) {
+		t.Fatalf("feedback: %v", got)
+	}
+}
+
+// A loop body path ingress→feedback→feedback→egress collapses to identity
+// with the inner activity erased: the pops discard inner increments.
+func TestEgressDiscardsInnerIncrements(t *testing.T) {
+	s := Identity(1).ThenIngress().ThenFeedback().ThenFeedback().ThenEgress()
+	if s != Identity(1) {
+		t.Fatalf("got %v, want identity", s)
+	}
+}
+
+// feedback then egress ≠ egress then feedback: order matters and the
+// canonical form captures it.
+func TestCanonicalFormOrderSensitivity(t *testing.T) {
+	fbEg := Identity(2).ThenFeedback().ThenEgress()
+	egFb := Identity(2).ThenEgress().ThenFeedback()
+	ts := Make(0, 1, 1)
+	if got := fbEg.Apply(ts); got != Make(0, 1) {
+		t.Fatalf("fb;eg: %v", got)
+	}
+	if got := egFb.Apply(ts); got != Make(0, 2) {
+		t.Fatalf("eg;fb: %v", got)
+	}
+}
+
+// randSummary builds a summary by composing random structural actions,
+// returning it along with the input depth it expects.
+func randSummary(r *rand.Rand, inDepth uint8) Summary {
+	s := Identity(inDepth)
+	for i := 0; i < r.Intn(8); i++ {
+		switch r.Intn(3) {
+		case 0:
+			if s.OutputDepth() < MaxLoopDepth {
+				s = s.ThenIngress()
+			}
+		case 1:
+			if s.OutputDepth() > 0 {
+				s = s.ThenEgress()
+			}
+		case 2:
+			if s.OutputDepth() > 0 {
+				s = s.ThenFeedback()
+			}
+		}
+	}
+	return s
+}
+
+// Property: composition via Then agrees with sequential Apply.
+func TestThenAgreesWithSequentialApply(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		d := uint8(r.Intn(3))
+		s1 := randSummary(r, d)
+		s2 := randSummary(r, s1.OutputDepth())
+		ts := randTimestamp(r, d)
+		want := s2.Apply(s1.Apply(ts))
+		got := s1.Then(s2).Apply(ts)
+		if got != want {
+			t.Fatalf("(%v).Then(%v).Apply(%v) = %v, want %v", s1, s2, ts, got, want)
+		}
+	}
+}
+
+// Property: canonical composition of structural steps equals step-by-step
+// application for explicitly enumerated op sequences.
+func TestCanonicalFormMatchesOpSequence(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		d := uint8(r.Intn(3))
+		ts := randTimestamp(r, d)
+		s := Identity(d)
+		want := ts
+		for j := 0; j < r.Intn(10); j++ {
+			switch r.Intn(3) {
+			case 0:
+				if want.Depth < MaxLoopDepth {
+					s = s.ThenIngress()
+					want = want.PushLoop()
+				}
+			case 1:
+				if want.Depth > 0 {
+					s = s.ThenEgress()
+					want = want.PopLoop()
+				}
+			case 2:
+				if want.Depth > 0 {
+					s = s.ThenFeedback()
+					want = want.Tick()
+				}
+			}
+		}
+		if got := s.Apply(ts); got != want {
+			t.Fatalf("summary %v applied to %v = %v, want %v", s, ts, got, want)
+		}
+	}
+}
+
+// Property: if s1.LessEq(s2) then s1(t) ≤ t2(t) for all t (soundness of the
+// summary order).
+func TestSummaryLessEqSound(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		d := uint8(1 + r.Intn(2))
+		s1, s2 := randSummary(r, d), randSummary(r, d)
+		if !s1.LessEq(s2) {
+			continue
+		}
+		ts := randTimestamp(r, d)
+		if !s1.Apply(ts).LessEq(s2.Apply(ts)) {
+			t.Fatalf("s1=%v ≤ s2=%v but s1(%v)=%v > s2(%v)=%v",
+				s1, s2, ts, s1.Apply(ts), ts, s2.Apply(ts))
+		}
+	}
+}
+
+func TestSummarySetKeepsMinimal(t *testing.T) {
+	var ss SummarySet
+	big := Identity(1).ThenFeedback().ThenFeedback() // +2
+	small := Identity(1).ThenFeedback()              // +1
+	if !ss.Insert(big) {
+		t.Fatal("first insert should change the set")
+	}
+	if !ss.Insert(small) {
+		t.Fatal("dominating insert should change the set")
+	}
+	if ss.Insert(big) {
+		t.Fatal("dominated insert should be dropped")
+	}
+	if len(ss.Elements()) != 1 || ss.Elements()[0] != small {
+		t.Fatalf("elements = %v", ss.Elements())
+	}
+}
+
+func TestSummarySetCouldResultIn(t *testing.T) {
+	var ss SummarySet
+	ss.Insert(Identity(1).ThenFeedback()) // +1 on the loop counter
+	if !ss.CouldResultIn(Make(0, 1), Make(0, 2)) {
+		t.Error("(0,1)+1 should reach (0,2)")
+	}
+	if ss.CouldResultIn(Make(0, 1), Make(0, 1)) {
+		t.Error("(0,1)+1 must not reach (0,1)")
+	}
+	if ss.CouldResultIn(Make(1, 1), Make(0, 5)) {
+		t.Error("later epoch must not reach earlier epoch")
+	}
+	var empty SummarySet
+	if empty.CouldResultIn(Root(0), Root(9)) {
+		t.Error("empty set: no path, no could-result-in")
+	}
+	if !empty.Empty() || ss.Empty() {
+		t.Error("Empty() mismatch")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Identity(1).ThenFeedback().ThenIngress()
+	if got := s.String(); got != "keep 1 +1 ++<0>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestThenPanicsOnDepthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	// s outputs depth 1; u wants to keep 3 original counters.
+	s := Identity(1)
+	u := Identity(3)
+	_ = s.Then(u)
+}

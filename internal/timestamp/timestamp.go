@@ -1,0 +1,173 @@
+// Package timestamp implements the logical timestamps of timely dataflow
+// (Naiad, SOSP 2013, §2.1): an input epoch paired with one loop counter per
+// enclosing loop context, together with the partial order the paper defines
+// over them, canonical path summaries (§2.3), and antichains of both.
+//
+// Timestamps are fixed-capacity value types so they are comparable with ==
+// and can key Go maps without allocation.
+package timestamp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxLoopDepth is the maximum loop-context nesting the runtime supports.
+// Four levels is far deeper than any workload in the paper requires (the
+// deepest published example nests two loops).
+const MaxLoopDepth = 4
+
+// Timestamp is a logical time (e, ⟨c1, …, ck⟩): the input epoch e plus one
+// counter per loop context enclosing the location the time is observed at.
+// Depth records k. Counters beyond Depth must be zero, which == equality
+// relies on.
+type Timestamp struct {
+	Epoch    int64
+	Depth    uint8
+	Counters [MaxLoopDepth]int64
+}
+
+// Root returns the timestamp (epoch, ⟨⟩) at the outermost streaming context.
+func Root(epoch int64) Timestamp {
+	return Timestamp{Epoch: epoch}
+}
+
+// Make builds a timestamp from an epoch and explicit loop counters.
+// It panics if more than MaxLoopDepth counters are supplied.
+func Make(epoch int64, counters ...int64) Timestamp {
+	if len(counters) > MaxLoopDepth {
+		panic(fmt.Sprintf("timestamp: %d loop counters exceeds MaxLoopDepth %d", len(counters), MaxLoopDepth))
+	}
+	t := Timestamp{Epoch: epoch, Depth: uint8(len(counters))}
+	copy(t.Counters[:], counters)
+	return t
+}
+
+// PushLoop enters a loop context: (e, ⟨c1..ck⟩) → (e, ⟨c1..ck, 0⟩).
+// This is the timestamp action of an ingress vertex.
+func (t Timestamp) PushLoop() Timestamp {
+	if t.Depth >= MaxLoopDepth {
+		panic("timestamp: loop nesting exceeds MaxLoopDepth")
+	}
+	t.Counters[t.Depth] = 0
+	t.Depth++
+	return t
+}
+
+// PopLoop leaves a loop context: (e, ⟨c1..ck+1⟩) → (e, ⟨c1..ck⟩).
+// This is the timestamp action of an egress vertex.
+func (t Timestamp) PopLoop() Timestamp {
+	if t.Depth == 0 {
+		panic("timestamp: PopLoop at depth 0")
+	}
+	t.Depth--
+	t.Counters[t.Depth] = 0
+	return t
+}
+
+// Tick increments the innermost loop counter:
+// (e, ⟨c1..ck⟩) → (e, ⟨c1..ck+1⟩). This is the action of a feedback vertex.
+func (t Timestamp) Tick() Timestamp {
+	if t.Depth == 0 {
+		panic("timestamp: Tick at depth 0")
+	}
+	t.Counters[t.Depth-1]++
+	return t
+}
+
+// Inner returns the innermost loop counter. It panics at depth 0.
+func (t Timestamp) Inner() int64 {
+	if t.Depth == 0 {
+		panic("timestamp: Inner at depth 0")
+	}
+	return t.Counters[t.Depth-1]
+}
+
+// WithInner returns t with the innermost loop counter set to c.
+func (t Timestamp) WithInner(c int64) Timestamp {
+	if t.Depth == 0 {
+		panic("timestamp: WithInner at depth 0")
+	}
+	t.Counters[t.Depth-1] = c
+	return t
+}
+
+// LessEq reports whether t ≤ u in the timely dataflow partial order for two
+// timestamps in the same context: epochs ordered by ≤ and loop counters by
+// the lexicographic order on integer sequences (§2.1). Timestamps of
+// different depth are never ordered; callers compare times at a common
+// graph location, where depth always agrees.
+func (t Timestamp) LessEq(u Timestamp) bool {
+	if t.Depth != u.Depth {
+		return false
+	}
+	if t.Epoch > u.Epoch {
+		return false
+	}
+	return lexLessEq(t.Counters[:t.Depth], u.Counters[:u.Depth])
+}
+
+// Less reports t ≤ u and t ≠ u.
+func (t Timestamp) Less(u Timestamp) bool {
+	return t != u && t.LessEq(u)
+}
+
+// lexLessEq reports a ≤ b in the lexicographic order on equal-length
+// integer sequences.
+func lexLessEq(a, b []int64) bool {
+	for i := range a {
+		if a[i] < b[i] {
+			return true
+		}
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare totally orders timestamps for scheduling and deterministic
+// iteration: epoch first, then counters lexicographically, then depth.
+// This total order extends the partial order: t.LessEq(u) implies
+// Compare(t, u) <= 0 for equal depths.
+func (t Timestamp) Compare(u Timestamp) int {
+	switch {
+	case t.Epoch < u.Epoch:
+		return -1
+	case t.Epoch > u.Epoch:
+		return 1
+	}
+	d := min(t.Depth, u.Depth)
+	for i := uint8(0); i < d; i++ {
+		switch {
+		case t.Counters[i] < u.Counters[i]:
+			return -1
+		case t.Counters[i] > u.Counters[i]:
+			return 1
+		}
+	}
+	switch {
+	case t.Depth < u.Depth:
+		return -1
+	case t.Depth > u.Depth:
+		return 1
+	}
+	return 0
+}
+
+// String renders the timestamp as (e, ⟨c1,…,ck⟩).
+func (t Timestamp) String() string {
+	if t.Depth == 0 {
+		return fmt.Sprintf("(%d)", t.Epoch)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%d, <", t.Epoch)
+	for i := uint8(0); i < t.Depth; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", t.Counters[i])
+	}
+	sb.WriteString(">)")
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package timestamp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootAndMake(t *testing.T) {
+	r := Root(7)
+	if r.Epoch != 7 || r.Depth != 0 {
+		t.Fatalf("Root(7) = %v", r)
+	}
+	m := Make(3, 1, 2)
+	if m.Epoch != 3 || m.Depth != 2 || m.Counters[0] != 1 || m.Counters[1] != 2 {
+		t.Fatalf("Make(3,1,2) = %v", m)
+	}
+	if got := m.String(); got != "(3, <1,2>)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "(7)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMakePanicsBeyondMaxDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Make(0, 1, 2, 3, 4, 5)
+}
+
+func TestPushPopTick(t *testing.T) {
+	t0 := Root(1)
+	t1 := t0.PushLoop()
+	if t1 != Make(1, 0) {
+		t.Fatalf("PushLoop = %v", t1)
+	}
+	t2 := t1.Tick().Tick()
+	if t2 != Make(1, 2) {
+		t.Fatalf("Tick^2 = %v", t2)
+	}
+	if t2.Inner() != 2 {
+		t.Fatalf("Inner = %d", t2.Inner())
+	}
+	if got := t2.WithInner(9); got != Make(1, 9) {
+		t.Fatalf("WithInner = %v", got)
+	}
+	t3 := t2.PopLoop()
+	if t3 != t0 {
+		t.Fatalf("PopLoop = %v, want %v", t3, t0)
+	}
+	// Popped counters must be zeroed so == equality holds.
+	if t3 != Root(1) {
+		t.Fatalf("PopLoop left residue: %v", t3)
+	}
+}
+
+func TestStructuralPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"pop at 0":       func() { Root(0).PopLoop() },
+		"tick at 0":      func() { Root(0).Tick() },
+		"inner at 0":     func() { _ = Root(0).Inner() },
+		"withinner at 0": func() { _ = Root(0).WithInner(1) },
+		"push beyond":    func() { Make(0, 1, 1, 1, 1).PushLoop() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLessEqPartialOrder(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		le   bool
+	}{
+		{Root(0), Root(0), true},
+		{Root(0), Root(1), true},
+		{Root(1), Root(0), false},
+		{Make(0, 1), Make(0, 2), true},
+		{Make(0, 2), Make(0, 1), false},
+		{Make(0, 1, 5), Make(0, 2, 0), true}, // lexicographic
+		{Make(1, 0), Make(0, 5), false},      // epoch dominates: incomparable
+		{Make(0, 5), Make(1, 0), false},      // counters dominate: incomparable
+		{Make(0, 1), Make(0, 1, 0), false},   // different depth: unordered
+		{Make(2, 3, 4), Make(2, 3, 4), true}, // reflexive
+		{Make(1, 1, 1), Make(2, 1, 2), true}, // both components ≤
+	}
+	for _, c := range cases {
+		if got := c.a.LessEq(c.b); got != c.le {
+			t.Errorf("%v ≤ %v = %v, want %v", c.a, c.b, got, c.le)
+		}
+	}
+	if !Make(0, 1).Less(Make(0, 2)) || Make(0, 1).Less(Make(0, 1)) {
+		t.Error("Less is not strict")
+	}
+}
+
+func randTimestamp(r *rand.Rand, depth uint8) Timestamp {
+	t := Timestamp{Epoch: int64(r.Intn(4)), Depth: depth}
+	for i := uint8(0); i < depth; i++ {
+		t.Counters[i] = int64(r.Intn(4))
+	}
+	return t
+}
+
+// Property: LessEq is a partial order (reflexive, antisymmetric,
+// transitive) on same-depth timestamps.
+func TestLessEqIsPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		d := uint8(r.Intn(MaxLoopDepth + 1))
+		a, b, c := randTimestamp(r, d), randTimestamp(r, d), randTimestamp(r, d)
+		if !a.LessEq(a) {
+			t.Fatalf("not reflexive: %v", a)
+		}
+		if a.LessEq(b) && b.LessEq(a) && a != b {
+			t.Fatalf("not antisymmetric: %v %v", a, b)
+		}
+		if a.LessEq(b) && b.LessEq(c) && !a.LessEq(c) {
+			t.Fatalf("not transitive: %v %v %v", a, b, c)
+		}
+	}
+}
+
+// Property: Compare is a total order consistent with LessEq.
+func TestCompareConsistentWithLessEq(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		d := uint8(r.Intn(MaxLoopDepth + 1))
+		a, b := randTimestamp(r, d), randTimestamp(r, d)
+		ca, cb := a.Compare(b), b.Compare(a)
+		if ca != -cb {
+			t.Fatalf("Compare not antisymmetric: %v %v -> %d %d", a, b, ca, cb)
+		}
+		if (ca == 0) != (a == b) {
+			t.Fatalf("Compare zero iff equal failed: %v %v", a, b)
+		}
+		if a.LessEq(b) && ca > 0 {
+			t.Fatalf("Compare contradicts LessEq: %v %v", a, b)
+		}
+	}
+}
+
+func TestCompareAcrossDepths(t *testing.T) {
+	if Make(0, 1).Compare(Make(0, 1, 0)) >= 0 {
+		t.Error("shallower should compare first on shared prefix ties")
+	}
+	if Root(1).Compare(Root(0)) <= 0 {
+		t.Error("epoch should dominate Compare")
+	}
+}
+
+func TestQuickTickMonotone(t *testing.T) {
+	f := func(epoch int64, c0, c1 int64) bool {
+		if c0 < 0 {
+			c0 = -c0
+		}
+		if c1 < 0 {
+			c1 = -c1
+		}
+		ts := Make(epoch, c0, c1)
+		return ts.Less(ts.Tick()) && ts.Tick().Inner() == c1+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCP is a transport over real stdlib TCP sockets. Every ordered pair of
+// processes communicates over the connection dialed by the lower-indexed
+// endpoint; frames are length-prefixed and writes are serialized per
+// connection, so per-link FIFO order holds. Naiad disables Nagle's
+// algorithm to avoid small-message delays (§3.5); Go's net.TCPConn does so
+// by default (TCP_NODELAY on), which we keep.
+type TCP struct {
+	n        int
+	id       int // unused in all-in-one mode; kept for clarity
+	handlers []Handler
+	conns    [][]*tcpConn // [from][to], nil on diagonal
+	listener []net.Listener
+	stats    Stats
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// NewTCPLoopback constructs a transport for n processes all inside this OS
+// process, connected through real loopback TCP sockets. It exists to
+// exercise genuine socket behaviour (kernel buffering, framing, partial
+// reads) in tests and benchmarks; a production deployment would run one
+// process per machine with the same framing.
+func NewTCPLoopback(n int) (*TCP, error) {
+	t := &TCP{n: n, handlers: make([]Handler, n)}
+	t.conns = make([][]*tcpConn, n)
+	for i := range t.conns {
+		t.conns[i] = make([]*tcpConn, n)
+	}
+	t.listener = make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		t.listener[i] = l
+	}
+	// Dial: process i dials every j > i; both directions share the socket.
+	type accepted struct {
+		proc int
+		conn net.Conn
+		peer int
+	}
+	acceptCh := make(chan accepted, n*n)
+	errCh := make(chan error, n)
+	var acceptWG sync.WaitGroup
+	for j := 0; j < n; j++ {
+		acceptWG.Add(1)
+		go func(j int) {
+			defer acceptWG.Done()
+			for i := 0; i < j; i++ {
+				c, err := t.listener[j].Accept()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(c, hdr[:]); err != nil {
+					errCh <- err
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hdr[:]))
+				acceptCh <- accepted{proc: j, conn: c, peer: peer}
+			}
+		}(j)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c, err := net.Dial("tcp", t.listener[j].Addr().String())
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("transport: dial: %w", err)
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
+			if _, err := c.Write(hdr[:]); err != nil {
+				t.Close()
+				return nil, err
+			}
+			t.conns[i][j] = &tcpConn{w: bufio.NewWriter(c), c: c}
+		}
+	}
+	acceptWG.Wait()
+	close(acceptCh)
+	select {
+	case err := <-errCh:
+		t.Close()
+		return nil, err
+	default:
+	}
+	for a := range acceptCh {
+		// The accepted side reuses the same socket for its own sends.
+		t.conns[a.proc][a.peer] = &tcpConn{w: bufio.NewWriter(a.conn), c: a.conn}
+	}
+	return t, nil
+}
+
+// Processes returns the process count.
+func (t *TCP) Processes() int { return t.n }
+
+// SetHandler installs the consumer for proc and starts reader goroutines
+// for its inbound links.
+func (t *TCP) SetHandler(proc int, h Handler) {
+	if t.handlers[proc] != nil {
+		panic("transport: handler already set")
+	}
+	t.handlers[proc] = h
+	for from := 0; from < t.n; from++ {
+		if from == proc {
+			continue
+		}
+		// Each pair shares one socket; conns[proc][from] is proc's end of
+		// the socket to peer `from`, whichever side dialed. proc reads
+		// inbound frames from its own end.
+		conn := t.conns[proc][from]
+		t.wg.Add(1)
+		go t.readLoop(proc, from, conn.c)
+	}
+}
+
+func (t *TCP) readLoop(proc, from int, c net.Conn) {
+	defer t.wg.Done()
+	r := bufio.NewReader(c)
+	for {
+		var hdr [FrameOverhead]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		kind := Kind(hdr[0])
+		src := int(binary.LittleEndian.Uint32(hdr[1:5]))
+		size := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		if h := t.handlers[proc]; h != nil {
+			h(src, kind, payload)
+		}
+	}
+}
+
+// Send frames and writes the payload on the pairwise socket. Same-process
+// sends dispatch directly to the handler.
+func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
+	if t.closed.Load() {
+		return
+	}
+	if from == to {
+		cp := append([]byte(nil), payload...)
+		if h := t.handlers[to]; h != nil {
+			h(from, kind, cp)
+		}
+		return
+	}
+	conn := t.conns[from][to]
+	var hdr [FrameOverhead]byte
+	hdr[0] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(from))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	conn.mu.Lock()
+	_, err1 := conn.w.Write(hdr[:])
+	_, err2 := conn.w.Write(payload)
+	err3 := conn.w.Flush()
+	conn.mu.Unlock()
+	if err1 == nil && err2 == nil && err3 == nil {
+		t.stats.Count(kind, len(payload))
+	}
+}
+
+// Stats returns the traffic counters.
+func (t *TCP) Stats() *Stats { return &t.stats }
+
+// Close shuts down all sockets and waits for reader goroutines.
+func (t *TCP) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, l := range t.listener {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for i := range t.conns {
+		for j := range t.conns[i] {
+			if c := t.conns[i][j]; c != nil {
+				c.c.Close()
+			}
+		}
+	}
+	t.wg.Wait()
+}

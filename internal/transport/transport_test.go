@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector gathers delivered frames per process, thread-safely.
+type collector struct {
+	mu     sync.Mutex
+	frames []frame
+	signal chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{signal: make(chan struct{}, 1024)}
+}
+
+func (c *collector) handler(from int, kind Kind, payload []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, frame{from: from, kind: kind, payload: payload})
+	c.mu.Unlock()
+	c.signal <- struct{}{}
+}
+
+func (c *collector) waitFor(t *testing.T, n int) []frame {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.frames) >= n {
+			out := append([]frame(nil), c.frames...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.signal:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d frames", n)
+		}
+	}
+}
+
+func testTransportBasics(t *testing.T, mk func(n int) Transport) {
+	tr := mk(3)
+	defer tr.Close()
+	if tr.Processes() != 3 {
+		t.Fatalf("Processes = %d", tr.Processes())
+	}
+	cols := make([]*collector, 3)
+	for i := range cols {
+		cols[i] = newCollector()
+		tr.SetHandler(i, cols[i].handler)
+	}
+	tr.Send(0, 1, KindData, []byte("hello"))
+	tr.Send(2, 1, KindProgress, []byte("prog"))
+	tr.Send(1, 1, KindControl, []byte("self"))
+	frames := cols[1].waitFor(t, 3)
+	byKind := map[Kind]frame{}
+	for _, f := range frames {
+		byKind[f.kind] = f
+	}
+	if f := byKind[KindData]; f.from != 0 || string(f.payload) != "hello" {
+		t.Errorf("data frame = %+v", f)
+	}
+	if f := byKind[KindProgress]; f.from != 2 || string(f.payload) != "prog" {
+		t.Errorf("progress frame = %+v", f)
+	}
+	if f := byKind[KindControl]; f.from != 1 || string(f.payload) != "self" {
+		t.Errorf("control frame = %+v", f)
+	}
+}
+
+func testTransportFIFO(t *testing.T, mk func(n int) Transport) {
+	tr := mk(2)
+	defer tr.Close()
+	col := newCollector()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, col.handler)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Send(0, 1, KindData, []byte(fmt.Sprintf("%06d", i)))
+	}
+	frames := col.waitFor(t, n)
+	for i, f := range frames[:n] {
+		if string(f.payload) != fmt.Sprintf("%06d", i) {
+			t.Fatalf("frame %d out of order: %q", i, f.payload)
+		}
+	}
+}
+
+func testTransportStats(t *testing.T, mk func(n int) Transport) {
+	tr := mk(2)
+	defer tr.Close()
+	col := newCollector()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, col.handler)
+	tr.Send(0, 1, KindData, make([]byte, 100))
+	tr.Send(0, 0, KindData, make([]byte, 100)) // local: not counted
+	col.waitFor(t, 1)
+	st := tr.Stats()
+	if st.Frames(KindData) != 1 {
+		t.Fatalf("frames = %d", st.Frames(KindData))
+	}
+	if st.Bytes(KindData) != 100+FrameOverhead {
+		t.Fatalf("bytes = %d", st.Bytes(KindData))
+	}
+	if st.TotalBytes() != st.Bytes(KindData) {
+		t.Fatal("total mismatch")
+	}
+	st.Reset()
+	if st.TotalBytes() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func testTransportConcurrentSenders(t *testing.T, mk func(n int) Transport) {
+	tr := mk(4)
+	defer tr.Close()
+	cols := make([]*collector, 4)
+	for i := range cols {
+		cols[i] = newCollector()
+		tr.SetHandler(i, cols[i].handler)
+	}
+	const per = 200
+	var wg sync.WaitGroup
+	for from := 0; from < 4; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for to := 0; to < 4; to++ {
+					tr.Send(from, to, KindData, []byte{byte(from), byte(i)})
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	for toIdx, col := range cols {
+		frames := col.waitFor(t, 4*per)
+		// Per-source FIFO: frames from each source arrive in send order.
+		next := map[int]int{}
+		for _, f := range frames {
+			if int(f.payload[1]) != next[f.from] {
+				t.Fatalf("to %d: frame from %d out of order: got %d want %d",
+					toIdx, f.from, f.payload[1], next[f.from])
+			}
+			next[f.from]++
+		}
+	}
+}
+
+func TestMemBasics(t *testing.T) { testTransportBasics(t, func(n int) Transport { return NewMem(n) }) }
+func TestMemFIFO(t *testing.T)   { testTransportFIFO(t, func(n int) Transport { return NewMem(n) }) }
+func TestMemStats(t *testing.T)  { testTransportStats(t, func(n int) Transport { return NewMem(n) }) }
+func TestMemConcurrent(t *testing.T) {
+	testTransportConcurrentSenders(t, func(n int) Transport { return NewMem(n) })
+}
+
+func mkTCP(t *testing.T) func(n int) Transport {
+	return func(n int) Transport {
+		tr, err := NewTCPLoopback(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+}
+
+func TestTCPBasics(t *testing.T) { testTransportBasics(t, mkTCP(t)) }
+func TestTCPFIFO(t *testing.T)   { testTransportFIFO(t, mkTCP(t)) }
+func TestTCPStats(t *testing.T)  { testTransportStats(t, mkTCP(t)) }
+func TestTCPConcurrent(t *testing.T) {
+	testTransportConcurrentSenders(t, mkTCP(t))
+}
+
+func TestMemSendAfterCloseDropped(t *testing.T) {
+	tr := NewMem(2)
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, func(int, Kind, []byte) {})
+	tr.Close()
+	tr.Send(0, 1, KindData, []byte("late")) // must not panic
+	tr.Close()                              // idempotent
+}
+
+func TestMemPayloadCopied(t *testing.T) {
+	tr := NewMem(2)
+	defer tr.Close()
+	col := newCollector()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, col.handler)
+	buf := []byte("mutate-me")
+	tr.Send(0, 1, KindData, buf)
+	buf[0] = 'X'
+	frames := col.waitFor(t, 1)
+	if string(frames[0].payload) != "mutate-me" {
+		t.Fatalf("payload aliased sender buffer: %q", frames[0].payload)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindProgress.String() != "progress" ||
+		KindControl.String() != "control" || Kind(9).String() != "kind(9)" {
+		t.Fatal("Kind.String")
+	}
+}
+
+func TestDoubleHandlerPanics(t *testing.T) {
+	tr := NewMem(1)
+	defer tr.Close()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+}

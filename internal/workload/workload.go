@@ -1,0 +1,248 @@
+// Package workload generates the synthetic datasets the experiments run
+// on: random and power-law graphs (standing in for the ClueWeb and Twitter
+// follower graphs), a tweet stream with hashtags and mentions (standing in
+// for the Twitter firehose), and a word corpus (standing in for the
+// WordCount input). All generators are deterministic given a seed, so
+// experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Edge is a directed graph edge.
+type Edge struct {
+	Src, Dst int64
+}
+
+// RandomGraph generates a uniform random directed graph with the given
+// node and edge counts — the WCC input of §5.3/§5.4.
+func RandomGraph(seed int64, nodes, edges int) []Edge {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Edge, edges)
+	for i := range out {
+		out[i] = Edge{Src: int64(r.Intn(nodes)), Dst: int64(r.Intn(nodes))}
+	}
+	return out
+}
+
+// PowerLawGraph generates a graph whose in-degrees follow a Zipf
+// distribution with the given exponent — the skew that makes the Twitter
+// follower graph hard to partition (§6.1).
+func PowerLawGraph(seed int64, nodes, edges int, exponent float64) []Edge {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, exponent, 1, uint64(nodes-1))
+	out := make([]Edge, edges)
+	for i := range out {
+		out[i] = Edge{Src: int64(r.Intn(nodes)), Dst: int64(z.Uint64())}
+	}
+	return out
+}
+
+// ChainGraph generates c chains of the given length, useful for stressing
+// iteration counts: WCC on a chain needs ~length iterations to converge.
+func ChainGraph(chains, length int) []Edge {
+	var out []Edge
+	for c := 0; c < chains; c++ {
+		base := int64(c * length)
+		for i := 0; i < length-1; i++ {
+			out = append(out, Edge{Src: base + int64(i), Dst: base + int64(i) + 1})
+		}
+	}
+	return out
+}
+
+// CycleGraph generates c disjoint directed cycles of the given length —
+// the worst case for SCC trimming, and a multi-component WCC input.
+func CycleGraph(cycles, length int) []Edge {
+	var out []Edge
+	for c := 0; c < cycles; c++ {
+		base := int64(c * length)
+		for i := 0; i < length; i++ {
+			out = append(out, Edge{Src: base + int64(i), Dst: base + int64((i+1)%length)})
+		}
+	}
+	return out
+}
+
+// Tweet is one synthetic social-stream record: a user posting text that
+// mentions other users and uses hashtags (§6.3, §6.4).
+type Tweet struct {
+	User     int64
+	Mentions []int64
+	Hashtags []string
+}
+
+// TweetGen produces a deterministic stream of tweets over a fixed user
+// population with Zipf-distributed popularity, mimicking the skew of a
+// real social network.
+type TweetGen struct {
+	r        *rand.Rand
+	users    *rand.Zipf
+	hashtags *rand.Zipf
+	numTags  int
+}
+
+// NewTweetGen builds a generator over the given user population and
+// hashtag vocabulary size.
+func NewTweetGen(seed int64, users, hashtags int) *TweetGen {
+	r := rand.New(rand.NewSource(seed))
+	return &TweetGen{
+		r:        r,
+		users:    rand.NewZipf(r, 1.2, 8, uint64(users-1)),
+		hashtags: rand.NewZipf(r, 1.3, 4, uint64(hashtags-1)),
+		numTags:  hashtags,
+	}
+}
+
+// Next generates one tweet.
+func (g *TweetGen) Next() Tweet {
+	t := Tweet{User: int64(g.users.Uint64())}
+	nm := g.r.Intn(3)
+	for i := 0; i < nm; i++ {
+		t.Mentions = append(t.Mentions, int64(g.users.Uint64()))
+	}
+	nh := 1 + g.r.Intn(2)
+	for i := 0; i < nh; i++ {
+		t.Hashtags = append(t.Hashtags, fmt.Sprintf("#tag%d", g.hashtags.Uint64()))
+	}
+	return t
+}
+
+// Batch generates n tweets.
+func (g *TweetGen) Batch(n int) []Tweet {
+	out := make([]Tweet, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Documents generates n synthetic documents of the given word count each,
+// with Zipf-distributed word frequencies — the WordCount corpus (§5.4).
+func Documents(seed int64, n, wordsPerDoc, vocabulary int) []string {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 16, uint64(vocabulary-1))
+	out := make([]string, n)
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		for w := 0; w < wordsPerDoc; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "w%d", z.Uint64())
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// Vectors generates n dense float64 vectors of the given dimension with
+// standard-normal entries — the logistic-regression update vectors of
+// §6.2.
+func Vectors(seed int64, n, dim int) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Records generates n distinct int64 records for the throughput experiment
+// (§5.1's 8-byte records).
+func Records(seed int64, n int) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
+}
+
+// ExpectedWCC computes connected components of an edge list sequentially
+// with union-find, for validating the dataflow implementations. It returns
+// the minimum reachable node id for every node that appears in any edge,
+// treating edges as undirected (weak connectivity).
+func ExpectedWCC(edges []Edge) map[int64]int64 {
+	parent := make(map[int64]int64)
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Point the larger id at the smaller so roots are minima.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range edges {
+		union(e.Src, e.Dst)
+	}
+	out := make(map[int64]int64, len(parent))
+	for n := range parent {
+		out[n] = find(n)
+	}
+	return out
+}
+
+// ExpectedPageRank computes reference PageRank sequentially for the given
+// number of iterations with damping d, uniform teleport, and dangling-mass
+// redistribution matching the dataflow implementation (dangling nodes'
+// rank is not redistributed; it simply leaks, as in the paper's sparse
+// formulation).
+func ExpectedPageRank(edges []Edge, nodes int64, iters int, d float64) []float64 {
+	outDeg := make([]int64, nodes)
+	for _, e := range edges {
+		outDeg[e.Src]++
+	}
+	rank := make([]float64, nodes)
+	for i := range rank {
+		rank[i] = 1.0 / float64(nodes)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, nodes)
+		base := (1 - d) / float64(nodes)
+		for i := range next {
+			next[i] = base
+		}
+		for _, e := range edges {
+			next[e.Dst] += d * rank[e.Src] / float64(outDeg[e.Src])
+		}
+		rank = next
+	}
+	return rank
+}
+
+// L1Distance returns the L1 distance between two equal-length vectors.
+func L1Distance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(1, 100, 500)
+	b := RandomGraph(1, 100, 500)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i].Src < 0 || a[i].Src >= 100 || a[i].Dst < 0 || a[i].Dst >= 100 {
+			t.Fatalf("edge out of range: %v", a[i])
+		}
+	}
+	if c := RandomGraph(2, 100, 500); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPowerLawGraphIsSkewed(t *testing.T) {
+	edges := PowerLawGraph(7, 1000, 20000, 1.5)
+	indeg := map[int64]int{}
+	for _, e := range edges {
+		indeg[e.Dst]++
+	}
+	var maxDeg int
+	for _, d := range indeg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(len(edges)) / float64(len(indeg))
+	if float64(maxDeg) < 10*mean {
+		t.Fatalf("max degree %d not skewed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestChainAndCycleGraphs(t *testing.T) {
+	ch := ChainGraph(3, 5)
+	if len(ch) != 3*4 {
+		t.Fatalf("chain edges = %d", len(ch))
+	}
+	cy := CycleGraph(2, 4)
+	if len(cy) != 8 {
+		t.Fatalf("cycle edges = %d", len(cy))
+	}
+	// Each cycle node has out-degree 1 back into its own cycle.
+	for _, e := range cy {
+		if e.Src/4 != e.Dst/4 {
+			t.Fatalf("cycle edge crosses cycles: %v", e)
+		}
+	}
+}
+
+func TestTweetGen(t *testing.T) {
+	g := NewTweetGen(3, 1000, 50)
+	batch := g.Batch(200)
+	if len(batch) != 200 {
+		t.Fatal("batch size")
+	}
+	for _, tw := range batch {
+		if tw.User < 0 || tw.User >= 1000 {
+			t.Fatalf("user out of range: %d", tw.User)
+		}
+		if len(tw.Hashtags) == 0 {
+			t.Fatal("tweet without hashtags")
+		}
+		for _, h := range tw.Hashtags {
+			if !strings.HasPrefix(h, "#tag") {
+				t.Fatalf("hashtag %q", h)
+			}
+		}
+	}
+	// Determinism.
+	g2 := NewTweetGen(3, 1000, 50)
+	tw1, tw2 := g2.Next(), NewTweetGen(3, 1000, 50).Next()
+	if tw1.User != tw2.User {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestDocuments(t *testing.T) {
+	docs := Documents(5, 10, 20, 100)
+	if len(docs) != 10 {
+		t.Fatal("count")
+	}
+	for _, d := range docs {
+		if got := len(strings.Fields(d)); got != 20 {
+			t.Fatalf("words = %d", got)
+		}
+	}
+}
+
+func TestVectorsAndRecords(t *testing.T) {
+	vs := Vectors(1, 4, 16)
+	if len(vs) != 4 || len(vs[0]) != 16 {
+		t.Fatal("shape")
+	}
+	rs := Records(1, 100)
+	if len(rs) != 100 {
+		t.Fatal("count")
+	}
+	seen := map[int64]bool{}
+	for _, r := range rs {
+		if seen[r] {
+			t.Fatal("duplicate record (vanishingly unlikely)")
+		}
+		seen[r] = true
+	}
+}
+
+func TestExpectedWCC(t *testing.T) {
+	// Two components: {1,2,3} and {10,11}.
+	edges := []Edge{{1, 2}, {3, 2}, {10, 11}}
+	got := ExpectedWCC(edges)
+	if got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("component A: %v", got)
+	}
+	if got[10] != 10 || got[11] != 10 {
+		t.Fatalf("component B: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("nodes = %d", len(got))
+	}
+}
+
+func TestExpectedWCCChain(t *testing.T) {
+	got := ExpectedWCC(ChainGraph(2, 100))
+	for n, c := range got {
+		want := (n / 100) * 100
+		if c != want {
+			t.Fatalf("node %d → %d, want %d", n, c, want)
+		}
+	}
+}
+
+func TestExpectedPageRankSums(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}}
+	rank := ExpectedPageRank(edges, 3, 50, 0.85)
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("rank sum = %v", sum)
+	}
+	// On a symmetric cycle all ranks are equal.
+	if math.Abs(rank[0]-rank[1]) > 1e-12 || math.Abs(rank[1]-rank[2]) > 1e-12 {
+		t.Fatalf("ranks = %v", rank)
+	}
+}
+
+func TestL1Distance(t *testing.T) {
+	if d := L1Distance([]float64{1, 2}, []float64{2, 0}); d != 3 {
+		t.Fatalf("d = %v", d)
+	}
+}

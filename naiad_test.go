@@ -1,0 +1,86 @@
+package naiad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFacadeWordCount exercises the whole public surface end to end: the
+// §4.1 prototypical program written against package naiad only.
+func TestFacadeWordCount(t *testing.T) {
+	scope, err := NewScope(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, stream := NewInput[string](scope, "docs", StringCodec())
+	words := SelectMany(stream, strings.Fields, StringCodec())
+	counts := Count(words, nil)
+	results := Collect(counts)
+	if err := scope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	docs.OnNext("to be or not to be")
+	docs.OnNext("be")
+	docs.Close()
+	if err := scope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range results.Epoch(0) {
+		got[p.Key] = p.Val
+	}
+	if got["to"] != 2 || got["be"] != 2 || got["or"] != 1 || got["not"] != 1 {
+		t.Fatalf("epoch 0 = %v", got)
+	}
+	got1 := map[string]int64{}
+	for _, p := range results.Epoch(1) {
+		got1[p.Key] = p.Val
+	}
+	if got1["be"] != 1 || len(got1) != 1 {
+		t.Fatalf("epoch 1 = %v", got1)
+	}
+}
+
+// TestFacadeIterate exercises loops, joins, and monotonic aggregation
+// through the facade: single-source reachability.
+func TestFacadeIterate(t *testing.T) {
+	scope, err := NewScope(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgesIn, edges := NewInput[Pair[int64, int64]](scope, "edges", nil)
+	seedsIn, seeds := NewInput[int64](scope, "seeds", Int64Codec())
+	inLoop := EnterLoop(edges, 1)
+	reached := Iterate(seeds, 100, func(inner *Stream[int64]) *Stream[int64] {
+		keyed := Select(inner, func(n int64) Pair[int64, int64] { return KV(n, n) }, nil)
+		stepped := Join(keyed, inLoop, func(_, _, dst int64) int64 { return dst }, Int64Codec())
+		return DistinctCumulative(stepped)
+	})
+	col := Collect(Distinct(reached))
+	if err := scope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	edgesIn.Send(KV(int64(1), int64(2)), KV(int64(2), int64(3)))
+	seedsIn.Send(1)
+	edgesIn.Close()
+	seedsIn.Close()
+	if err := scope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	vals := col.Epoch(0)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if fmt.Sprint(vals) != "[2 3]" {
+		t.Fatalf("reached = %v", vals)
+	}
+}
+
+func TestFacadeHashAndCodecs(t *testing.T) {
+	if Hash(int64(1)) == Hash(int64(2)) {
+		t.Fatal("hash collision")
+	}
+	if Int64Codec() == nil || StringCodec() == nil || Float64Codec() == nil || GobCodec[int]() == nil {
+		t.Fatal("codec constructors")
+	}
+}
