@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test check bench chaos fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The gate: full build plus the race-detector-clean test suite.
+check: build
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Fault-injection smoke battery (see docs/protocol.md).
+chaos:
+	$(GO) run ./cmd/naiad-bench -exp=chaos
+
+# Short fuzz passes over the codec and frame parsers.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecoder -fuzztime=10s ./internal/codec/
+	$(GO) test -run=^$$ -fuzz=FuzzParseFrameHeader -fuzztime=10s ./internal/transport/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeProgress -fuzztime=10s ./internal/runtime/

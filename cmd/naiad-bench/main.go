@@ -20,13 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8 or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8"} {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos"} {
 			want[e] = true
 		}
 	} else {
@@ -98,6 +98,12 @@ func main() {
 			o := harness.DefaultFig8()
 			o.TweetsPerEpoch *= k
 			return harness.Fig8(o)
+		}},
+		{"chaos", func(k int) (*harness.Report, error) {
+			o := harness.DefaultChaos()
+			o.Nodes *= k
+			o.Edges *= k
+			return harness.Chaos(o)
 		}},
 	}
 

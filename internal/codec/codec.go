@@ -127,6 +127,36 @@ func (d *Decoder) BytesView() []byte {
 	return b
 }
 
+// Count reads a uint32 element count and validates it against the bytes
+// remaining, given a lower bound on the encoded size of one element. A
+// count that could not possibly fit panics like any other corruption, so
+// callers never size an allocation from an unvalidated length field.
+func (d *Decoder) Count(minPerItem int) int {
+	n := int(d.Uint32())
+	if minPerItem < 1 {
+		minPerItem = 1
+	}
+	if n > d.Remaining()/minPerItem {
+		panic(fmt.Sprintf("codec: corrupt count: %d items claimed with %d bytes remaining", n, d.Remaining()))
+	}
+	return n
+}
+
+// Catch runs fn and converts a decode panic (truncated input, corrupt
+// count, bad gob stream) into an error. Decoders deliberately panic on
+// malformed input — inside one process that is a programming error — but
+// bytes that crossed a network or a disk are untrusted, and callers on
+// those paths wrap the decode in Catch.
+func Catch(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("codec: invalid input: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
 // Codec serializes batches of records (as []any holding a uniform concrete
 // type) for transmission between processes.
 type Codec interface {

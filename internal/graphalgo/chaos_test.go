@@ -1,0 +1,94 @@
+package graphalgo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"naiad/internal/lib"
+	"naiad/internal/testutil"
+	"naiad/internal/transport"
+	"naiad/internal/workload"
+)
+
+// chaosSchedules are the fault schedules the iterative algorithms must
+// survive with output-equivalent results: loops stress the progress
+// protocol far harder than the counter pipeline because every iteration's
+// notifications cross the (now hostile) network.
+func chaosSchedules(seed int64) map[string]transport.ChaosConfig {
+	return map[string]transport.ChaosConfig{
+		"latency-jitter": {Seed: seed,
+			Default: transport.Fault{Latency: time.Millisecond, Jitter: 2 * time.Millisecond}},
+		"straggler-link": {Seed: seed,
+			Links: map[transport.Link]transport.Fault{
+				{From: 1, To: 0}: {Latency: 15 * time.Millisecond},
+			}},
+		"throttle": {Seed: seed,
+			Default: transport.Fault{BytesPerSecond: 100_000}},
+		"partition-heal": {Seed: seed,
+			Partition: &transport.Partition{
+				Groups: [][]int{{0}, {1}}, Start: 0, Duration: 150 * time.Millisecond,
+			}},
+	}
+}
+
+func chaosScope(t *testing.T, ch transport.ChaosConfig) *lib.Scope {
+	t.Helper()
+	c := cfg()
+	c.Transport = transport.NewChaos(transport.NewMem(c.Processes), ch)
+	c.SafetyChecks = true
+	c.Watchdog = 30 * time.Second
+	s, err := lib.NewScope(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestWCCUnderChaos: connected components under every fault schedule must
+// exactly match the union-find reference — iterative label propagation
+// through a loop context with delayed, throttled, and partitioned links.
+func TestWCCUnderChaos(t *testing.T) {
+	seed := testutil.Seed(t)
+	edges := workload.RandomGraph(seed, 60, 120)
+	want := workload.ExpectedWCC(edges)
+	for name, ch := range chaosSchedules(seed) {
+		t.Run(name, func(t *testing.T) {
+			got, err := WCC(chaosScope(t, ch), edges, 1000)
+			if err != nil {
+				t.Fatalf("WCC under chaos failed: %v", err)
+			}
+			for n, wc := range want {
+				if got[n] != wc {
+					t.Fatalf("node %d: component %d, want %d", n, got[n], wc)
+				}
+			}
+		})
+	}
+}
+
+// TestPageRankUnderChaos: power iteration under chaos must match the
+// sequential reference to floating-point tolerance — message loss or
+// duplication anywhere would show up as rank mass drift.
+func TestPageRankUnderChaos(t *testing.T) {
+	seed := testutil.Seed(t)
+	const nodes = 30
+	edges := workload.PowerLawGraph(seed, nodes, 90, 1.4)
+	want := workload.ExpectedPageRank(edges, nodes, 8, 0.85)
+	for name, ch := range chaosSchedules(seed) {
+		t.Run(name, func(t *testing.T) {
+			got, err := PageRank(chaosScope(t, ch),
+				edges, PageRankConfig{Nodes: nodes, Iters: 8, Damping: 0.85, Combiner: true})
+			if err != nil {
+				t.Fatalf("PageRank under chaos failed: %v", err)
+			}
+			var dist float64
+			for n := int64(0); n < nodes; n++ {
+				dist += math.Abs(got[n] - want[n])
+			}
+			if dist > 1e-9 {
+				t.Fatalf("rank drift under chaos: L1 distance %g", dist)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"naiad/internal/graphalgo"
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/transport"
+	"naiad/internal/workload"
+)
+
+// ChaosOptions sizes the fault-injection smoke experiment: the WCC
+// pipeline runs under a battery of chaos-transport schedules with the
+// progress safety monitor and watchdog armed, and every surviving run's
+// output is checked against the sequential union-find reference.
+type ChaosOptions struct {
+	Processes         int
+	WorkersPerProcess int
+	Nodes             int
+	Edges             int
+	Seed              int64
+}
+
+// DefaultChaos returns a laptop-scale configuration.
+func DefaultChaos() ChaosOptions {
+	return ChaosOptions{Processes: 2, WorkersPerProcess: 2, Nodes: 200, Edges: 400, Seed: 20130101}
+}
+
+// Chaos runs the fault-injection smoke suite. Schedules that permit
+// completion must produce exactly the reference components; the crash
+// schedule must abort loudly with the injected fault surfaced from Join.
+// Any other outcome is an experiment failure.
+func Chaos(o ChaosOptions) (*Report, error) {
+	edges := workload.RandomGraph(o.Seed, o.Nodes, o.Edges)
+	want := workload.ExpectedWCC(edges)
+
+	schedules := []struct {
+		name      string
+		ch        transport.ChaosConfig
+		wantAbort bool
+	}{
+		{"fault-free", transport.ChaosConfig{Seed: o.Seed}, false},
+		{"latency+jitter", transport.ChaosConfig{Seed: o.Seed,
+			Default: transport.Fault{Latency: time.Millisecond, Jitter: 2 * time.Millisecond}}, false},
+		{"straggler-link", transport.ChaosConfig{Seed: o.Seed,
+			Links: map[transport.Link]transport.Fault{
+				{From: 1, To: 0}: {Latency: 15 * time.Millisecond},
+			}}, false},
+		{"throttle", transport.ChaosConfig{Seed: o.Seed,
+			Default: transport.Fault{BytesPerSecond: 200_000}}, false},
+		{"partition-heal", transport.ChaosConfig{Seed: o.Seed,
+			Partition: &transport.Partition{
+				Groups: [][]int{{0}, {1}}, Start: 0, Duration: 150 * time.Millisecond,
+			}}, false},
+		{"crash-proc-1", transport.ChaosConfig{Seed: o.Seed,
+			Default:          transport.Fault{Latency: time.Millisecond},
+			CrashAfterFrames: map[int]int64{1: 50}}, true},
+	}
+
+	rep := &Report{
+		ID:      "chaos",
+		Title:   "WCC under fault injection (safety monitor + watchdog armed)",
+		Headers: []string{"schedule", "elapsed", "outcome"},
+	}
+	for _, sc := range schedules {
+		cfg := runtime.Config{
+			Processes:         o.Processes,
+			WorkersPerProcess: o.WorkersPerProcess,
+			Accumulation:      runtime.AccLocalGlobal,
+			Transport:         transport.NewChaos(transport.NewMem(o.Processes), sc.ch),
+			SafetyChecks:      true,
+			Watchdog:          60 * time.Second,
+		}
+		s, err := lib.NewScope(cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		got, err := graphalgo.WCC(s, edges, 1_000_000)
+		elapsed := time.Since(start)
+
+		var outcome string
+		switch {
+		case sc.wantAbort && err != nil:
+			outcome = fmt.Sprintf("aborted as expected: %v", err)
+		case sc.wantAbort:
+			return nil, fmt.Errorf("chaos: schedule %s: crash fault did not abort the run", sc.name)
+		case err != nil:
+			return nil, fmt.Errorf("chaos: schedule %s: %w", sc.name, err)
+		default:
+			bad := 0
+			for n, wc := range want {
+				if got[n] != wc {
+					bad++
+				}
+			}
+			if bad > 0 {
+				return nil, fmt.Errorf("chaos: schedule %s: %d/%d nodes mislabelled", sc.name, bad, len(want))
+			}
+			outcome = fmt.Sprintf("output exact match (%d nodes)", len(want))
+		}
+		rep.AddRow(sc.name, elapsed.Round(time.Millisecond).String(), outcome)
+	}
+	rep.Notes = append(rep.Notes,
+		"every schedule runs with SafetyChecks (progress-protocol invariant monitor) and a watchdog",
+		"surviving schedules must match the sequential union-find reference exactly; the crash schedule must abort loudly")
+	return rep, nil
+}

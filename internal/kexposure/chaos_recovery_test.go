@@ -1,0 +1,152 @@
+package kexposure
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/testutil"
+	"naiad/internal/transport"
+	"naiad/internal/workload"
+)
+
+// TestChaosCrashRecovery replays the §3.4 failure story with a real fault
+// injection instead of a graceful shutdown: the primary run executes on a
+// chaos transport that delays every frame, a process is killed mid-epoch,
+// and the surviving cluster must abort loudly. Recovery then restores the
+// last checkpoint on a fresh cluster and replays the post-checkpoint
+// epochs. Output emitted by the doomed epoch after the checkpoint is
+// discarded — the paper's recovery contract — so the invariant is:
+// (crossings observed up to the checkpoint) ∪ (recovered run's crossings)
+// equals an uninterrupted reference run, with no tag lost or duplicated.
+func TestChaosCrashRecovery(t *testing.T) {
+	cfg := runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+	const k = 20
+	seed := testutil.Seed(t)
+	gen := workload.NewTweetGen(seed, 2000, 400)
+	epochs := make([][]workload.Tweet, 6)
+	for e := range epochs {
+		epochs[e] = gen.Batch(800)
+	}
+
+	type run struct {
+		col  *lib.Collector[lib.Pair[string, int64]]
+		comp *runtime.Computation
+		in   *lib.Input[workload.Tweet]
+	}
+	build := func(c runtime.Config) run {
+		s, err := lib.NewScope(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, tweets := lib.NewInput[workload.Tweet](s, "tweets", nil)
+		topics := Build(s, tweets, k, false)
+		col := lib.Collect(topics)
+		if err := s.C.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return run{col: col, comp: s.C, in: in}
+	}
+	tagsOf := func(col *lib.Collector[lib.Pair[string, int64]]) map[string]int {
+		out := map[string]int{}
+		for _, p := range col.All() {
+			out[p.Key]++
+		}
+		return out
+	}
+
+	// Reference run, fault-free.
+	ref := build(cfg)
+	for _, batch := range epochs {
+		ref.in.OnNext(batch...)
+	}
+	ref.in.Close()
+	if err := ref.comp.Join(); err != nil {
+		t.Fatal(err)
+	}
+	want := tagsOf(ref.col)
+
+	// Primary run on a hostile network: three epochs, checkpoint, then a
+	// process crash while epoch 3 is in flight.
+	ct := transport.NewChaos(transport.NewMem(cfg.Processes), transport.ChaosConfig{
+		Seed:    seed,
+		Default: transport.Fault{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
+	})
+	pcfg := cfg
+	pcfg.Transport = ct
+	pcfg.SafetyChecks = true
+	pcfg.Watchdog = 30 * time.Second
+	primary := build(pcfg)
+	for e := 0; e < 3; e++ {
+		primary.in.OnNext(epochs[e]...)
+	}
+	primary.col.WaitFor(2)
+	snap, err := primary.comp.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = runtime.DecodeSnapshot(runtime.EncodeSnapshot(snap))
+	before := tagsOf(primary.col) // checkpoint-covered output only
+	primary.in.OnNext(epochs[3]...)
+	ct.Crash(1)
+	if err := primary.comp.Join(); err == nil || !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("Join = %v, want a crash error", err)
+	}
+
+	// Recovery on a fresh fault-free cluster: replay epochs 3..5.
+	rec := build(cfg)
+	if err := rec.comp.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if rec.in.Epoch() != 3 {
+		t.Fatalf("restored input epoch = %d, want 3", rec.in.Epoch())
+	}
+	for e := 3; e < 6; e++ {
+		rec.in.OnNext(epochs[e]...)
+	}
+	rec.in.Close()
+	if err := rec.comp.Join(); err != nil {
+		t.Fatal(err)
+	}
+	after := tagsOf(rec.col)
+	if len(before) == 0 || len(after) == 0 {
+		t.Fatalf("degenerate split: %d pre-checkpoint, %d recovered crossings", len(before), len(after))
+	}
+
+	union := map[string]int{}
+	for tag := range before {
+		union[tag]++
+	}
+	for tag := range after {
+		union[tag]++
+	}
+	var dup, missing, extra []string
+	for tag, n := range union {
+		if n > 1 {
+			dup = append(dup, tag)
+		}
+		if _, ok := want[tag]; !ok {
+			extra = append(extra, tag)
+		}
+	}
+	for tag := range want {
+		if union[tag] == 0 {
+			missing = append(missing, tag)
+		}
+	}
+	sort.Strings(dup)
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(dup) > 0 {
+		t.Fatalf("tags crossed twice across the crash: %v", dup)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("tags lost across the crash: %v", missing)
+	}
+	if len(extra) > 0 {
+		t.Fatalf("tags crossed that never cross in the reference: %v", extra)
+	}
+}

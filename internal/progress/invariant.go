@@ -1,0 +1,146 @@
+package progress
+
+import (
+	"fmt"
+	"sync"
+
+	"naiad/internal/graph"
+)
+
+// SafetyMonitor is the always-on invariant checker for the distributed
+// progress protocol: it promotes the model-level safety property that
+// safety_sim_test.go checks in simulation to an assertion on the real
+// runtime.
+//
+// The monitor maintains the ground-truth multiset of outstanding events:
+// every worker reports each occurrence-count update at the instant it is
+// *posted* (creation or retirement time, before any batching, routing, or
+// delivery delay), so the truth is exact chronology, unaffected by the
+// transport. Against that truth it checks, from the paper's companion
+// proof [Abadi et al.]:
+//
+//  1. No local frontier ever runs ahead of the global frontier: a
+//     pointstamp a worker's view considers deliverable must have no
+//     outstanding ground-truth precursor (CheckFrontier, CheckDeliverable).
+//  2. A worker's view never drains before the cluster does: local
+//     emptiness is the runtime's termination test, so it must imply
+//     global emptiness (CheckDrained).
+//  3. Ground-truth occurrence counts never go negative: an event cannot
+//     be retired before it was created (Post). Local views may go
+//     transiently negative (see docs/protocol.md); the truth may not.
+//
+// All three hold under arbitrary per-link delays as long as links are
+// FIFO and positives precede negatives; a transport that breaks FIFO
+// (transport.Chaos with ReorderProb) makes the monitor fail loudly, which
+// is how the negative tests verify the checks have teeth.
+//
+// Check methods return a descriptive error on violation and record the
+// first one; the runtime turns it into a computation failure.
+type SafetyMonitor struct {
+	g *graph.Graph
+
+	mu    sync.Mutex
+	truth map[Pointstamp]int64
+	err   error
+}
+
+// NewSafetyMonitor returns a monitor over the frozen logical graph.
+func NewSafetyMonitor(g *graph.Graph) *SafetyMonitor {
+	if !g.Frozen() {
+		panic("progress: safety monitor requires a frozen graph")
+	}
+	return &SafetyMonitor{g: g, truth: make(map[Pointstamp]int64)}
+}
+
+// Seed installs an initial ground-truth occurrence (the input pointstamps
+// installed directly into every tracker before the protocol runs).
+func (m *SafetyMonitor) Seed(p Pointstamp, n int64) {
+	m.mu.Lock()
+	m.truth[p] += n
+	m.mu.Unlock()
+}
+
+// Post records one occurrence-count update at its chronological source.
+// It must be called when the owning worker posts the update, before the
+// update enters any buffer or link.
+func (m *SafetyMonitor) Post(p Pointstamp, delta int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.truth[p] + delta
+	if n == 0 {
+		delete(m.truth, p)
+	} else {
+		m.truth[p] = n
+	}
+	if n < 0 {
+		return m.fail(fmt.Errorf("progress: safety violation: ground-truth occurrence of %v went negative (%d): an event was retired before it was created", p, n))
+	}
+	return nil
+}
+
+// CheckFrontier verifies that no element of a worker's local frontier has
+// an outstanding ground-truth precursor. Call it after the worker applies
+// a progress batch.
+func (m *SafetyMonitor) CheckFrontier(worker int, frontier []Pointstamp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range frontier {
+		if q, n, ok := m.precursorOf(p); ok {
+			return m.fail(fmt.Errorf("progress: safety violation: worker %d's frontier contains %v while ground truth still holds %d event(s) at %v which could-result-in it: local view ran ahead of the global frontier", worker, p, n, q))
+		}
+	}
+	return nil
+}
+
+// CheckDeliverable verifies that a notification the worker's local view
+// considers deliverable at p really has no outstanding precursor. Unlike
+// CheckFrontier it covers guarantee-only (purge) notifications, whose
+// pointstamps hold no occurrence and so never appear in a frontier.
+func (m *SafetyMonitor) CheckDeliverable(worker int, p Pointstamp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q, n, ok := m.precursorOf(p); ok {
+		return m.fail(fmt.Errorf("progress: safety violation: worker %d would deliver a notification at %v while ground truth still holds %d event(s) at %v which could-result-in it", worker, p, n, q))
+	}
+	return nil
+}
+
+// CheckDrained verifies the termination test's soundness: a worker whose
+// local view is empty may shut down only if the cluster really has
+// drained. Call it when a worker decides to terminate.
+func (m *SafetyMonitor) CheckDrained(worker int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for q, n := range m.truth {
+		if n > 0 {
+			return m.fail(fmt.Errorf("progress: safety violation: worker %d's view drained while ground truth still holds %d event(s) at %v: premature termination", worker, n, q))
+		}
+	}
+	return nil
+}
+
+// Err returns the first recorded violation, if any.
+func (m *SafetyMonitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// precursorOf scans the truth for an outstanding event that could-result-
+// in p. Caller holds m.mu.
+func (m *SafetyMonitor) precursorOf(p Pointstamp) (Pointstamp, int64, bool) {
+	for q, n := range m.truth {
+		if n > 0 && q != p && m.g.CouldResultIn(q.Time, q.Loc, p.Time, p.Loc) {
+			return q, n, true
+		}
+	}
+	return Pointstamp{}, 0, false
+}
+
+// fail records the first violation. Caller holds m.mu.
+func (m *SafetyMonitor) fail(err error) error {
+	if m.err == nil {
+		m.err = err
+	}
+	return err
+}

@@ -1,0 +1,139 @@
+package progress
+
+import (
+	"strings"
+	"testing"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// TestMonitorCleanRun walks the monitor through a correct event history:
+// create-before-retire, frontier checks against the truth — no violations.
+func TestMonitorCleanRun(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	in := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}
+	downstream := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["out"])}
+	m.Seed(in, 1)
+
+	// While the input is outstanding, a frontier or notification at a
+	// downstream stage would run ahead of the global frontier.
+	if err := m.CheckFrontier(0, []Pointstamp{in}); err != nil {
+		t.Fatalf("input in its own frontier flagged: %v", err)
+	}
+	if err := m.CheckDeliverable(0, in); err != nil {
+		t.Fatalf("input notification flagged: %v", err)
+	}
+
+	// Retire the input after spawning a successor, then drain.
+	if err := m.Post(downstream, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Post(in, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckFrontier(1, []Pointstamp{downstream}); err != nil {
+		t.Fatalf("sole outstanding event flagged: %v", err)
+	}
+	if err := m.Post(downstream, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDrained(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("clean run recorded a violation: %v", err)
+	}
+}
+
+// TestMonitorCatchesFrontierAhead: a local frontier containing a
+// pointstamp with an outstanding ground-truth precursor is the safety
+// violation FIFO-breaking transports cause.
+func TestMonitorCatchesFrontierAhead(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	m.Seed(Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}, 1)
+	ahead := Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["out"])}
+	err := m.CheckFrontier(2, []Pointstamp{ahead})
+	if err == nil || !strings.Contains(err.Error(), "ran ahead") {
+		t.Fatalf("violation not caught: %v", err)
+	}
+	if m.Err() == nil {
+		t.Fatal("violation not recorded")
+	}
+}
+
+func TestMonitorCatchesEarlyNotification(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	m.Seed(Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}, 1)
+	err := m.CheckDeliverable(1, Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["out"])})
+	if err == nil || !strings.Contains(err.Error(), "would deliver") {
+		t.Fatalf("early notification not caught: %v", err)
+	}
+}
+
+func TestMonitorCatchesNegativeTruth(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	err := m.Post(Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["out"])}, -1)
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("retire-before-create not caught: %v", err)
+	}
+}
+
+func TestMonitorCatchesPrematureDrain(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	m.Seed(Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}, 1)
+	err := m.CheckDrained(0)
+	if err == nil || !strings.Contains(err.Error(), "premature termination") {
+		t.Fatalf("premature drain not caught: %v", err)
+	}
+}
+
+// TestMonitorRecordsFirstViolation: Err is sticky on the first failure.
+func TestMonitorRecordsFirstViolation(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	m.Seed(Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(s["in"])}, 1)
+	first := m.CheckDrained(0)
+	second := m.CheckDrained(1)
+	if first == nil || second == nil {
+		t.Fatal("violations not reported")
+	}
+	if m.Err() != first {
+		t.Fatalf("Err() = %v, want the first violation %v", m.Err(), first)
+	}
+}
+
+func TestMonitorRequiresFrozenGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unfrozen graph")
+		}
+	}()
+	NewSafetyMonitor(graph.New())
+}
+
+// TestMonitorLoopTimes: within a loop, an earlier iteration's event is a
+// precursor of a later iteration at the same location.
+func TestMonitorLoopTimes(t *testing.T) {
+	g, s := loopGraph(t)
+	m := NewSafetyMonitor(g)
+	bodyLoc := graph.StageLoc(s["B"])
+	iter0 := Pointstamp{Time: ts.Root(0).PushLoop(), Loc: bodyLoc}
+	iter2 := Pointstamp{Time: ts.Root(0).PushLoop().Tick().Tick(), Loc: bodyLoc}
+	m.Seed(iter0, 1)
+	if err := m.CheckFrontier(0, []Pointstamp{iter2}); err == nil {
+		t.Fatal("later iteration in frontier despite outstanding earlier iteration")
+	}
+	if err := m.Post(iter0, -1); err != nil {
+		t.Fatal(err)
+	}
+	m.Seed(iter2, 1)
+	if err := m.CheckFrontier(0, []Pointstamp{iter2}); err != nil {
+		t.Fatalf("frontier at the only outstanding event flagged: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"naiad/internal/graph"
+	"naiad/internal/testutil"
 	ts "naiad/internal/timestamp"
 )
 
@@ -59,8 +60,9 @@ func TestDistributedSafetyProperty(t *testing.T) {
 	}
 
 	const workers = 3
+	base := testutil.Seed(t)
 	for trial := 0; trial < 40; trial++ {
-		r := rand.New(rand.NewSource(int64(trial)))
+		r := rand.New(rand.NewSource(base + int64(trial)))
 
 		// Ground truth: outstanding events with owners.
 		type event struct {

@@ -76,6 +76,9 @@ func (c *Computation) Restore(snap *Snapshot) error {
 }
 
 // rendezvous sends a control message to every worker and collects acks.
+// Mailboxes drop pushes after an abort, so the wait also watches the abort
+// channel: a crashed or aborted computation makes Checkpoint/Restore return
+// the failure instead of hanging on acks that will never come.
 func (c *Computation) rendezvous(op controlOp, cp *checkpointState) error {
 	acks := make([]chan error, len(c.workers))
 	for i, w := range c.workers {
@@ -84,8 +87,16 @@ func (c *Computation) rendezvous(op controlOp, cp *checkpointState) error {
 	}
 	var first error
 	for _, ack := range acks {
-		if err := <-ack; err != nil && first == nil {
-			first = err
+		select {
+		case err := <-ack:
+			if err != nil && first == nil {
+				first = err
+			}
+		case <-c.abortCh:
+			c.failMu.Lock()
+			err := c.failErr
+			c.failMu.Unlock()
+			return fmt.Errorf("runtime: checkpoint rendezvous interrupted by abort: %w", err)
 		}
 	}
 	return first

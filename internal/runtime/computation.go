@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"naiad/internal/codec"
 	"naiad/internal/graph"
+	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
 	"naiad/internal/transport"
 )
 
@@ -117,8 +120,12 @@ type Computation struct {
 	started  bool
 	finished atomic.Bool
 	aborted  atomic.Bool
+	abortCh  chan struct{} // closed on the first fail/Abort
 	failMu   sync.Mutex
 	failErr  error
+
+	monitor  *progress.SafetyMonitor
+	activity atomic.Int64 // bumped on every mailbox push and worker quantum
 
 	logMu    sync.Mutex
 	logSink  LogSink
@@ -138,7 +145,7 @@ func NewComputation(cfg Config) (*Computation, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Computation{cfg: cfg, lg: graph.New()}, nil
+	return &Computation{cfg: cfg, lg: graph.New(), abortCh: make(chan struct{})}, nil
 }
 
 // Config returns the computation's configuration.
@@ -225,14 +232,38 @@ func (c *Computation) Start() error {
 	c.started = true
 	c.counters = newStageCounters(len(c.stages))
 
-	if c.cfg.UseTCP {
+	switch {
+	case c.cfg.Transport != nil:
+		c.trans = c.cfg.Transport
+		// A fault-injecting transport reports peer deaths; surface them as
+		// an abort (error from Join) instead of a silent hang on frames
+		// that will never arrive.
+		if ch, ok := c.trans.(*transport.Chaos); ok {
+			ch.SetOnCrash(func(proc int) {
+				c.fail(fmt.Errorf("runtime: process %d crashed (chaos fault injection): aborting surviving workers", proc))
+			})
+		}
+	case c.cfg.UseTCP:
 		t, err := transport.NewTCPLoopback(c.cfg.Processes)
 		if err != nil {
 			return err
 		}
 		c.trans = t
-	} else {
+	default:
 		c.trans = transport.NewMem(c.cfg.Processes)
+	}
+
+	// Safety monitor (§3.3's invariants, checked for real): seed the
+	// ground truth exactly as every worker seeds its tracker.
+	if c.cfg.SafetyChecks {
+		c.monitor = progress.NewSafetyMonitor(c.lg)
+		for _, si := range c.stages {
+			if si.role != graph.RoleInput {
+				continue
+			}
+			c.monitor.Seed(progress.Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(si.id)},
+				int64(si.parallelism(c.cfg.Workers())))
+		}
 	}
 
 	// Accumulators (§3.3).
@@ -272,7 +303,36 @@ func (c *Computation) Start() error {
 		c.workerWG.Add(1)
 		go w.run()
 	}
+	if c.cfg.Watchdog > 0 {
+		go c.watchdog()
+	}
 	return nil
+}
+
+// watchdog aborts the computation when no activity is observed for the
+// configured duration — the never-hang backstop for fault injection.
+func (c *Computation) watchdog() {
+	interval := c.cfg.Watchdog
+	last := c.activity.Load()
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.abortCh:
+			return
+		case <-t.C:
+		}
+		if c.finished.Load() {
+			return
+		}
+		cur := c.activity.Load()
+		if cur == last {
+			c.fail(fmt.Errorf("runtime: watchdog: no worker activity for %v: computation stalled (lost frames or a dead peer?)", interval))
+			return
+		}
+		last = cur
+		t.Reset(interval)
+	}
 }
 
 // Join waits for the computation to drain (all inputs closed and every
@@ -296,6 +356,18 @@ func (c *Computation) Join() error {
 	return c.failErr
 }
 
+// Abort terminates the computation with the given error: workers stop,
+// probes unblock, and Join returns err (the first error wins). External
+// failure detectors — the chaos transport's crash callback, cluster
+// management noticing a dead peer — use it to turn silent hangs into
+// loud, attributable failures.
+func (c *Computation) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("runtime: aborted")
+	}
+	c.fail(err)
+}
+
 // fail records the first error and aborts all workers.
 func (c *Computation) fail(err error) {
 	c.failMu.Lock()
@@ -304,6 +376,7 @@ func (c *Computation) fail(err error) {
 	}
 	c.failMu.Unlock()
 	if !c.aborted.Swap(true) {
+		close(c.abortCh)
 		for _, w := range c.workers {
 			w.mailbox.close()
 		}

@@ -11,7 +11,12 @@
 // argument.
 package runtime
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"naiad/internal/transport"
+)
 
 // Accumulation selects how progress updates are combined before they are
 // broadcast (§3.3). The levels correspond to the Figure 6c series.
@@ -59,6 +64,25 @@ type Config struct {
 	// UseTCP routes inter-process traffic over real loopback TCP sockets
 	// instead of the in-memory transport.
 	UseTCP bool
+	// Transport, when non-nil, is used instead of the built-in in-memory
+	// or TCP transport. It must span exactly Processes processes. The
+	// computation owns it after Start and closes it in Join. This is how
+	// fault-injecting transports (transport.Chaos) are wired in.
+	Transport transport.Transport
+	// SafetyChecks wires a progress.SafetyMonitor through every worker:
+	// ground-truth occurrence accounting plus frontier/termination
+	// assertions after every applied batch and before every notification
+	// delivery (see docs/protocol.md). Violations abort the computation
+	// with a descriptive error from Join. For tests and chaos runs; the
+	// cost is a mutex and an O(frontier×outstanding) scan per check.
+	SafetyChecks bool
+	// Watchdog, when positive, aborts the computation (with an error from
+	// Join) if no worker observes any activity for the duration — the
+	// never-hang backstop for fault-injection runs, where lost frames
+	// would otherwise stall the cluster forever. Leave zero for
+	// interactive computations that may legitimately sit idle between
+	// epochs.
+	Watchdog time.Duration
 	// BatchSize caps records per exchange batch; 0 means the default 1024.
 	BatchSize int
 	// MaxReentrancy bounds synchronous re-entrant delivery into a vertex
@@ -104,6 +128,10 @@ func (c Config) validate() error {
 	if c.Processes <= 0 || c.WorkersPerProcess <= 0 {
 		return fmt.Errorf("runtime: config needs at least one process and one worker, got %d×%d",
 			c.Processes, c.WorkersPerProcess)
+	}
+	if c.Transport != nil && c.Transport.Processes() != c.Processes {
+		return fmt.Errorf("runtime: injected transport spans %d processes, config has %d",
+			c.Transport.Processes(), c.Processes)
 	}
 	return nil
 }

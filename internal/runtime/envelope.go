@@ -45,7 +45,7 @@ func decodeData(c *Computation, payload []byte) (ci *connInfo, dstVertex int, t 
 	for i := uint8(0); i < t.Depth; i++ {
 		t.Counters[i] = d.Int64()
 	}
-	n := int(d.Uint32())
+	n := d.Count(1)
 	records = ci.cod.DecodeBatch(d, n)
 	return ci, dstVertex, t, records
 }

@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"testing"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
+)
+
+// FuzzDecodeProgress corrupts progress frames: the decoder must reject
+// them by panicking (the transport dispatcher recovers and aborts the
+// computation) and must never turn a corrupt count into a huge allocation.
+func FuzzDecodeProgress(f *testing.F) {
+	valid := encodeProgress(progBroadcast, []update{
+		{P: progress.Pointstamp{Time: ts.Root(3), Loc: graph.StageLoc(1)}, D: 1},
+		{P: progress.Pointstamp{Time: ts.Root(2).PushLoop().Tick(), Loc: graph.ConnLoc(0)}, D: -1},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{0, 255, 255, 255, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var us []update
+		err := codec.Catch(func() { _, us = decodeProgress(data) })
+		if err != nil {
+			return
+		}
+		// Accepted frames must have had every update actually present.
+		if len(us) > len(data)/21+1 {
+			t.Fatalf("decoded %d updates from %d bytes", len(us), len(data))
+		}
+	})
+}
+
+// FuzzDecodeData corrupts data-frame envelopes against a small real
+// dataflow: decode must error (panic recovered by the worker loop in
+// production, by Catch here), never over-allocate from the count field.
+func FuzzDecodeData(f *testing.F) {
+	c, err := NewComputation(DefaultConfig(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	src := c.AddStage("src", graph.RoleInput, 0, nil)
+	dst := c.AddStage("dst", graph.RoleNormal, 0,
+		func(ctx *Context) Vertex { return &forwardVertex{ctx: ctx} })
+	c.Connect(src, 0, dst, nil, codec.Int64())
+	ci := c.conns[0]
+
+	valid := encodeData(ci, 0, ts.Root(1), []Message{int64(10), int64(20)})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7])
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var records []Message
+		err := codec.Catch(func() { _, _, _, records = decodeData(c, data) })
+		if err != nil {
+			return
+		}
+		if len(records) > len(data) {
+			t.Fatalf("decoded %d records from %d bytes", len(records), len(data))
+		}
+	})
+}

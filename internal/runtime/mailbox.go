@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"naiad/internal/graph"
 	ts "naiad/internal/timestamp"
@@ -69,14 +70,15 @@ type controlMsg struct {
 // progress batches, and control messages, in arrival order. Pushes signal
 // the worker if it is parked.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []mailItem
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []mailItem
+	closed   bool
+	activity *atomic.Int64 // computation-wide liveness counter (watchdog)
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(activity *atomic.Int64) *mailbox {
+	m := &mailbox{activity: activity}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -88,6 +90,7 @@ func (m *mailbox) push(it mailItem) {
 		m.items = append(m.items, it)
 	}
 	m.mu.Unlock()
+	m.activity.Add(1)
 	m.cond.Signal()
 }
 

@@ -106,6 +106,11 @@ func decodeProgress(payload []byte) (byte, []update) {
 	d := codec.NewDecoder(payload)
 	subtype := d.Uint8()
 	n := int(d.Uint32())
+	// Sanity-check the count against the bytes actually present (≥21 per
+	// update) before allocating, so a corrupt frame cannot demand gigabytes.
+	if n > (len(payload)-5)/21+1 {
+		panic(fmt.Sprintf("runtime: corrupt progress frame: %d updates claimed in %d bytes", n, len(payload)))
+	}
 	us := make([]update, n)
 	for i := range us {
 		us[i].P.Loc = graph.Location(d.Uint32())
@@ -188,8 +193,15 @@ type process struct {
 
 // onFrame dispatches a received transport frame. It runs on the transport's
 // delivery goroutine; per-link FIFO order is preserved by doing all
-// dispatching inline.
+// dispatching inline. A corrupt frame (truncated payload, absurd counts)
+// makes the decoder panic; that aborts the computation with an error from
+// Join rather than killing the process.
 func (p *process) onFrame(from int, kind transport.Kind, payload []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.comp.fail(fmt.Errorf("runtime: process %d: corrupt frame from process %d: %v", p.id, from, r))
+		}
+	}()
 	switch kind {
 	case transport.KindData:
 		conn, dstVertex := peekDataHeader(payload)

@@ -83,7 +83,7 @@ func newWorker(c *Computation, id, proc int) *worker {
 		comp:    c,
 		id:      id,
 		proc:    proc,
-		mailbox: newMailbox(),
+		mailbox: newMailbox(&c.activity),
 		pbuf:    progress.NewBuffer(),
 		outData: make(map[outKey][]Message),
 	}
@@ -119,6 +119,11 @@ func (w *worker) run() {
 			// The local view has drained; the protocol's safety property
 			// (a local frontier never passes the global frontier) makes
 			// this a sound global termination test.
+			if m := w.comp.monitor; m != nil {
+				if err := m.CheckDrained(w.id); err != nil {
+					panic(err)
+				}
+			}
 			break
 		}
 		idle = !w.haveLocalQ()
@@ -190,6 +195,11 @@ func (w *worker) handleItem(it *mailItem) {
 		w.tracker.Apply(it.updates)
 		if w.comp.cfg.CheckInvariants {
 			w.tracker.CheckInvariants()
+		}
+		if m := w.comp.monitor; m != nil {
+			if err := m.CheckFrontier(w.id, w.tracker.Frontier()); err != nil {
+				panic(err)
+			}
 		}
 	case mailControl:
 		w.handleControl(it.ctl)
@@ -290,6 +300,7 @@ func (w *worker) deliverBatch(d delivery) {
 
 // invokeRecv runs a single OnRecv callback with time-stack bookkeeping.
 func (w *worker) invokeRecv(vs *vertexState, input int, rec Message, t ts.Timestamp) {
+	w.comp.activity.Add(1)
 	w.comp.counters.records[vs.si.id].Add(1)
 	vs.timeStack = append(vs.timeStack, timeFrame{t: t, canSend: true})
 	vs.ctx.executing++
@@ -312,8 +323,14 @@ func (w *worker) deliverOneNotify() bool {
 			if w.tracker.SomePrecursorOf(p) {
 				continue
 			}
+			if m := w.comp.monitor; m != nil {
+				if err := m.CheckDeliverable(w.id, p); err != nil {
+					panic(err)
+				}
+			}
 			vs.pending = append(vs.pending[:i], vs.pending[i+1:]...)
 			w.notifyCount--
+			w.comp.activity.Add(1)
 			w.comp.counters.notifications[vs.si.id].Add(1)
 			vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
 			vs.ctx.executing++
@@ -459,6 +476,11 @@ func (w *worker) flushData() {
 // counts reach trackers (including this worker's own) only through the
 // broadcast protocol, never directly.
 func (w *worker) postUpdate(p progress.Pointstamp, delta int64) {
+	if m := w.comp.monitor; m != nil {
+		if err := m.Post(p, delta); err != nil {
+			panic(err)
+		}
+	}
 	if w.comp.cfg.Accumulation == AccNone {
 		w.raw = append(w.raw, update{P: p, D: delta})
 		return

@@ -33,6 +33,32 @@ type tcpConn struct {
 	c  net.Conn
 }
 
+// MaxFrameSize caps the payload length the TCP framing accepts. A frame
+// header claiming more is treated as corruption: without the cap a single
+// flipped length byte would make the reader allocate gigabytes and then
+// misparse the rest of the stream.
+const MaxFrameSize = 64 << 20
+
+// ParseFrameHeader validates and decodes a FrameOverhead-byte frame header
+// into (kind, source process, payload size). It rejects short headers,
+// unknown kinds, and sizes beyond MaxFrameSize, so callers never allocate
+// from an unvalidated length field.
+func ParseFrameHeader(hdr []byte) (Kind, int, int, error) {
+	if len(hdr) < FrameOverhead {
+		return 0, 0, 0, fmt.Errorf("transport: short frame header: %d bytes", len(hdr))
+	}
+	kind := Kind(hdr[0])
+	if kind > KindControl {
+		return 0, 0, 0, fmt.Errorf("transport: unknown frame kind %d", hdr[0])
+	}
+	src := int(binary.LittleEndian.Uint32(hdr[1:5]))
+	size := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	if size > MaxFrameSize {
+		return 0, 0, 0, fmt.Errorf("transport: frame size %d exceeds limit %d", size, MaxFrameSize)
+	}
+	return kind, src, size, nil
+}
+
 // NewTCPLoopback constructs a transport for n processes all inside this OS
 // process, connected through real loopback TCP sockets. It exists to
 // exercise genuine socket behaviour (kernel buffering, framing, partial
@@ -144,9 +170,10 @@ func (t *TCP) readLoop(proc, from int, c net.Conn) {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
 		}
-		kind := Kind(hdr[0])
-		src := int(binary.LittleEndian.Uint32(hdr[1:5]))
-		size := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		kind, src, size, err := ParseFrameHeader(hdr[:])
+		if err != nil || src < 0 || src >= t.n {
+			return // corrupt stream; drop the link rather than misparse it
+		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return

@@ -4,11 +4,14 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"naiad/internal/testutil"
 )
 
 func TestRandomGraphDeterministic(t *testing.T) {
-	a := RandomGraph(1, 100, 500)
-	b := RandomGraph(1, 100, 500)
+	seed := testutil.Seed(t)
+	a := RandomGraph(seed, 100, 500)
+	b := RandomGraph(seed, 100, 500)
 	if len(a) != 500 {
 		t.Fatalf("len = %d", len(a))
 	}
@@ -20,13 +23,13 @@ func TestRandomGraphDeterministic(t *testing.T) {
 			t.Fatalf("edge out of range: %v", a[i])
 		}
 	}
-	if c := RandomGraph(2, 100, 500); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+	if c := RandomGraph(seed+1, 100, 500); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
 		t.Fatal("different seeds should differ")
 	}
 }
 
 func TestPowerLawGraphIsSkewed(t *testing.T) {
-	edges := PowerLawGraph(7, 1000, 20000, 1.5)
+	edges := PowerLawGraph(testutil.Seed(t), 1000, 20000, 1.5)
 	indeg := map[int64]int{}
 	for _, e := range edges {
 		indeg[e.Dst]++
@@ -61,7 +64,8 @@ func TestChainAndCycleGraphs(t *testing.T) {
 }
 
 func TestTweetGen(t *testing.T) {
-	g := NewTweetGen(3, 1000, 50)
+	seed := testutil.Seed(t)
+	g := NewTweetGen(seed, 1000, 50)
 	batch := g.Batch(200)
 	if len(batch) != 200 {
 		t.Fatal("batch size")
@@ -80,15 +84,15 @@ func TestTweetGen(t *testing.T) {
 		}
 	}
 	// Determinism.
-	g2 := NewTweetGen(3, 1000, 50)
-	tw1, tw2 := g2.Next(), NewTweetGen(3, 1000, 50).Next()
+	g2 := NewTweetGen(seed, 1000, 50)
+	tw1, tw2 := g2.Next(), NewTweetGen(seed, 1000, 50).Next()
 	if tw1.User != tw2.User {
 		t.Fatal("not deterministic")
 	}
 }
 
 func TestDocuments(t *testing.T) {
-	docs := Documents(5, 10, 20, 100)
+	docs := Documents(testutil.Seed(t), 10, 20, 100)
 	if len(docs) != 10 {
 		t.Fatal("count")
 	}
@@ -100,11 +104,12 @@ func TestDocuments(t *testing.T) {
 }
 
 func TestVectorsAndRecords(t *testing.T) {
-	vs := Vectors(1, 4, 16)
+	seed := testutil.Seed(t)
+	vs := Vectors(seed, 4, 16)
 	if len(vs) != 4 || len(vs[0]) != 16 {
 		t.Fatal("shape")
 	}
-	rs := Records(1, 100)
+	rs := Records(seed, 100)
 	if len(rs) != 100 {
 		t.Fatal("count")
 	}
