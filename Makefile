@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench chaos fuzz
+.PHONY: build test check vet bench chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,26 @@ build:
 test:
 	$(GO) test ./...
 
-# The gate: full build plus the race-detector-clean test suite.
-check: build
+# The gate: full build, static analysis, and the race-detector-clean test
+# suite.
+check: build vet
 	$(GO) test -race -count=1 ./...
+
+# Static analysis: go vet plus the repository's own naiad-vet suite, the
+# static twins of the runtime's dynamic vertex-contract checks (see
+# docs/static-analysis.md). govulncheck is best-effort: it is not part of
+# the toolchain and needs network access for the vuln database.
+vet:
+	$(GO) vet ./...
+	@$(GO) build -o /dev/null ./cmd/naiad-vet || { \
+		echo "vet: naiad-vet failed to build; if imports cannot be resolved, run 'go mod tidy' and retry" >&2; \
+		exit 1; }
+	$(GO) run ./cmd/naiad-vet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vet: govulncheck reported issues or could not reach the vuln database (non-fatal)"; \
+	else \
+		echo "vet: govulncheck not installed; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,110 @@
+// naiad-vet is the repository's static-analysis gate: a multichecker over
+// the timely-dataflow vertex-contract analyzers in internal/analysis.
+//
+// Usage:
+//
+//	naiad-vet [-list] [-analyzers=a,b,...] [packages]
+//
+// With no packages, ./... is checked. The exit status is 1 when any
+// diagnostic survives suppression, 2 on operational failure. Intentional
+// violations (e.g. negative tests that provoke the runtime's own dynamic
+// check) are suppressed with a comment on the flagged line or the line
+// above it:
+//
+//	//lint:naiad-vet:timemono <reason>
+//
+// See docs/static-analysis.md for each analyzer's contract and the paper
+// invariant behind it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"naiad/internal/analysis/framework"
+	"naiad/internal/analysis/lockhold"
+	"naiad/internal/analysis/seedrand"
+	"naiad/internal/analysis/timemono"
+	"naiad/internal/analysis/tsimmut"
+	"naiad/internal/analysis/vertexctx"
+)
+
+// all registers every analyzer in the suite.
+var all = []*framework.Analyzer{
+	timemono.Analyzer,
+	tsimmut.Analyzer,
+	vertexctx.Analyzer,
+	lockhold.Analyzer,
+	seedrand.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers := all
+	if *names != "" {
+		byName := make(map[string]*framework.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fatalf("naiad-vet: unknown analyzer %q (use -list)", n)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := framework.FindModuleRoot(".")
+	if err != nil {
+		fatalf("naiad-vet: %v", err)
+	}
+	pkgs, err := framework.NewLoader(root).Load(flag.Args()...)
+	if err != nil {
+		fatalf("naiad-vet: %v", err)
+	}
+	findings, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		fatalf("naiad-vet: %v", err)
+	}
+	findings, suppressed, err := framework.ApplySuppressions(findings)
+	if err != nil {
+		fatalf("naiad-vet: %v", err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "naiad-vet: %d finding(s)", len(findings))
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, " (%d suppressed)", suppressed)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

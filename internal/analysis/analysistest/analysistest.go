@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixture source,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<dir> relative to the analyzer's test.
+// An expectation is a comment of the form
+//
+//	expr // want `regexp`
+//	expr // want `re1` `re2`
+//
+// (double-quoted Go strings also work). Every expectation must be matched
+// by a diagnostic reported on its line, and every diagnostic must be
+// matched by an expectation; either mismatch fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"naiad/internal/analysis/framework"
+)
+
+// want is one expectation: a pattern that must match a diagnostic reported
+// on its line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from testdata/src/<dir>, applies the
+// analyzer, and verifies the diagnostics against the // want comments.
+func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
+	t.Helper()
+	root, err := framework.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var patterns []string
+	for _, d := range dirs {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", d))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		patterns = append(patterns, abs)
+	}
+	pkgs, err := framework.NewLoader(root).Load(patterns...)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no fixture packages under testdata/src for %v", dirs)
+	}
+	findings, err := framework.Run(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		if !match(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// match consumes the first unmatched expectation on the finding's line
+// whose pattern matches its message.
+func match(wants []*want, f framework.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, pkgs []*framework.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					ws, err := parseWants(c.Text, pos.Filename, pos.Line)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					wants = append(wants, ws...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// wantPattern extracts the Go string literals following "want".
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(comment, file string, line int) ([]*want, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want ")
+	if !ok {
+		return nil, nil
+	}
+	lits := wantPattern.FindAllString(rest, -1)
+	if len(lits) == 0 {
+		return nil, fmt.Errorf("analysistest: want comment with no pattern")
+	}
+	var wants []*want
+	for _, lit := range lits {
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: bad pattern %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: bad pattern %s: %v", lit, err)
+		}
+		wants = append(wants, &want{file: file, line: line, re: re})
+	}
+	return wants, nil
+}

@@ -1,0 +1,97 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver model, built entirely on the
+// standard library's go/ast, go/parser, and go/types.
+//
+// The repository vendors no third-party modules and builds offline, so the
+// real x/tools module is unavailable; this package mirrors its Analyzer /
+// Pass / Diagnostic contract closely enough that the naiad-vet passes read
+// like ordinary go/analysis passes and could be ported to the real
+// framework by changing only import paths.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static analysis pass: a name for diagnostics and
+// suppression comments, documentation, and the function that inspects a
+// single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:naiad-vet:<name> suppression comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc documents the invariant the analyzer enforces. The first line is
+	// a one-sentence summary.
+	Doc string
+
+	// Run inspects one type-checked package, reporting findings through
+	// pass.Report. The return value is ignored by this driver; it exists to
+	// keep the signature compatible with go/analysis.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report publishes one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsNamed reports whether t (after unwrapping aliases and at most one level
+// of pointer) is the named type path.name.
+func IsNamed(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// DeclaredIn reports whether t (after unwrapping aliases and pointers) is a
+// named type declared in the package with the given import path.
+func DeclaredIn(t types.Type, path string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path
+}

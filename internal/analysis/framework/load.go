@@ -1,0 +1,253 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package, ready for
+// analysis.
+type Package struct {
+	// ImportPath is the package's resolved import path. Test variants keep
+	// the `pkg [pkg.test]` form go list reports.
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// ForTest is the base import path when this is a test variant
+	// (the package recompiled together with its _test.go files).
+	ForTest string
+	// Standard marks GOROOT packages.
+	Standard bool
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Loader enumerates packages with the go command and type-checks them from
+// source with go/types. It needs no network and no module downloads: the
+// repository's only dependencies are the standard library, whose sources
+// ship with the toolchain.
+type Loader struct {
+	root string // module root (directory containing go.mod)
+
+	fset     *token.FileSet
+	list     map[string]*listPkg
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory root.
+func NewLoader(root string) *Loader {
+	return &Loader{
+		root:     root,
+		fset:     token.NewFileSet(),
+		list:     make(map[string]*listPkg),
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("framework: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load lists the packages matching patterns (plus their test variants) and
+// returns them type-checked, in import-path order. Dependencies are
+// type-checked as needed but not returned. When both a base package and its
+// test variant match, only the variant is returned: it is a superset of the
+// base package's files, and returning both would duplicate diagnostics.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json", "-deps", "-test", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.root
+	// CGO_ENABLED=0 selects the pure-Go build of every package (net, os),
+	// keeping the source set type-checkable without a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("framework: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+
+	var targets []string
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("framework: parsing go list output: %v", err)
+		}
+		if lp.Error != nil && lp.ImportPath == "" {
+			return nil, fmt.Errorf("framework: go list: %s", lp.Error.Err)
+		}
+		l.list[lp.ImportPath] = lp
+		// Targets are the matched packages themselves; `.test` entries are
+		// the synthetic generated test mains, which have no real sources.
+		if !lp.DepOnly && !strings.HasSuffix(lp.ImportPath, ".test") {
+			targets = append(targets, lp.ImportPath)
+		}
+	}
+
+	// Drop a base package when its test variant was also matched.
+	hasVariant := make(map[string]bool)
+	for _, ip := range targets {
+		if ft := l.list[ip].ForTest; ft != "" && !strings.HasSuffix(ip, "_test ["+ft+".test]") {
+			hasVariant[ft] = true
+		}
+	}
+	var pkgs []*Package
+	for _, ip := range targets {
+		if hasVariant[ip] {
+			continue
+		}
+		p, err := l.pkg(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// pkg parses and type-checks one package (and, recursively, its imports),
+// memoizing the result.
+func (l *Loader) pkg(importPath string) (*Package, error) {
+	if importPath == "unsafe" {
+		return &Package{ImportPath: "unsafe", Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.checking[importPath] {
+		return nil, fmt.Errorf("framework: import cycle through %s", importPath)
+	}
+	l.checking[importPath] = true
+	defer delete(l.checking, importPath)
+
+	lp, ok := l.list[importPath]
+	if !ok {
+		return nil, fmt.Errorf("framework: package %s not in go list output", importPath)
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("framework: %s: %s", importPath, lp.Error.Err)
+	}
+
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("framework: %s: %v", importPath, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    importerFunc(func(path string) (*types.Package, error) { return l.resolve(lp, path) }),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	// go list reports `pkg [pkg.test]` for test variants; go/types wants a
+	// plain path, and the variant must present itself under the base path so
+	// external _test packages resolve their imports to it.
+	checkPath := importPath
+	if lp.ForTest != "" && !strings.Contains(importPath, "_test ") {
+		checkPath = lp.ForTest
+	} else if i := strings.IndexByte(checkPath, ' '); i >= 0 {
+		checkPath = checkPath[:i]
+	}
+	tpkg, err := conf.Check(checkPath, l.fset, files, info)
+	if err != nil && len(typeErrs) > 0 {
+		return nil, fmt.Errorf("framework: type-checking %s: %v", importPath, typeErrs[0])
+	} else if err != nil {
+		return nil, fmt.Errorf("framework: type-checking %s: %v", importPath, err)
+	}
+
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        lp.Dir,
+		ForTest:    lp.ForTest,
+		Standard:   lp.Standard,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// resolve maps a source-level import path to its type-checked package,
+// honoring the importing package's ImportMap (vendored std packages, test
+// variants).
+func (l *Loader) resolve(from *listPkg, path string) (*types.Package, error) {
+	if mapped, ok := from.ImportMap[path]; ok {
+		path = mapped
+	}
+	p, err := l.pkg(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

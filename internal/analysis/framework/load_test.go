@@ -1,0 +1,17 @@
+package framework
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root).Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		t.Logf("%s (%d files)", p.ImportPath, len(p.Files))
+	}
+}

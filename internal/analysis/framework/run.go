@@ -1,0 +1,143 @@
+package framework
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic resolved to a source position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run applies each analyzer to each package and returns the findings in
+// source order, deduplicated. (A package and its test variant share the
+// non-test files, so the same diagnostic can otherwise surface twice.)
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	seen := make(map[string]bool)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.TypesInfo == nil {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				f := Finding{Analyzer: a.Name, Position: pkg.Fset.Position(d.Pos), Message: d.Message}
+				key := fmt.Sprintf("%s\x00%s\x00%s", f.Analyzer, f.Position, f.Message)
+				if !seen[key] {
+					seen[key] = true
+					findings = append(findings, f)
+				}
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("framework: analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressionMarker introduces an intentional-violation comment. Accepted
+// forms, on the flagged line or the line directly above it:
+//
+//	//lint:naiad-vet <reason>                  – suppress every analyzer
+//	//lint:naiad-vet:timemono <reason>         – suppress one analyzer
+//	//lint:naiad-vet:timemono,tsimmut <reason> – suppress several
+//
+// The reason text is free-form but should say why the violation is
+// deliberate (e.g. a negative test that provokes the runtime's own check).
+const suppressionMarker = "//lint:naiad-vet"
+
+// ApplySuppressions removes findings covered by //lint:naiad-vet comments
+// in the source, returning the survivors and the number suppressed.
+func ApplySuppressions(findings []Finding) ([]Finding, int, error) {
+	lines := make(map[string][]string)
+	kept := findings[:0]
+	suppressed := 0
+	for _, f := range findings {
+		ls, ok := lines[f.Position.Filename]
+		if !ok {
+			var err error
+			ls, err = readLines(f.Position.Filename)
+			if err != nil {
+				return nil, 0, err
+			}
+			lines[f.Position.Filename] = ls
+		}
+		if suppressesOn(ls, f.Position.Line, f.Analyzer) || suppressesOn(ls, f.Position.Line-1, f.Analyzer) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed, nil
+}
+
+// suppressesOn reports whether source line n (1-based) carries a
+// suppression comment covering the named analyzer.
+func suppressesOn(lines []string, n int, analyzer string) bool {
+	if n < 1 || n > len(lines) {
+		return false
+	}
+	line := lines[n-1]
+	i := strings.Index(line, suppressionMarker)
+	if i < 0 {
+		return false
+	}
+	rest := line[i+len(suppressionMarker):]
+	if !strings.HasPrefix(rest, ":") {
+		return true // bare form: all analyzers
+	}
+	names, _, _ := strings.Cut(rest[1:], " ")
+	for _, name := range strings.Split(names, ",") {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}

@@ -1,0 +1,34 @@
+package framework
+
+import "testing"
+
+func TestSuppressesOn(t *testing.T) {
+	lines := []string{
+		"x := 1",
+		"y := 2 //lint:naiad-vet writing y is fine here",
+		"//lint:naiad-vet:timemono,tsimmut deliberate violation",
+		"z := 3",
+		"//lint:naiad-vet:lockhold reason",
+	}
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{1, "timemono", false},
+		{2, "timemono", true}, // bare form covers every analyzer
+		{2, "seedrand", true},
+		{3, "timemono", true},
+		{3, "tsimmut", true},
+		{3, "seedrand", false}, // named form covers only the listed analyzers
+		{5, "lockhold", true},
+		{5, "timemono", false},
+		{0, "timemono", false}, // out of range
+		{6, "timemono", false},
+	}
+	for _, c := range cases {
+		if got := suppressesOn(lines, c.line, c.analyzer); got != c.want {
+			t.Errorf("suppressesOn(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}

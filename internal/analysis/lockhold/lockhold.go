@@ -1,0 +1,376 @@
+// Package lockhold flags sync.Mutex/RWMutex locks held across blocking
+// operations in internal/runtime and internal/transport.
+//
+// The blocking operations of interest are channel sends and receives,
+// selects without a default, Transport.Send, and cross-goroutine enqueues
+// (mailbox.push and friends — each acquires the receiving goroutine's own
+// lock and wakes it). Holding a lock across one of them couples two
+// goroutines' lock orders through the scheduler: the classic shape is a
+// producer holding its own mutex while pushing into a worker mailbox whose
+// owner is blocked trying to reach the producer — a deadlock the chaos
+// partition tests can only trigger probabilistically, and this analyzer
+// rules out structurally.
+//
+// sync.Cond.Wait is deliberately not a blocking operation here: Wait
+// releases the associated lock while parked, which is the sanctioned
+// lock-held wait pattern (mailbox.drain, accumulator.run).
+//
+// The analysis is an intraprocedural, branch-insensitive walk over each
+// function body (branches are explored with a copy of the held-set), plus a
+// same-package transitive closure so that a helper performing a blocking
+// operation taints its callers (e.g. Input helpers that push to mailboxes).
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"naiad/internal/analysis/framework"
+)
+
+const (
+	runtimePath   = "naiad/internal/runtime"
+	transportPath = "naiad/internal/transport"
+)
+
+// Analyzer is the lockhold pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockhold",
+	Doc:  "flag locks held across blocking operations (channel ops, Transport.Send, mailbox enqueue) in internal/runtime and internal/transport",
+	Run:  run,
+}
+
+// enqueueMethods are the cross-goroutine handoff methods of the two scoped
+// packages: each locks the receiving goroutine's mutex and signals it.
+var enqueueMethods = map[string]bool{"push": true, "enqueue": true}
+
+// inScope limits the analysis to the packages whose goroutine topology it
+// models. analysistest fixtures named after them stand in during tests.
+func inScope(path string) bool {
+	switch strings.TrimSuffix(path, "_test") {
+	case runtimePath, transportPath:
+		return true
+	}
+	return strings.HasSuffix(path, "testdata/src/runtime") || strings.HasSuffix(path, "testdata/src/transport")
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	c := &checker{pass: pass, blockingFuncs: make(map[*types.Func]string), bodies: make(map[*types.Func]*ast.FuncDecl)}
+	c.buildCallGraph()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walk(fd.Body, map[string]ast.Node{})
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *framework.Pass
+	// blockingFuncs maps same-package functions that (transitively) perform
+	// a blocking operation to a description of it.
+	blockingFuncs map[*types.Func]string
+	bodies        map[*types.Func]*ast.FuncDecl
+}
+
+// buildCallGraph computes the transitive may-block property over the
+// package's own functions.
+func (c *checker) buildCallGraph() {
+	calls := make(map[*types.Func][]*types.Func)
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.bodies[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // a literal's body runs on its own schedule
+				}
+				if desc := c.directBlocking(n); desc != "" {
+					if _, seen := c.blockingFuncs[fn]; !seen {
+						c.blockingFuncs[fn] = desc
+					}
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := c.samePkgCallee(call); callee != nil {
+						calls[fn] = append(calls[fn], callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if _, ok := c.blockingFuncs[fn]; ok {
+				continue
+			}
+			for _, callee := range callees {
+				if desc, ok := c.blockingFuncs[callee]; ok {
+					c.blockingFuncs[fn] = "call to " + callee.Name() + " (" + desc + ")"
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// directBlocking classifies n as a blocking operation, returning a
+// description or "".
+func (c *checker) directBlocking(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" {
+			return "channel receive"
+		}
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default: non-blocking poll
+			}
+		}
+		return "select"
+	case *ast.CallExpr:
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return ""
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return ""
+		}
+		recv := sig.Recv().Type()
+		if fn.Name() == "Send" && framework.DeclaredIn(recv, transportPath) {
+			return "Transport.Send"
+		}
+		if enqueueMethods[fn.Name()] && (framework.DeclaredIn(recv, runtimePath) || framework.DeclaredIn(recv, transportPath)) {
+			return "mailbox enqueue (" + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// samePkgCallee resolves a call to a function or method declared in this
+// package whose body we have.
+func (c *checker) samePkgCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	if _, ok := c.bodies[fn]; !ok {
+		return nil // interface method or body elsewhere
+	}
+	return fn
+}
+
+// walk simulates straight-line execution of a statement list, tracking
+// which mutexes are held. Branch bodies get a copy of the held-set; the
+// parent continues with its own (a lock taken inside a branch is assumed
+// released there).
+func (c *checker) walk(stmt ast.Stmt, held map[string]ast.Node) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.walk(st, held)
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, held)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			c.applyLockOp(call, held, false)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function exit: every
+		// later statement executes under it, so leave the held-set alone.
+		// Other deferred calls run after the body; don't scan them inline.
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, held)
+		}
+	case *ast.SendStmt:
+		c.report(s.Pos(), "channel send", held)
+		c.checkExpr(s.Value, held)
+	case *ast.SelectStmt:
+		if desc := c.directBlocking(s); desc != "" {
+			c.report(s.Pos(), desc, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					c.walk(st, sub)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walk(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		c.walk(s.Body, copyHeld(held))
+		if s.Else != nil {
+			c.walk(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walk(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held)
+		}
+		c.walk(s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		c.walk(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walk(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					c.walk(st, sub)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					c.walk(st, sub)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the held-set; its body is
+		// only scanned for locks it takes itself (via run's top-level pass
+		// we do not descend into literals here).
+	case *ast.LabeledStmt:
+		c.walk(s.Stmt, held)
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr scans an expression for blocking operations performed while
+// locks are held. Function literals are skipped: their bodies execute on
+// their own schedule, not at this program point.
+func (c *checker) checkExpr(expr ast.Expr, held map[string]ast.Node) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if desc := c.directBlocking(n); desc != "" {
+			c.report(n.Pos(), desc, held)
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := c.samePkgCallee(call); callee != nil {
+				if desc, ok := c.blockingFuncs[callee]; ok {
+					c.report(call.Pos(), "call to "+callee.Name()+" ("+desc+")", held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyLockOp updates the held-set for a statement-level mu.Lock() /
+// mu.Unlock() call.
+func (c *checker) applyLockOp(call *ast.CallExpr, held map[string]ast.Node, deferred bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		held[key] = call
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(held, key)
+		}
+	}
+}
+
+// report emits one finding when a blocking operation executes with locks
+// held, naming the mutexes and where they were taken.
+func (c *checker) report(pos token.Pos, desc string, held map[string]ast.Node) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	c.pass.Reportf(pos, "%s while holding %s (locked at line %d); release the lock first — holding it across a cross-goroutine handoff is the deadlock shape chaos partitions only find probabilistically",
+		desc, strings.Join(names, ", "), c.pass.Fset.Position(held[names[0]].Pos()).Line)
+}
+
+func copyHeld(held map[string]ast.Node) map[string]ast.Node {
+	out := make(map[string]ast.Node, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

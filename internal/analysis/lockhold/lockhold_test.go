@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "runtime")
+}

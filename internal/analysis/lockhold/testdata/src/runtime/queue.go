@@ -1,0 +1,87 @@
+// Package fixture exercises the lockhold analyzer. Its directory name
+// (testdata/src/runtime) puts it in the analyzer's scope, standing in for
+// naiad/internal/runtime.
+package fixture
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	buf  []int
+}
+
+func (q *queue) bad() {
+	q.mu.Lock()
+	q.ch <- 1 // want `channel send while holding q.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) badDefer() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	<-q.ch // want `channel receive while holding q.mu`
+}
+
+func (q *queue) badHelper() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.emit() // want `call to emit \(channel send\) while holding q.mu`
+}
+
+func (q *queue) emit() {
+	q.ch <- 1 // no lock held here: the caller is at fault, not the helper
+}
+
+func (q *queue) badSelect(done chan struct{}) {
+	q.mu.Lock()
+	select { // want `select while holding q.mu`
+	case q.ch <- 1:
+	case <-done:
+	}
+	q.mu.Unlock()
+}
+
+// Legal: the lock is released before the handoff.
+func (q *queue) good(v int) {
+	q.mu.Lock()
+	q.buf = append(q.buf, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// Legal: a select with a default is a non-blocking poll.
+func (q *queue) poll() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// Legal: Cond.Wait releases the lock while parked — the sanctioned
+// lock-held wait pattern.
+func (q *queue) drain() []int {
+	q.mu.Lock()
+	for len(q.buf) == 0 {
+		q.cond.Wait()
+	}
+	out := q.buf
+	q.buf = nil
+	q.mu.Unlock()
+	return out
+}
+
+// Legal: the goroutine body runs on its own schedule; the spawning
+// function's held-set does not apply to it.
+func (q *queue) spawn() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- 1
+	}()
+}

@@ -1,0 +1,189 @@
+// Package seedrand enforces the one-logged-seed reproducibility rule in
+// tests: every math/rand source constructed in a _test.go file must derive
+// its seed from testutil.Seed.
+//
+// testutil.Seed logs the seed it returns and honors the NAIAD_TEST_SEED
+// override, so any randomized-test failure report carries exactly the value
+// needed to replay the schedule (chaos faults, shuffled inputs, random
+// graphs). A literal-seeded rand.NewSource silently opts a test out of the
+// override — soak loops exploring other schedules never vary it — and a
+// time-seeded one makes failures unreproducible. Both defeat the discipline
+// the chaos harness depends on.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"naiad/internal/analysis/framework"
+)
+
+const testutilPath = "naiad/internal/testutil"
+
+// Analyzer is the seedrand pass.
+var Analyzer = &framework.Analyzer{
+	Name: "seedrand",
+	Doc:  "flag math/rand sources in _test.go files whose seed is not derived from testutil.Seed",
+	Run:  run,
+}
+
+// seedCtors are the seed-accepting source constructors of math/rand and
+// math/rand/v2.
+var seedCtors = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+// globalFns are package-level math/rand functions drawing from the global
+// generator, which no test may use: the global source cannot be re-seeded
+// per test, so its draws depend on test execution order.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "Uint": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "N": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if len(name) < len("_test.go") || name[len(name)-len("_test.go"):] != "_test.go" {
+			continue
+		}
+		derived := collectDerived(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := randFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case globalFns[fn.Name()]:
+				pass.Reportf(call.Pos(), "rand.%s uses math/rand's global generator in a test; draw from a rand.New(rand.NewSource(testutil.Seed(t))) source so the schedule is reproducible from the logged seed", fn.Name())
+			case seedCtors[fn.Name()]:
+				for _, arg := range call.Args {
+					if !seedDerived(pass, arg, derived) {
+						pass.Reportf(arg.Pos(), "rand.%s seed is not derived from testutil.Seed; failures will not be reproducible from the logged seed (and NAIAD_TEST_SEED cannot vary the schedule)", fn.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// randFunc resolves call to a package-level function of math/rand or
+// math/rand/v2, or nil.
+func randFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods (e.g. (*Rand).Intn) draw from an explicit source
+	}
+	return fn
+}
+
+// collectDerived gathers the objects a seed legitimately flows through:
+// variables assigned from a testutil.Seed call and function parameters
+// (helpers receive their seed from a caller that obtained it properly).
+func collectDerived(pass *framework.Pass, file *ast.File) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if !mentionsSeedCall(pass, rhs) {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							derived[obj] = true
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							derived[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			addParams(pass, n.Type, derived)
+		case *ast.FuncLit:
+			addParams(pass, n.Type, derived)
+		}
+		return true
+	})
+	return derived
+}
+
+func addParams(pass *framework.Pass, ft *ast.FuncType, derived map[types.Object]bool) {
+	if ft.Params == nil {
+		return
+	}
+	for _, f := range ft.Params.List {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+}
+
+// mentionsSeedCall reports whether expr contains a call to testutil.Seed.
+func mentionsSeedCall(pass *framework.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Name() == "Seed" &&
+				fn.Pkg() != nil && fn.Pkg().Path() == testutilPath {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// seedDerived reports whether arg plausibly derives from testutil.Seed: it
+// contains a direct testutil.Seed call, or mentions a seed-derived variable
+// or parameter. Constants and seed-free expressions (literals,
+// time.Now().UnixNano()) do not qualify.
+func seedDerived(pass *framework.Pass, arg ast.Expr, derived map[types.Object]bool) bool {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return false // constant seed, flat out
+	}
+	if mentionsSeedCall(pass, arg) {
+		return true
+	}
+	ok := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && derived[obj] {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	analysistest.Run(t, seedrand.Analyzer, "seedfix")
+}

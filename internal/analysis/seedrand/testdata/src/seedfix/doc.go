@@ -1,0 +1,4 @@
+// Package seedfix is a fixture for the seedrand analyzer; the shapes under
+// test live in its _test.go file, since the analyzer only inspects test
+// files.
+package seedfix

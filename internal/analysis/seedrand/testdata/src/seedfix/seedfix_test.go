@@ -1,0 +1,35 @@
+package seedfix
+
+import (
+	"math/rand"
+	"testing"
+
+	"naiad/internal/testutil"
+)
+
+func TestLiteralSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(42)) // want `seed is not derived from testutil.Seed`
+	_ = r.Intn(3)                     // legal: a method draws from its explicit source
+}
+
+func TestGlobalGenerator(t *testing.T) {
+	_ = rand.Intn(3) // want `uses math/rand's global generator`
+}
+
+func TestSeeded(t *testing.T) {
+	seed := testutil.Seed(t)
+	r := rand.New(rand.NewSource(seed))
+	r2 := rand.New(rand.NewSource(seed + 1)) // legal: an offset of the logged seed
+	_ = derive(seed)
+	_, _ = r, r2
+}
+
+func TestInline(t *testing.T) {
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
+	_ = r
+}
+
+// derive's seed parameter is trusted: the caller obtained it properly.
+func derive(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

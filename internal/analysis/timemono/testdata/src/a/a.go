@@ -1,0 +1,57 @@
+// Package a exercises the timemono analyzer: SendBy/NotifyAt with times
+// visibly earlier than the executing callback's time.
+package a
+
+import (
+	rt "naiad/internal/runtime"
+	ts "naiad/internal/timestamp"
+)
+
+type vertex struct {
+	ctx *rt.Context
+}
+
+func (v *vertex) OnRecv(_ int, m rt.Message, t ts.Timestamp) {
+	v.ctx.SendBy(0, m, ts.Root(t.Epoch-1))     // want `SendBy at a time earlier than the executing callback's time: Root with a decremented epoch`
+	v.ctx.SendBy(0, m, ts.Make(t.Epoch-1, 0))  // want `Make with a decremented epoch`
+	v.ctx.NotifyAt(t.PopLoop())                // want `only egress stages pop loop counters`
+	v.ctx.NotifyAt(t.WithInner(t.Inner() - 1)) // want `WithInner with a decremented loop counter`
+
+	// Legal: at or after the callback time in the could-result-in order.
+	v.ctx.SendBy(0, m, t)
+	v.ctx.NotifyAt(t.Tick())
+	v.ctx.NotifyAt(ts.Root(t.Epoch + 1))
+	v.ctx.NotifyAtCap(t, t.Tick())
+	v.helper(m, t)
+}
+
+func (v *vertex) OnNotify(t ts.Timestamp) {
+	v.ctx.NotifyAt(ts.Root(t.Epoch - 2)) // want `Root with a decremented epoch`
+}
+
+// helper receives the callback time as a parameter, so it is still "the
+// executing time" inside the helper body.
+func (v *vertex) helper(m rt.Message, now ts.Timestamp) {
+	v.ctx.NotifyAt(ts.Root(now.Epoch - 1)) // want `Root with a decremented epoch`
+	v.ctx.SendBy(0, m, now.Tick())         // legal
+}
+
+// fresh builds a time from a plain integer, not from a callback time; the
+// analyzer cannot see an ordering violation here.
+func (v *vertex) fresh(e int64) {
+	v.ctx.NotifyAt(ts.Root(e - 1))
+}
+
+// stored: popping a locally built time (e.g. a stored capability) is not
+// flagged; only the executing callback time's loop context is protected.
+func (v *vertex) stored() {
+	held := ts.Root(3).PushLoop()
+	v.ctx.NotifyAt(held.PopLoop())
+}
+
+// literal: a callback time flowing into a closure keeps its protection.
+func (v *vertex) literal() func(ts.Timestamp) {
+	return func(t ts.Timestamp) {
+		v.ctx.NotifyAt(t.PopLoop()) // want `only egress stages pop loop counters`
+	}
+}

@@ -1,0 +1,213 @@
+// Package timemono flags SendBy/NotifyAt calls whose timestamp is visibly
+// earlier than the time of the callback they run in.
+//
+// A vertex executing a callback at time t may only call SendBy or NotifyAt
+// with times t' ≥ t in the could-result-in order (Naiad §2.3): sending
+// backwards in time would let a message undermine a progress guarantee
+// already delivered to some other vertex. The runtime enforces this
+// dynamically (worker.sendBy panics, and progress.SafetyMonitor catches the
+// frontier regression); this analyzer is the static twin, catching the
+// shapes that are decidable at compile time:
+//
+//   - ts.Root(t.Epoch - 1) / ts.Make(t.Epoch - 1, …): an earlier epoch
+//   - t.WithInner(t.Inner() - 1): a decremented loop counter
+//   - t.PopLoop(): leaving the loop context of the executing time, which is
+//     the timestamp action reserved for egress stages (worker.sendBy applies
+//     it on their behalf; a user vertex passing a popped time sends outside
+//     its own context)
+//
+// where t is a timestamp.Timestamp parameter of the enclosing function —
+// the callback time of OnRecv/OnNotify, or of a helper the callback passes
+// its time to.
+package timemono
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"naiad/internal/analysis/framework"
+)
+
+const (
+	runtimePath   = "naiad/internal/runtime"
+	timestampPath = "naiad/internal/timestamp"
+)
+
+// Analyzer is the timemono pass.
+var Analyzer = &framework.Analyzer{
+	Name: "timemono",
+	Doc:  "flag SendBy/NotifyAt times visibly earlier than the executing callback's time (Naiad §2.3 could-result-in order)",
+	Run:  run,
+}
+
+// timeArgIndex maps Context methods to the indices of their timestamp
+// arguments.
+var timeArgIndex = map[string][]int{
+	"SendBy":        {2},
+	"NotifyAt":      {0},
+	"NotifyAtCap":   {0, 1},
+	"NotifyAtPurge": {0},
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		check(pass, file, nil)
+	}
+	return nil, nil
+}
+
+// check walks node with env, the set of timestamp.Timestamp parameters of
+// the enclosing function chain ("the times the code is executing at").
+func check(pass *framework.Pass, node ast.Node, env map[types.Object]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n == node {
+				return true
+			}
+			check(pass, n, extend(pass, env, n.Type))
+			return false
+		case *ast.FuncLit:
+			if n == node {
+				return true
+			}
+			check(pass, n, extend(pass, env, n.Type))
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, env)
+		}
+		return true
+	})
+}
+
+// extend returns env plus ft's timestamp.Timestamp parameters.
+func extend(pass *framework.Pass, env map[types.Object]bool, ft *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(env)+1)
+	for k := range env {
+		out[k] = true
+	}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && framework.IsNamed(obj.Type(), timestampPath, "Timestamp") {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkCall flags Context.SendBy / NotifyAt* calls whose time argument is
+// visibly earlier than an in-scope callback time.
+func checkCall(pass *framework.Pass, call *ast.CallExpr, env map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	idxs, ok := timeArgIndex[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	recv := pass.TypesInfo.Types[sel.X]
+	if !framework.IsNamed(recv.Type, runtimePath, "Context") {
+		return
+	}
+	for _, i := range idxs {
+		if i >= len(call.Args) {
+			continue
+		}
+		if reason := earlier(pass, call.Args[i], env); reason != "" {
+			pass.Reportf(call.Args[i].Pos(), "%s at a time earlier than the executing callback's time: %s (could-result-in order, Naiad §2.3)",
+				sel.Sel.Name, reason)
+		}
+	}
+}
+
+// earlier reports (as a non-empty reason) whether expr is a time visibly
+// below every time in env in the could-result-in order.
+func earlier(pass *framework.Pass, expr ast.Expr, env map[types.Object]bool) string {
+	expr = ast.Unparen(expr)
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch {
+	// t.PopLoop(): the result's loop coordinates are outside the callback
+	// time's context; only the egress stage's system action may pop.
+	case sel.Sel.Name == "PopLoop" && rootedAtTime(pass, sel.X, env):
+		return "PopLoop leaves the loop context of the current time; only egress stages pop loop counters"
+
+	// t.WithInner(t.Inner() - k): decremented innermost loop counter.
+	case sel.Sel.Name == "WithInner" && rootedAtTime(pass, sel.X, env) && len(call.Args) == 1:
+		if decremented(pass, call.Args[0], env, "Inner") {
+			return "WithInner with a decremented loop counter"
+		}
+
+	// ts.Root(t.Epoch - k) / ts.Make(t.Epoch - k, …): earlier epoch.
+	case (sel.Sel.Name == "Root" || sel.Sel.Name == "Make") && isTimestampPkgFunc(pass, sel) && len(call.Args) > 0:
+		if decremented(pass, call.Args[0], env, "Epoch") {
+			return sel.Sel.Name + " with a decremented epoch"
+		}
+	}
+	return ""
+}
+
+// decremented reports whether expr has the shape `t.<field>() - k` or
+// `t.<field> - k` for a positive constant k and an in-scope time t.
+func decremented(pass *framework.Pass, expr ast.Expr, env map[types.Object]bool, field string) bool {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.SUB {
+		return false
+	}
+	v := pass.TypesInfo.Types[bin.Y].Value
+	if v == nil || v.Kind() != constant.Int || constant.Sign(v) <= 0 {
+		return false
+	}
+	x := ast.Unparen(bin.X)
+	switch x := x.(type) {
+	case *ast.SelectorExpr: // t.Epoch
+		return x.Sel.Name == field && rootedAtTime(pass, x.X, env)
+	case *ast.CallExpr: // t.Inner()
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == field && rootedAtTime(pass, sel.X, env)
+	}
+	return false
+}
+
+// rootedAtTime reports whether expr denotes (a chain of timestamp method
+// calls on) one of the in-scope callback times.
+func rootedAtTime(pass *framework.Pass, expr ast.Expr, env map[types.Object]bool) bool {
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return env[pass.TypesInfo.Uses[e]]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			expr = sel.X
+		default:
+			return false
+		}
+	}
+}
+
+// isTimestampPkgFunc reports whether sel names a package-level function of
+// naiad/internal/timestamp (e.g. ts.Root, ts.Make).
+func isTimestampPkgFunc(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == timestampPath
+}

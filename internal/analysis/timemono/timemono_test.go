@@ -1,0 +1,12 @@
+package timemono_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/timemono"
+)
+
+func TestTimemono(t *testing.T) {
+	analysistest.Run(t, timemono.Analyzer, "a")
+}

@@ -1,0 +1,35 @@
+// Package a exercises the tsimmut analyzer: timestamps are immutable
+// values outside internal/timestamp.
+package a
+
+import ts "naiad/internal/timestamp"
+
+func mutate() {
+	var t ts.Timestamp
+	t.Epoch = 3       // want `assignment to field Epoch of timestamp.Timestamp`
+	t.Counters[0] = 1 // want `assignment to field Counters of timestamp.Timestamp`
+	t.Epoch++         // want `of field Epoch of timestamp.Timestamp`
+	p := &t.Depth     // want `taking the address of field Depth`
+	_ = p
+	_ = t
+}
+
+func viaPointer(pt *ts.Timestamp) {
+	pt.Epoch = 1 // want `assignment to field Epoch`
+}
+
+// Legal: reading fields and deriving new values through the constructors
+// and the value-returning methods.
+func derive(t ts.Timestamp) ts.Timestamp {
+	if t.Epoch > 0 {
+		return ts.Make(t.Epoch+1, t.Counters[:t.Depth]...)
+	}
+	return t.PushLoop().Tick()
+}
+
+// Legal: whole-value assignment replaces the value, it does not alias it.
+func replace(t ts.Timestamp) ts.Timestamp {
+	u := t
+	u = ts.Root(t.Epoch + 1)
+	return u
+}

@@ -1,0 +1,82 @@
+// Package tsimmut flags mutation of timestamp.Timestamp fields outside
+// the timestamp package itself.
+//
+// Timestamps are fixed-capacity value types: they key Go maps, are compared
+// with ==, and rely on the invariant that counters beyond Depth are zero
+// (timestamp.go). Writing a field directly — t.Epoch = …, t.Counters[i] = …,
+// or through a taken address — can silently break == equality and map
+// identity for every structure holding the value, the exact class of bug
+// the timestamp-token discipline of Lattuada & McSherry's work rules out by
+// construction. All legitimate derivation goes through the value-returning
+// methods (PushLoop, PopLoop, Tick, WithInner) or the constructors (Root,
+// Make); only naiad/internal/timestamp may touch fields.
+package tsimmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"naiad/internal/analysis/framework"
+)
+
+const timestampPath = "naiad/internal/timestamp"
+
+// Analyzer is the tsimmut pass.
+var Analyzer = &framework.Analyzer{
+	Name: "tsimmut",
+	Doc:  "flag mutation (or address-taking) of timestamp.Timestamp fields outside internal/timestamp",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Path() == timestampPath {
+		return nil, nil // the implementation owns its representation
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if name, ok := timestampField(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(), "assignment to field %s of timestamp.Timestamp outside internal/timestamp; timestamps are immutable values — build a new one with Root/Make/Tick/WithInner", name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, ok := timestampField(pass, n.X); ok {
+					pass.Reportf(n.X.Pos(), "%s of field %s of timestamp.Timestamp outside internal/timestamp; timestamps are immutable values", n.Tok, name)
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() != "&" {
+					return true
+				}
+				if name, ok := timestampField(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "taking the address of field %s of timestamp.Timestamp; a pointer alias lets the value mutate under a map key or == comparison", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// timestampField reports whether expr is (an index into) a field selected
+// from a timestamp.Timestamp value or pointer, returning the field name.
+func timestampField(pass *framework.Pass, expr ast.Expr) (string, bool) {
+	expr = ast.Unparen(expr)
+	// t.Counters[i] → look at t.Counters; (&t.Counters)[i] similar.
+	if idx, ok := expr.(*ast.IndexExpr); ok {
+		expr = ast.Unparen(idx.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	if !framework.IsNamed(pass.TypesInfo.Types[sel.X].Type, timestampPath, "Timestamp") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

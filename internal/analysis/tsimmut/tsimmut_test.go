@@ -1,0 +1,12 @@
+package tsimmut_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/tsimmut"
+)
+
+func TestTsimmut(t *testing.T) {
+	analysistest.Run(t, tsimmut.Analyzer, "a")
+}

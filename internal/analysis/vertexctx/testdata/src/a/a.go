@@ -1,0 +1,33 @@
+// Package a exercises the vertexctx analyzer: vertex Contexts must not
+// escape into goroutines.
+package a
+
+import rt "naiad/internal/runtime"
+
+func leak(ctx *rt.Context, ch chan int) {
+	go handle(ctx) // want `vertex Context passed to a goroutine`
+	go func() {
+		use(ctx) // want `vertex Context captured by a goroutine \(via ctx\)`
+	}()
+
+	// Legal: a goroutine that communicates through channels only.
+	go func() {
+		<-ch
+	}()
+
+	// Legal: synchronous use from the callback itself.
+	use(ctx)
+}
+
+type holder struct {
+	ctx *rt.Context
+}
+
+func (h *holder) leakField() {
+	go func() {
+		use(h.ctx) // want `vertex Context captured by a goroutine \(via h\)`
+	}()
+}
+
+func use(*rt.Context)    {}
+func handle(*rt.Context) {}

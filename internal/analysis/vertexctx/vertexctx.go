@@ -1,0 +1,112 @@
+// Package vertexctx flags vertex Contexts escaping into goroutines.
+//
+// A runtime.Context is permanently bound to one vertex and "must only be
+// used from the vertex's own callbacks" (vertex.go): OnRecv and OnNotify run
+// single-threaded on the owning worker, which is why vertices need no
+// internal locking and why SendBy/NotifyAt can validate times against the
+// worker's callback time-stack without synchronization. A `go func` that
+// captures a Context (directly, through a vertex's ctx field, or passed as
+// an argument) runs off the worker thread: its SendBy races the worker's
+// time-stack bookkeeping and can emit messages after the progress protocol
+// has already retired the callback's pointstamp — a frontier violation the
+// SafetyMonitor only catches if the race happens to strike during a test.
+package vertexctx
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"naiad/internal/analysis/framework"
+)
+
+const runtimePath = "naiad/internal/runtime"
+
+// Analyzer is the vertexctx pass.
+var Analyzer = &framework.Analyzer{
+	Name: "vertexctx",
+	Doc:  "flag vertex Contexts captured by or passed to goroutines, which breaks the single-threaded-worker contract",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, gs)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkGo(pass *framework.Pass, gs *ast.GoStmt) {
+	// Context handed to the goroutine as an argument.
+	for _, arg := range gs.Call.Args {
+		if isContext(pass, arg) {
+			pass.Reportf(arg.Pos(), "vertex Context passed to a goroutine; Contexts must only be used from the vertex's own callbacks on the worker thread")
+		}
+	}
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Context captured by the goroutine body: any expression of Context
+	// type whose root variable is declared outside the literal.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || !isContext(pass, expr) {
+			return true
+		}
+		root := rootIdent(expr)
+		if root == nil {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil || !declaredOutside(obj, lit) {
+			return true
+		}
+		pass.Reportf(expr.Pos(), "vertex Context captured by a goroutine (via %s); SendBy/NotifyAt off the worker thread race the callback time-stack and the progress protocol", root.Name)
+		return false // don't re-flag sub-expressions of this one
+	})
+}
+
+// isContext reports whether expr's type is runtime.Context or *runtime.Context.
+func isContext(pass *framework.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && framework.IsNamed(tv.Type, runtimePath, "Context")
+}
+
+// rootIdent returns the identifier at the base of a selector/index/call
+// chain, or nil.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			expr = e.Fun
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside lit's body — i.e.
+// the goroutine refers to it as a captured free variable rather than one of
+// its own locals or parameters.
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return obj.Pos() == token.NoPos || obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

@@ -1,0 +1,12 @@
+package vertexctx_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/vertexctx"
+)
+
+func TestVertexctx(t *testing.T) {
+	analysistest.Run(t, vertexctx.Analyzer, "a")
+}

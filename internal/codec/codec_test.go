@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"naiad/internal/testutil"
 )
 
 func TestEncoderDecoderPrimitives(t *testing.T) {
@@ -134,7 +136,7 @@ func TestQuickInt64Roundtrip(t *testing.T) {
 		out := c.DecodeBatch(NewDecoder(e.Bytes()), len(in))
 		return reflect.DeepEqual(in, out)
 	}
-	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(9))}); err != nil {
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(testutil.Seed(t)))}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -152,7 +154,7 @@ func TestQuickStringRoundtrip(t *testing.T) {
 		out := c.DecodeBatch(NewDecoder(e.Bytes()), len(in))
 		return reflect.DeepEqual(in, out)
 	}
-	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(10))}); err != nil {
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(testutil.Seed(t)))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"naiad/internal/codec"
+	"naiad/internal/testutil"
 )
 
 // accumulate folds a collector of diffs into final multiplicities per
@@ -162,7 +163,7 @@ func TestDiffSelectManyWhere(t *testing.T) {
 // deletions.
 func TestIncrementalWordCountMatchesBatch(t *testing.T) {
 	const epochs = 8
-	r := rand.New(rand.NewSource(21))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	vocab := []string{"a", "b", "c", "d", "e"}
 
 	s := newTestScope(t, testCfg())

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"naiad/internal/graph"
+	"naiad/internal/testutil"
 	ts "naiad/internal/timestamp"
 )
 
@@ -171,7 +172,7 @@ func TestTrackerMatchesBruteForce(t *testing.T) {
 			times = append(times, ts.Make(e, c))
 		}
 	}
-	r := rand.New(rand.NewSource(11))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for trial := 0; trial < 50; trial++ {
 		tr := NewTracker(g)
 		counts := map[Pointstamp]int64{}

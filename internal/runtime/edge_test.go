@@ -239,6 +239,7 @@ func TestNotifyBeforeCallbackTimePanics(t *testing.T) {
 	in := c.NewInput("in")
 	st := c.AddStage("bad", graph.RoleNormal, 0, func(ctx *Context) Vertex {
 		return &funcVertex{onRecv: func(_ int, _ Message, tm ts.Timestamp) {
+			//lint:naiad-vet:timemono deliberate violation: provokes the runtime's dynamic check
 			ctx.NotifyAt(ts.Root(tm.Epoch - 1))
 		}}
 	})

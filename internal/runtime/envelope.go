@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	ts "naiad/internal/timestamp"
@@ -40,12 +42,24 @@ func decodeData(c *Computation, payload []byte) (ci *connInfo, dstVertex int, t 
 	d := codec.NewDecoder(payload)
 	ci = c.conn(graph.ConnectorID(d.Uint32()))
 	dstVertex = int(d.Uint32())
-	t.Epoch = d.Int64()
-	t.Depth = d.Uint8()
-	for i := uint8(0); i < t.Depth; i++ {
-		t.Counters[i] = d.Int64()
-	}
+	t = decodeTime(d)
 	n := d.Count(1)
 	records = ci.cod.DecodeBatch(d, n)
 	return ci, dstVertex, t, records
+}
+
+// decodeTime reads the wire form of a timestamp (epoch, depth, counters)
+// and rebuilds it through the constructor, so the counters-beyond-Depth-
+// are-zero invariant holds even for corrupt input.
+func decodeTime(d *codec.Decoder) ts.Timestamp {
+	epoch := d.Int64()
+	depth := d.Uint8()
+	if depth > ts.MaxLoopDepth {
+		panic(fmt.Sprintf("runtime: corrupt frame: timestamp depth %d", depth))
+	}
+	var counters [ts.MaxLoopDepth]int64
+	for i := uint8(0); i < depth; i++ {
+		counters[i] = d.Int64()
+	}
+	return ts.Make(epoch, counters[:depth]...)
 }

@@ -47,23 +47,30 @@ func (in *Input) Epoch() int64 {
 // Send introduces records into the current epoch, scattering them
 // round-robin across the workers.
 func (in *Input) Send(records ...Message) {
+	per, epoch := in.planSend(records)
+	for w, batch := range per {
+		if len(batch) > 0 {
+			in.feed(w, epoch, batch)
+		}
+	}
+}
+
+// planSend partitions records round-robin under the lock and snapshots the
+// epoch they belong to. The mailbox pushes happen after the lock is
+// released: a mailbox handoff acquires the receiving worker's own mutex,
+// and holding in.mu across it would couple the producer's and the worker's
+// lock orders through the scheduler. The single-producer contract keeps
+// the plan and the pushes consistent.
+func (in *Input) planSend(records []Message) ([][]Message, int64) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.checkOpen()
-	nw := in.comp.cfg.Workers()
-	if len(records) == 0 {
-		return
-	}
-	per := make([][]Message, nw)
+	per := make([][]Message, in.comp.cfg.Workers())
 	for _, r := range records {
-		per[in.rr%nw] = append(per[in.rr%nw], r)
+		per[in.rr%len(per)] = append(per[in.rr%len(per)], r)
 		in.rr++
 	}
-	for w, batch := range per {
-		if len(batch) > 0 {
-			in.feedLocked(w, batch)
-		}
-	}
+	return per, in.epoch
 }
 
 // SendToWorker introduces records into the current epoch at a specific
@@ -71,20 +78,25 @@ func (in *Input) Send(records ...Message) {
 // scaling experiments. The records slice is owned by the runtime after the
 // call.
 func (in *Input) SendToWorker(worker int, records []Message) {
+	epoch := in.planSendToWorker(worker)
+	if len(records) > 0 {
+		in.feed(worker, epoch, records)
+	}
+}
+
+func (in *Input) planSendToWorker(worker int) int64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.checkOpen()
 	if worker < 0 || worker >= in.comp.cfg.Workers() {
 		panic(fmt.Sprintf("runtime: SendToWorker(%d) with %d workers", worker, in.comp.cfg.Workers()))
 	}
-	if len(records) > 0 {
-		in.feedLocked(worker, records)
-	}
+	return in.epoch
 }
 
-func (in *Input) feedLocked(worker int, records []Message) {
+func (in *Input) feed(worker int, epoch int64, records []Message) {
 	in.comp.workers[worker].mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
-		op: ctlInputFeed, stage: in.stage, epoch: in.epoch, records: records,
+		op: ctlInputFeed, stage: in.stage, epoch: epoch, records: records,
 	}})
 }
 
@@ -95,6 +107,20 @@ func (in *Input) Advance() { in.AdvanceTo(in.Epoch() + 1) }
 
 // AdvanceTo completes every epoch below e and makes e current.
 func (in *Input) AdvanceTo(e int64) {
+	if !in.planAdvance(e) {
+		return
+	}
+	for _, w := range in.comp.workers {
+		w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
+			op: ctlInputAdvance, stage: in.stage, epoch: e,
+		}})
+	}
+}
+
+// planAdvance validates and records the epoch change under the lock,
+// reporting whether notifications need to go out. See planSend for why the
+// pushes happen unlocked.
+func (in *Input) planAdvance(e int64) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.checkOpen()
@@ -102,7 +128,7 @@ func (in *Input) AdvanceTo(e int64) {
 		panic(fmt.Sprintf("runtime: input %d cannot retreat from epoch %d to %d", in.stage, in.epoch, e))
 	}
 	if e == in.epoch {
-		return
+		return false
 	}
 	in.epoch = e
 	for cur := in.comp.maxEpoch.Load(); e > cur; cur = in.comp.maxEpoch.Load() {
@@ -110,11 +136,7 @@ func (in *Input) AdvanceTo(e int64) {
 			break
 		}
 	}
-	for _, w := range in.comp.workers {
-		w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
-			op: ctlInputAdvance, stage: in.stage, epoch: e,
-		}})
-	}
+	return true
 }
 
 // OnNext supplies one epoch of records and advances, mirroring the paper's
@@ -127,17 +149,26 @@ func (in *Input) OnNext(records ...Message) {
 // Close marks the input complete; once every input closes and drains, the
 // computation shuts down and Join returns (§2.1).
 func (in *Input) Close() {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.closed {
+	if !in.planClose() {
 		return
 	}
-	in.closed = true
 	for _, w := range in.comp.workers {
 		w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
 			op: ctlInputClose, stage: in.stage,
 		}})
 	}
+}
+
+// planClose flips the closed flag under the lock, reporting whether this
+// call is the one that must notify the workers.
+func (in *Input) planClose() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return false
+	}
+	in.closed = true
+	return true
 }
 
 func (in *Input) checkOpen() {

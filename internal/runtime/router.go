@@ -7,7 +7,6 @@ import (
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/progress"
-	ts "naiad/internal/timestamp"
 	"naiad/internal/transport"
 )
 
@@ -114,14 +113,7 @@ func decodeProgress(payload []byte) (byte, []update) {
 	us := make([]update, n)
 	for i := range us {
 		us[i].P.Loc = graph.Location(d.Uint32())
-		us[i].P.Time.Epoch = d.Int64()
-		us[i].P.Time.Depth = d.Uint8()
-		if us[i].P.Time.Depth > ts.MaxLoopDepth {
-			panic(fmt.Sprintf("runtime: corrupt progress frame: depth %d", us[i].P.Time.Depth))
-		}
-		for j := uint8(0); j < us[i].P.Time.Depth; j++ {
-			us[i].P.Time.Counters[j] = d.Int64()
-		}
+		us[i].P.Time = decodeTime(d)
 		us[i].D = d.Int64()
 	}
 	return subtype, us

@@ -405,6 +405,7 @@ func TestSendBackwardsInTimePanics(t *testing.T) {
 	in := c.NewInput("in")
 	bad := c.AddStage("bad", graph.RoleNormal, 0, func(ctx *Context) Vertex {
 		return &funcVertex{onRecv: func(_ int, m Message, t ts.Timestamp) {
+			//lint:naiad-vet:timemono deliberate violation: provokes the runtime's dynamic check
 			ctx.SendBy(0, m, ts.Root(t.Epoch-1))
 		}}
 	})

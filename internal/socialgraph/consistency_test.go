@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"naiad/internal/runtime"
+	"naiad/internal/testutil"
 	"naiad/internal/workload"
 )
 
@@ -16,7 +17,7 @@ import (
 func TestComponentsMatchUnionFindAcrossEpochs(t *testing.T) {
 	const users = 120
 	const epochs = 6
-	r := rand.New(rand.NewSource(77))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 
 	var mu sync.Mutex
 	answers := map[int64]Answer{}

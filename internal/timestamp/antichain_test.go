@@ -3,6 +3,8 @@ package timestamp
 import (
 	"math/rand"
 	"testing"
+
+	"naiad/internal/testutil"
 )
 
 func TestAntichainInsert(t *testing.T) {
@@ -63,7 +65,7 @@ func TestAntichainElementsSorted(t *testing.T) {
 // Property: every inserted element is either in the antichain or dominated
 // by a member; members are mutually incomparable.
 func TestAntichainInvariant(t *testing.T) {
-	r := rand.New(rand.NewSource(6))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for trial := 0; trial < 300; trial++ {
 		a := NewAntichain()
 		var inserted []Timestamp
@@ -130,7 +132,7 @@ func TestMutableAntichainNegativePanics(t *testing.T) {
 // Property: the frontier of a MutableAntichain equals the antichain of
 // times with positive count, under arbitrary interleaved updates.
 func TestMutableAntichainMatchesRecomputation(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for trial := 0; trial < 200; trial++ {
 		m := NewMutableAntichain()
 		ref := map[Timestamp]int64{}

@@ -3,6 +3,8 @@ package timestamp
 import (
 	"math/rand"
 	"testing"
+
+	"naiad/internal/testutil"
 )
 
 func TestIdentitySummary(t *testing.T) {
@@ -80,7 +82,7 @@ func randSummary(r *rand.Rand, inDepth uint8) Summary {
 
 // Property: composition via Then agrees with sequential Apply.
 func TestThenAgreesWithSequentialApply(t *testing.T) {
-	r := rand.New(rand.NewSource(3))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for i := 0; i < 10000; i++ {
 		d := uint8(r.Intn(3))
 		s1 := randSummary(r, d)
@@ -97,7 +99,7 @@ func TestThenAgreesWithSequentialApply(t *testing.T) {
 // Property: canonical composition of structural steps equals step-by-step
 // application for explicitly enumerated op sequences.
 func TestCanonicalFormMatchesOpSequence(t *testing.T) {
-	r := rand.New(rand.NewSource(4))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for i := 0; i < 10000; i++ {
 		d := uint8(r.Intn(3))
 		ts := randTimestamp(r, d)
@@ -131,7 +133,7 @@ func TestCanonicalFormMatchesOpSequence(t *testing.T) {
 // Property: if s1.LessEq(s2) then s1(t) ≤ t2(t) for all t (soundness of the
 // summary order).
 func TestSummaryLessEqSound(t *testing.T) {
-	r := rand.New(rand.NewSource(5))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for i := 0; i < 10000; i++ {
 		d := uint8(1 + r.Intn(2))
 		s1, s2 := randSummary(r, d), randSummary(r, d)

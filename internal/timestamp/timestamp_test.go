@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"naiad/internal/testutil"
 )
 
 func TestRootAndMake(t *testing.T) {
@@ -115,7 +117,7 @@ func randTimestamp(r *rand.Rand, depth uint8) Timestamp {
 // Property: LessEq is a partial order (reflexive, antisymmetric,
 // transitive) on same-depth timestamps.
 func TestLessEqIsPartialOrder(t *testing.T) {
-	r := rand.New(rand.NewSource(1))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for i := 0; i < 5000; i++ {
 		d := uint8(r.Intn(MaxLoopDepth + 1))
 		a, b, c := randTimestamp(r, d), randTimestamp(r, d), randTimestamp(r, d)
@@ -133,7 +135,7 @@ func TestLessEqIsPartialOrder(t *testing.T) {
 
 // Property: Compare is a total order consistent with LessEq.
 func TestCompareConsistentWithLessEq(t *testing.T) {
-	r := rand.New(rand.NewSource(2))
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
 	for i := 0; i < 5000; i++ {
 		d := uint8(r.Intn(MaxLoopDepth + 1))
 		a, b := randTimestamp(r, d), randTimestamp(r, d)
