@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet bench chaos fuzz
+.PHONY: build test check vet bench chaos soak fuzz
 
 build:
 	$(GO) build ./...
@@ -38,8 +38,22 @@ bench:
 chaos:
 	$(GO) run ./cmd/naiad-bench -exp=chaos
 
+# Recovery soak: the crash/partition recovery suites under the race
+# detector, SOAK_ITERS times with distinct seeds (see
+# docs/fault-tolerance.md). Failures print the NAIAD_TEST_SEED to replay.
+SOAK_ITERS ?= 5
+soak:
+	@set -e; for i in $$(seq 1 $(SOAK_ITERS)); do \
+		seed=$$((20130101 + i)); \
+		echo "== soak iteration $$i/$(SOAK_ITERS) (NAIAD_TEST_SEED=$$seed) =="; \
+		NAIAD_TEST_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'TestSupervisor|TestSupervisedChaosCrashRecovery|TestChaosCrashThenCheckpointRecovery|TestChaosPartitionWatchdogAbortThenReplayRecovery|TestHeartbeat' \
+			./internal/supervise/ ./internal/kexposure/ ./internal/runtime/ ./internal/transport/; \
+	done
+
 # Short fuzz passes over the codec and frame parsers.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecoder -fuzztime=10s ./internal/codec/
 	$(GO) test -run=^$$ -fuzz=FuzzParseFrameHeader -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeProgress -fuzztime=10s ./internal/runtime/
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalSnapshot -fuzztime=10s ./internal/runtime/

@@ -20,13 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos"} {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery"} {
 			want[e] = true
 		}
 	} else {
@@ -104,6 +104,12 @@ func main() {
 			o.Nodes *= k
 			o.Edges *= k
 			return harness.Chaos(o)
+		}},
+		{"recovery", func(k int) (*harness.Report, error) {
+			o := harness.DefaultRecovery()
+			o.Epochs *= k
+			o.RecordsPerEpoch *= k
+			return harness.Recovery(o)
 		}},
 	}
 

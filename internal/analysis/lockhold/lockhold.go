@@ -1,5 +1,6 @@
 // Package lockhold flags sync.Mutex/RWMutex locks held across blocking
-// operations in internal/runtime and internal/transport.
+// operations in internal/runtime, internal/transport, and
+// internal/supervise.
 //
 // The blocking operations of interest are channel sends and receives,
 // selects without a default, Transport.Send, and cross-goroutine enqueues
@@ -34,12 +35,13 @@ import (
 const (
 	runtimePath   = "naiad/internal/runtime"
 	transportPath = "naiad/internal/transport"
+	supervisePath = "naiad/internal/supervise"
 )
 
 // Analyzer is the lockhold pass.
 var Analyzer = &framework.Analyzer{
 	Name: "lockhold",
-	Doc:  "flag locks held across blocking operations (channel ops, Transport.Send, mailbox enqueue) in internal/runtime and internal/transport",
+	Doc:  "flag locks held across blocking operations (channel ops, Transport.Send, mailbox enqueue) in internal/runtime, internal/transport, and internal/supervise",
 	Run:  run,
 }
 
@@ -51,10 +53,12 @@ var enqueueMethods = map[string]bool{"push": true, "enqueue": true}
 // models. analysistest fixtures named after them stand in during tests.
 func inScope(path string) bool {
 	switch strings.TrimSuffix(path, "_test") {
-	case runtimePath, transportPath:
+	case runtimePath, transportPath, supervisePath:
 		return true
 	}
-	return strings.HasSuffix(path, "testdata/src/runtime") || strings.HasSuffix(path, "testdata/src/transport")
+	return strings.HasSuffix(path, "testdata/src/runtime") ||
+		strings.HasSuffix(path, "testdata/src/transport") ||
+		strings.HasSuffix(path, "testdata/src/supervise")
 }
 
 func run(pass *framework.Pass) (any, error) {

@@ -10,3 +10,7 @@ import (
 func TestLockhold(t *testing.T) {
 	analysistest.Run(t, lockhold.Analyzer, "runtime")
 }
+
+func TestLockholdSupervise(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "supervise")
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the lockhold analyzer on supervisor-shaped
+// code. Its directory name (testdata/src/supervise) puts it in the
+// analyzer's scope, standing in for naiad/internal/supervise: the
+// supervisor's serial run loop exchanges commands and join results over
+// channels, and its metrics/error mutexes must never be held across those
+// handoffs.
+package fixture
+
+import "sync"
+
+type supervisor struct {
+	errMu    sync.Mutex
+	finalErr error
+	cmdCh    chan int
+	joinCh   chan error
+}
+
+func (s *supervisor) badFinish(err error) {
+	s.errMu.Lock()
+	s.finalErr = err
+	s.joinCh <- err // want `channel send while holding s.errMu`
+	s.errMu.Unlock()
+}
+
+func (s *supervisor) badWaitUnderLock() {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	<-s.joinCh // want `channel receive while holding s.errMu`
+}
+
+// Legal: record the error under the lock, hand off after releasing it.
+func (s *supervisor) goodFinish(err error) {
+	s.errMu.Lock()
+	s.finalErr = err
+	s.errMu.Unlock()
+	s.joinCh <- err
+}
+
+// Legal: a non-blocking poll (select with default) under the lock.
+func (s *supervisor) goodPoll() bool {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	select {
+	case v := <-s.cmdCh:
+		return v > 0
+	default:
+		return false
+	}
+}

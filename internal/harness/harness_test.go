@@ -120,6 +120,20 @@ func TestFig8Smoke(t *testing.T) {
 	}
 }
 
+func TestRecoverySmoke(t *testing.T) {
+	rep, err := Recovery(RecoveryOptions{Processes: 2, WorkersPerProcess: 2,
+		Epochs: 6, RecordsPerEpoch: 16, Trials: 1, CrashAtCheckpoint: 2, Seed: 20130101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if !strings.Contains(rep.String(), "exact") {
+		t.Fatalf("render:\n%s", rep)
+	}
+}
+
 func TestQuantiles(t *testing.T) {
 	ds := []time.Duration{4, 1, 3, 2}
 	q := quantiles(ds, 0, 0.5, 1.0)

@@ -3,11 +3,13 @@ package kexposure
 import (
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"naiad/internal/lib"
 	"naiad/internal/runtime"
+	"naiad/internal/supervise"
 	"naiad/internal/testutil"
 	"naiad/internal/transport"
 	"naiad/internal/workload"
@@ -148,5 +150,159 @@ func TestChaosCrashRecovery(t *testing.T) {
 	}
 	if len(extra) > 0 {
 		t.Fatalf("tags crossed that never cross in the reference: %v", extra)
+	}
+}
+
+// TestSupervisedChaosCrashRecovery is the automatic version of the story
+// above: instead of hand-rolling checkpoint/restore, the computation runs
+// under internal/supervise with periodic checkpoints, a process is killed
+// mid-stream, and the supervisor alone must detect, restore, and replay.
+// The invariant mirrors the manual test: the union of crossings across
+// incarnations equals the fault-free reference tag set, with no tag lost,
+// invented, or crossed twice. (Which epoch a crossing lands in is
+// arrival-order dependent — DistinctCumulative is asynchronous, §2.4 — so
+// the comparison is by tag, not by epoch.)
+func TestSupervisedChaosCrashRecovery(t *testing.T) {
+	const k = 20
+	seed := testutil.Seed(t)
+	gen := workload.NewTweetGen(seed, 2000, 400)
+	epochs := make([][]workload.Tweet, 6)
+	for e := range epochs {
+		epochs[e] = gen.Batch(400)
+	}
+	cfg := runtime.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: runtime.AccLocalGlobal}
+
+	// tagsAcross counts, per tag, how many crossings the collectors saw in
+	// total — across incarnations and epochs.
+	tagsAcross := func(cols []*lib.Collector[lib.Pair[string, int64]]) map[string]int {
+		out := map[string]int{}
+		for _, col := range cols {
+			for _, p := range col.All() {
+				out[p.Key]++
+			}
+		}
+		return out
+	}
+
+	// Reference run, fault-free.
+	refScope, err := lib.NewScope(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIn, refTweets := lib.NewInput[workload.Tweet](refScope, "tweets", nil)
+	refCol := lib.Collect(Build(refScope, refTweets, k, false))
+	if err := refScope.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range epochs {
+		refIn.OnNext(batch...)
+	}
+	refIn.Close()
+	if err := refScope.C.Join(); err != nil {
+		t.Fatal(err)
+	}
+	want := tagsAcross([]*lib.Collector[lib.Pair[string, int64]]{refCol})
+
+	// Supervised run on a hostile network; each incarnation gets a fresh
+	// chaos transport and its own collector.
+	var mu sync.Mutex
+	var cols []*lib.Collector[lib.Pair[string, int64]]
+	var chaos0 *transport.Chaos
+	incarnation := 0
+	factory := func() (*supervise.Build, error) {
+		scfg := cfg
+		scfg.SafetyChecks = true
+		scfg.Watchdog = 30 * time.Second
+		ct := transport.NewChaos(transport.NewMem(cfg.Processes), transport.ChaosConfig{
+			Seed:    seed + int64(incarnation),
+			Default: transport.Fault{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
+		})
+		if incarnation == 0 {
+			chaos0 = ct
+		}
+		incarnation++
+		scfg.Transport = ct
+		s, err := lib.NewScope(scfg)
+		if err != nil {
+			return nil, err
+		}
+		in, tweets := lib.NewInput[workload.Tweet](s, "tweets", nil)
+		col := lib.Collect(Build(s, tweets, k, false))
+		mu.Lock()
+		cols = append(cols, col)
+		mu.Unlock()
+		return &supervise.Build{
+			Comp:   s.C,
+			Inputs: map[string]*runtime.Input{"tweets": in.Raw()},
+			Probe:  col.Probe(),
+		}, nil
+	}
+	sup, err := supervise.New(supervise.Config{Factory: factory, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(e int) {
+		t.Helper()
+		msgs := make([]runtime.Message, len(epochs[e]))
+		for i, tw := range epochs[e] {
+			msgs[i] = tw
+		}
+		if err := sup.OnNext("tweets", msgs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 3; e++ {
+		feed(e)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sup.Recovery().Checkpoints < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoints taken: %+v", sup.Recovery())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	chaos0.Crash(1)
+	for e := 3; e < len(epochs); e++ {
+		feed(e)
+	}
+	if err := sup.CloseInput("tweets"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("supervised run did not recover: %v", err)
+	}
+	rec := sup.Recovery()
+	if rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (%+v)", rec.Restarts, rec)
+	}
+
+	mu.Lock()
+	got := tagsAcross(cols)
+	mu.Unlock()
+	var missing, extra, dup []string
+	for tag := range want {
+		if got[tag] == 0 {
+			missing = append(missing, tag)
+		}
+	}
+	for tag, n := range got {
+		if want[tag] == 0 {
+			extra = append(extra, tag)
+		}
+		if n > 1 {
+			dup = append(dup, tag)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	sort.Strings(dup)
+	if len(missing) > 0 {
+		t.Fatalf("crossings lost across supervised recovery: %v", missing)
+	}
+	if len(extra) > 0 {
+		t.Fatalf("crossings invented across supervised recovery: %v", extra)
+	}
+	if len(dup) > 0 {
+		t.Fatalf("tags crossed twice across supervised recovery: %v", dup)
 	}
 }

@@ -102,6 +102,10 @@ func (c *Collector[T]) WaitFor(epoch int64) { c.probe.WaitFor(epoch) }
 // Done reports whether the epoch has drained into the collector.
 func (c *Collector[T]) Done(epoch int64) bool { return c.probe.Done(epoch) }
 
+// Probe exposes the collector's runtime probe — the completion signal a
+// supervisor quiesces on before checkpointing (internal/supervise).
+func (c *Collector[T]) Probe() *runtime.Probe { return c.probe }
+
 // Epoch returns a copy of the records collected for an epoch.
 func (c *Collector[T]) Epoch(e int64) []T {
 	c.mu.Lock()

@@ -239,6 +239,52 @@ func TestChaosCrashThenCheckpointRecovery(t *testing.T) {
 	}
 }
 
+// TestChaosPartitionWatchdogAbortThenReplayRecovery: an unhealed partition
+// stalls the computation without any crash signal, so the watchdog is the
+// detector that must fire. Recovery then replays the whole input on a
+// fresh cluster (nothing was checkpointed) and must match the fault-free
+// result — the degenerate "restore from nothing" end of the recovery
+// spectrum that internal/supervise exercises automatically.
+func TestChaosPartitionWatchdogAbortThenReplayRecovery(t *testing.T) {
+	ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
+		Seed:      testutil.Seed(t),
+		Partition: &transport.Partition{Groups: [][]int{{0}, {1}}, Duration: time.Hour},
+	})
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal,
+		Transport: ct, Watchdog: 300 * time.Millisecond}
+	c, in, _, _ := buildCounterCfg(t, cfg)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feedCounter(in)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Join() }()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "watchdog") {
+			t.Fatalf("Join = %v, want a watchdog stall", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("partitioned computation hung past its watchdog")
+	}
+	if !c.Failed() || c.Err() == nil {
+		t.Fatal("Failed()/Err() do not reflect the watchdog abort")
+	}
+
+	// Replay-from-scratch recovery on a healthy cluster.
+	rec, rin, rs, _ := buildCounter(t)
+	if err := rec.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feedCounter(rin)
+	if err := rec.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.sorted(2); len(got) != 1 || got[0] != 113 {
+		t.Fatalf("recovered epoch 2 = %v, want [113]", got)
+	}
+}
+
 // TestChaosFIFOViolationCaughtByMonitor is the negative test: a transport
 // that breaks per-link FIFO attacks the one delivery assumption the
 // progress protocol's safety proof needs. Under AccNone each occurrence

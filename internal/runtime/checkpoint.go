@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"naiad/internal/codec"
@@ -55,13 +57,47 @@ func (c *Computation) Checkpoint() (*Snapshot, error) {
 	return snap, nil
 }
 
+// UnknownStageError reports a snapshot that references a StageID the
+// current graph does not have — typically a snapshot taken from an older
+// build of the dataflow. Restoring it would silently drop the orphaned
+// state, so Restore rejects it before touching any vertex.
+type UnknownStageError struct {
+	Stage StageID
+}
+
+func (e *UnknownStageError) Error() string {
+	return fmt.Sprintf("runtime: snapshot references stage %d, which this graph does not have", e.Stage)
+}
+
 // Restore loads a snapshot into a freshly started computation: vertex
 // states are handed to Restore on their owning workers, and the inputs are
 // advanced to their checkpointed epochs so the progress protocol accounts
 // for the skipped epochs.
+//
+// Input epochs only move forward: a snapshot whose InputEpochs entry is ≤
+// the input's current epoch leaves that input where it is (AdvanceTo is
+// skipped), because epochs are monotone in the progress protocol and
+// rewinding one would violate the frontier invariant. The normal recovery
+// flow — rebuild the graph, Start, Restore — always restores into inputs
+// at epoch 0, so every checkpointed position wins; only a caller restoring
+// into a computation that has already been fed can observe the skip.
+//
+// A snapshot referencing a StageID outside the graph (in Vertices or
+// InputEpochs) is rejected with *UnknownStageError before any vertex state
+// is touched.
 func (c *Computation) Restore(snap *Snapshot) error {
 	if !c.started {
 		return fmt.Errorf("runtime: Restore before Start")
+	}
+	for sid := range snap.Vertices {
+		if int(sid) < 0 || int(sid) >= len(c.stages) {
+			return &UnknownStageError{Stage: sid}
+		}
+	}
+	for sid := range snap.InputEpochs {
+		if int(sid) < 0 || int(sid) >= len(c.stages) {
+			return &UnknownStageError{Stage: sid}
+		}
 	}
 	cp := &checkpointState{snap: snap}
 	if err := c.rendezvous(ctlRestore, cp); err != nil {
@@ -144,7 +180,21 @@ func (w *worker) restoreVertices(cp *checkpointState) error {
 	return nil
 }
 
-// EncodeSnapshot serializes a snapshot for durable storage.
+// Snapshot wire format: a fixed 12-byte header — magic "NSNP", format
+// version, CRC-32C of the body — followed by the codec-encoded body. The
+// header lets the on-disk store reject truncated, bit-rotted, or
+// foreign-format files with a clean error instead of restoring garbage
+// state into a live computation.
+const (
+	snapshotMagic      = 0x4e534e50 // "NSNP"
+	snapshotVersion    = 1
+	snapshotHeaderSize = 12
+)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeSnapshot serializes a snapshot for durable storage, framed with
+// the versioned, checksummed snapshot header.
 func EncodeSnapshot(s *Snapshot) []byte {
 	enc := codec.NewEncoder(1024)
 	enc.PutUint32(uint32(len(s.Vertices)))
@@ -161,28 +211,64 @@ func EncodeSnapshot(s *Snapshot) []byte {
 		enc.PutUint32(uint32(sid))
 		enc.PutInt64(e)
 	}
-	return enc.Bytes()
+	body := enc.Bytes()
+	out := make([]byte, snapshotHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(out[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(out[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(body, snapshotCRC))
+	copy(out[snapshotHeaderSize:], body)
+	return out
 }
 
-// DecodeSnapshot parses a serialized snapshot.
-func DecodeSnapshot(data []byte) *Snapshot {
-	dec := codec.NewDecoder(data)
+// UnmarshalSnapshot parses a serialized snapshot, validating the header,
+// version, and body checksum. Untrusted bytes (a file off disk) never
+// panic: structural damage surfaces as an error.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapshotHeaderSize {
+		return nil, fmt.Errorf("runtime: snapshot too short: %d bytes", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != snapshotMagic {
+		return nil, fmt.Errorf("runtime: bad snapshot magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapshotVersion {
+		return nil, fmt.Errorf("runtime: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	body := data[snapshotHeaderSize:]
+	if sum := crc32.Checksum(body, snapshotCRC); sum != binary.LittleEndian.Uint32(data[8:12]) {
+		return nil, fmt.Errorf("runtime: snapshot checksum mismatch: body is corrupt")
+	}
 	s := &Snapshot{
 		Vertices:    make(map[StageID]map[int][]byte),
 		InputEpochs: make(map[StageID]int64),
 	}
-	for n := int(dec.Uint32()); n > 0; n-- {
-		sid := StageID(dec.Uint32())
-		m := make(map[int][]byte)
-		for k := int(dec.Uint32()); k > 0; k-- {
-			idx := int(dec.Uint32())
-			m[idx] = append([]byte(nil), dec.BytesView()...)
+	err := codec.Catch(func() {
+		dec := codec.NewDecoder(body)
+		for n := int(dec.Uint32()); n > 0; n-- {
+			sid := StageID(dec.Uint32())
+			m := make(map[int][]byte)
+			for k := int(dec.Uint32()); k > 0; k-- {
+				idx := int(dec.Uint32())
+				m[idx] = append([]byte(nil), dec.BytesView()...)
+			}
+			s.Vertices[sid] = m
 		}
-		s.Vertices[sid] = m
+		for n := int(dec.Uint32()); n > 0; n-- {
+			sid := StageID(dec.Uint32())
+			s.InputEpochs[sid] = dec.Int64()
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for n := int(dec.Uint32()); n > 0; n-- {
-		sid := StageID(dec.Uint32())
-		s.InputEpochs[sid] = dec.Int64()
+	return s, nil
+}
+
+// DecodeSnapshot parses a serialized snapshot, panicking on malformed
+// input. Use UnmarshalSnapshot for bytes that crossed a trust boundary.
+func DecodeSnapshot(data []byte) *Snapshot {
+	s, err := UnmarshalSnapshot(data)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }

@@ -132,6 +132,7 @@ type Computation struct {
 	logCount atomic.Int64
 
 	counters *stageCounters
+	recovery *RecoveryMetrics
 }
 
 // LogSink receives continually-logged message batches (§3.4). Writes are
@@ -251,6 +252,20 @@ func (c *Computation) Start() error {
 		c.trans = t
 	default:
 		c.trans = transport.NewMem(c.cfg.Processes)
+	}
+	if c.cfg.Heartbeat > 0 {
+		hb := transport.NewHeartbeats(c.trans, transport.HeartbeatConfig{
+			Interval: c.cfg.Heartbeat,
+			Timeout:  c.cfg.HeartbeatTimeout,
+		})
+		hb.SetOnSuspect(func(suspect int, silence time.Duration) {
+			c.fail(fmt.Errorf("runtime: heartbeat detector suspects process %d after %v of silence", suspect, silence))
+		})
+		if c.recovery != nil {
+			rm := c.recovery
+			hb.SetOnMiss(func() { rm.HeartbeatMisses.Add(1) })
+		}
+		c.trans = hb
 	}
 
 	// Safety monitor (§3.3's invariants, checked for real): seed the
@@ -384,6 +399,29 @@ func (c *Computation) fail(err error) {
 			p.finish()
 		}
 	}
+}
+
+// Failed reports whether the computation has aborted.
+func (c *Computation) Failed() bool { return c.aborted.Load() }
+
+// Err returns the first failure recorded so far (nil while healthy). Join
+// returns the same error after teardown; Err is for observers — the
+// supervisor, tests — that need it while workers are still winding down.
+func (c *Computation) Err() error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.failErr
+}
+
+// SetRecoveryMetrics attaches shared fault-tolerance counters. The
+// supervisor passes the same instance to every incarnation of a
+// computation, so restart and checkpoint counts survive teardown. Must be
+// called before Start (the heartbeat detector binds to it there).
+func (c *Computation) SetRecoveryMetrics(rm *RecoveryMetrics) {
+	if c.started {
+		panic("runtime: SetRecoveryMetrics after Start")
+	}
+	c.recovery = rm
 }
 
 // stage returns the stageInfo by id.

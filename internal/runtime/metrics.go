@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"naiad/internal/transport"
 )
@@ -27,6 +28,46 @@ type MetricsSnapshot struct {
 	ProgressFrames int64
 	ProgressBytes  int64
 	LoggedBatches  int64
+	Recovery       RecoverySnapshot // zero unless RecoveryMetrics are attached
+}
+
+// RecoveryMetrics aggregates fault-tolerance counters. The supervisor
+// shares one instance across every incarnation of a computation (see
+// Computation.SetRecoveryMetrics), so checkpoint and restart counts
+// survive the teardown/rebuild cycle that recovery itself performs.
+type RecoveryMetrics struct {
+	// Checkpoints counts snapshots taken; CheckpointBytes sums their
+	// serialized sizes.
+	Checkpoints     atomic.Int64
+	CheckpointBytes atomic.Int64
+	// Restarts counts completed teardown/rebuild/restore cycles.
+	Restarts atomic.Int64
+	// LastRecoveryNanos is the duration of the most recent recovery, from
+	// failure detection to the replayed computation catching up.
+	LastRecoveryNanos atomic.Int64
+	// HeartbeatMisses counts overdue heartbeat deadlines observed by the
+	// failure detector (one per overdue link per sweep).
+	HeartbeatMisses atomic.Int64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (r *RecoveryMetrics) Snapshot() RecoverySnapshot {
+	return RecoverySnapshot{
+		Checkpoints:     r.Checkpoints.Load(),
+		CheckpointBytes: r.CheckpointBytes.Load(),
+		Restarts:        r.Restarts.Load(),
+		LastRecovery:    time.Duration(r.LastRecoveryNanos.Load()),
+		HeartbeatMisses: r.HeartbeatMisses.Load(),
+	}
+}
+
+// RecoverySnapshot is the point-in-time view of RecoveryMetrics.
+type RecoverySnapshot struct {
+	Checkpoints     int64
+	CheckpointBytes int64
+	Restarts        int64
+	LastRecovery    time.Duration
+	HeartbeatMisses int64
 }
 
 // String renders the snapshot as an aligned table.
@@ -38,6 +79,10 @@ func (m *MetricsSnapshot) String() string {
 	}
 	fmt.Fprintf(&sb, "transport: data %d frames / %d bytes, progress %d frames / %d bytes\n",
 		m.DataFrames, m.DataBytes, m.ProgressFrames, m.ProgressBytes)
+	if r := m.Recovery; r.Checkpoints > 0 || r.Restarts > 0 || r.HeartbeatMisses > 0 {
+		fmt.Fprintf(&sb, "recovery: %d checkpoints / %d bytes, %d restarts (last recovery %v), %d heartbeat misses\n",
+			r.Checkpoints, r.CheckpointBytes, r.Restarts, r.LastRecovery, r.HeartbeatMisses)
+	}
 	return sb.String()
 }
 
@@ -58,6 +103,9 @@ func newStageCounters(n int) *stageCounters {
 // Start it returns an empty snapshot.
 func (c *Computation) Metrics() *MetricsSnapshot {
 	snap := &MetricsSnapshot{LoggedBatches: c.logCount.Load()}
+	if c.recovery != nil {
+		snap.Recovery = c.recovery.Snapshot()
+	}
 	if c.counters == nil {
 		return snap
 	}

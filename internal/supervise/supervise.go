@@ -1,0 +1,501 @@
+// Package supervise makes a timely dataflow computation self-healing: a
+// Supervisor owns the computation's lifecycle, takes periodic consistent
+// checkpoints at epoch boundaries (§3.4), detects failures through the
+// runtime's heartbeat detector and watchdog, and on failure rebuilds the
+// graph, restores the latest decodable snapshot, and replays the logged
+// inputs — rollback recovery over logical time, in the spirit of the
+// Falkirk Wheel (Isard & Abadi): the epoch structure tells recovery
+// exactly which inputs to replay and which results are already durable.
+//
+// The contract with the application is the paper's: checkpointed vertex
+// state plus replayed input epochs reproduce the lost portion of the
+// computation. Outputs for epochs between the restored snapshot and the
+// failure point are produced again — exactly-once delivery to the outside
+// world is the output consumer's job (keyed by epoch, replays are
+// idempotent).
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"naiad/internal/runtime"
+)
+
+// Build is one incarnation of the supervised dataflow, produced by the
+// Factory: a constructed-but-not-Started computation, its inputs by name,
+// and a probe on the output stage (the supervisor quiesces on it before
+// checkpoints and uses it to confirm recovery caught up).
+type Build struct {
+	Comp   *runtime.Computation
+	Inputs map[string]*runtime.Input
+	Probe  *runtime.Probe
+}
+
+// Factory constructs a fresh incarnation of the dataflow. It runs once at
+// New and once per restart; it must return an unstarted computation (the
+// supervisor calls Start) and must build the same graph every time —
+// recovery restores snapshots taken from a previous incarnation into the
+// graph this returns. Each incarnation needs its own transport: the old
+// one is closed when its computation is torn down.
+type Factory func() (*Build, error)
+
+// Config parameterizes a Supervisor.
+type Config struct {
+	// Factory rebuilds the dataflow; required.
+	Factory Factory
+	// Store persists snapshots; defaults to NewMemStore(3).
+	Store SnapshotStore
+	// CheckpointEvery is the epoch interval between checkpoints (default
+	// 1: every completed epoch boundary). Larger intervals trade
+	// checkpoint overhead for longer replay after a failure.
+	CheckpointEvery int64
+	// MaxRestarts bounds the restart attempts within one recovery episode
+	// (default 3); when they are exhausted the supervisor enters the
+	// terminal gave-up state and Wait returns ErrGaveUp.
+	MaxRestarts int
+	// Backoff is the delay before the second restart attempt (default
+	// 50ms), doubling per attempt up to MaxBackoff (default 2s), with
+	// ±50% jitter. The first attempt is immediate.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter PRNG (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Store == nil {
+		c.Store = NewMemStore(3)
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrGaveUp is wrapped into Wait's error when recovery exhausted its
+// restart budget.
+var ErrGaveUp = errors.New("supervise: gave up")
+
+// ErrDone is returned by OnNext and CloseInput after the supervised
+// computation has already completed cleanly.
+var ErrDone = errors.New("supervise: computation complete")
+
+type cmdKind uint8
+
+const (
+	cmdFeed cmdKind = iota
+	cmdClose
+)
+
+type command struct {
+	kind    cmdKind
+	input   string
+	records []runtime.Message
+}
+
+// Supervisor owns a computation's lifecycle: feed it through OnNext /
+// CloseInput, wait for the terminal state with Wait. All state transitions
+// happen on a single internal goroutine, so the public methods are safe
+// for concurrent use.
+type Supervisor struct {
+	cfg Config
+	rm  *runtime.RecoveryMetrics
+
+	cmdCh  chan command
+	joinCh chan error
+	doneCh chan struct{}
+
+	inputs map[string]bool // the graph's input names, fixed at New
+
+	// Run-loop-owned state; never touched from public methods.
+	build    *Build
+	log      map[string]map[int64][]runtime.Message // input → epoch → batch
+	fed      map[string]int64                       // epochs fed per input
+	closedIn map[string]bool
+	lastCP   int64
+	rng      *rand.Rand
+
+	errMu    sync.Mutex
+	finalErr error
+}
+
+// New builds and starts the first incarnation and begins supervising it.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("supervise: Config.Factory is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		cfg:      cfg,
+		rm:       &runtime.RecoveryMetrics{},
+		cmdCh:    make(chan command, 64),
+		joinCh:   make(chan error, 1),
+		doneCh:   make(chan struct{}),
+		inputs:   make(map[string]bool),
+		log:      make(map[string]map[int64][]runtime.Message),
+		fed:      make(map[string]int64),
+		closedIn: make(map[string]bool),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	build, err := s.spawn()
+	if err != nil {
+		return nil, err
+	}
+	s.build = build
+	for name := range build.Inputs {
+		s.inputs[name] = true
+		s.log[name] = make(map[int64][]runtime.Message)
+	}
+	go s.monitor(build.Comp)
+	go s.run()
+	return s, nil
+}
+
+// spawn runs the factory, validates the build, and starts the computation.
+func (s *Supervisor) spawn() (*Build, error) {
+	build, err := s.cfg.Factory()
+	if err != nil {
+		return nil, fmt.Errorf("supervise: factory: %w", err)
+	}
+	if build == nil || build.Comp == nil || build.Probe == nil || len(build.Inputs) == 0 {
+		return nil, fmt.Errorf("supervise: factory must return a computation, at least one input, and a probe")
+	}
+	build.Comp.SetRecoveryMetrics(s.rm)
+	if err := build.Comp.Start(); err != nil {
+		return nil, fmt.Errorf("supervise: start: %w", err)
+	}
+	return build, nil
+}
+
+// OnNext feeds one epoch of records to the named input, mirroring
+// runtime.Input.OnNext. The batch is logged for replay before it reaches
+// the computation; feeding is asynchronous — delivery failures surface
+// through recovery, not through this call.
+func (s *Supervisor) OnNext(input string, records ...runtime.Message) error {
+	if !s.inputs[input] {
+		return fmt.Errorf("supervise: unknown input %q", input)
+	}
+	return s.send(command{kind: cmdFeed, input: input, records: records})
+}
+
+// CloseInput marks the named input complete. Once every input is closed
+// and the computation drains, Wait returns.
+func (s *Supervisor) CloseInput(input string) error {
+	if !s.inputs[input] {
+		return fmt.Errorf("supervise: unknown input %q", input)
+	}
+	return s.send(command{kind: cmdClose, input: input})
+}
+
+// send enqueues a command unless the supervisor is already terminal. The
+// doneCh check comes first: cmdCh is buffered, so a bare select could keep
+// accepting commands into the void after the run loop has exited.
+func (s *Supervisor) send(cmd command) error {
+	select {
+	case <-s.doneCh:
+		return s.terminalErr()
+	default:
+	}
+	select {
+	case s.cmdCh <- cmd:
+		return nil
+	case <-s.doneCh:
+		return s.terminalErr()
+	}
+}
+
+// terminalErr is what commands get after the supervisor has stopped: the
+// fatal error if recovery gave up, ErrDone after a clean completion.
+func (s *Supervisor) terminalErr() error {
+	if err := s.err(); err != nil {
+		return err
+	}
+	return ErrDone
+}
+
+// Wait blocks until the computation completes (nil), or recovery gives up
+// (ErrGaveUp, wrapped with the last failure).
+func (s *Supervisor) Wait() error {
+	<-s.doneCh
+	return s.err()
+}
+
+// Recovery returns a snapshot of the fault-tolerance counters, shared
+// across every incarnation.
+func (s *Supervisor) Recovery() runtime.RecoverySnapshot { return s.rm.Snapshot() }
+
+func (s *Supervisor) err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.finalErr
+}
+
+// monitor watches one incarnation: Join blocks until the computation
+// drains or aborts, and its result is the supervisor's failure signal.
+func (s *Supervisor) monitor(comp *runtime.Computation) {
+	s.joinCh <- comp.Join()
+}
+
+// run is the supervisor's single-threaded state machine: it applies feed
+// and close commands, takes checkpoints at epoch boundaries, and reacts to
+// the monitored computation's exit.
+func (s *Supervisor) run() {
+	for {
+		select {
+		case cmd := <-s.cmdCh:
+			s.handle(cmd)
+		case err := <-s.joinCh:
+			if err == nil {
+				s.finish(nil)
+				return
+			}
+			if !s.recover(err) {
+				return // finish() already called by recover
+			}
+		}
+	}
+}
+
+func (s *Supervisor) finish(err error) {
+	s.errMu.Lock()
+	s.finalErr = err
+	s.errMu.Unlock()
+	close(s.doneCh)
+}
+
+func (s *Supervisor) handle(cmd command) {
+	if s.closedIn[cmd.input] {
+		return // feeding or re-closing a closed input is a no-op
+	}
+	in := s.build.Inputs[cmd.input]
+	switch cmd.kind {
+	case cmdFeed:
+		// Log first: if the computation dies mid-feed, replay still has
+		// the batch.
+		s.log[cmd.input][s.fed[cmd.input]] = cmd.records
+		s.fed[cmd.input]++
+		in.OnNext(cmd.records...)
+		s.maybeCheckpoint()
+	case cmdClose:
+		s.closedIn[cmd.input] = true
+		in.Close()
+	}
+}
+
+// maybeCheckpoint takes a snapshot when every open input has moved
+// CheckpointEvery epochs past the last one: quiesce on the probe, pause
+// the workers, serialize, persist, prune the replay log below the oldest
+// retained snapshot. Skipped once any input has closed — the computation
+// is draining toward completion and its workers may exit before a
+// checkpoint rendezvous could finish.
+func (s *Supervisor) maybeCheckpoint() {
+	for _, closed := range s.closedIn {
+		if closed {
+			return
+		}
+	}
+	minFed, maxFed := int64(-1), int64(-1)
+	for _, f := range s.fed {
+		if minFed < 0 || f < minFed {
+			minFed = f
+		}
+		if f > maxFed {
+			maxFed = f
+		}
+	}
+	// Only checkpoint when every input sits at the same epoch: a snapshot
+	// taken while one input is fed ahead of another would capture the
+	// leading input's epochs half-processed (they cannot complete until the
+	// lagging input catches up), and Checkpoint's contract requires no
+	// in-flight work. Single-input graphs are always aligned.
+	if minFed != maxFed {
+		return
+	}
+	if minFed <= 0 || minFed-s.lastCP < s.cfg.CheckpointEvery {
+		return
+	}
+	s.build.Probe.WaitFor(minFed - 1)
+	if s.build.Comp.Failed() {
+		return // the join monitor will deliver the failure
+	}
+	snap, err := s.build.Comp.Checkpoint()
+	if err != nil {
+		return // abort in progress; same path as above
+	}
+	data := runtime.EncodeSnapshot(snap)
+	if err := s.cfg.Store.Save(minFed, data); err != nil {
+		return // a failed save keeps the previous snapshot + longer log
+	}
+	s.lastCP = minFed
+	s.rm.Checkpoints.Add(1)
+	s.rm.CheckpointBytes.Add(int64(len(data)))
+	s.pruneLog()
+}
+
+// pruneLog drops replay batches below the oldest retained snapshot: no
+// recovery can start earlier than that, so they can never be replayed.
+func (s *Supervisor) pruneLog() {
+	eps, err := s.cfg.Store.Epochs()
+	if err != nil || len(eps) == 0 {
+		return
+	}
+	oldest := eps[0]
+	for _, byEpoch := range s.log {
+		for e := range byEpoch {
+			if e < oldest {
+				delete(byEpoch, e)
+			}
+		}
+	}
+}
+
+// recover is the rollback-recovery loop: tear down is already done (Join
+// returned), so each attempt rebuilds the graph, restores the newest
+// snapshot that decodes cleanly, replays the logged epochs past it, and
+// waits for the computation to catch up to the pre-failure frontier.
+// Returns false after exhausting the restart budget (terminal gave-up).
+func (s *Supervisor) recover(cause error) bool {
+	t0 := time.Now()
+	for attempt := 1; attempt <= s.cfg.MaxRestarts; attempt++ {
+		if attempt > 1 {
+			s.backoff(attempt)
+		}
+		build, err := s.spawn()
+		if err != nil {
+			cause = err
+			continue
+		}
+		if err := s.restoreInto(build); err != nil {
+			cause = err
+			build.Comp.Abort(err)
+			build.Comp.Join()
+			continue
+		}
+		// Replay the logged epochs past each input's restored position,
+		// then re-close inputs the application had closed. A missing log
+		// entry means the restore point fell below the pruned prefix (every
+		// newer snapshot was unreadable): fail the attempt loudly rather
+		// than silently feeding empty epochs in place of lost batches.
+		if err := s.replayInto(build); err != nil {
+			cause = err
+			build.Comp.Abort(err)
+			build.Comp.Join()
+			continue
+		}
+		// Catch up to the pre-failure frontier before declaring recovery
+		// done. WaitFor also unblocks if this incarnation aborts; Failed
+		// disambiguates.
+		minFed := int64(-1)
+		for _, f := range s.fed {
+			if minFed < 0 || f < minFed {
+				minFed = f
+			}
+		}
+		if minFed > 0 {
+			build.Probe.WaitFor(minFed - 1)
+		}
+		if build.Comp.Failed() {
+			cause = build.Comp.Err()
+			build.Comp.Join()
+			continue
+		}
+		s.build = build
+		s.rm.Restarts.Add(1)
+		s.rm.LastRecoveryNanos.Store(time.Since(t0).Nanoseconds())
+		go s.monitor(build.Comp)
+		return true
+	}
+	s.finish(fmt.Errorf("%w after %d restart attempts: last failure: %v",
+		ErrGaveUp, s.cfg.MaxRestarts, cause))
+	return false
+}
+
+// restoreInto loads the newest snapshot that decodes and validates
+// cleanly into the freshly started build. Corrupt snapshots fall back to
+// older retained ones; no snapshot at all means recovery restarts from
+// epoch 0 with a full replay.
+func (s *Supervisor) restoreInto(build *Build) error {
+	eps, err := s.cfg.Store.Epochs()
+	if err != nil {
+		return fmt.Errorf("supervise: snapshot store: %w", err)
+	}
+	var lastErr error
+	for i := len(eps) - 1; i >= 0; i-- {
+		data, err := s.cfg.Store.Load(eps[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		snap, err := runtime.UnmarshalSnapshot(data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := build.Comp.Restore(snap); err != nil {
+			// A snapshot the graph rejects (UnknownStageError) is as
+			// unusable as a corrupt one, but the rendezvous may have
+			// touched vertex state — don't risk a half-restored build.
+			return err
+		}
+		return nil
+	}
+	if lastErr != nil {
+		// Every retained snapshot was unreadable: recover from scratch,
+		// the log still covers the full history iff nothing was pruned.
+		// Pruning follows successful saves only, so a store whose every
+		// snapshot is corrupt implies an external fault; replaying from
+		// epoch 0 is the best remaining option.
+		return nil
+	}
+	return nil // no snapshots yet: fresh start with full replay
+}
+
+// replayInto feeds each input the logged epochs past its restored
+// position and re-closes inputs the application had closed. Every epoch in
+// [restored, fed) must still be in the replay log — pruning only discards
+// epochs below the oldest retained snapshot, so a gap can only mean the
+// restore point fell below the pruned prefix (e.g. every newer snapshot
+// was unreadable and restoreInto fell back further than the log covers).
+func (s *Supervisor) replayInto(build *Build) error {
+	for name, in := range build.Inputs {
+		for e := in.Epoch(); e < s.fed[name]; e++ {
+			batch, ok := s.log[name][e]
+			if !ok {
+				return fmt.Errorf(
+					"supervise: replay log pruned below restore point (epoch %d of input %q)",
+					e, name)
+			}
+			in.OnNext(batch...)
+		}
+		if s.closedIn[name] {
+			in.Close()
+		}
+	}
+	return nil
+}
+
+// backoff sleeps the jittered exponential delay before a restart attempt
+// (attempt ≥ 2).
+func (s *Supervisor) backoff(attempt int) {
+	d := s.cfg.Backoff << (attempt - 2)
+	if d <= 0 || d > s.cfg.MaxBackoff {
+		d = s.cfg.MaxBackoff
+	}
+	time.Sleep(d/2 + time.Duration(s.rng.Int63n(int64(d))))
+}

@@ -1,0 +1,417 @@
+package supervise_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	"naiad/internal/runtime"
+	"naiad/internal/supervise"
+	"naiad/internal/testutil"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/transport"
+)
+
+// counter sums every value it has ever seen and emits the running total at
+// each epoch's notification; the total is its checkpointed state. The
+// standard feed (1,2), (10), (100) makes the epoch-2 output 113 — the
+// delay- and replay-invariant reference for recovery runs.
+type counter struct {
+	ctx   *runtime.Context
+	total int64
+	dirty map[int64]bool
+}
+
+func (v *counter) OnRecv(_ int, msg runtime.Message, t ts.Timestamp) {
+	if v.dirty == nil {
+		v.dirty = make(map[int64]bool)
+	}
+	if !v.dirty[t.Epoch] {
+		v.dirty[t.Epoch] = true
+		v.ctx.NotifyAt(t)
+	}
+	v.total += msg.(int64)
+}
+
+func (v *counter) OnNotify(t ts.Timestamp) {
+	delete(v.dirty, t.Epoch)
+	v.ctx.SendBy(0, v.total, t)
+}
+
+func (v *counter) Checkpoint(enc *codec.Encoder) { enc.PutInt64(v.total) }
+func (v *counter) Restore(dec *codec.Decoder)    { v.total = dec.Int64() }
+
+// bomb is a counter that panics on a poison value, killing every
+// incarnation that replays it.
+type bomb struct{ counter }
+
+func (v *bomb) OnRecv(port int, msg runtime.Message, t ts.Timestamp) {
+	if msg.(int64) == 13 {
+		panic("poison record")
+	}
+	v.counter.OnRecv(port, msg, t)
+}
+
+// epochSink records the distinct values seen per epoch. One instance is
+// shared across incarnations: replays may re-emit an epoch's output, and
+// the invariant under recovery is set equality with the fault-free run —
+// exactly-once delivery to the outside world is the consumer's job, keyed
+// by epoch (see the package comment).
+type epochSink struct {
+	mu      sync.Mutex
+	byEpoch map[int64]map[int64]bool
+}
+
+func newEpochSink() *epochSink { return &epochSink{byEpoch: make(map[int64]map[int64]bool)} }
+
+func (s *epochSink) add(e, v int64) {
+	s.mu.Lock()
+	if s.byEpoch[e] == nil {
+		s.byEpoch[e] = make(map[int64]bool)
+	}
+	s.byEpoch[e][v] = true
+	s.mu.Unlock()
+}
+
+func (s *epochSink) values(e int64) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int64
+	for v := range s.byEpoch[e] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type sinkVertex struct {
+	ctx  *runtime.Context
+	s    *epochSink
+	seen map[int64]bool
+}
+
+func (v *sinkVertex) OnRecv(_ int, msg runtime.Message, t ts.Timestamp) {
+	if v.seen == nil {
+		v.seen = make(map[int64]bool)
+	}
+	if !v.seen[t.Epoch] {
+		v.seen[t.Epoch] = true
+		v.ctx.NotifyAt(t)
+	}
+	v.s.add(t.Epoch, msg.(int64))
+}
+
+func (v *sinkVertex) OnNotify(ts.Timestamp) {}
+
+// counterFactory builds the two-process counter pipeline. mkVertex picks
+// the middle vertex; tune (optional) adjusts the config per incarnation —
+// typically installing a fresh fault-injecting transport.
+func counterFactory(s *epochSink, mkVertex func(*runtime.Context) runtime.Vertex,
+	tune func(incarnation int64, cfg *runtime.Config)) (supervise.Factory, *atomic.Int64) {
+	var incarnations atomic.Int64
+	return func() (*supervise.Build, error) {
+		inc := incarnations.Add(1) - 1
+		cfg := runtime.Config{Processes: 2, WorkersPerProcess: 2,
+			Accumulation: runtime.AccLocalGlobal, Watchdog: 5 * time.Second}
+		if tune != nil {
+			tune(inc, &cfg)
+		}
+		c, err := runtime.NewComputation(cfg)
+		if err != nil {
+			return nil, err
+		}
+		in := c.NewInput("in")
+		ctr := c.AddStage("counter", graph.RoleNormal, 0, mkVertex, runtime.Pinned(0))
+		c.Connect(in.Stage(), 0, ctr, func(runtime.Message) uint64 { return 0 }, codec.Int64())
+		snk := c.AddStage("sink", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+			return &sinkVertex{ctx: ctx, s: s}
+		}, runtime.Pinned(0))
+		c.Connect(ctr, 0, snk, func(runtime.Message) uint64 { return 0 }, codec.Int64())
+		return &supervise.Build{
+			Comp:   c,
+			Inputs: map[string]*runtime.Input{"in": in},
+			Probe:  c.NewProbe(snk),
+		}, nil
+	}, &incarnations
+}
+
+func feedStandard(t *testing.T, sup *supervise.Supervisor) {
+	t.Helper()
+	for _, batch := range [][]runtime.Message{{int64(1), int64(2)}, {int64(10)}, {int64(100)}} {
+		if err := sup.OnNext("in", batch...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitForCheckpoints(t *testing.T, sup *supervise.Supervisor, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Recovery().Checkpoints < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d checkpoints: %+v", n, sup.Recovery())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSupervisorCleanRun: a fault-free supervised run completes, produces
+// the reference output, and takes checkpoints at every epoch boundary.
+func TestSupervisorCleanRun(t *testing.T) {
+	s := newEpochSink()
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, nil)
+	sup, err := supervise.New(supervise.Config{Factory: fact, Seed: testutil.Seed(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStandard(t, sup)
+	if err := sup.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.values(2); len(got) != 1 || got[0] != 113 {
+		t.Fatalf("epoch 2 = %v, want [113]", got)
+	}
+	rec := sup.Recovery()
+	if rec.Checkpoints < 2 || rec.CheckpointBytes == 0 {
+		t.Fatalf("expected periodic checkpoints, got %+v", rec)
+	}
+	if rec.Restarts != 0 {
+		t.Fatalf("fault-free run restarted: %+v", rec)
+	}
+	if incarnations.Load() != 1 {
+		t.Fatalf("fault-free run built %d incarnations", incarnations.Load())
+	}
+	// The supervisor is terminal: further commands fail fast.
+	if err := sup.OnNext("in", int64(5)); err == nil {
+		t.Fatal("OnNext after completion succeeded")
+	}
+	if err := sup.OnNext("nope"); err == nil || !strings.Contains(err.Error(), "unknown input") {
+		t.Fatalf("unknown input error = %v", err)
+	}
+}
+
+// TestSupervisorRecoversFromCrash is the tentpole acceptance test: crash a
+// process mid-computation and the supervisor must rebuild, restore the
+// latest snapshot, replay the logged epochs, and finish with output equal
+// to the fault-free run.
+func TestSupervisorRecoversFromCrash(t *testing.T) {
+	seed := testutil.Seed(t)
+	s := newEpochSink()
+	var chaos0 *transport.Chaos
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{Seed: seed + inc})
+		if inc == 0 {
+			chaos0 = ct
+		}
+		cfg.Transport = ct
+	})
+	sup, err := supervise.New(supervise.Config{Factory: fact, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.OnNext("in", int64(1), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.OnNext("in", int64(10)); err != nil {
+		t.Fatal(err)
+	}
+	waitForCheckpoints(t, sup, 2)
+	chaos0.Crash(1) // kill a process with epochs 0–1 checkpointed
+	if err := sup.OnNext("in", int64(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("supervised run did not recover: %v", err)
+	}
+	if got := s.values(2); len(got) != 1 || got[0] != 113 {
+		t.Fatalf("epoch 2 = %v, want [113]: recovery lost or corrupted state", got)
+	}
+	rec := sup.Recovery()
+	if rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (%+v)", rec.Restarts, rec)
+	}
+	if rec.LastRecovery <= 0 {
+		t.Fatalf("last recovery duration not recorded: %+v", rec)
+	}
+	if incarnations.Load() != 2 {
+		t.Fatalf("built %d incarnations, want 2", incarnations.Load())
+	}
+}
+
+// TestSupervisorRecoversFromPartition: an unhealed network partition stalls
+// the computation silently — no crash callback fires. The heartbeat
+// detector must raise the suspicion that aborts the incarnation, and the
+// supervisor must then rebuild on a healthy network and finish correctly.
+func TestSupervisorRecoversFromPartition(t *testing.T) {
+	seed := testutil.Seed(t)
+	s := newEpochSink()
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		ccfg := transport.ChaosConfig{Seed: seed + inc}
+		if inc == 0 {
+			// Minority {1} cut off from the start, never healing.
+			ccfg.Partition = &transport.Partition{Groups: [][]int{{0}, {1}}, Duration: time.Hour}
+		}
+		cfg.Transport = transport.NewChaos(transport.NewMem(2), ccfg)
+		cfg.Heartbeat = 2 * time.Millisecond
+		cfg.HeartbeatTimeout = 40 * time.Millisecond
+	})
+	sup, err := supervise.New(supervise.Config{Factory: fact, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStandard(t, sup)
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("supervised run did not recover from the partition: %v", err)
+	}
+	if got := s.values(2); len(got) != 1 || got[0] != 113 {
+		t.Fatalf("epoch 2 = %v, want [113]", got)
+	}
+	rec := sup.Recovery()
+	if rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (%+v)", rec.Restarts, rec)
+	}
+	if rec.HeartbeatMisses == 0 {
+		t.Fatal("partition recovery without recorded heartbeat misses: the wrong detector fired")
+	}
+	if incarnations.Load() != 2 {
+		t.Fatalf("built %d incarnations, want 2", incarnations.Load())
+	}
+}
+
+// TestSupervisorGivesUp: a computation that dies deterministically on
+// every replay must exhaust the restart budget and land in the terminal
+// gave-up state, not loop forever.
+func TestSupervisorGivesUp(t *testing.T) {
+	s := newEpochSink()
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &bomb{counter{ctx: ctx}}
+	}, nil)
+	sup, err := supervise.New(supervise.Config{
+		Factory:     fact,
+		MaxRestarts: 2,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		Seed:        testutil.Seed(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.OnNext("in", int64(13)); err != nil { // poison: every incarnation dies
+		t.Fatal(err)
+	}
+	err = sup.Wait()
+	if !errors.Is(err, supervise.ErrGaveUp) {
+		t.Fatalf("Wait = %v, want ErrGaveUp", err)
+	}
+	if !strings.Contains(err.Error(), "poison record") {
+		t.Fatalf("gave-up error does not carry the cause: %v", err)
+	}
+	if got := incarnations.Load(); got != 3 { // initial + MaxRestarts
+		t.Fatalf("built %d incarnations, want 3", got)
+	}
+	if err := sup.OnNext("in", int64(1)); !errors.Is(err, supervise.ErrGaveUp) {
+		t.Fatalf("OnNext after gave-up = %v, want ErrGaveUp", err)
+	}
+}
+
+// TestSupervisorFallsBackPastCorruptSnapshot: recovery must skip a
+// snapshot that fails its checksum and restore the older retained one —
+// "latest consistent", not "latest written".
+func TestSupervisorFallsBackPastCorruptSnapshot(t *testing.T) {
+	seed := testutil.Seed(t)
+	dir := t.TempDir()
+	store, err := supervise.NewDiskStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newEpochSink()
+	var chaos0 *transport.Chaos
+	fact, _ := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{Seed: seed + inc})
+		if inc == 0 {
+			chaos0 = ct
+		}
+		cfg.Transport = ct
+	})
+	sup, err := supervise.New(supervise.Config{Factory: fact, Store: store, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.OnNext("in", int64(1), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.OnNext("in", int64(10)); err != nil {
+		t.Fatal(err)
+	}
+	waitForCheckpoints(t, sup, 2)
+	// Bit-rot the newest snapshot on disk; its checksum must disqualify it.
+	eps, err := store.Epochs()
+	if err != nil || len(eps) < 2 {
+		t.Fatalf("epochs = %v, %v", eps, err)
+	}
+	newest := filepath.Join(dir, filesByMtime(t, dir)[0])
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chaos0.Crash(1)
+	if err := sup.OnNext("in", int64(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("recovery with a corrupt latest snapshot failed: %v", err)
+	}
+	if got := s.values(2); len(got) != 1 || got[0] != 113 {
+		t.Fatalf("epoch 2 = %v, want [113]", got)
+	}
+	if rec := sup.Recovery(); rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rec.Restarts)
+	}
+}
+
+// filesByMtime lists dir's snapshot files, newest first by name (the
+// zero-padded epoch filename makes lexicographic order epoch order).
+func filesByMtime(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeartbeatConfig parameterizes a Heartbeats wrapper.
+type HeartbeatConfig struct {
+	// Interval is the beat period on every directed inter-process link.
+	Interval time.Duration
+	// Timeout is the silence after which an observer suspects a peer. Zero
+	// defaults to 4×Interval. Keep it a few intervals wide: a single delayed
+	// beat (GC pause, congested link) must not look like a death.
+	Timeout time.Duration
+}
+
+func (c HeartbeatConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 4 * c.Interval
+}
+
+// Heartbeats wraps a Transport with a deadline-based failure detector
+// (§3.4's "when a failure is detected" made concrete): every process beats
+// every other process over the wrapped transport at a fixed interval, each
+// receiver timestamps the last beat seen per peer, and a peer silent past
+// the timeout is suspected. Beats travel through the inner transport, so
+// whatever kills or delays real traffic — a crashed chaos process, a
+// partition, a dead TCP socket — starves the beats too and turns into a
+// suspicion instead of a silent hang.
+//
+// KindHeartbeat frames are consumed by the wrapper; the inner handler never
+// sees them. Suspicions fire at most once per suspected peer.
+//
+// Attribution is by evidence degree: a sweep collects every directed link
+// that is overdue and charges both endpoints, then accuses the process(es)
+// with the most dead links. A crashed process touches 2(n-1) dead links
+// while its healthy peers each touch only their two links to it, and the
+// minority side of a partition accumulates more dead links than the
+// majority side, so the accusation lands on the culprit. (After a first
+// failure is latched its dead links keep inflating the degree baseline, so
+// attribution of a *second*, later failure can be imprecise — consumers
+// that tear down and rebuild on the first suspicion, as the supervisor
+// does, are unaffected.)
+type Heartbeats struct {
+	inner Transport
+	cfg   HeartbeatConfig
+	n     int
+
+	// lastSeen[observer*n+peer] is the unix-nano receipt time of the last
+	// beat observer got from peer.
+	lastSeen []atomic.Int64
+	// suspected[peer] latches so each peer is reported once.
+	suspected []atomic.Bool
+
+	onSuspect func(suspect int, silence time.Duration)
+	onMiss    func()
+
+	misses atomic.Int64
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewHeartbeats wraps inner with the failure detector. The wrapper owns the
+// inner transport: Close closes it. Callbacks must be installed before the
+// first beat can plausibly be missed, i.e. right after construction.
+func NewHeartbeats(inner Transport, cfg HeartbeatConfig) *Heartbeats {
+	if cfg.Interval <= 0 {
+		panic("transport: heartbeat interval must be positive")
+	}
+	n := inner.Processes()
+	h := &Heartbeats{
+		inner:     inner,
+		cfg:       cfg,
+		n:         n,
+		lastSeen:  make([]atomic.Int64, n*n),
+		suspected: make([]atomic.Bool, n),
+		stop:      make(chan struct{}),
+	}
+	// Seed the deadlines at construction so no peer is suspected before it
+	// had a chance to beat.
+	now := time.Now().UnixNano()
+	for i := range h.lastSeen {
+		h.lastSeen[i].Store(now)
+	}
+	h.wg.Add(1)
+	go h.run()
+	return h
+}
+
+// SetOnSuspect installs the suspicion callback: suspect has been silent on
+// its overdue links for at least silence. It fires from the detector
+// goroutine, at most once per suspect.
+func (h *Heartbeats) SetOnSuspect(f func(suspect int, silence time.Duration)) {
+	h.onSuspect = f
+}
+
+// SetOnMiss installs a callback fired on every missed deadline check (once
+// per overdue link per sweep), for observability counters.
+func (h *Heartbeats) SetOnMiss(f func()) { h.onMiss = f }
+
+// Misses returns the cumulative count of overdue-link observations.
+func (h *Heartbeats) Misses() int64 { return h.misses.Load() }
+
+// Processes returns the process count.
+func (h *Heartbeats) Processes() int { return h.n }
+
+// SetHandler installs a filtering handler on the inner transport: beats are
+// consumed here, everything else passes through.
+func (h *Heartbeats) SetHandler(proc int, handler Handler) {
+	h.inner.SetHandler(proc, func(from int, kind Kind, payload []byte) {
+		if kind == KindHeartbeat {
+			h.lastSeen[proc*h.n+from].Store(time.Now().UnixNano())
+			return
+		}
+		handler(from, kind, payload)
+	})
+}
+
+// Send passes through to the inner transport. Any real frame is as good a
+// liveness proof as a beat, so it also refreshes the receiver's deadline —
+// heavy traffic never drowns out the detector.
+func (h *Heartbeats) Send(from, to int, kind Kind, payload []byte) {
+	if from != to {
+		h.lastSeen[to*h.n+from].Store(time.Now().UnixNano())
+	}
+	h.inner.Send(from, to, kind, payload)
+}
+
+// Stats returns the inner transport's counters (beats are counted under
+// KindHeartbeat).
+func (h *Heartbeats) Stats() *Stats { return h.inner.Stats() }
+
+// run is the beat-and-sweep loop: one goroutine beats on behalf of every
+// process (they share this OS process; see DESIGN.md's substitution
+// argument) and sweeps the deadlines.
+func (h *Heartbeats) run() {
+	defer h.wg.Done()
+	t := time.NewTicker(h.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+		}
+		for from := 0; from < h.n; from++ {
+			for to := 0; to < h.n; to++ {
+				if from != to {
+					h.inner.Send(from, to, KindHeartbeat, nil)
+				}
+			}
+		}
+		h.sweep()
+	}
+}
+
+// sweep checks every directed link's deadline, counts misses, and accuses
+// the process(es) carrying the most overdue links (degree attribution; see
+// the type comment). A lone overdue link (degree 1 on both ends) is noted
+// as a miss but accuses no one — real failures (crash, partition, socket
+// death) always kill links in both directions.
+func (h *Heartbeats) sweep() {
+	now := time.Now()
+	timeout := h.cfg.timeout()
+	degree := make([]int, h.n)
+	maxSilence := make([]time.Duration, h.n)
+	for obs := 0; obs < h.n; obs++ {
+		for peer := 0; peer < h.n; peer++ {
+			if obs == peer {
+				continue
+			}
+			silence := now.Sub(time.Unix(0, h.lastSeen[obs*h.n+peer].Load()))
+			if silence < timeout {
+				continue
+			}
+			h.misses.Add(1)
+			if f := h.onMiss; f != nil {
+				f()
+			}
+			degree[obs]++
+			degree[peer]++
+			if silence > maxSilence[obs] {
+				maxSilence[obs] = silence
+			}
+			if silence > maxSilence[peer] {
+				maxSilence[peer] = silence
+			}
+		}
+	}
+	worst := 0
+	for _, d := range degree {
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst < 2 {
+		return
+	}
+	for p, d := range degree {
+		if d == worst && !h.suspected[p].Swap(true) {
+			if f := h.onSuspect; f != nil {
+				f(p, maxSilence[p])
+			}
+		}
+	}
+}
+
+// Close stops the detector and closes the inner transport.
+func (h *Heartbeats) Close() {
+	if h.closed.Swap(true) {
+		return
+	}
+	close(h.stop)
+	h.wg.Wait()
+	h.inner.Close()
+}

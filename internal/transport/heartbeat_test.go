@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"naiad/internal/testutil"
+)
+
+type suspicion struct {
+	suspect int
+	silence time.Duration
+}
+
+// TestHeartbeatsHealthyNoSuspicion runs the detector over a healthy Mem
+// transport for many intervals: no peer may be suspected, beats must never
+// reach the inner handler, and real traffic must pass through untouched.
+func TestHeartbeatsHealthyNoSuspicion(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	h := NewHeartbeats(NewMem(3), HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond})
+	suspects := make(chan suspicion, 16)
+	h.SetOnSuspect(func(sus int, silence time.Duration) {
+		suspects <- suspicion{sus, silence}
+	})
+	cols := make([]*collector, 3)
+	for i := range cols {
+		cols[i] = newCollector()
+		h.SetHandler(i, cols[i].handler)
+	}
+	h.Send(0, 1, KindData, []byte("payload"))
+	frames := cols[1].waitFor(t, 1)
+	if frames[0].kind != KindData || string(frames[0].payload) != "payload" {
+		t.Fatalf("real frame mangled: %+v", frames[0])
+	}
+	time.Sleep(100 * time.Millisecond) // dozens of intervals, several timeouts
+	select {
+	case s := <-suspects:
+		t.Fatalf("healthy peer %d suspected after %v", s.suspect, s.silence)
+	default:
+	}
+	for i, col := range cols {
+		col.mu.Lock()
+		for _, f := range col.frames {
+			if f.kind == KindHeartbeat {
+				col.mu.Unlock()
+				t.Fatalf("beat leaked to inner handler of %d", i)
+			}
+		}
+		col.mu.Unlock()
+	}
+	h.Close()
+	if got := h.Stats().Frames(KindHeartbeat); got == 0 {
+		t.Fatal("no heartbeat frames counted")
+	}
+}
+
+// TestHeartbeatsSuspectCrashedPeer crashes one chaos process and expects
+// the detector to accuse exactly that peer: the crash starves its beats in
+// both directions, its dead-link degree dominates, suspicion fires once.
+func TestHeartbeatsSuspectCrashedPeer(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	chaos := NewChaos(NewMem(3), ChaosConfig{Seed: testutil.Seed(t)})
+	h := NewHeartbeats(chaos, HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 16 * time.Millisecond})
+	defer h.Close()
+	suspects := make(chan suspicion, 16)
+	h.SetOnSuspect(func(sus int, silence time.Duration) {
+		suspects <- suspicion{sus, silence}
+	})
+	for i := 0; i < 3; i++ {
+		h.SetHandler(i, func(int, Kind, []byte) {})
+	}
+	chaos.Crash(2)
+	select {
+	case s := <-suspects:
+		if s.suspect != 2 {
+			t.Fatalf("accused healthy peer %d", s.suspect)
+		}
+		if s.silence < 16*time.Millisecond {
+			t.Fatalf("suspicion fired before the timeout: %v", s.silence)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crashed peer never suspected")
+	}
+	if h.Misses() == 0 {
+		t.Fatal("missed deadlines not counted")
+	}
+	// The latch holds: give the sweeper time to re-fire if it were broken.
+	time.Sleep(50 * time.Millisecond)
+	for len(suspects) > 0 {
+		if s := <-suspects; s.suspect != 2 {
+			t.Fatalf("accused healthy peer %d", s.suspect)
+		}
+	}
+}
+
+// TestHeartbeatsSuspectPartitionedPeer partitions {0} from {1,2}: beats
+// crossing the cut are held, the minority side accumulates the most dead
+// links, and the detector must accuse process 0 before the partition heals.
+func TestHeartbeatsSuspectPartitionedPeer(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	chaos := NewChaos(NewMem(3), ChaosConfig{
+		Seed: testutil.Seed(t),
+		Partition: &Partition{
+			Groups:   [][]int{{0}, {1, 2}},
+			Start:    0,
+			Duration: time.Hour, // never heals within the test
+		},
+	})
+	h := NewHeartbeats(chaos, HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 16 * time.Millisecond})
+	defer h.Close()
+	suspects := make(chan suspicion, 16)
+	h.SetOnSuspect(func(sus int, silence time.Duration) {
+		suspects <- suspicion{sus, silence}
+	})
+	for i := 0; i < 3; i++ {
+		h.SetHandler(i, func(int, Kind, []byte) {})
+	}
+	select {
+	case s := <-suspects:
+		if s.suspect != 0 {
+			t.Fatalf("accused %d; the minority side of the cut is 0", s.suspect)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("partitioned peer never suspected")
+	}
+}
+
+// TestHeartbeatsRealTrafficRefreshesLiveness checks that a real frame
+// counts as a liveness proof: a peer whose beats are somehow lost but whose
+// data still flows must not be suspected.
+func TestHeartbeatsRealTrafficRefreshesLiveness(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	// Interval far larger than the test: the beat loop never fires, so
+	// only Send-side refreshes keep peers alive.
+	h := NewHeartbeats(NewMem(2), HeartbeatConfig{Interval: time.Hour, Timeout: time.Hour})
+	defer h.Close()
+	for i := 0; i < 2; i++ {
+		h.SetHandler(i, func(int, Kind, []byte) {})
+	}
+	before := h.lastSeen[1*h.n+0].Load()
+	time.Sleep(2 * time.Millisecond)
+	h.Send(0, 1, KindData, []byte("x"))
+	if after := h.lastSeen[1*h.n+0].Load(); after <= before {
+		t.Fatal("real frame did not refresh the receiver's view of the sender")
+	}
+}

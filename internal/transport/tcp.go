@@ -5,32 +5,89 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// TCPOptions hardens the TCP transport against transient network trouble.
+// The zero value preserves the historical behaviour (bounded dial, no send
+// deadline, no reconnect): a write error silently drops the link and the
+// watchdog or heartbeat detector turns the silence into a loud failure.
+// With reconnect enabled, transient partitions degrade to bounded retries
+// instead.
+type TCPOptions struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// SendTimeout, when positive, sets a write deadline per frame: a peer
+	// that stops draining its socket fails the send after this long instead
+	// of blocking the sender behind a full kernel buffer forever.
+	SendTimeout time.Duration
+	// ReconnectAttempts is how many times a failed send redials the peer
+	// before dropping the frame. Zero disables reconnection.
+	ReconnectAttempts int
+	// ReconnectBackoff is the initial delay between redial attempts
+	// (default 10ms); it doubles per attempt up to ReconnectMaxBackoff
+	// (default 1s), with ±50% jitter so peers reconnecting simultaneously
+	// do not stampede in lockstep.
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
+	// Seed drives the jitter PRNG (default 1), keeping schedules
+	// reproducible.
+	Seed int64
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 10 * time.Millisecond
+	}
+	if o.ReconnectMaxBackoff <= 0 {
+		o.ReconnectMaxBackoff = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
 
 // TCP is a transport over real stdlib TCP sockets. Every ordered pair of
 // processes communicates over the connection dialed by the lower-indexed
 // endpoint; frames are length-prefixed and writes are serialized per
-// connection, so per-link FIFO order holds. Naiad disables Nagle's
+// directed link, so per-link FIFO order holds. Naiad disables Nagle's
 // algorithm to avoid small-message delays (§3.5); Go's net.TCPConn does so
 // by default (TCP_NODELAY on), which we keep.
+//
+// Each listener runs a persistent accept loop, so a peer that redials after
+// a socket death is re-admitted transparently; see TCPOptions for the
+// sender-side reconnect policy.
 type TCP struct {
 	n        int
-	id       int // unused in all-in-one mode; kept for clarity
+	opts     TCPOptions
 	handlers []Handler
-	conns    [][]*tcpConn // [from][to], nil on diagonal
+	conns    [][]*tcpLink // [owner][peer], nil on diagonal; cells are fixed, sockets swap
 	listener []net.Listener
-	stats    Stats
-	closed   atomic.Bool
-	wg       sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	reconnects atomic.Int64
+	stats      Stats
+	closed     atomic.Bool
+	wg         sync.WaitGroup
 }
 
-type tcpConn struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	c  net.Conn
+// tcpLink is one directed link's write endpoint. Its mutex serializes
+// writes and socket replacement, so per-link FIFO survives reconnection.
+type tcpLink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      net.Conn
+	broken bool
 }
 
 // MaxFrameSize caps the payload length the TCP framing accepts. A frame
@@ -48,7 +105,7 @@ func ParseFrameHeader(hdr []byte) (Kind, int, int, error) {
 		return 0, 0, 0, fmt.Errorf("transport: short frame header: %d bytes", len(hdr))
 	}
 	kind := Kind(hdr[0])
-	if kind > KindControl {
+	if kind >= numKinds {
 		return 0, 0, 0, fmt.Errorf("transport: unknown frame kind %d", hdr[0])
 	}
 	src := int(binary.LittleEndian.Uint32(hdr[1:5]))
@@ -60,15 +117,32 @@ func ParseFrameHeader(hdr []byte) (Kind, int, int, error) {
 }
 
 // NewTCPLoopback constructs a transport for n processes all inside this OS
-// process, connected through real loopback TCP sockets. It exists to
-// exercise genuine socket behaviour (kernel buffering, framing, partial
-// reads) in tests and benchmarks; a production deployment would run one
-// process per machine with the same framing.
+// process, connected through real loopback TCP sockets, with the default
+// (historical, non-reconnecting) options. It exists to exercise genuine
+// socket behaviour (kernel buffering, framing, partial reads) in tests and
+// benchmarks; a production deployment would run one process per machine
+// with the same framing.
 func NewTCPLoopback(n int) (*TCP, error) {
-	t := &TCP{n: n, handlers: make([]Handler, n)}
-	t.conns = make([][]*tcpConn, n)
+	return NewTCPLoopbackOpts(n, TCPOptions{})
+}
+
+// NewTCPLoopbackOpts is NewTCPLoopback with explicit hardening options.
+func NewTCPLoopbackOpts(n int, opts TCPOptions) (*TCP, error) {
+	opts = opts.withDefaults()
+	t := &TCP{
+		n:        n,
+		opts:     opts,
+		handlers: make([]Handler, n),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	t.conns = make([][]*tcpLink, n)
 	for i := range t.conns {
-		t.conns[i] = make([]*tcpConn, n)
+		t.conns[i] = make([]*tcpLink, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				t.conns[i][j] = &tcpLink{broken: true}
+			}
+		}
 	}
 	t.listener = make([]net.Listener, n)
 	for i := 0; i < n; i++ {
@@ -78,91 +152,132 @@ func NewTCPLoopback(n int) (*TCP, error) {
 			return nil, fmt.Errorf("transport: listen: %w", err)
 		}
 		t.listener[i] = l
+		t.wg.Add(1)
+		go t.acceptLoop(i)
 	}
-	// Dial: process i dials every j > i; both directions share the socket.
-	type accepted struct {
-		proc int
-		conn net.Conn
-		peer int
-	}
-	acceptCh := make(chan accepted, n*n)
-	errCh := make(chan error, n)
-	var acceptWG sync.WaitGroup
-	for j := 0; j < n; j++ {
-		acceptWG.Add(1)
-		go func(j int) {
-			defer acceptWG.Done()
-			for i := 0; i < j; i++ {
-				c, err := t.listener[j].Accept()
-				if err != nil {
-					errCh <- err
-					return
-				}
-				var hdr [4]byte
-				if _, err := io.ReadFull(c, hdr[:]); err != nil {
-					errCh <- err
-					return
-				}
-				peer := int(binary.LittleEndian.Uint32(hdr[:]))
-				acceptCh <- accepted{proc: j, conn: c, peer: peer}
-			}
-		}(j)
-	}
+	// Dial: process i dials every j > i; both directions share the socket
+	// (i writes on its end, j's accept loop registers the other end).
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			c, err := net.Dial("tcp", t.listener[j].Addr().String())
+			c, err := t.dialPeer(i, j)
 			if err != nil {
 				t.Close()
 				return nil, fmt.Errorf("transport: dial: %w", err)
 			}
-			var hdr [4]byte
-			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
-			if _, err := c.Write(hdr[:]); err != nil {
-				t.Close()
-				return nil, err
-			}
-			t.conns[i][j] = &tcpConn{w: bufio.NewWriter(c), c: c}
+			l := t.conns[i][j]
+			l.mu.Lock()
+			t.installLocked(i, j, l, c)
+			l.mu.Unlock()
 		}
 	}
-	acceptWG.Wait()
-	close(acceptCh)
-	select {
-	case err := <-errCh:
-		t.Close()
-		return nil, err
-	default:
-	}
-	for a := range acceptCh {
-		// The accepted side reuses the same socket for its own sends.
-		t.conns[a.proc][a.peer] = &tcpConn{w: bufio.NewWriter(a.conn), c: a.conn}
+	// Wait for the accept side of every pair to register; everything is
+	// loopback-local, so this settles in microseconds.
+	deadline := time.Now().Add(opts.DialTimeout)
+	for !t.allConnected() {
+		if time.Now().After(deadline) {
+			t.Close()
+			return nil, fmt.Errorf("transport: timed out waiting for %d-process mesh", n)
+		}
+		time.Sleep(time.Millisecond)
 	}
 	return t, nil
+}
+
+func (t *TCP) allConnected() bool {
+	for i := range t.conns {
+		for j, l := range t.conns[i] {
+			if i == j {
+				continue
+			}
+			l.mu.Lock()
+			ok := l.c != nil && !l.broken
+			l.mu.Unlock()
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dialPeer connects to peer `to`'s listener and handshakes `from`'s id.
+func (t *TCP) dialPeer(from, to int) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", t.listener[to].Addr().String(), t.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(from))
+	c.SetWriteDeadline(time.Now().Add(t.opts.DialTimeout))
+	if _, err := c.Write(hdr[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SetWriteDeadline(time.Time{})
+	return c, nil
+}
+
+// installLocked swaps a fresh socket into the link (closing any old one)
+// and starts the owner-side reader. Callers hold l.mu.
+func (t *TCP) installLocked(owner, peer int, l *tcpLink, c net.Conn) {
+	if l.c != nil {
+		l.c.Close()
+	}
+	l.c = c
+	l.w = bufio.NewWriter(c)
+	l.broken = false
+	t.wg.Add(1)
+	go t.readLoop(owner, c)
+}
+
+// acceptLoop re-admits peers for the lifetime of the transport: every
+// accepted socket (initial mesh construction or a redial after a failure)
+// replaces the link's previous socket.
+func (t *TCP) acceptLoop(proc int) {
+	defer t.wg.Done()
+	for {
+		c, err := t.listener[proc].Accept()
+		if err != nil {
+			return // listener closed
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			c.Close()
+			continue
+		}
+		peer := int(binary.LittleEndian.Uint32(hdr[:]))
+		if peer < 0 || peer >= t.n || peer == proc {
+			c.Close()
+			continue
+		}
+		if t.closed.Load() {
+			c.Close()
+			return
+		}
+		l := t.conns[proc][peer]
+		l.mu.Lock()
+		t.installLocked(proc, peer, l, c)
+		l.mu.Unlock()
+	}
 }
 
 // Processes returns the process count.
 func (t *TCP) Processes() int { return t.n }
 
-// SetHandler installs the consumer for proc and starts reader goroutines
-// for its inbound links.
+// Reconnects returns how many sender-side redials have succeeded.
+func (t *TCP) Reconnects() int64 { return t.reconnects.Load() }
+
+// SetHandler installs the consumer for proc. Reader goroutines dispatch
+// through t.handlers at delivery time, so installation order does not
+// matter; frames arriving before installation are dropped.
 func (t *TCP) SetHandler(proc int, h Handler) {
 	if t.handlers[proc] != nil {
 		panic("transport: handler already set")
 	}
 	t.handlers[proc] = h
-	for from := 0; from < t.n; from++ {
-		if from == proc {
-			continue
-		}
-		// Each pair shares one socket; conns[proc][from] is proc's end of
-		// the socket to peer `from`, whichever side dialed. proc reads
-		// inbound frames from its own end.
-		conn := t.conns[proc][from]
-		t.wg.Add(1)
-		go t.readLoop(proc, from, conn.c)
-	}
 }
 
-func (t *TCP) readLoop(proc, from int, c net.Conn) {
+func (t *TCP) readLoop(proc int, c net.Conn) {
 	defer t.wg.Done()
 	r := bufio.NewReader(c)
 	for {
@@ -184,8 +299,12 @@ func (t *TCP) readLoop(proc, from int, c net.Conn) {
 	}
 }
 
-// Send frames and writes the payload on the pairwise socket. Same-process
-// sends dispatch directly to the handler.
+// Send frames and writes the payload on the directed link, redialing the
+// peer (with jittered exponential backoff, up to ReconnectAttempts) when
+// the socket has died. A frame that cannot be delivered within the retry
+// budget is dropped — Send never blocks indefinitely — and the loss is the
+// failure detector's to notice. Same-process sends dispatch directly to the
+// handler.
 func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
 	if t.closed.Load() {
 		return
@@ -197,25 +316,77 @@ func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
 		}
 		return
 	}
-	conn := t.conns[from][to]
 	var hdr [FrameOverhead]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(from))
 	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
-	conn.mu.Lock()
-	_, err1 := conn.w.Write(hdr[:])
-	_, err2 := conn.w.Write(payload)
-	err3 := conn.w.Flush()
-	conn.mu.Unlock()
-	if err1 == nil && err2 == nil && err3 == nil {
+
+	l := t.conns[from][to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.c != nil && !l.broken && t.writeFrameLocked(l, hdr[:], payload) == nil {
 		t.stats.Count(kind, len(payload))
+		return
 	}
+	for attempt := 1; attempt <= t.opts.ReconnectAttempts; attempt++ {
+		t.backoff(attempt)
+		if t.closed.Load() {
+			return
+		}
+		c, err := t.dialPeer(from, to)
+		if err != nil {
+			continue
+		}
+		t.installLocked(from, to, l, c)
+		t.reconnects.Add(1)
+		if t.writeFrameLocked(l, hdr[:], payload) == nil {
+			t.stats.Count(kind, len(payload))
+			return
+		}
+	}
+	// Retry budget exhausted: the frame is lost with the link.
+}
+
+// writeFrameLocked writes one frame under the link's per-send deadline,
+// marking the link broken (and closing its socket) on failure. Callers
+// hold l.mu.
+func (t *TCP) writeFrameLocked(l *tcpLink, hdr, payload []byte) error {
+	if t.opts.SendTimeout > 0 {
+		l.c.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+	}
+	_, err := l.w.Write(hdr)
+	if err == nil {
+		_, err = l.w.Write(payload)
+	}
+	if err == nil {
+		err = l.w.Flush()
+	}
+	if t.opts.SendTimeout > 0 && err == nil {
+		l.c.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		l.broken = true
+		l.c.Close()
+	}
+	return err
+}
+
+// backoff sleeps the jittered exponential delay for a redial attempt.
+func (t *TCP) backoff(attempt int) {
+	d := t.opts.ReconnectBackoff << (attempt - 1)
+	if d > t.opts.ReconnectMaxBackoff || d <= 0 {
+		d = t.opts.ReconnectMaxBackoff
+	}
+	t.rngMu.Lock()
+	jittered := d/2 + time.Duration(t.rng.Int63n(int64(d)))
+	t.rngMu.Unlock()
+	time.Sleep(jittered)
 }
 
 // Stats returns the traffic counters.
 func (t *TCP) Stats() *Stats { return &t.stats }
 
-// Close shuts down all sockets and waits for reader goroutines.
+// Close shuts down all sockets and waits for reader and accept goroutines.
 func (t *TCP) Close() {
 	if t.closed.Swap(true) {
 		return
@@ -226,10 +397,16 @@ func (t *TCP) Close() {
 		}
 	}
 	for i := range t.conns {
-		for j := range t.conns[i] {
-			if c := t.conns[i][j]; c != nil {
-				c.c.Close()
+		for _, l := range t.conns[i] {
+			if l == nil {
+				continue
 			}
+			l.mu.Lock()
+			if l.c != nil {
+				l.c.Close()
+			}
+			l.broken = true
+			l.mu.Unlock()
 		}
 	}
 	t.wg.Wait()

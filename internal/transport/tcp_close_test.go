@@ -157,7 +157,7 @@ func FuzzParseFrameHeader(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if kind > KindControl {
+		if kind >= numKinds {
 			t.Fatalf("accepted unknown kind %d", kind)
 		}
 		if size < 0 || size > MaxFrameSize {

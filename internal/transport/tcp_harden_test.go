@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"naiad/internal/testutil"
+)
+
+// killLink closes the socket behind one directed link, simulating a
+// transient network failure from the sender's point of view.
+func killLink(tr *TCP, from, to int) {
+	l := tr.conns[from][to]
+	l.mu.Lock()
+	c := l.c
+	l.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// TestTCPReconnectAfterSocketDeath kills the socket under a link and sends
+// through it: with reconnection enabled the same Send call must redial,
+// re-handshake through the persistent accept loop, and deliver the frame.
+func TestTCPReconnectAfterSocketDeath(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tr, err := NewTCPLoopbackOpts(2, TCPOptions{
+		DialTimeout:       2 * time.Second,
+		SendTimeout:       time.Second,
+		ReconnectAttempts: 5,
+		ReconnectBackoff:  time.Millisecond,
+		Seed:              testutil.Seed(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	col := newCollector()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, col.handler)
+	tr.Send(0, 1, KindData, []byte("before"))
+	col.waitFor(t, 1)
+
+	killLink(tr, 0, 1)
+	tr.Send(0, 1, KindData, []byte("after"))
+	frames := col.waitFor(t, 2)
+	if string(frames[1].payload) != "after" {
+		t.Fatalf("frame after reconnect mangled: %q", frames[1].payload)
+	}
+	if tr.Reconnects() == 0 {
+		t.Fatal("delivery succeeded without a recorded reconnect")
+	}
+}
+
+// TestTCPReconnectRestoresBothDirections kills the shared socket and then
+// exercises both directions: the sender that notices repairs its own
+// direction, and the opposite direction rides the redial of whichever side
+// writes first (the accept loop replaces the dead socket on both ends).
+func TestTCPReconnectRestoresBothDirections(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tr, err := NewTCPLoopbackOpts(2, TCPOptions{
+		ReconnectAttempts: 5,
+		ReconnectBackoff:  time.Millisecond,
+		Seed:              testutil.Seed(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cols := []*collector{newCollector(), newCollector()}
+	tr.SetHandler(0, cols[0].handler)
+	tr.SetHandler(1, cols[1].handler)
+
+	killLink(tr, 0, 1) // kills the only socket of the pair
+	tr.Send(0, 1, KindData, []byte("ping"))
+	cols[1].waitFor(t, 1)
+	// 1's write endpoint died with the shared socket; its own Send must
+	// recover too (either over 0's fresh socket or its own redial).
+	tr.Send(1, 0, KindData, []byte("pong"))
+	frames := cols[0].waitFor(t, 1)
+	if string(frames[0].payload) != "pong" {
+		t.Fatalf("reverse direction mangled: %q", frames[0].payload)
+	}
+}
+
+// TestTCPNoReconnectByDefault pins the historical contract: with zero
+// options a dead link silently drops frames — the failure detector's
+// problem, not the transport's.
+func TestTCPNoReconnectByDefault(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tr, err := NewTCPLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	col := newCollector()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, col.handler)
+	tr.Send(0, 1, KindData, []byte("before"))
+	col.waitFor(t, 1)
+
+	killLink(tr, 0, 1)
+	tr.Send(0, 1, KindData, []byte("lost")) // must not panic or block
+	tr.Send(0, 1, KindData, []byte("lost"))
+	if tr.Reconnects() != 0 {
+		t.Fatal("default options attempted a reconnect")
+	}
+}

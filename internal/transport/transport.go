@@ -24,6 +24,10 @@ const (
 	KindProgress
 	// KindControl frames carry runtime control traffic.
 	KindControl
+	// KindHeartbeat frames carry failure-detector liveness beats. They are
+	// consumed by the Heartbeats wrapper and never reach the runtime's
+	// frame dispatcher.
+	KindHeartbeat
 	numKinds
 )
 
@@ -36,6 +40,8 @@ func (k Kind) String() string {
 		return "progress"
 	case KindControl:
 		return "control"
+	case KindHeartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
