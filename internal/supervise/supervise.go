@@ -161,6 +161,11 @@ func New(cfg Config) (*Supervisor, error) {
 	for name := range build.Inputs {
 		s.inputs[name] = true
 		s.log[name] = make(map[int64][]runtime.Message)
+		// Every input participates in the alignment guard from epoch 0: an
+		// input that has never been fed must hold minFed at 0, or
+		// maybeCheckpoint would quiesce on a frontier the unfed input's
+		// seeded pointstamp can never release.
+		s.fed[name] = 0
 	}
 	go s.monitor(build.Comp)
 	go s.run()
@@ -186,12 +191,15 @@ func (s *Supervisor) spawn() (*Build, error) {
 // OnNext feeds one epoch of records to the named input, mirroring
 // runtime.Input.OnNext. The batch is logged for replay before it reaches
 // the computation; feeding is asynchronous — delivery failures surface
-// through recovery, not through this call.
+// through recovery, not through this call. The batch is copied before this
+// returns, so the caller may reuse its buffer: a mutated buffer must not
+// rewrite what a later replay feeds.
 func (s *Supervisor) OnNext(input string, records ...runtime.Message) error {
 	if !s.inputs[input] {
 		return fmt.Errorf("supervise: unknown input %q", input)
 	}
-	return s.send(command{kind: cmdFeed, input: input, records: records})
+	batch := append([]runtime.Message(nil), records...)
+	return s.send(command{kind: cmdFeed, input: input, records: batch})
 }
 
 // CloseInput marks the named input complete. Once every input is closed
@@ -287,7 +295,8 @@ func (s *Supervisor) handle(cmd command) {
 	switch cmd.kind {
 	case cmdFeed:
 		// Log first: if the computation dies mid-feed, replay still has
-		// the batch.
+		// the batch. cmd.records is the supervisor's own copy (made in
+		// OnNext), so the log entry cannot alias a caller buffer.
 		s.log[cmd.input][s.fed[cmd.input]] = cmd.records
 		s.fed[cmd.input]++
 		in.OnNext(cmd.records...)
@@ -323,7 +332,10 @@ func (s *Supervisor) maybeCheckpoint() {
 	// taken while one input is fed ahead of another would capture the
 	// leading input's epochs half-processed (they cannot complete until the
 	// lagging input catches up), and Checkpoint's contract requires no
-	// in-flight work. Single-input graphs are always aligned.
+	// in-flight work. s.fed covers every input from New (never-fed inputs
+	// pin minFed at 0), so the guard also blocks quiescing on a frontier a
+	// still-seeded input could never release. Single-input graphs are
+	// always aligned.
 	if minFed != maxFed {
 		return
 	}

@@ -256,6 +256,143 @@ func TestSupervisorRecoversFromCrash(t *testing.T) {
 	}
 }
 
+// twoInputFactory builds a two-input counter pipeline: inputs "a" and "b"
+// both feed the counter, whose epoch-e notification emits the running total
+// of everything received so far (delay-invariant only at the final epoch).
+func twoInputFactory(s *epochSink, tune func(incarnation int64, cfg *runtime.Config)) (supervise.Factory, *atomic.Int64) {
+	var incarnations atomic.Int64
+	return func() (*supervise.Build, error) {
+		inc := incarnations.Add(1) - 1
+		cfg := runtime.Config{Processes: 2, WorkersPerProcess: 2,
+			Accumulation: runtime.AccLocalGlobal, Watchdog: 5 * time.Second}
+		if tune != nil {
+			tune(inc, &cfg)
+		}
+		c, err := runtime.NewComputation(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a, b := c.NewInput("a"), c.NewInput("b")
+		ctr := c.AddStage("counter", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+			return &counter{ctx: ctx}
+		}, runtime.Pinned(0))
+		c.Connect(a.Stage(), 0, ctr, func(runtime.Message) uint64 { return 0 }, codec.Int64())
+		c.Connect(b.Stage(), 0, ctr, func(runtime.Message) uint64 { return 0 }, codec.Int64())
+		snk := c.AddStage("sink", graph.RoleNormal, 0, func(ctx *runtime.Context) runtime.Vertex {
+			return &sinkVertex{ctx: ctx, s: s}
+		}, runtime.Pinned(0))
+		c.Connect(ctr, 0, snk, func(runtime.Message) uint64 { return 0 }, codec.Int64())
+		return &supervise.Build{
+			Comp:   c,
+			Inputs: map[string]*runtime.Input{"a": a, "b": b},
+			Probe:  c.NewProbe(snk),
+		}, nil
+	}, &incarnations
+}
+
+// TestSupervisorMultiInputAlignment regression-tests the alignment guard's
+// treatment of never-fed inputs: the very first feed to one input of a
+// two-input graph must not trigger a checkpoint quiesce — the other input's
+// seeded epoch-0 pointstamp holds the frontier, so a probe wait there would
+// deadlock the run loop forever (and no queued command could ever unblock
+// it). Inputs are fed strictly one at a time; checkpoints may only happen
+// at aligned epoch boundaries.
+func TestSupervisorMultiInputAlignment(t *testing.T) {
+	s := newEpochSink()
+	fact, incarnations := twoInputFactory(s, nil)
+	sup, err := supervise.New(supervise.Config{Factory: fact, Seed: testutil.Seed(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []struct {
+		in string
+		v  int64
+	}{{"a", 1}, {"b", 10}, {"a", 100}, {"b", 1000}}
+	for _, f := range feeds {
+		if err := sup.OnNext(f.in, f.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, in := range []string{"a", "b"} {
+		if err := sup.CloseInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- sup.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("supervisor deadlocked: checkpoint quiesce fired while an input was never fed")
+	}
+	if got := s.values(1); len(got) != 1 || got[0] != 1111 {
+		t.Fatalf("epoch 1 = %v, want [1111]", got)
+	}
+	rec := sup.Recovery()
+	if rec.Checkpoints != 2 {
+		t.Fatalf("checkpoints = %d, want 2 (aligned boundaries only): %+v", rec.Checkpoints, rec)
+	}
+	if rec.Restarts != 0 || incarnations.Load() != 1 {
+		t.Fatalf("fault-free multi-input run restarted: %+v, %d incarnations", rec, incarnations.Load())
+	}
+}
+
+// TestSupervisorReplayUnaffectedByCallerBufferReuse: the replay log must
+// own its batches. A caller that recycles its batch buffer after OnNext
+// returns must not rewrite history — the replayed run's output must equal
+// the fault-free run's. Checkpointing is effectively disabled so recovery
+// replays every logged epoch, including the ones fed from the recycled
+// buffer.
+func TestSupervisorReplayUnaffectedByCallerBufferReuse(t *testing.T) {
+	seed := testutil.Seed(t)
+	s := newEpochSink()
+	var chaos0 *transport.Chaos
+	fact, _ := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{Seed: seed + inc})
+		if inc == 0 {
+			chaos0 = ct
+		}
+		cfg.Transport = ct
+	})
+	sup, err := supervise.New(supervise.Config{Factory: fact, CheckpointEvery: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]runtime.Message, 2)
+	buf[0], buf[1] = int64(1), int64(2)
+	if err := sup.OnNext("in", buf...); err != nil { // epoch 0: {1,2}
+		t.Fatal(err)
+	}
+	buf[0] = int64(10)
+	if err := sup.OnNext("in", buf[:1]...); err != nil { // epoch 1: {10}
+		t.Fatal(err)
+	}
+	// Poison the recycled buffer: if the log aliased it, replay would feed
+	// {4242,4242} and {4242} instead of {1,2} and {10}.
+	buf[0], buf[1] = int64(4242), int64(4242)
+	chaos0.Crash(1)
+	if err := sup.OnNext("in", int64(100)); err != nil { // epoch 2: {100}
+		t.Fatal(err)
+	}
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("supervised run did not recover: %v", err)
+	}
+	if got := s.values(2); len(got) != 1 || got[0] != 113 {
+		t.Fatalf("epoch 2 = %v, want [113]: replay fed a batch the caller had overwritten", got)
+	}
+	if rec := sup.Recovery(); rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (%+v)", rec.Restarts, rec)
+	}
+}
+
 // TestSupervisorRecoversFromPartition: an unhealed network partition stalls
 // the computation silently — no crash callback fires. The heartbeat
 // detector must raise the suspicion that aborts the incarnation, and the

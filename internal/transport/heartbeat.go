@@ -51,13 +51,15 @@ type Heartbeats struct {
 	n     int
 
 	// lastSeen[observer*n+peer] is the unix-nano receipt time of the last
-	// beat observer got from peer.
+	// frame (beat or real traffic) observer got from peer.
 	lastSeen []atomic.Int64
 	// suspected[peer] latches so each peer is reported once.
 	suspected []atomic.Bool
 
-	onSuspect func(suspect int, silence time.Duration)
-	onMiss    func()
+	// Callbacks are atomic: the setters race with the detector goroutine
+	// started in NewHeartbeats.
+	onSuspect atomic.Pointer[func(suspect int, silence time.Duration)]
+	onMiss    atomic.Pointer[func()]
 
 	misses atomic.Int64
 	closed atomic.Bool
@@ -96,12 +98,12 @@ func NewHeartbeats(inner Transport, cfg HeartbeatConfig) *Heartbeats {
 // its overdue links for at least silence. It fires from the detector
 // goroutine, at most once per suspect.
 func (h *Heartbeats) SetOnSuspect(f func(suspect int, silence time.Duration)) {
-	h.onSuspect = f
+	h.onSuspect.Store(&f)
 }
 
 // SetOnMiss installs a callback fired on every missed deadline check (once
 // per overdue link per sweep), for observability counters.
-func (h *Heartbeats) SetOnMiss(f func()) { h.onMiss = f }
+func (h *Heartbeats) SetOnMiss(f func()) { h.onMiss.Store(&f) }
 
 // Misses returns the cumulative count of overdue-link observations.
 func (h *Heartbeats) Misses() int64 { return h.misses.Load() }
@@ -110,24 +112,26 @@ func (h *Heartbeats) Misses() int64 { return h.misses.Load() }
 func (h *Heartbeats) Processes() int { return h.n }
 
 // SetHandler installs a filtering handler on the inner transport: beats are
-// consumed here, everything else passes through.
+// consumed here, everything else passes through. Every inbound frame — beat
+// or real traffic — refreshes the sender's deadline, so heavy traffic never
+// drowns out the detector. The stamp is on the receive path only: a frame
+// is proof of liveness when it *arrives*, not when it was sent, so traffic
+// the inner transport drops (partition, dead socket, exhausted reconnect
+// budget) cannot mask a dead link.
 func (h *Heartbeats) SetHandler(proc int, handler Handler) {
 	h.inner.SetHandler(proc, func(from int, kind Kind, payload []byte) {
+		h.lastSeen[proc*h.n+from].Store(time.Now().UnixNano())
 		if kind == KindHeartbeat {
-			h.lastSeen[proc*h.n+from].Store(time.Now().UnixNano())
 			return
 		}
 		handler(from, kind, payload)
 	})
 }
 
-// Send passes through to the inner transport. Any real frame is as good a
-// liveness proof as a beat, so it also refreshes the receiver's deadline —
-// heavy traffic never drowns out the detector.
+// Send passes through to the inner transport. Liveness is credited on
+// delivery (see SetHandler), never at send time: whatever kills real
+// traffic must starve the detector too.
 func (h *Heartbeats) Send(from, to int, kind Kind, payload []byte) {
-	if from != to {
-		h.lastSeen[to*h.n+from].Store(time.Now().UnixNano())
-	}
 	h.inner.Send(from, to, kind, payload)
 }
 
@@ -179,8 +183,8 @@ func (h *Heartbeats) sweep() {
 				continue
 			}
 			h.misses.Add(1)
-			if f := h.onMiss; f != nil {
-				f()
+			if f := h.onMiss.Load(); f != nil {
+				(*f)()
 			}
 			degree[obs]++
 			degree[peer]++
@@ -203,8 +207,8 @@ func (h *Heartbeats) sweep() {
 	}
 	for p, d := range degree {
 		if d == worst && !h.suspected[p].Swap(true) {
-			if f := h.onSuspect; f != nil {
-				f(p, maxSilence[p])
+			if f := h.onSuspect.Load(); f != nil {
+				(*f)(p, maxSilence[p])
 			}
 		}
 	}

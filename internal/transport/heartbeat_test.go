@@ -125,13 +125,13 @@ func TestHeartbeatsSuspectPartitionedPeer(t *testing.T) {
 	}
 }
 
-// TestHeartbeatsRealTrafficRefreshesLiveness checks that a real frame
-// counts as a liveness proof: a peer whose beats are somehow lost but whose
-// data still flows must not be suspected.
+// TestHeartbeatsRealTrafficRefreshesLiveness checks that a delivered real
+// frame counts as a liveness proof: a peer whose beats are somehow lost but
+// whose data still arrives must not be suspected.
 func TestHeartbeatsRealTrafficRefreshesLiveness(t *testing.T) {
 	defer testutil.CheckNoLeaks(t)()
 	// Interval far larger than the test: the beat loop never fires, so
-	// only Send-side refreshes keep peers alive.
+	// only delivered data frames can refresh the deadline.
 	h := NewHeartbeats(NewMem(2), HeartbeatConfig{Interval: time.Hour, Timeout: time.Hour})
 	defer h.Close()
 	for i := 0; i < 2; i++ {
@@ -140,7 +140,65 @@ func TestHeartbeatsRealTrafficRefreshesLiveness(t *testing.T) {
 	before := h.lastSeen[1*h.n+0].Load()
 	time.Sleep(2 * time.Millisecond)
 	h.Send(0, 1, KindData, []byte("x"))
-	if after := h.lastSeen[1*h.n+0].Load(); after <= before {
-		t.Fatal("real frame did not refresh the receiver's view of the sender")
+	// Delivery (and therefore the stamp) is asynchronous on Mem.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.lastSeen[1*h.n+0].Load() <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("delivered frame never refreshed the receiver's view of the sender")
+		}
+		time.Sleep(time.Millisecond)
 	}
+}
+
+// TestHeartbeatsUndeliveredTrafficIsNotLiveness is the converse: frames the
+// inner transport drops prove nothing. A peer sending sustained data into
+// an unhealed partition must still be suspected — liveness is credited on
+// receipt, not at send time, so whatever kills real traffic starves the
+// detector too.
+func TestHeartbeatsUndeliveredTrafficIsNotLiveness(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	chaos := NewChaos(NewMem(2), ChaosConfig{
+		Seed: testutil.Seed(t),
+		Partition: &Partition{
+			Groups:   [][]int{{0}, {1}},
+			Start:    0,
+			Duration: time.Hour, // never heals within the test
+		},
+	})
+	h := NewHeartbeats(chaos, HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 16 * time.Millisecond})
+	defer h.Close()
+	suspects := make(chan suspicion, 16)
+	h.SetOnSuspect(func(sus int, silence time.Duration) {
+		suspects <- suspicion{sus, silence}
+	})
+	for i := 0; i < 2; i++ {
+		h.SetHandler(i, func(int, Kind, []byte) {})
+	}
+	// Sustained data traffic across the cut: every frame is dropped by the
+	// partition and must not refresh anyone's deadline.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Send(0, 1, KindData, []byte("x"))
+				h.Send(1, 0, KindData, []byte("y"))
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	select {
+	case <-suspects:
+		// Both sides of a two-process cut carry the same dead-link degree;
+		// accusing either is correct. The point is that suspicion fired at
+		// all despite the send-side traffic.
+	case <-time.After(5 * time.Second):
+		t.Fatal("partitioned peer never suspected: undelivered sends masked the dead link")
+	}
+	close(stop)
+	<-done
 }

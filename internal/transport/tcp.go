@@ -25,8 +25,9 @@ type TCPOptions struct {
 	// that stops draining its socket fails the send after this long instead
 	// of blocking the sender behind a full kernel buffer forever.
 	SendTimeout time.Duration
-	// ReconnectAttempts is how many times a failed send redials the peer
-	// before dropping the frame. Zero disables reconnection.
+	// ReconnectAttempts is how many times a broken link's background
+	// redialer retries before dropping the frames queued on that link.
+	// Zero disables reconnection.
 	ReconnectAttempts int
 	// ReconnectBackoff is the initial delay between redial attempts
 	// (default 10ms); it doubles per attempt up to ReconnectMaxBackoff
@@ -83,12 +84,24 @@ type TCP struct {
 
 // tcpLink is one directed link's write endpoint. Its mutex serializes
 // writes and socket replacement, so per-link FIFO survives reconnection.
+// The mutex is never held across a dial or a backoff sleep: while the link
+// is down a single background redialer owns recovery, Send merely queues
+// (bounded) and returns, and queued frames flush ahead of new ones when
+// the socket comes back — FIFO through the outage.
 type tcpLink struct {
-	mu     sync.Mutex
-	w      *bufio.Writer
-	c      net.Conn
-	broken bool
+	mu        sync.Mutex
+	w         *bufio.Writer
+	c         net.Conn
+	broken    bool
+	redialing bool    // a background redialer is active (single-flight)
+	pending   []frame // frames queued while redialing, flushed in order
 }
+
+// maxPendingFrames bounds the per-link reconnect queue: a link that stays
+// down under sustained traffic (heartbeats every few ms, redial backoff in
+// seconds) must not grow memory without bound. Frames beyond the cap are
+// dropped — the same fate they would meet with reconnection disabled.
+const maxPendingFrames = 1024
 
 // MaxFrameSize caps the payload length the TCP framing accepts. A frame
 // header claiming more is treated as corruption: without the cap a single
@@ -299,12 +312,15 @@ func (t *TCP) readLoop(proc int, c net.Conn) {
 	}
 }
 
-// Send frames and writes the payload on the directed link, redialing the
-// peer (with jittered exponential backoff, up to ReconnectAttempts) when
-// the socket has died. A frame that cannot be delivered within the retry
-// budget is dropped — Send never blocks indefinitely — and the loss is the
-// failure detector's to notice. Same-process sends dispatch directly to the
-// handler.
+// Send frames and writes the payload on the directed link. When the socket
+// has died and reconnection is enabled, the frame is queued (bounded) and a
+// background redialer repairs the link with jittered exponential backoff,
+// flushing the queue in order once the peer answers — Send itself never
+// sleeps or dials, so a broken link cannot stall a shared send loop (the
+// heartbeat beater walks every link sequentially) into false suspicions. A
+// frame that cannot be delivered within the retry budget is dropped and the
+// loss is the failure detector's to notice. Same-process sends dispatch
+// directly to the handler.
 func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
 	if t.closed.Load() {
 		return
@@ -316,35 +332,95 @@ func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
 		}
 		return
 	}
+	l := t.conns[from][to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.redialing {
+		t.enqueueLocked(l, from, kind, payload)
+		return
+	}
+	if l.c != nil && !l.broken && t.writeFrameLocked(l, frameHeader(from, kind, payload), payload) == nil {
+		t.stats.Count(kind, len(payload))
+		return
+	}
+	if t.opts.ReconnectAttempts <= 0 {
+		return // historical contract: a dead link silently drops frames
+	}
+	t.enqueueLocked(l, from, kind, payload)
+	l.redialing = true
+	t.wg.Add(1)
+	go t.redial(from, to, l)
+}
+
+// frameHeader builds the wire header for one frame.
+func frameHeader(from int, kind Kind, payload []byte) []byte {
 	var hdr [FrameOverhead]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(from))
 	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	return hdr[:]
+}
 
-	l := t.conns[from][to]
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.c != nil && !l.broken && t.writeFrameLocked(l, hdr[:], payload) == nil {
-		t.stats.Count(kind, len(payload))
+// enqueueLocked queues a frame for delivery after reconnection, copying the
+// payload (the caller may reuse its buffer once Send returns). Beyond the
+// bound the frame is dropped. Callers hold l.mu.
+func (t *TCP) enqueueLocked(l *tcpLink, from int, kind Kind, payload []byte) {
+	if len(l.pending) >= maxPendingFrames {
 		return
 	}
+	l.pending = append(l.pending, frame{from: from, kind: kind, payload: append([]byte(nil), payload...)})
+}
+
+// redial is the background reconnector for one broken link: jittered
+// exponential backoff between attempts, and on success the pending queue
+// flushes before Send resumes writing directly. It owns l.redialing; no
+// lock is held while sleeping or dialing.
+func (t *TCP) redial(from, to int, l *tcpLink) {
+	defer t.wg.Done()
 	for attempt := 1; attempt <= t.opts.ReconnectAttempts; attempt++ {
 		t.backoff(attempt)
 		if t.closed.Load() {
-			return
+			break
 		}
 		c, err := t.dialPeer(from, to)
 		if err != nil {
 			continue
 		}
+		if t.closed.Load() {
+			c.Close()
+			break
+		}
+		l.mu.Lock()
 		t.installLocked(from, to, l, c)
 		t.reconnects.Add(1)
-		if t.writeFrameLocked(l, hdr[:], payload) == nil {
-			t.stats.Count(kind, len(payload))
+		if t.flushPendingLocked(l) {
+			l.redialing = false
+			l.mu.Unlock()
 			return
 		}
+		l.mu.Unlock() // fresh socket died mid-flush; keep the remainder and retry
 	}
-	// Retry budget exhausted: the frame is lost with the link.
+	// Retry budget exhausted: the queued frames are lost with the link. A
+	// later Send will start a fresh redial round.
+	l.mu.Lock()
+	l.pending = nil
+	l.redialing = false
+	l.mu.Unlock()
+}
+
+// flushPendingLocked writes the queued frames in order, retaining the
+// unwritten remainder on failure. Callers hold l.mu.
+func (t *TCP) flushPendingLocked(l *tcpLink) bool {
+	for len(l.pending) > 0 {
+		f := l.pending[0]
+		if t.writeFrameLocked(l, frameHeader(f.from, f.kind, f.payload), f.payload) != nil {
+			return false
+		}
+		t.stats.Count(f.kind, len(f.payload))
+		l.pending = l.pending[1:]
+	}
+	l.pending = nil
+	return true
 }
 
 // writeFrameLocked writes one frame under the link's per-send deadline,

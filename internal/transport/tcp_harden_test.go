@@ -20,8 +20,9 @@ func killLink(tr *TCP, from, to int) {
 }
 
 // TestTCPReconnectAfterSocketDeath kills the socket under a link and sends
-// through it: with reconnection enabled the same Send call must redial,
-// re-handshake through the persistent accept loop, and deliver the frame.
+// through it: with reconnection enabled the frame is queued, the background
+// redialer re-handshakes through the persistent accept loop, and the queued
+// frame is delivered.
 func TestTCPReconnectAfterSocketDeath(t *testing.T) {
 	defer testutil.CheckNoLeaks(t)()
 	tr, err := NewTCPLoopbackOpts(2, TCPOptions{
@@ -80,6 +81,45 @@ func TestTCPReconnectRestoresBothDirections(t *testing.T) {
 	frames := cols[0].waitFor(t, 1)
 	if string(frames[0].payload) != "pong" {
 		t.Fatalf("reverse direction mangled: %q", frames[0].payload)
+	}
+}
+
+// TestTCPSendNeverBlocksOnBrokenLink pins the non-blocking contract that
+// keeps the heartbeat beater honest: while a link is down, Send must queue
+// and return immediately — never sleep a backoff or dial inline — and once
+// the redialer repairs the link the queued frames must arrive in order. A
+// blocking Send here would stall the shared beat loop past healthy peers'
+// deadlines and turn one broken link into a storm of false suspicions.
+func TestTCPSendNeverBlocksOnBrokenLink(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tr, err := NewTCPLoopbackOpts(2, TCPOptions{
+		DialTimeout:       2 * time.Second,
+		SendTimeout:       time.Second,
+		ReconnectAttempts: 5,
+		ReconnectBackoff:  200 * time.Millisecond, // any inline backoff is visible
+		Seed:              testutil.Seed(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	col := newCollector()
+	tr.SetHandler(0, func(int, Kind, []byte) {})
+	tr.SetHandler(1, col.handler)
+
+	killLink(tr, 0, 1)
+	start := time.Now()
+	for _, p := range []string{"a", "b", "c"} {
+		tr.Send(0, 1, KindData, []byte(p))
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Send blocked %v on a broken link; reconnection must be asynchronous", elapsed)
+	}
+	frames := col.waitFor(t, 3)
+	for i, want := range []string{"a", "b", "c"} {
+		if string(frames[i].payload) != want {
+			t.Fatalf("frame %d = %q, want %q: queue flush broke per-link FIFO", i, frames[i].payload, want)
+		}
 	}
 }
 
