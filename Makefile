@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet bench chaos soak fuzz
+.PHONY: build test check vet bench bench-smoke chaos soak fuzz
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,22 @@ vet:
 		echo "vet: govulncheck not installed; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
+# Progress + runtime microbenchmarks, then the harness comparison of the
+# indexed tracker against the scan-based reference oracle, written to the
+# committed BENCH_progress.json baseline (reference column = before,
+# indexed column = after; the raw seed numbers predating the indexed
+# tracker are in bench/BENCH_progress_before.txt).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/progress/ ./internal/runtime/
+	$(GO) run ./cmd/naiad-bench -exp=progress -json=BENCH_progress.json
+	@echo "wrote BENCH_progress.json"
+
+# CI's quick variant: one iteration per Go benchmark proves they still run
+# and the harness experiment still builds its graphs and trackers; no
+# baseline file is written, timings at this length are not meaningful.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/progress/ ./internal/runtime/
+	$(GO) run ./cmd/naiad-bench -exp=progress
 
 # Fault-injection smoke battery (see docs/protocol.md).
 chaos:

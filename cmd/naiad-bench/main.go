@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,13 +21,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
+	jsonPath := flag.String("json", "", "also write the reports of the run experiments to this file as JSON")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery"} {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress"} {
 			want[e] = true
 		}
 	} else {
@@ -111,9 +113,15 @@ func main() {
 			o.RecordsPerEpoch *= k
 			return harness.Recovery(o)
 		}},
+		{"progress", func(k int) (*harness.Report, error) {
+			o := harness.DefaultProgress()
+			o.Ops *= k
+			return harness.Progress(o)
+		}},
 	}
 
 	ran := 0
+	var reports []*harness.Report
 	for _, e := range experiments {
 		if !want[e.id] {
 			continue
@@ -124,10 +132,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(rep)
+		reports = append(reports, rep)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "naiad-bench: no experiment matched %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "naiad-bench: encoding %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "naiad-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -129,6 +129,8 @@ type Graph struct {
 	inConns    [][]ConnectorID // per stage
 	frozen     bool
 	summaries  [][]ts.SummarySet // [src location][dst location], built on freeze
+	reachFrom  [][]Location      // per location index: locations it can reach (non-empty Ψ)
+	reachTo    [][]Location      // per location index: locations that can reach it
 }
 
 // New returns an empty logical graph.
@@ -283,6 +285,7 @@ func (g *Graph) Freeze() error {
 		return err
 	}
 	g.computeSummaries()
+	g.computeReachability()
 	g.frozen = true
 	return nil
 }
@@ -361,6 +364,66 @@ func (g *Graph) computeSummaries() {
 			}
 		}
 	}
+}
+
+// computeReachability projects the summary table onto a boolean relation:
+// for every location, the lists of locations it can reach and be reached
+// from (non-empty Ψ). The progress tracker iterates these lists instead of
+// scanning all active pointstamps, so precursor maintenance only visits
+// locations that can actually affect each other (§3.3).
+func (g *Graph) computeReachability() {
+	n := len(g.stages) + len(g.connectors)
+	g.reachFrom = make([][]Location, n)
+	g.reachTo = make([][]Location, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if g.summaries[i][j].Empty() {
+				continue
+			}
+			g.reachFrom[i] = append(g.reachFrom[i], g.indexLoc(j))
+			g.reachTo[j] = append(g.reachTo[j], g.indexLoc(i))
+		}
+	}
+}
+
+// LocIndex densely indexes locations (stages first, then connectors) for
+// slice-backed per-location state; inverse of LocOfIndex.
+func (g *Graph) LocIndex(l Location) int { return g.locIndex(l) }
+
+// LocOfIndex returns the location with the given dense index.
+func (g *Graph) LocOfIndex(i int) Location { return g.indexLoc(i) }
+
+// LocCount returns the number of dense location indexes (stages plus
+// connectors; NumLocations bounds the sparse Location value space instead).
+func (g *Graph) LocCount() int { return len(g.stages) + len(g.connectors) }
+
+// ReachFrom returns the locations reachable from l — those with a
+// non-empty path-summary antichain Ψ[l,·], including l itself (identity
+// path). The graph must be frozen; the slice is shared, do not modify.
+func (g *Graph) ReachFrom(l Location) []Location {
+	if !g.frozen {
+		panic("graph: ReachFrom before Freeze")
+	}
+	return g.reachFrom[g.locIndex(l)]
+}
+
+// ReachTo returns the locations that can reach l — those with a non-empty
+// Ψ[·,l], including l itself. The graph must be frozen; the slice is
+// shared, do not modify.
+func (g *Graph) ReachTo(l Location) []Location {
+	if !g.frozen {
+		panic("graph: ReachTo before Freeze")
+	}
+	return g.reachTo[g.locIndex(l)]
+}
+
+// Reaches reports whether any path leads from l1 to l2 (Ψ[l1,l2] is
+// non-empty). The graph must be frozen.
+func (g *Graph) Reaches(l1, l2 Location) bool {
+	if !g.frozen {
+		panic("graph: Reaches before Freeze")
+	}
+	return !g.summaries[g.locIndex(l1)][g.locIndex(l2)].Empty()
 }
 
 // PathSummary returns the antichain of minimal path summaries from l1 to

@@ -314,3 +314,70 @@ func TestRoleString(t *testing.T) {
 		}
 	}
 }
+
+// TestReachabilityTable checks the frozen reachability exports against the
+// path-summary table they are derived from: ReachFrom/ReachTo must list
+// exactly the location pairs with a non-empty summary set, and the dense
+// index round-trip must cover every location.
+func TestReachabilityTable(t *testing.T) {
+	g, s := buildLoop()
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.LocCount(); n != 16 { // 8 stages + 8 connectors
+		t.Fatalf("LocCount = %d, want 16", n)
+	}
+	for i := 0; i < g.LocCount(); i++ {
+		if got := g.LocIndex(g.LocOfIndex(i)); got != i {
+			t.Fatalf("dense index round-trip: %d -> %v -> %d", i, g.LocOfIndex(i), got)
+		}
+	}
+	for i := 0; i < g.LocCount(); i++ {
+		l := g.LocOfIndex(i)
+		from := map[Location]bool{}
+		for _, m := range g.ReachFrom(l) {
+			from[m] = true
+		}
+		to := map[Location]bool{}
+		for _, m := range g.ReachTo(l) {
+			to[m] = true
+		}
+		for j := 0; j < g.LocCount(); j++ {
+			m := g.LocOfIndex(j)
+			if want := !g.PathSummary(l, m).Empty(); from[m] != want {
+				t.Errorf("ReachFrom(%v) includes %v = %v, summary empty = %v", l, m, from[m], !want)
+			}
+			if want := !g.PathSummary(m, l).Empty(); to[m] != want {
+				t.Errorf("ReachTo(%v) includes %v = %v, summary empty = %v", l, m, to[m], !want)
+			}
+			if got, want := g.Reaches(l, m), !g.PathSummary(l, m).Empty(); got != want {
+				t.Errorf("Reaches(%v, %v) = %v, want %v", l, m, got, want)
+			}
+		}
+	}
+	// Spot checks: the loop body reaches itself via feedback; out reaches
+	// nothing but itself; in reaches everything.
+	b := StageLoc(s["B"])
+	if !g.Reaches(b, b) {
+		t.Error("loop body should reach itself")
+	}
+	out := StageLoc(s["out"])
+	if len(g.ReachFrom(out)) != 1 || g.ReachFrom(out)[0] != out {
+		t.Errorf("ReachFrom(out) = %v, want only itself", g.ReachFrom(out))
+	}
+	if got := len(g.ReachFrom(StageLoc(s["in"]))); got != g.LocCount() {
+		t.Errorf("input reaches %d locations, want all %d", got, g.LocCount())
+	}
+}
+
+// TestReachabilityBeforeFreezePanics ensures the table is only served on
+// frozen graphs.
+func TestReachabilityBeforeFreezePanics(t *testing.T) {
+	g, _, a, _, _, _ := buildLinear()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.ReachFrom(StageLoc(a))
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"naiad/internal/graph"
+	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
+)
+
+// ProgressOptions sizes the progress-tracker hot-path microbenchmark
+// (§3.3): the indexed production tracker against the scan-based reference
+// oracle it replaced, over growing active-pointstamp working sets.
+type ProgressOptions struct {
+	ActiveSizes []int // active-pointstamp working-set sizes
+	Ops         int   // timed operations per measurement
+}
+
+// DefaultProgress returns a laptop-scale configuration. The sizes bracket
+// the acceptance bar (≥2x with ≥100 active pointstamps).
+func DefaultProgress() ProgressOptions {
+	return ProgressOptions{ActiveSizes: []int{128, 512}, Ops: 10000}
+}
+
+// progressTracker is the surface shared by the production tracker and the
+// reference oracle — the operations the runtime's hot path performs.
+type progressTracker interface {
+	Update(progress.Pointstamp, int64)
+	Frontier() []progress.Pointstamp
+	SomePrecursorOf(progress.Pointstamp) bool
+}
+
+// progressGraph builds the one-loop logical graph the package
+// microbenchmarks use: in → ingress → A → B → {feedback → A, egress → out}.
+func progressGraph() (*graph.Graph, []graph.Location, error) {
+	g := graph.New()
+	in := g.AddStage("in", graph.RoleInput, 0)
+	ing := g.AddStage("I", graph.RoleIngress, 0)
+	s1 := g.AddStage("A", graph.RoleNormal, 1)
+	s2 := g.AddStage("B", graph.RoleNormal, 1)
+	fb := g.AddStage("F", graph.RoleFeedback, 1)
+	eg := g.AddStage("E", graph.RoleEgress, 1)
+	out := g.AddStage("out", graph.RoleNormal, 0)
+	g.AddConnector(in, ing)
+	g.AddConnector(ing, s1)
+	g.AddConnector(s1, s2)
+	g.AddConnector(s2, fb)
+	g.AddConnector(fb, s1)
+	g.AddConnector(s2, eg)
+	g.AddConnector(eg, out)
+	if err := g.Freeze(); err != nil {
+		return nil, nil, err
+	}
+	return g, []graph.Location{
+		graph.StageLoc(s1), graph.StageLoc(s2), graph.ConnLoc(2), graph.ConnLoc(3),
+	}, nil
+}
+
+// fillProgress installs n active pointstamps spread over locations, epochs,
+// and loop iterations.
+func fillProgress(tr progressTracker, locs []graph.Location, n int) {
+	for i := 0; i < n; i++ {
+		tm := ts.Make(int64(i/32), int64(i%32))
+		tr.Update(progress.Pointstamp{Time: tm, Loc: locs[i%len(locs)]}, 1)
+	}
+}
+
+// nsPerOp times ops invocations of f and returns nanoseconds per call.
+func nsPerOp(ops int, f func()) float64 {
+	// One untimed pass warms caches and the branch predictor.
+	f()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// Progress benchmarks the tracker hot paths — occurrence update,
+// deliverability query, frontier maintenance — for both implementations
+// and reports the speedup. The reference column doubles as the "before"
+// baseline: it is the pre-optimization full-scan tracker, retained as the
+// differential-testing oracle (docs/protocol.md, §Progress-tracking
+// optimizations).
+func Progress(opt ProgressOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "progress",
+		Title:   "progress-tracker hot path: indexed vs scan-based reference (§3.3)",
+		Headers: []string{"workload", "active", "indexed-ns/op", "reference-ns/op", "speedup"},
+	}
+	minSpeedup := 0.0
+	for _, n := range opt.ActiveSizes {
+		type workload struct {
+			name string
+			run  func(tr progressTracker, locs []graph.Location) func()
+		}
+		workloads := []workload{
+			{"update", func(tr progressTracker, locs []graph.Location) func() {
+				p := progress.Pointstamp{Time: ts.Make(int64(n/64), 7), Loc: locs[2]}
+				return func() { tr.Update(p, 1); tr.Update(p, -1) }
+			}},
+			{"precursor", func(tr progressTracker, locs []graph.Location) func() {
+				p := progress.Pointstamp{Time: ts.Make(0, 0), Loc: locs[0]}
+				return func() { _ = tr.SomePrecursorOf(p) }
+			}},
+			{"frontier", func(tr progressTracker, locs []graph.Location) func() {
+				p := progress.Pointstamp{Time: ts.Make(int64(n/64), 9), Loc: locs[3]}
+				return func() {
+					tr.Update(p, 1)
+					if len(tr.Frontier()) == 0 {
+						panic("frontier empty")
+					}
+					tr.Update(p, -1)
+				}
+			}},
+		}
+		for _, w := range workloads {
+			var ns [2]float64
+			for i, mk := range []func(*graph.Graph) progressTracker{
+				func(g *graph.Graph) progressTracker { return progress.NewTracker(g) },
+				func(g *graph.Graph) progressTracker { return progress.NewReferenceTracker(g) },
+			} {
+				g, locs, err := progressGraph()
+				if err != nil {
+					return nil, err
+				}
+				tr := mk(g)
+				fillProgress(tr, locs, n)
+				ns[i] = nsPerOp(opt.Ops, w.run(tr, locs))
+			}
+			speedup := ns[1] / ns[0]
+			if minSpeedup == 0 || speedup < minSpeedup {
+				minSpeedup = speedup
+			}
+			rep.AddRow(w.name, fmt.Sprint(n),
+				fmt.Sprintf("%.0f", ns[0]), fmt.Sprintf("%.0f", ns[1]),
+				fmt.Sprintf("%.1fx", speedup))
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"reference = the pre-optimization full-scan tracker (kept as the differential oracle); its column is the 'before' baseline, indexed the 'after'",
+		fmt.Sprintf("acceptance: ≥2x on update/frontier with ≥100 active pointstamps; measured minimum speedup %.1fx", minSpeedup),
+	)
+	return rep, nil
+}

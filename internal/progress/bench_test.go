@@ -1,13 +1,14 @@
 package progress
 
 import (
+	"fmt"
 	"testing"
 
 	"naiad/internal/graph"
 	ts "naiad/internal/timestamp"
 )
 
-func benchGraph(b *testing.B) (*graph.Graph, []graph.Location) {
+func benchGraph(b testing.TB) (*graph.Graph, []graph.Location) {
 	b.Helper()
 	g := graph.New()
 	in := g.AddStage("in", graph.RoleInput, 0)
@@ -32,8 +33,42 @@ func benchGraph(b *testing.B) (*graph.Graph, []graph.Location) {
 	}
 }
 
+// progressTracker is the common surface of the indexed tracker and the
+// scan-based reference oracle, so each benchmark can run against both.
+type progressTracker interface {
+	Update(Pointstamp, int64)
+	Apply([]Update)
+	InFrontier(Pointstamp) bool
+	Frontier() []Pointstamp
+	SomePrecursorOf(Pointstamp) bool
+	Occurrence(Pointstamp) int64
+	Active() int
+	Empty() bool
+}
+
+// mkTrackers returns constructors for both implementations, keyed for
+// sub-benchmark names: "indexed" is the production tracker, "reference"
+// the pre-optimization full-scan implementation kept as the oracle.
+func mkTrackers() map[string]func(*graph.Graph) progressTracker {
+	return map[string]func(*graph.Graph) progressTracker{
+		"indexed":   func(g *graph.Graph) progressTracker { return NewTracker(g) },
+		"reference": func(g *graph.Graph) progressTracker { return NewReferenceTracker(g) },
+	}
+}
+
+// fillActive installs n active pointstamps spread over the given locations,
+// epochs, and loop iterations — the ≥100-active working set of the
+// acceptance criteria.
+func fillActive(tr progressTracker, locs []graph.Location, n int) {
+	for i := 0; i < n; i++ {
+		tm := ts.Make(int64(i/32), int64(i%32))
+		tr.Update(Pointstamp{Time: tm, Loc: locs[i%len(locs)]}, 1)
+	}
+}
+
 // BenchmarkTrackerUpdate measures the steady-state cost of one
-// occurrence-count update against a working set of active pointstamps.
+// occurrence-count update against a small working set of active
+// pointstamps (the original microbenchmark shape).
 func BenchmarkTrackerUpdate(b *testing.B) {
 	g, locs := benchGraph(b)
 	tr := NewTracker(g)
@@ -49,6 +84,27 @@ func BenchmarkTrackerUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkTrackerUpdateActive measures one activate/deactivate cycle
+// against working sets of 128 and 512 active pointstamps, for both the
+// indexed tracker and the reference oracle.
+func BenchmarkTrackerUpdateActive(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		for name, mk := range mkTrackers() {
+			b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+				g, locs := benchGraph(b)
+				tr := mk(g)
+				fillActive(tr, locs, n)
+				p := Pointstamp{Time: ts.Make(int64(n/64), 7), Loc: locs[2]}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.Update(p, 1)
+					tr.Update(p, -1)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFrontierQuery measures the notification-deliverability test.
 func BenchmarkFrontierQuery(b *testing.B) {
 	g, locs := benchGraph(b)
@@ -60,6 +116,67 @@ func BenchmarkFrontierQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tr.SomePrecursorOf(p)
+	}
+}
+
+// BenchmarkSomePrecursorOfActive measures the deliverability/probe test
+// against large active sets. The probed time sits below most of the
+// working set, the common case for probes trailing the computation.
+func BenchmarkSomePrecursorOfActive(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		for name, mk := range mkTrackers() {
+			b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+				g, locs := benchGraph(b)
+				tr := mk(g)
+				fillActive(tr, locs, n)
+				p := Pointstamp{Time: ts.Make(0, 0), Loc: locs[0]}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = tr.SomePrecursorOf(p)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFrontierActive measures a frontier read after each update — the
+// safety-monitor pattern (CheckFrontier after every applied batch).
+func BenchmarkFrontierActive(b *testing.B) {
+	for _, n := range []int{128} {
+		for name, mk := range mkTrackers() {
+			b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+				g, locs := benchGraph(b)
+				tr := mk(g)
+				fillActive(tr, locs, n)
+				p := Pointstamp{Time: ts.Make(int64(n/64), 9), Loc: locs[3]}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.Update(p, 1)
+					if len(tr.Frontier()) == 0 {
+						b.Fatal("frontier empty")
+					}
+					tr.Update(p, -1)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFrontierCached measures repeated frontier reads with no
+// intervening updates — served from the indexed tracker's cache.
+func BenchmarkFrontierCached(b *testing.B) {
+	for name, mk := range mkTrackers() {
+		b.Run(name, func(b *testing.B) {
+			g, locs := benchGraph(b)
+			tr := mk(g)
+			fillActive(tr, locs, 128)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(tr.Frontier()) == 0 {
+					b.Fatal("frontier empty")
+				}
+			}
+		})
 	}
 }
 

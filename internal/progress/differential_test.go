@@ -1,0 +1,250 @@
+package progress
+
+import (
+	"math/rand"
+	"testing"
+
+	"naiad/internal/graph"
+	"naiad/internal/testutil"
+	ts "naiad/internal/timestamp"
+)
+
+// shapeGraph builds one of the differential-test graph shapes and returns
+// it frozen. The shapes cover the reachability structures the indexed
+// tracker specializes: a loop-free pipeline, a single loop, and two nested
+// loops (loop-context timestamps at depth 2).
+func shapeGraph(t testing.TB, shape string) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	switch shape {
+	case "linear":
+		in := g.AddStage("in", graph.RoleInput, 0)
+		a := g.AddStage("A", graph.RoleNormal, 0)
+		b := g.AddStage("B", graph.RoleNormal, 0)
+		c := g.AddStage("C", graph.RoleNormal, 0)
+		g.AddConnector(in, a)
+		g.AddConnector(a, b)
+		g.AddConnector(b, c)
+	case "loop":
+		in := g.AddStage("in", graph.RoleInput, 0)
+		ing := g.AddStage("I", graph.RoleIngress, 0)
+		b := g.AddStage("B", graph.RoleNormal, 1)
+		c := g.AddStage("C", graph.RoleNormal, 1)
+		fb := g.AddStage("F", graph.RoleFeedback, 1)
+		eg := g.AddStage("E", graph.RoleEgress, 1)
+		out := g.AddStage("out", graph.RoleNormal, 0)
+		g.AddConnector(in, ing)
+		g.AddConnector(ing, b)
+		g.AddConnector(b, c)
+		g.AddConnector(c, fb)
+		g.AddConnector(fb, b)
+		g.AddConnector(c, eg)
+		g.AddConnector(eg, out)
+	case "nested":
+		in := g.AddStage("in", graph.RoleInput, 0)
+		ing1 := g.AddStage("I1", graph.RoleIngress, 0)
+		a := g.AddStage("A", graph.RoleNormal, 1)
+		ing2 := g.AddStage("I2", graph.RoleIngress, 1)
+		b := g.AddStage("B", graph.RoleNormal, 2)
+		fb2 := g.AddStage("F2", graph.RoleFeedback, 2)
+		eg2 := g.AddStage("E2", graph.RoleEgress, 2)
+		c := g.AddStage("C", graph.RoleNormal, 1)
+		fb1 := g.AddStage("F1", graph.RoleFeedback, 1)
+		eg1 := g.AddStage("E1", graph.RoleEgress, 1)
+		out := g.AddStage("out", graph.RoleNormal, 0)
+		g.AddConnector(in, ing1)
+		g.AddConnector(ing1, a)
+		g.AddConnector(a, ing2)
+		g.AddConnector(ing2, b)
+		g.AddConnector(b, fb2)
+		g.AddConnector(fb2, b)
+		g.AddConnector(b, eg2)
+		g.AddConnector(eg2, c)
+		g.AddConnector(c, fb1)
+		g.AddConnector(fb1, a)
+		g.AddConnector(c, eg1)
+		g.AddConnector(eg1, out)
+	default:
+		t.Fatalf("unknown shape %q", shape)
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pointstampUniverse enumerates candidate pointstamps: every location of
+// the graph crossed with a grid of depth-matching timestamps (epochs 0–3,
+// loop counters 0–2 per level).
+func pointstampUniverse(g *graph.Graph) []Pointstamp {
+	var out []Pointstamp
+	for li := 0; li < g.LocCount(); li++ {
+		loc := g.LocOfIndex(li)
+		depth := g.LocationDepth(loc)
+		for e := int64(0); e < 4; e++ {
+			switch depth {
+			case 0:
+				out = append(out, Pointstamp{Time: ts.Root(e), Loc: loc})
+			case 1:
+				for c1 := int64(0); c1 < 3; c1++ {
+					out = append(out, Pointstamp{Time: ts.Make(e, c1), Loc: loc})
+				}
+			case 2:
+				for c1 := int64(0); c1 < 3; c1++ {
+					for c2 := int64(0); c2 < 3; c2++ {
+						out = append(out, Pointstamp{Time: ts.Make(e, c1, c2), Loc: loc})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// trackerPair drives the indexed tracker and the scan-based reference
+// oracle in lockstep and asserts observable equivalence.
+type trackerPair struct {
+	t   testing.TB
+	idx *Tracker
+	ref *ReferenceTracker
+}
+
+func newTrackerPair(t testing.TB, g *graph.Graph) *trackerPair {
+	return &trackerPair{t: t, idx: NewTracker(g), ref: NewReferenceTracker(g)}
+}
+
+func (tp *trackerPair) update(p Pointstamp, d int64) {
+	tp.idx.Update(p, d)
+	tp.ref.Update(p, d)
+}
+
+func (tp *trackerPair) apply(us []Update) {
+	tp.idx.Apply(us)
+	tp.ref.Apply(us)
+}
+
+// check compares the full frontier plus per-pointstamp observations over
+// the sampled universe.
+func (tp *trackerPair) check(universe []Pointstamp, ctx string) {
+	tp.t.Helper()
+	got, want := tp.idx.Frontier(), tp.ref.Frontier()
+	if len(got) != len(want) {
+		tp.t.Fatalf("%s: frontier length %d (indexed) vs %d (reference)\nindexed:   %v\nreference: %v",
+			ctx, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			tp.t.Fatalf("%s: frontier[%d] = %v (indexed) vs %v (reference)", ctx, i, got[i], want[i])
+		}
+	}
+	if tp.idx.Active() != tp.ref.Active() || tp.idx.Empty() != tp.ref.Empty() {
+		tp.t.Fatalf("%s: active %d/%v (indexed) vs %d/%v (reference)",
+			ctx, tp.idx.Active(), tp.idx.Empty(), tp.ref.Active(), tp.ref.Empty())
+	}
+	for _, p := range universe {
+		if gi, ri := tp.idx.InFrontier(p), tp.ref.InFrontier(p); gi != ri {
+			tp.t.Fatalf("%s: InFrontier(%v) = %v (indexed) vs %v (reference)", ctx, p, gi, ri)
+		}
+		if gs, rs := tp.idx.SomePrecursorOf(p), tp.ref.SomePrecursorOf(p); gs != rs {
+			tp.t.Fatalf("%s: SomePrecursorOf(%v) = %v (indexed) vs %v (reference)", ctx, p, gs, rs)
+		}
+		if go_, ro := tp.idx.Occurrence(p), tp.ref.Occurrence(p); go_ != ro {
+			tp.t.Fatalf("%s: Occurrence(%v) = %d (indexed) vs %d (reference)", ctx, p, go_, ro)
+		}
+	}
+}
+
+// TestTrackerDifferential drives the indexed tracker and the reference
+// oracle with identical randomized update streams — including transient
+// negatives, batched Apply calls, and loop-context timestamps — across the
+// three graph shapes, and asserts frontier equivalence throughout. The
+// stream sizes satisfy the ≥10k-updates acceptance bar per run.
+func TestTrackerDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
+	for _, shape := range []string{"linear", "loop", "nested"} {
+		t.Run(shape, func(t *testing.T) {
+			g := shapeGraph(t, shape)
+			universe := pointstampUniverse(g)
+			for trial := 0; trial < 4; trial++ {
+				tp := newTrackerPair(t, g)
+				counts := map[Pointstamp]int64{}
+				for step := 0; step < 1000; step++ {
+					if r.Intn(8) == 0 {
+						// A combined batch, positives-first via Apply.
+						var us []Update
+						for k := 0; k < 1+r.Intn(4); k++ {
+							p := universe[r.Intn(len(universe))]
+							d := int64(1)
+							if counts[p] > 0 && r.Intn(2) == 0 {
+								d = -1
+							}
+							counts[p] += d
+							us = append(us, Update{P: p, D: d})
+						}
+						tp.apply(us)
+					} else {
+						p := universe[r.Intn(len(universe))]
+						d := int64(1)
+						switch {
+						case counts[p] > 0 && r.Intn(2) == 0:
+							d = -1
+						case r.Intn(16) == 0:
+							d = -1 // retirement overtaking its creation
+						}
+						counts[p] += d
+						tp.update(p, d)
+					}
+					if step%50 == 0 {
+						tp.check(universe, shape)
+					}
+				}
+				tp.check(universe, shape)
+				tp.idx.CheckInvariants()
+				tp.ref.CheckInvariants()
+				// Drain every remaining positive; both must end empty.
+				for p, c := range counts {
+					if c > 0 {
+						tp.update(p, -c)
+					}
+				}
+				if !tp.idx.Empty() || !tp.ref.Empty() {
+					t.Fatalf("trackers not empty after drain: indexed %d, reference %d",
+						tp.idx.Active(), tp.ref.Active())
+				}
+			}
+		})
+	}
+}
+
+// FuzzTrackerDifferential feeds byte-derived update streams to both
+// trackers over the nested-loop graph and asserts frontier equivalence.
+// Each input byte pair selects a pointstamp from the universe and a delta.
+func FuzzTrackerDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 0, 10, 1, 10, 0, 200, 3})
+	f.Add([]byte{255, 254, 253, 252, 1, 1, 1, 1, 128, 64})
+	g := shapeGraph(f, "nested")
+	universe := pointstampUniverse(g)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp := newTrackerPair(t, g)
+		counts := map[Pointstamp]int64{}
+		for i := 0; i+1 < len(data); i += 2 {
+			p := universe[int(data[i])%len(universe)]
+			d := int64(1)
+			// Bias toward retiring existing occurrences so streams cancel,
+			// but allow the transient-negative overtaking case too.
+			if counts[p] > 0 && data[i+1]%2 == 1 {
+				d = -1
+			} else if data[i+1] == 0 {
+				d = -1
+			}
+			counts[p] += d
+			tp.update(p, d)
+			if i%16 == 0 {
+				tp.check(universe[:0], "fuzz") // frontier + active only
+			}
+		}
+		tp.check(universe, "fuzz-final")
+		tp.idx.CheckInvariants()
+	})
+}

@@ -1,16 +1,34 @@
 package progress
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stats counts progress-protocol traffic for the Figure 6c experiment.
 // Only traffic that crosses a process boundary is counted: intra-process
 // delivery is shared memory in Naiad and free here too. All counters are
 // safe for concurrent use.
+//
+// Counting paths take the read lock, so concurrent counters never block
+// each other; Reset and Snapshot take the write lock, which keeps them
+// atomic with respect to every multi-counter count — a Reset can neither
+// land between one CountRemote's message and byte increments (tearing the
+// ratio between counters) nor be observed half-applied by a Snapshot.
 type Stats struct {
+	mu             sync.RWMutex
 	remoteMessages atomic.Int64
 	remoteBytes    atomic.Int64
 	updatesSent    atomic.Int64
 	flushes        atomic.Int64
+}
+
+// StatsSnapshot is a mutually consistent reading of all counters.
+type StatsSnapshot struct {
+	RemoteMessages int64
+	RemoteBytes    int64
+	UpdatesSent    int64
+	Flushes        int64
 }
 
 // CountRemote records the delivery of a batch across a process boundary.
@@ -22,9 +40,11 @@ func (s *Stats) CountRemote(batch []Update) {
 	for _, u := range batch {
 		bytes += int64(u.EncodedSize())
 	}
+	s.mu.RLock()
 	s.remoteMessages.Add(1)
 	s.remoteBytes.Add(bytes)
 	s.updatesSent.Add(int64(len(batch)))
+	s.mu.RUnlock()
 }
 
 // CountFlush records one worker flush (for diagnostics).
@@ -32,7 +52,9 @@ func (s *Stats) CountFlush() {
 	if s == nil {
 		return
 	}
+	s.mu.RLock()
 	s.flushes.Add(1)
+	s.mu.RUnlock()
 }
 
 // RemoteMessages returns the number of remote protocol messages sent.
@@ -47,10 +69,25 @@ func (s *Stats) UpdatesSent() int64 { return s.updatesSent.Load() }
 // Flushes returns the number of worker flushes.
 func (s *Stats) Flushes() int64 { return s.flushes.Load() }
 
-// Reset zeroes all counters.
+// Snapshot returns a consistent view of all counters: no count is ever
+// split across the snapshot boundary.
+func (s *Stats) Snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatsSnapshot{
+		RemoteMessages: s.remoteMessages.Load(),
+		RemoteBytes:    s.remoteBytes.Load(),
+		UpdatesSent:    s.updatesSent.Load(),
+		Flushes:        s.flushes.Load(),
+	}
+}
+
+// Reset zeroes all counters atomically with respect to concurrent counts.
 func (s *Stats) Reset() {
+	s.mu.Lock()
 	s.remoteMessages.Store(0)
 	s.remoteBytes.Store(0)
 	s.updatesSent.Store(0)
 	s.flushes.Store(0)
+	s.mu.Unlock()
 }

@@ -1,0 +1,69 @@
+package progress
+
+import (
+	"sync"
+	"testing"
+
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// TestStatsSnapshotConsistentUnderReset hammers CountRemote from several
+// goroutines while another resets and a third snapshots. Every batch adds
+// one message, two updates, and a fixed byte count in one locked section,
+// so every snapshot — no matter how it interleaves with counting and
+// resetting — must observe the exact per-batch ratios. The pre-fix Reset
+// zeroed the counters one at a time, which let a snapshot see, e.g., the
+// message count from after a reset paired with the byte count from before
+// it. Run under -race this also proves the locking discipline.
+func TestStatsSnapshotConsistentUnderReset(t *testing.T) {
+	p := Pointstamp{Time: ts.Root(3), Loc: graph.StageLoc(1)}
+	batch := []Update{{P: p, D: 1}, {P: p, D: -1}}
+	perBatchBytes := int64(batch[0].EncodedSize() + batch[1].EncodedSize())
+
+	var s Stats
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.CountRemote(batch)
+					s.CountFlush()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.Reset()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		snap := s.Snapshot()
+		if snap.UpdatesSent != 2*snap.RemoteMessages {
+			t.Errorf("torn snapshot: %d updates for %d messages", snap.UpdatesSent, snap.RemoteMessages)
+			break
+		}
+		if snap.RemoteBytes != perBatchBytes*snap.RemoteMessages {
+			t.Errorf("torn snapshot: %d bytes for %d messages (want %d per batch)",
+				snap.RemoteBytes, snap.RemoteMessages, perBatchBytes)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: a final reset leaves everything zero.
+	s.Reset()
+	if snap := s.Snapshot(); snap != (StatsSnapshot{}) {
+		t.Fatalf("after final Reset: %+v", snap)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
 )
 
 // entry records the state of one tracked pointstamp.
@@ -13,15 +14,54 @@ type entry struct {
 	prec int64 // number of other active pointstamps that could-result-in this one
 }
 
+// locEntry is one active pointstamp in a location bucket: its timestamp and
+// a direct pointer to its entry, so precursor increments on the maintenance
+// passes never go through the entry map.
+type locEntry struct {
+	tm ts.Timestamp
+	e  *entry
+}
+
+// reach is one precomputed hop of the location-reachability table: a
+// related location's dense index, its Location, and the shared path-summary
+// antichain between the two locations.
+type reach struct {
+	li  int
+	loc graph.Location
+	ss  *ts.SummarySet
+}
+
 // Tracker maintains the set of active pointstamps with occurrence and
 // precursor counts exactly as §2.3 prescribes, over the could-result-in
 // relation derived from a frozen logical graph. A pointstamp is in the
 // frontier when it is active (net occurrence > 0) and its precursor count
 // is zero; notifications in the frontier may be delivered.
+//
+// Unlike ReferenceTracker (the scan-based oracle this implementation is
+// differentially tested against), the tracker is indexed per §3.3: active
+// pointstamps are bucketed per logical-graph location in timestamp order,
+// and activation/deactivation only visits the locations that the frozen
+// graph's reachability table says can affect each other. Within a bucket,
+// the epoch-major Compare order groups one epoch's timestamps contiguously,
+// and because every timestamp at a location has that location's loop depth,
+// each epoch segment is totally ordered by the lexicographic counter order.
+// Path summaries preserve the epoch and are monotone in that counter order,
+// so inside a segment the set of precursors of a target time is a prefix
+// and the set of successors a suffix — both found by binary search instead
+// of per-timestamp could-result-in evaluation. Precursor counts therefore
+// cost O(reachable locations · epochs in flight · log bucket) plus the
+// size of the affected successor set, not O(active).
 type Tracker struct {
 	g       *graph.Graph
 	entries map[Pointstamp]*entry
 	active  int // number of entries with occ > 0
+
+	locTimes  [][]locEntry // per dense location index: active times in Compare order
+	locDepth  []uint8      // per dense location index: loop depth of its timestamps
+	reachFrom [][]reach    // per location: locations it can reach, with Ψ
+	reachTo   [][]reach    // per location: locations that can reach it, with Ψ
+	frontier  []Pointstamp // cached frontier, valid when !dirty
+	dirty     bool         // frontier cache invalidated by an (de)activation
 }
 
 // NewTracker returns a tracker over the given frozen graph.
@@ -29,11 +69,31 @@ func NewTracker(g *graph.Graph) *Tracker {
 	if !g.Frozen() {
 		panic("progress: tracker requires a frozen graph")
 	}
-	return &Tracker{g: g, entries: make(map[Pointstamp]*entry)}
+	n := g.LocCount()
+	t := &Tracker{
+		g:         g,
+		entries:   make(map[Pointstamp]*entry),
+		locTimes:  make([][]locEntry, n),
+		locDepth:  make([]uint8, n),
+		reachFrom: make([][]reach, n),
+		reachTo:   make([][]reach, n),
+	}
+	for li := 0; li < n; li++ {
+		l := g.LocOfIndex(li)
+		t.locDepth[li] = g.LocationDepth(l)
+		for _, m := range g.ReachFrom(l) {
+			t.reachFrom[li] = append(t.reachFrom[li], reach{li: g.LocIndex(m), loc: m, ss: g.PathSummary(l, m)})
+		}
+		for _, m := range g.ReachTo(l) {
+			t.reachTo[li] = append(t.reachTo[li], reach{li: g.LocIndex(m), loc: m, ss: g.PathSummary(m, l)})
+		}
+	}
+	return t
 }
 
 // couldResultIn reports the strict precedence used for precursor counts:
-// p ≠ q and a path summary maps p's time at or below q's time.
+// p ≠ q and a path summary maps p's time at or below q's time. Only
+// CheckInvariants uses it; the maintenance paths go through the index.
 func (t *Tracker) couldResultIn(p, q Pointstamp) bool {
 	if p == q {
 		return false
@@ -42,10 +102,16 @@ func (t *Tracker) couldResultIn(p, q Pointstamp) bool {
 }
 
 // Update adds delta to the occurrence count of p, maintaining precursor
-// counts across activation and deactivation transitions.
+// counts across activation and deactivation transitions. The timestamp's
+// depth must match the loop depth of p's location — true of every
+// pointstamp the runtime produces, and required for the bucket index's
+// segment ordering.
 func (t *Tracker) Update(p Pointstamp, delta int64) {
 	if delta == 0 {
 		return
+	}
+	if pli := t.g.LocIndex(p.Loc); p.Time.Depth != t.locDepth[pli] {
+		panic(fmt.Sprintf("progress: %v has depth %d, location expects %d", p, p.Time.Depth, t.locDepth[pli]))
 	}
 	e := t.entries[p]
 	if e == nil {
@@ -81,40 +147,139 @@ func (t *Tracker) Apply(us []Update) {
 	}
 }
 
+// lowerBoundEpoch returns the index of the first bucket entry with an epoch
+// at or above e; in the epoch-major Compare order those form a suffix.
+func lowerBoundEpoch(b []locEntry, e int64) int {
+	return sort.Search(len(b), func(i int) bool { return b[i].tm.Epoch >= e })
+}
+
+// segEnd returns the end of the epoch segment starting at i: the index of
+// the first entry whose epoch differs from b[i]'s.
+func segEnd(b []locEntry, i int) int {
+	e := b[i].tm.Epoch
+	return i + sort.Search(len(b)-i, func(k int) bool { return b[i+k].tm.Epoch > e })
+}
+
+// insertTime adds (tm, e) to location bucket li, keeping Compare order.
+func (t *Tracker) insertTime(li int, tm ts.Timestamp, e *entry) {
+	b := t.locTimes[li]
+	i := sort.Search(len(b), func(i int) bool { return tm.Compare(b[i].tm) < 0 })
+	b = append(b, locEntry{})
+	copy(b[i+1:], b[i:])
+	b[i] = locEntry{tm: tm, e: e}
+	t.locTimes[li] = b
+}
+
+// removeTime deletes tm from location bucket li.
+func (t *Tracker) removeTime(li int, tm ts.Timestamp) {
+	b := t.locTimes[li]
+	i := sort.Search(len(b), func(i int) bool { return tm.Compare(b[i].tm) <= 0 })
+	if i >= len(b) || b[i].tm != tm {
+		panic(fmt.Sprintf("progress: active time %v missing from location index", tm))
+	}
+	t.locTimes[li] = append(b[:i], b[i+1:]...)
+}
+
+// prefixCut returns the end of the prefix of segment b[i:j) (one epoch, one
+// depth, counter-lex order) whose members could-result-in u: for each path
+// summary the satisfying set is a prefix (AppliedLessEq is monotone in the
+// counter order), and the union of prefixes is the longest of them.
+func prefixCut(b []locEntry, i, j int, ss *ts.SummarySet, u ts.Timestamp) int {
+	cut := i
+	for _, s := range ss.Elements() {
+		c := i + sort.Search(j-i, func(k int) bool { return !s.AppliedLessEq(b[i+k].tm, u) })
+		if c > cut {
+			cut = c
+		}
+	}
+	return cut
+}
+
+// countPrecursors returns the number of active pointstamps that
+// could-result-in time u at the location with dense index pli. The caller
+// must ensure u itself is not indexed (activate counts before inserting).
+func (t *Tracker) countPrecursors(pli int, u ts.Timestamp) int64 {
+	var n int64
+	for _, r := range t.reachTo[pli] {
+		b := t.locTimes[r.li]
+		// Summaries preserve the epoch: no later-epoch precursors.
+		for i := 0; i < len(b) && b[i].tm.Epoch <= u.Epoch; {
+			j := segEnd(b, i)
+			n += int64(prefixCut(b, i, j, r.ss, u) - i)
+			i = j
+		}
+	}
+	return n
+}
+
+// forEachSuccessor calls f for every indexed active pointstamp that time u
+// at location index pli could-result-in. Within each reachable bucket the
+// candidates form a suffix of each epoch segment at or after u's epoch: the
+// image of u under each applicable summary is a fixed timestamp, and the
+// times at or above it in the segment's counter-lex order are contiguous.
+func (t *Tracker) forEachSuccessor(pli int, u ts.Timestamp, f func(tm ts.Timestamp, loc graph.Location, qe *entry)) {
+	for _, r := range t.reachFrom[pli] {
+		b := t.locTimes[r.li]
+		if len(b) == 0 {
+			continue
+		}
+		var applied []ts.Timestamp
+		for _, s := range r.ss.Elements() {
+			if s.Truncate <= u.Depth {
+				applied = append(applied, s.Apply(u))
+			}
+		}
+		if len(applied) == 0 {
+			continue
+		}
+		for i := lowerBoundEpoch(b, u.Epoch); i < len(b); {
+			j := segEnd(b, i)
+			start := j
+			for _, v := range applied {
+				// Union of suffixes with a common end is a suffix: take the
+				// earliest start over the applied images.
+				c := i + sort.Search(j-i, func(k int) bool { return v.LessEq(b[i+k].tm) })
+				if c < start {
+					start = c
+				}
+			}
+			for k := start; k < j; k++ {
+				f(b[k].tm, r.loc, b[k].e)
+			}
+			i = j
+		}
+	}
+}
+
 // activate initializes p's precursor count to the number of existing
 // active pointstamps that could-result-in p, and increments the precursor
 // count of any active pointstamp p could-result-in.
 func (t *Tracker) activate(p Pointstamp, e *entry) {
 	t.active++
-	e.prec = 0
-	for q, qe := range t.entries {
-		if qe.occ <= 0 || q == p {
-			continue
-		}
-		if t.couldResultIn(q, p) {
-			e.prec++
-		}
-		if t.couldResultIn(p, q) {
-			qe.prec++
-		}
-	}
+	t.dirty = true
+	pli := t.g.LocIndex(p.Loc)
+	e.prec = t.countPrecursors(pli, p.Time)
+	t.forEachSuccessor(pli, p.Time, func(_ ts.Timestamp, _ graph.Location, qe *entry) {
+		qe.prec++
+	})
+	// Insert p last so neither pass sees it as its own precursor.
+	t.insertTime(pli, p.Time, e)
 }
 
 // deactivate decrements the precursor count of every active pointstamp p
 // could-result-in.
 func (t *Tracker) deactivate(p Pointstamp, e *entry) {
 	t.active--
-	for q, qe := range t.entries {
-		if qe.occ <= 0 || q == p {
-			continue
+	t.dirty = true
+	pli := t.g.LocIndex(p.Loc)
+	// Remove p first so the pass does not see it as its own successor.
+	t.removeTime(pli, p.Time)
+	t.forEachSuccessor(pli, p.Time, func(tm ts.Timestamp, loc graph.Location, qe *entry) {
+		qe.prec--
+		if qe.prec < 0 {
+			panic(fmt.Sprintf("progress: precursor count of %v went negative", Pointstamp{Time: tm, Loc: loc}))
 		}
-		if t.couldResultIn(p, q) {
-			qe.prec--
-			if qe.prec < 0 {
-				panic(fmt.Sprintf("progress: precursor count of %v went negative", q))
-			}
-		}
-	}
+	})
 	// p's own precursor count is recomputed on reactivation.
 	e.prec = 0
 }
@@ -127,16 +292,26 @@ func (t *Tracker) InFrontier(p Pointstamp) bool {
 }
 
 // Frontier returns the active pointstamps with zero precursor count, in
-// deterministic order.
+// deterministic order. The result is rebuilt only after an activation or
+// deactivation; unchanged frontiers are served from the cache.
 func (t *Tracker) Frontier() []Pointstamp {
-	var out []Pointstamp
-	for p, e := range t.entries {
-		if e.occ > 0 && e.prec == 0 {
-			out = append(out, p)
+	if t.dirty {
+		t.frontier = t.frontier[:0]
+		for li, b := range t.locTimes {
+			loc := t.g.LocOfIndex(li)
+			for _, le := range b {
+				if le.e.prec == 0 {
+					t.frontier = append(t.frontier, Pointstamp{Time: le.tm, Loc: loc})
+				}
+			}
 		}
+		sort.Slice(t.frontier, func(i, j int) bool { return t.frontier[i].Less(t.frontier[j]) })
+		t.dirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	if len(t.frontier) == 0 {
+		return nil
+	}
+	return append([]Pointstamp(nil), t.frontier...)
 }
 
 // Active returns the number of active pointstamps.
@@ -157,19 +332,39 @@ func (t *Tracker) Occurrence(p Pointstamp) int64 {
 // SomePrecursorOf reports whether any active pointstamp (other than p
 // itself) could-result-in p. Unlike InFrontier it does not require p to be
 // active; the runtime uses it to decide whether a time is "complete" at a
-// location even when no notification was requested there.
+// location even when no notification was requested there. The walk visits
+// only locations that can reach p's, binary-searches each epoch segment's
+// precursor prefix, and corrects for p's own presence in its bucket, so
+// probe checks against mostly-later work are near-constant time.
 func (t *Tracker) SomePrecursorOf(p Pointstamp) bool {
-	for q, qe := range t.entries {
-		if qe.occ > 0 && q != p && t.couldResultIn(q, p) {
-			return true
+	pli := t.g.LocIndex(p.Loc)
+	for _, r := range t.reachTo[pli] {
+		b := t.locTimes[r.li]
+		for i := 0; i < len(b) && b[i].tm.Epoch <= p.Time.Epoch; {
+			j := segEnd(b, i)
+			cut := prefixCut(b, i, j, r.ss, p.Time)
+			n := cut - i
+			if n > 0 && r.li == pli {
+				// p itself, when active, always sits inside its own
+				// segment's prefix (the identity summary maps p to p).
+				pos := i + sort.Search(j-i, func(k int) bool { return p.Time.Compare(b[i+k].tm) <= 0 })
+				if pos < cut && b[pos].tm == p.Time {
+					n--
+				}
+			}
+			if n > 0 {
+				return true
+			}
+			i = j
 		}
 	}
 	return false
 }
 
 // CheckInvariants recomputes every precursor count from scratch and panics
-// on divergence. Tests and the runtime's debug mode call this; it is O(n²)
-// in the number of tracked pointstamps.
+// on divergence, and verifies the per-location index agrees with the entry
+// map. Tests and the runtime's debug mode call this; it is O(n²) in the
+// number of tracked pointstamps.
 func (t *Tracker) CheckInvariants() {
 	for p, e := range t.entries {
 		if e.occ <= 0 {
@@ -184,5 +379,22 @@ func (t *Tracker) CheckInvariants() {
 		if e.prec != want {
 			panic(fmt.Sprintf("progress: %v precursor count %d, recomputed %d", p, e.prec, want))
 		}
+	}
+	indexed := 0
+	for li, b := range t.locTimes {
+		loc := t.g.LocOfIndex(li)
+		for i, le := range b {
+			if i > 0 && b[i-1].tm.Compare(le.tm) >= 0 {
+				panic(fmt.Sprintf("progress: location %v bucket out of order at %v", loc, le.tm))
+			}
+			p := Pointstamp{Time: le.tm, Loc: loc}
+			if e := t.entries[p]; e == nil || e.occ <= 0 || e != le.e {
+				panic(fmt.Sprintf("progress: stale index entry for %v", p))
+			}
+			indexed++
+		}
+	}
+	if indexed != t.active {
+		panic(fmt.Sprintf("progress: location index holds %d active pointstamps, tracker %d", indexed, t.active))
 	}
 }

@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// BenchmarkPipelineRecords measures end-to-end per-record cost through a
+// map→sink pipeline on one worker, including the final drain. This is the
+// path the batched occurrence accounting optimizes: each delivered batch
+// retires with one -count update, and routing +1s coalesce per adjacent
+// run before hitting the progress buffer.
+func BenchmarkPipelineRecords(b *testing.B) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 1, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := c.NewInput("in")
+	m := mapStage(c, "map", func(v int64) int64 { return v + 1 })
+	c.Connect(in.Stage(), 0, m, nil, nil)
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(m, 0, snk, nil, nil)
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	const epochSize = 4096
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		n := epochSize
+		if b.N-sent < n {
+			n = b.N - sent
+		}
+		recs := make([]Message, n)
+		for i := range recs {
+			recs[i] = int64(i)
+		}
+		in.OnNext(recs...)
+		sent += n
+	}
+	in.Close()
+	if err := c.Join(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEpochNotifications measures per-epoch cost when every epoch
+// carries one record and one completeness notification — the notification
+// delivery path the deliverable-candidate queue optimizes (no per-delivery
+// rescan of all pending requests).
+func BenchmarkEpochNotifications(b *testing.B) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 1, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := c.NewInput("in")
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(in.Stage(), 0, snk, nil, nil)
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.OnNext(int64(i))
+	}
+	in.Close()
+	if err := c.Join(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if len(s.notified) != b.N {
+		b.Fatalf("delivered %d notifications, want %d", len(s.notified), b.N)
+	}
+}

@@ -363,12 +363,13 @@ func (c *Computation) Join() error {
 		a.close()
 	}
 	c.trans.Close()
-	for _, p := range c.probes {
-		p.finish()
-	}
 	c.failMu.Lock()
-	defer c.failMu.Unlock()
-	return c.failErr
+	err := c.failErr
+	c.failMu.Unlock()
+	for _, p := range c.probes {
+		p.finish(err)
+	}
+	return err
 }
 
 // Abort terminates the computation with the given error: workers stop,
@@ -395,8 +396,11 @@ func (c *Computation) fail(err error) {
 		for _, w := range c.workers {
 			w.mailbox.close()
 		}
+		c.failMu.Lock()
+		first := c.failErr
+		c.failMu.Unlock()
 		for _, p := range c.probes {
-			p.finish()
+			p.finish(first)
 		}
 	}
 }

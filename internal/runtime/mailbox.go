@@ -27,11 +27,11 @@ const (
 type mailItem struct {
 	kind mailKind
 
-	// mailLocalData:
-	conn      graph.ConnectorID
-	dstVertex int
-	time      ts.Timestamp
-	records   []Message
+	// mailLocalData: the destination vertex is implied — the receiving
+	// worker hosts exactly one vertex of the connector's destination stage.
+	conn    graph.ConnectorID
+	time    ts.Timestamp
+	records []Message
 
 	// mailRawData:
 	payload []byte

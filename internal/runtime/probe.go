@@ -18,6 +18,7 @@ type Probe struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
+	err  error // first failure that finished the probe; nil on clean drain
 }
 
 // NewProbe registers a probe at a stage's location.
@@ -41,9 +42,14 @@ func (p *Probe) advance(epoch int64) {
 	p.cond.Broadcast()
 }
 
-// finish wakes all waiters permanently (computation drained or failed).
-func (p *Probe) finish() {
+// finish wakes all waiters permanently (computation drained or failed),
+// recording the failure — if any — that cut the computation short. The
+// first recorded error wins; a clean drain leaves it nil.
+func (p *Probe) finish(err error) {
 	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
 	p.done.Store(true)
 	p.mu.Unlock()
 	p.cond.Broadcast()
@@ -57,12 +63,34 @@ func (p *Probe) Done(epoch int64) bool {
 // Completed returns the highest completed epoch (-1 before any).
 func (p *Probe) Completed() int64 { return p.completed.Load() }
 
+// Err returns the failure that finished the probe, or nil while the
+// computation is healthy or after a clean drain.
+func (p *Probe) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
 // WaitFor blocks until epoch completes at the probe's location, or the
-// computation finishes or fails.
+// computation finishes or fails. It cannot distinguish those outcomes;
+// use WaitForErr when the difference matters.
 func (p *Probe) WaitFor(epoch int64) {
+	_ = p.WaitForErr(epoch)
+}
+
+// WaitForErr blocks like WaitFor and reports how the wait ended: nil when
+// the epoch completed at the probe's location (including the vacuous case
+// of a computation that drained before reaching the epoch — nothing can
+// arrive there anymore), or the computation's failure when the probe was
+// released by an abort instead of by progress.
+func (p *Probe) WaitForErr(epoch int64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for !p.Done(epoch) {
 		p.cond.Wait()
 	}
+	if p.completed.Load() >= epoch {
+		return nil
+	}
+	return p.err
 }

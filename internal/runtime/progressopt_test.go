@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+)
+
+// TestProbeWaitForErrDistinguishesFailure pins down the distinction that
+// Probe.Done/WaitFor conflate: a probe released because its epoch completed
+// (or the computation drained) reports nil, while one released by a failure
+// reports the failure.
+func TestProbeWaitForErrDistinguishesFailure(t *testing.T) {
+	t.Run("failed", func(t *testing.T) {
+		cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+		c, err := NewComputation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := c.NewInput("in")
+		bad := mapStage(c, "bad", func(v int64) int64 { panic("kaboom") })
+		c.Connect(in.Stage(), 0, bad, hashPart, nil)
+		s := newSink()
+		snk := sinkStage(c, s, "sink")
+		c.Connect(bad, 0, snk, nil, nil)
+		probe := c.NewProbe(snk)
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		in.OnNext(int64(1))
+		// Epoch 5 is never fed: the only way the wait can end is the abort.
+		if werr := probe.WaitForErr(5); werr == nil || !strings.Contains(werr.Error(), "kaboom") {
+			t.Fatalf("WaitForErr after failure = %v, want the vertex panic", werr)
+		}
+		if probe.Err() == nil {
+			t.Fatal("Err() = nil after failure")
+		}
+		if !probe.Done(5) {
+			t.Fatal("Done must still report true so legacy WaitFor callers unblock")
+		}
+		if err := c.Join(); err == nil {
+			t.Fatal("Join = nil, want the vertex panic")
+		}
+	})
+	t.Run("drained", func(t *testing.T) {
+		cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+		c, err := NewComputation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := c.NewInput("in")
+		s := newSink()
+		snk := sinkStage(c, s, "sink")
+		c.Connect(in.Stage(), 0, snk, nil, nil)
+		probe := c.NewProbe(snk)
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		in.OnNext(int64(7))
+		if werr := probe.WaitForErr(0); werr != nil {
+			t.Fatalf("WaitForErr(0) = %v on a healthy run", werr)
+		}
+		in.Close()
+		if err := c.Join(); err != nil {
+			t.Fatal(err)
+		}
+		// Epoch 10 was never fed, but the computation drained: nothing can
+		// reach the probe's location anymore, so the wait ends cleanly.
+		if werr := probe.WaitForErr(10); werr != nil {
+			t.Fatalf("WaitForErr(10) after clean drain = %v, want nil", werr)
+		}
+		if probe.Err() != nil {
+			t.Fatalf("Err() after clean drain = %v", probe.Err())
+		}
+	})
+}
+
+// countingSink records every delivered record along with the vertex index
+// that received it.
+type countingSink struct {
+	mu      sync.Mutex
+	got     []int64
+	indices map[int]int
+}
+
+type countingVertex struct {
+	ctx *Context
+	s   *countingSink
+}
+
+func (v *countingVertex) OnRecv(_ int, msg Message, t ts.Timestamp) {
+	v.s.mu.Lock()
+	v.s.got = append(v.s.got, msg.(int64))
+	v.s.indices[v.ctx.Index()]++
+	v.s.mu.Unlock()
+}
+
+func (v *countingVertex) OnNotify(ts.Timestamp) {}
+
+// TestPinnedStageCrossWorkerDelivery routes records from every worker of a
+// parallel source stage to a stage pinned to the last worker, exercising
+// both the same-process mailbox path (mailLocalData, which carries no
+// destination-vertex field: the receiving worker hosts exactly one vertex
+// of the stage) and the serialized cross-process path. Every record must
+// arrive exactly once, all on the pinned vertex (index 0).
+func TestPinnedStageCrossWorkerDelivery(t *testing.T) {
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, BatchSize: 2}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	// A parallel pass-through spreads the records over all four workers.
+	spread := mapStage(c, "spread", func(v int64) int64 { return v })
+	c.Connect(in.Stage(), 0, spread, hashPart, codec.Int64())
+	s := &countingSink{indices: make(map[int]int)}
+	pinned := c.AddStage("pinned", graph.RoleNormal, 0, func(ctx *Context) Vertex {
+		return &countingVertex{ctx: ctx, s: s}
+	}, Pinned(3))
+	c.Connect(spread, 0, pinned, nil, codec.Int64())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	recs := make([]Message, n)
+	for i := range recs {
+		recs[i] = int64(i)
+	}
+	in.OnNext(recs...)
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.got) != n {
+		t.Fatalf("pinned stage received %d records, want %d", len(s.got), n)
+	}
+	seen := make(map[int64]bool)
+	for _, v := range s.got {
+		if seen[v] {
+			t.Fatalf("record %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(s.indices) != 1 || s.indices[0] != n {
+		t.Fatalf("deliveries by vertex index = %v, want all %d on index 0", s.indices, n)
+	}
+}

@@ -56,6 +56,16 @@ type delivery struct {
 	records []Message
 }
 
+// notifyCand is one entry of the deliverable-candidate queue: a vertex
+// whose pending list held a request at this guarantee time with no active
+// precursor when the queue was last built. Candidates are revalidated
+// against the live tracker before delivery, so a stale entry is dropped,
+// never delivered unsafely.
+type notifyCand struct {
+	vs        *vertexState
+	guarantee ts.Timestamp
+}
+
 // worker is one scheduler thread (§3.2): it owns a partition of the
 // vertices, delivers their messages and notifications single-threadedly,
 // and participates in the progress protocol through its local tracker.
@@ -71,21 +81,26 @@ type worker struct {
 	tracker     *progress.Tracker
 	pbuf        *progress.Buffer
 	raw         []update // AccNone: chronological, uncombined
+	pend        update   // current run of adjacent updates to one pointstamp
+	havePend    bool
 	outData     map[outKey][]Message
 	localQ      []delivery
 	localQHead  int
 	notifyCount int
+	notifyCands []notifyCand // deliverable candidates, guarantee order
+	notifyDirty bool         // candidate queue invalidated by a tracker change
 	spare       []mailItem
 }
 
 func newWorker(c *Computation, id, proc int) *worker {
 	return &worker{
-		comp:    c,
-		id:      id,
-		proc:    proc,
-		mailbox: newMailbox(&c.activity),
-		pbuf:    progress.NewBuffer(),
-		outData: make(map[outKey][]Message),
+		comp:        c,
+		id:          id,
+		proc:        proc,
+		mailbox:     newMailbox(&c.activity),
+		pbuf:        progress.NewBuffer(),
+		outData:     make(map[outKey][]Message),
+		notifyDirty: true,
 	}
 }
 
@@ -193,6 +208,7 @@ func (w *worker) handleItem(it *mailItem) {
 		w.enqueueLocal(ci, t, records)
 	case mailProgress:
 		w.tracker.Apply(it.updates)
+		w.notifyDirty = true // frontier may have moved; candidates are stale
 		if w.comp.cfg.CheckInvariants {
 			w.tracker.CheckInvariants()
 		}
@@ -285,17 +301,23 @@ func (w *worker) deliverAll() {
 }
 
 // deliverBatch invokes OnRecv for each record of a queued batch and then
-// retires the batch's occurrence counts.
+// retires the batch's occurrence counts with a single update. Posting the
+// retirement after all the callbacks keeps every +1 they produced
+// chronologically ahead of the parent batch's -count, so the protocol's
+// causal-chronology discipline is preserved while a 10k-record batch costs
+// one occurrence update instead of 10k.
 func (w *worker) deliverBatch(d delivery) {
+	if len(d.records) == 0 {
+		return
+	}
 	if d.vs.si.logged {
 		w.comp.logBatch(d.vs.si.id, encodeData(d.ci, d.vs.vertexIdx, d.time, d.records))
 	}
 	input := d.ci.inputIdx
-	loc := graph.ConnLoc(d.ci.id)
 	for _, rec := range d.records {
 		w.invokeRecv(d.vs, input, rec, d.time)
-		w.postUpdate(progress.Pointstamp{Time: d.time, Loc: loc}, -1)
 	}
+	w.postUpdate(progress.Pointstamp{Time: d.time, Loc: graph.ConnLoc(d.ci.id)}, -int64(len(d.records)))
 }
 
 // invokeRecv runs a single OnRecv callback with time-stack bookkeeping.
@@ -309,39 +331,88 @@ func (w *worker) invokeRecv(vs *vertexState, input int, rec Message, t ts.Timest
 	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
 }
 
-// deliverOneNotify delivers at most one pending notification whose
-// guarantee time has no active precursor in the local view. It reports
-// whether a notification was delivered.
-func (w *worker) deliverOneNotify() bool {
+// rebuildNotifyCands rescans every vertex's pending list and collects the
+// requests whose guarantee has no active precursor in the local view,
+// ordered by guarantee time (stage id breaking ties). The local tracker
+// changes only when a progress batch is applied, so this scan — formerly
+// the body of every deliverOneNotify call — runs once per frontier
+// movement instead of once per delivered notification.
+func (w *worker) rebuildNotifyCands() {
+	w.notifyDirty = false
+	w.notifyCands = w.notifyCands[:0]
 	for _, vs := range w.vsList {
 		if len(vs.pending) == 0 {
 			continue
 		}
 		loc := graph.StageLoc(vs.si.id)
+		deliverable := false
 		for i, nr := range vs.pending {
-			p := progress.Pointstamp{Time: nr.guarantee, Loc: loc}
-			if w.tracker.SomePrecursorOf(p) {
-				continue
+			// pending is guarantee-sorted: equal guarantees share a verdict.
+			if i == 0 || vs.pending[i-1].guarantee != nr.guarantee {
+				deliverable = !w.tracker.SomePrecursorOf(progress.Pointstamp{Time: nr.guarantee, Loc: loc})
 			}
-			if m := w.comp.monitor; m != nil {
-				if err := m.CheckDeliverable(w.id, p); err != nil {
-					panic(err)
-				}
+			if deliverable {
+				w.notifyCands = append(w.notifyCands, notifyCand{vs: vs, guarantee: nr.guarantee})
 			}
-			vs.pending = append(vs.pending[:i], vs.pending[i+1:]...)
-			w.notifyCount--
-			w.comp.activity.Add(1)
-			w.comp.counters.notifications[vs.si.id].Add(1)
-			vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
-			vs.ctx.executing++
-			vs.vertex.OnNotify(nr.guarantee)
-			vs.ctx.executing--
-			vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
-			if nr.hasCap {
-				w.postUpdate(progress.Pointstamp{Time: nr.capability, Loc: loc}, -1)
-			}
-			return true
 		}
+	}
+	sort.SliceStable(w.notifyCands, func(i, j int) bool {
+		c := w.notifyCands[i].guarantee.Compare(w.notifyCands[j].guarantee)
+		if c != 0 {
+			return c < 0
+		}
+		return w.notifyCands[i].vs.si.id < w.notifyCands[j].vs.si.id
+	})
+}
+
+// deliverOneNotify delivers at most one pending notification whose
+// guarantee time has no active precursor in the local view, taken from the
+// candidate queue. The queue is rebuilt lazily after the tracker changes;
+// each popped candidate is revalidated against the live tracker (and the
+// vertex's current pending list) before delivery, so staleness can only
+// suppress a candidate — never deliver one unsafely. It reports whether a
+// notification was delivered.
+func (w *worker) deliverOneNotify() bool {
+	if w.notifyDirty {
+		w.rebuildNotifyCands()
+	}
+	for len(w.notifyCands) > 0 {
+		cand := w.notifyCands[0]
+		w.notifyCands = w.notifyCands[1:]
+		vs := cand.vs
+		i := sort.Search(len(vs.pending), func(i int) bool {
+			return cand.guarantee.Compare(vs.pending[i].guarantee) <= 0
+		})
+		if i >= len(vs.pending) || vs.pending[i].guarantee != cand.guarantee {
+			continue // already delivered; a duplicate candidate went stale
+		}
+		loc := graph.StageLoc(vs.si.id)
+		p := progress.Pointstamp{Time: cand.guarantee, Loc: loc}
+		if w.tracker.SomePrecursorOf(p) {
+			// Inserted optimistically (e.g. before the input seeds) and no
+			// longer deliverable; the rebuild after the next frontier
+			// movement will resurface it.
+			continue
+		}
+		if m := w.comp.monitor; m != nil {
+			if err := m.CheckDeliverable(w.id, p); err != nil {
+				panic(err)
+			}
+		}
+		nr := vs.pending[i]
+		vs.pending = append(vs.pending[:i], vs.pending[i+1:]...)
+		w.notifyCount--
+		w.comp.activity.Add(1)
+		w.comp.counters.notifications[vs.si.id].Add(1)
+		vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
+		vs.ctx.executing++
+		vs.vertex.OnNotify(nr.guarantee)
+		vs.ctx.executing--
+		vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+		if nr.hasCap {
+			w.postUpdate(progress.Pointstamp{Time: nr.capability, Loc: loc}, -1)
+		}
+		return true
 	}
 	return false
 }
@@ -440,7 +511,7 @@ func (w *worker) flushOne(key outKey) {
 	}
 	if dstProc == w.proc {
 		c.workers[key.dstWorker].mailbox.push(mailItem{
-			kind: mailLocalData, conn: key.conn, dstVertex: dstVertex,
+			kind: mailLocalData, conn: key.conn,
 			time: key.time, records: records,
 		})
 		return
@@ -474,7 +545,13 @@ func (w *worker) flushData() {
 
 // postUpdate records a progress update for the next flush. Occurrence
 // counts reach trackers (including this worker's own) only through the
-// broadcast protocol, never directly.
+// broadcast protocol, never directly. Adjacent updates to the same
+// pointstamp — a routed batch's per-message +1s, a fast-path delivery's
+// +1/-1 pair — coalesce into a single running ±count before touching the
+// combining buffer; merging only adjacent runs preserves the worker's
+// chronological order, so the safety monitor and the positives-first flush
+// discipline see the same history. AccNone keeps the raw per-event stream:
+// it exists to measure the uncombined protocol.
 func (w *worker) postUpdate(p progress.Pointstamp, delta int64) {
 	if m := w.comp.monitor; m != nil {
 		if err := m.Post(p, delta); err != nil {
@@ -485,11 +562,30 @@ func (w *worker) postUpdate(p progress.Pointstamp, delta int64) {
 		w.raw = append(w.raw, update{P: p, D: delta})
 		return
 	}
-	w.pbuf.Add(p, delta)
+	if w.havePend && w.pend.P == p {
+		w.pend.D += delta
+		return
+	}
+	w.flushPend()
+	w.pend = update{P: p, D: delta}
+	w.havePend = true
+}
+
+// flushPend moves the current run into the combining buffer, dropping runs
+// that cancelled to zero (a local fast-path delivery's +1/-1 pair).
+func (w *worker) flushPend() {
+	if !w.havePend {
+		return
+	}
+	if w.pend.D != 0 {
+		w.pbuf.Add(w.pend.P, w.pend.D)
+	}
+	w.havePend = false
 }
 
 // flushProgress broadcasts this worker's pending updates (§3.3).
 func (w *worker) flushProgress() {
+	w.flushPend()
 	if w.comp.cfg.Accumulation == AccNone {
 		if len(w.raw) == 0 {
 			return
@@ -539,6 +635,22 @@ func (w *worker) notifyAtChecked(vs *vertexState, guarantee, capability ts.Times
 	copy(vs.pending[i+1:], vs.pending[i:])
 	vs.pending[i] = nr
 	w.notifyCount++
+	// Evaluate deliverability at insertion: the candidate queue is only
+	// rebuilt on frontier movement, and an already-deliverable request
+	// would otherwise wait for a progress batch that may never come.
+	if !w.notifyDirty && w.tracker != nil &&
+		!w.tracker.SomePrecursorOf(progress.Pointstamp{Time: guarantee, Loc: graph.StageLoc(vs.si.id)}) {
+		j := sort.Search(len(w.notifyCands), func(j int) bool {
+			c := guarantee.Compare(w.notifyCands[j].guarantee)
+			if c != 0 {
+				return c < 0
+			}
+			return vs.si.id < w.notifyCands[j].vs.si.id
+		})
+		w.notifyCands = append(w.notifyCands, notifyCand{})
+		copy(w.notifyCands[j+1:], w.notifyCands[j:])
+		w.notifyCands[j] = notifyCand{vs: vs, guarantee: guarantee}
+	}
 }
 
 // checkProbes advances registered probes past epochs that are complete at

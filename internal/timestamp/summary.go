@@ -118,6 +118,41 @@ func (s Summary) Apply(t Timestamp) Timestamp {
 	return out
 }
 
+// AppliedLessEq reports s.Apply(t) ≤ u without materializing the applied
+// timestamp, returning false (instead of panicking) when the summary does
+// not apply to t's depth — the exact skip rule SummarySet.CouldResultIn
+// uses. This is the progress tracker's innermost comparison; for
+// timestamps of one depth and one epoch it is monotone in the
+// lexicographic counter order, which the tracker's indexed buckets rely on
+// to binary-search precursor cuts.
+func (s Summary) AppliedLessEq(t, u Timestamp) bool {
+	if s.Truncate > t.Depth || s.OutputDepth() != u.Depth || t.Epoch > u.Epoch {
+		return false
+	}
+	k := s.Truncate
+	for i := uint8(0); i < k; i++ {
+		c := t.Counters[i]
+		if i == k-1 {
+			c += s.Delta
+		}
+		switch {
+		case c < u.Counters[i]:
+			return true
+		case c > u.Counters[i]:
+			return false
+		}
+	}
+	for i := uint8(0); i < s.ConstLen; i++ {
+		switch {
+		case s.Consts[i] < u.Counters[k+i]:
+			return true
+		case s.Consts[i] > u.Counters[k+i]:
+			return false
+		}
+	}
+	return true
+}
+
 // LessEq reports whether s(t) ≤ u(t) for every timestamp t, for summaries
 // with equal Truncate (summaries between the same pair of locations that
 // truncate to different depths are treated as incomparable, a conservative

@@ -205,3 +205,40 @@ func TestThenPanicsOnDepthMismatch(t *testing.T) {
 	u := Identity(3)
 	_ = s.Then(u)
 }
+
+// Property: AppliedLessEq agrees with materializing Apply then LessEq,
+// including the does-not-apply case (Truncate beyond the input depth),
+// which CouldResultIn treats as false rather than a panic.
+func TestAppliedLessEqMatchesApply(t *testing.T) {
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
+	for i := 0; i < 20000; i++ {
+		d := uint8(r.Intn(int(MaxLoopDepth) + 1))
+		s := randSummary(r, d)
+		in := randTimestamp(r, uint8(r.Intn(int(MaxLoopDepth)+1)))
+		u := randTimestamp(r, uint8(r.Intn(int(MaxLoopDepth)+1)))
+		want := s.Truncate <= in.Depth && s.Apply(in).LessEq(u)
+		if got := s.AppliedLessEq(in, u); got != want {
+			t.Fatalf("(%v).AppliedLessEq(%v, %v) = %v, want %v", s, in, u, got, want)
+		}
+	}
+}
+
+// Property: within one epoch and one depth, AppliedLessEq is monotone in
+// the lexicographic counter order — the invariant the progress tracker's
+// bucket index relies on to binary-search precursor prefixes.
+func TestAppliedLessEqMonotoneWithinEpoch(t *testing.T) {
+	r := rand.New(rand.NewSource(testutil.Seed(t)))
+	for i := 0; i < 20000; i++ {
+		d := uint8(1 + r.Intn(int(MaxLoopDepth)))
+		s := randSummary(r, d)
+		u := randTimestamp(r, uint8(r.Intn(int(MaxLoopDepth)+1)))
+		a := randTimestamp(r, d)
+		b := a
+		// Perturb b upward in the counter-lex order, same epoch.
+		j := r.Intn(int(d))
+		b.Counters[j] += int64(1 + r.Intn(3))
+		if s.AppliedLessEq(b, u) && !s.AppliedLessEq(a, u) {
+			t.Fatalf("monotonicity violated: s=%v u=%v holds at %v but not %v", s, u, b, a)
+		}
+	}
+}
