@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet bench bench-smoke chaos soak fuzz
+.PHONY: build test check vet bench bench-smoke chaos soak fuzz cover
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,16 @@ test:
 	$(GO) test ./...
 
 # The gate: full build, static analysis, and the race-detector-clean test
-# suite.
+# suite, shuffled so order-dependent tests cannot hide.
 check: build vet
-	$(GO) test -race -count=1 ./...
+	$(GO) test -race -count=1 -shuffle=on ./...
+
+# Coverage artifact: per-package profiles merged into cover.out plus an
+# HTML report; prints the total at the end.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -html=cover.out -o cover.html
+	@$(GO) tool cover -func=cover.out | tail -1
 
 # Static analysis: go vet plus the repository's own naiad-vet suite, the
 # static twins of the runtime's dynamic vertex-contract checks (see
@@ -65,9 +72,10 @@ soak:
 			./internal/supervise/ ./internal/kexposure/ ./internal/runtime/ ./internal/transport/; \
 	done
 
-# Short fuzz passes over the codec and frame parsers.
+# Short fuzz passes over the codec, frame, and trace-log parsers.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecoder -fuzztime=10s ./internal/codec/
 	$(GO) test -run=^$$ -fuzz=FuzzParseFrameHeader -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeProgress -fuzztime=10s ./internal/runtime/
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalSnapshot -fuzztime=10s ./internal/runtime/
+	$(GO) test -run=^$$ -fuzz=FuzzTraceDecode -fuzztime=10s ./internal/trace/

@@ -21,14 +21,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress,trace or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	jsonPath := flag.String("json", "", "also write the reports of the run experiments to this file as JSON")
+	traceOut := flag.String("trace-out", "", "with -exp=trace: dump the traced run's event log as JSON to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress"} {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress", "trace"} {
 			want[e] = true
 		}
 	} else {
@@ -117,6 +118,12 @@ func main() {
 			o := harness.DefaultProgress()
 			o.Ops *= k
 			return harness.Progress(o)
+		}},
+		{"trace", func(k int) (*harness.Report, error) {
+			o := harness.DefaultTrace()
+			o.RecordsPerEpoch *= k
+			o.EventsOut = *traceOut
+			return harness.Trace(o)
 		}},
 	}
 

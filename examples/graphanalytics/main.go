@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"naiad"
@@ -16,6 +17,12 @@ import (
 
 func main() {
 	cfg := naiad.Config{Processes: 2, WorkersPerProcess: 2, Accumulation: naiad.AccLocalGlobal}
+
+	// NAIAD_EXAMPLE_QUICK shrinks the workload for smoke tests.
+	wccNodes, wccEdges, prNodes, prEdges, prIters := 3000, 4000, int64(3000), 12000, int64(10)
+	if os.Getenv("NAIAD_EXAMPLE_QUICK") != "" {
+		wccNodes, wccEdges, prNodes, prEdges, prIters = 300, 400, 300, 1200, 3
+	}
 
 	// --- Incremental weakly connected components -----------------------
 	scope, err := lib.NewScope(cfg)
@@ -30,7 +37,7 @@ func main() {
 	}
 
 	// Epoch 0: a random graph with many components.
-	epoch0 := workload.RandomGraph(1, 3000, 4000)
+	epoch0 := workload.RandomGraph(1, wccNodes, wccEdges)
 	edgesIn.Send(epoch0...)
 	edgesIn.Advance()
 	col.WaitFor(0)
@@ -39,7 +46,7 @@ func main() {
 
 	// Epoch 1: more edges arrive; components merge incrementally — only
 	// label improvements flow through the dataflow.
-	epoch1 := workload.RandomGraph(2, 3000, 4000)
+	epoch1 := workload.RandomGraph(2, wccNodes, wccEdges)
 	edgesIn.Send(epoch1...)
 	edgesIn.Advance()
 	col.WaitFor(1)
@@ -55,10 +62,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	const nodes = 3000
-	prEdges := workload.PowerLawGraph(7, nodes, 12000, 1.3)
-	ranks, err := graphalgo.PageRank(prScope, prEdges, graphalgo.PageRankConfig{
-		Nodes: nodes, Iters: 10, Damping: 0.85,
+	prGraph := workload.PowerLawGraph(7, int(prNodes), prEdges, 1.3)
+	ranks, err := graphalgo.PageRank(prScope, prGraph, graphalgo.PageRankConfig{
+		Nodes: prNodes, Iters: prIters, Damping: 0.85,
 	})
 	if err != nil {
 		panic(err)
@@ -72,7 +78,7 @@ func main() {
 		top = append(top, nr{n, r})
 	}
 	sort.Slice(top, func(i, j int) bool { return top[i].rank > top[j].rank })
-	fmt.Println("PageRank top 5 after 10 iterations:")
+	fmt.Printf("PageRank top 5 after %d iterations:\n", prIters)
 	for _, t := range top[:5] {
 		fmt.Printf("  node %5d  rank %.6f\n", t.node, t.rank)
 	}

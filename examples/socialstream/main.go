@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -44,10 +45,15 @@ func run(policy socialgraph.Policy) {
 		panic(err)
 	}
 
+	// NAIAD_EXAMPLE_QUICK shrinks the workload for smoke tests.
+	epochs, batch := 10, 2000
+	if os.Getenv("NAIAD_EXAMPLE_QUICK") != "" {
+		epochs, batch = 3, 200
+	}
 	gen := workload.NewTweetGen(42, 20_000, 200)
 	id := int64(0)
-	for epoch := 0; epoch < 10; epoch++ {
-		app.Tweets.Send(gen.Batch(2000)...)
+	for epoch := 0; epoch < epochs; epoch++ {
+		app.Tweets.Send(gen.Batch(batch)...)
 		// Two interactive queries per epoch, for users from the stream.
 		for q := 0; q < 2; q++ {
 			user := gen.Batch(1)[0].User

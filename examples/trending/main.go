@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -68,16 +69,21 @@ func main() {
 		panic(err)
 	}
 
+	// NAIAD_EXAMPLE_QUICK shrinks the workload for smoke tests.
+	epochs, batch, burst := 8, 400, 300
+	if os.Getenv("NAIAD_EXAMPLE_QUICK") != "" {
+		epochs, batch, burst = 5, 50, 40
+	}
 	gen := workload.NewTweetGen(11, 10_000, 30)
-	for epoch := 0; epoch < 8; epoch++ {
+	for epoch := 0; epoch < epochs; epoch++ {
 		var tags []string
-		for _, tw := range gen.Batch(400) {
+		for _, tw := range gen.Batch(batch) {
 			tags = append(tags, tw.Hashtags...)
 		}
 		// A burst topic trends in epochs 3-4 and then falls out of the
 		// window as it slides.
 		if epoch == 3 || epoch == 4 {
-			for i := 0; i < 300; i++ {
+			for i := 0; i < burst; i++ {
 				tags = append(tags, "#breaking")
 			}
 		}

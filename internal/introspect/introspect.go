@@ -1,0 +1,209 @@
+// Package introspect is the self-introspection mode of the observability
+// subsystem: it replays a trace event log as a regular naiad input stream
+// and lets a library-level dataflow compute the analysis — per-stage
+// invocation counts and per-epoch critical-path summaries — online, the way
+// Sandstede's diagnostics analyze timely dataflow logs with timely dataflow
+// itself. The system observing itself with its own machinery is both a
+// useful analysis and a demanding end-to-end test: the analysis only comes
+// out right if inputs, exchanges, GroupBy buffering, epoch completion, and
+// Subscribe all work.
+package introspect
+
+import (
+	"fmt"
+	"sort"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/trace"
+)
+
+// StageCount is one stage's invocation totals as computed by the
+// introspection dataflow. Comparable against runtime.StageMetrics.
+type StageCount struct {
+	Stage         int32
+	Name          string
+	Records       int64 // OnRecv invocations (EvOnRecv events)
+	Notifications int64 // OnNotify invocations (EvOnNotify events)
+	BusyNanos     int64 // total callback wall time
+}
+
+// EpochSummary is one subject epoch's execution profile.
+type EpochSummary struct {
+	Epoch         int64
+	Records       int64
+	Notifications int64
+	BusyNanos     int64 // callback time summed over all workers
+	// CriticalPathNanos is the busiest single worker's callback time in the
+	// epoch: a lower bound on the epoch's makespan no amount of additional
+	// parallelism could beat, and the straggler signal when it diverges
+	// from BusyNanos / workers.
+	CriticalPathNanos int64
+	CriticalWorker    int32
+	SlowestStage      int32 // stage with the most callback time in the epoch
+}
+
+// Report is the introspection dataflow's output.
+type Report struct {
+	StageCounts []StageCount   // per stage, stage-id order
+	Epochs      []EpochSummary // per subject epoch, ascending
+	Events      int            // events replayed
+}
+
+// stageEpochCount is the dataflow's intermediate record: one (epoch, stage)
+// cell of the invocation-count matrix.
+type stageEpochCount struct {
+	Stage         int32
+	Records       int64
+	Notifications int64
+	BusyNanos     int64
+}
+
+// Analyze replays the event log through a fresh dataflow and returns the
+// computed report. Each subject epoch becomes one input epoch of the
+// analysis computation, so the per-epoch reductions happen online as the
+// replay advances — not as one terminal batch. workers sizes the analysis
+// computation (≥1; the analysis itself is traced by nobody).
+func Analyze(log []trace.Event, workers int, names func(int32) string) (*Report, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	scope, err := lib.NewScope(runtime.DefaultConfig(workers))
+	if err != nil {
+		return nil, err
+	}
+	input, events := lib.NewInput[trace.Event](scope, "trace-log", nil)
+
+	calls := lib.Where(events, func(e trace.Event) bool {
+		return e.Kind == trace.EvOnRecv || e.Kind == trace.EvOnNotify
+	})
+	// Per-stage counts, reduced independently within each replayed epoch
+	// (GroupBy completes per input epoch); totals are folded as replay
+	// output drains.
+	perStage := lib.GroupBy(calls,
+		func(e trace.Event) int32 { return e.Stage },
+		func(stage int32, es []trace.Event) []stageEpochCount {
+			c := stageEpochCount{Stage: stage}
+			for _, e := range es {
+				if e.Kind == trace.EvOnRecv {
+					c.Records++
+				} else {
+					c.Notifications++
+				}
+				c.BusyNanos += e.Dur
+			}
+			return []stageEpochCount{c}
+		}, nil)
+	stageCol := lib.Collect(perStage)
+
+	// Per-epoch critical path: one group per replayed epoch (the feeder
+	// aligns input epochs with subject epochs, so every callback in an
+	// input epoch carries the same Epoch value).
+	perEpoch := lib.GroupBy(calls,
+		func(e trace.Event) int64 { return e.Epoch },
+		func(epoch int64, es []trace.Event) []EpochSummary {
+			s := EpochSummary{Epoch: epoch, SlowestStage: -1, CriticalWorker: -1}
+			byWorker := make(map[int32]int64)
+			byStage := make(map[int32]int64)
+			for _, e := range es {
+				if e.Kind == trace.EvOnRecv {
+					s.Records++
+				} else {
+					s.Notifications++
+				}
+				s.BusyNanos += e.Dur
+				byWorker[e.Worker] += e.Dur
+				byStage[e.Stage] += e.Dur
+			}
+			for w, d := range byWorker {
+				if d > s.CriticalPathNanos || (d == s.CriticalPathNanos && w < s.CriticalWorker) {
+					s.CriticalPathNanos, s.CriticalWorker = d, w
+				}
+			}
+			var slowest int64 = -1
+			for st, d := range byStage {
+				if d > slowest || (d == slowest && st < s.SlowestStage) {
+					slowest, s.SlowestStage = d, st
+				}
+			}
+			return []EpochSummary{s}
+		}, nil)
+	epochCol := lib.Collect(perEpoch)
+
+	if err := scope.C.Start(); err != nil {
+		return nil, err
+	}
+	replay(input, log)
+	input.Close()
+	if err := scope.C.Join(); err != nil {
+		return nil, fmt.Errorf("introspect: analysis dataflow failed: %w", err)
+	}
+
+	rep := &Report{Events: len(log)}
+	totals := make(map[int32]*StageCount)
+	for _, c := range stageCol.All() {
+		t := totals[c.Stage]
+		if t == nil {
+			t = &StageCount{Stage: c.Stage}
+			if names != nil {
+				t.Name = names(c.Stage)
+			}
+			totals[c.Stage] = t
+		}
+		t.Records += c.Records
+		t.Notifications += c.Notifications
+		t.BusyNanos += c.BusyNanos
+	}
+	for _, t := range totals {
+		rep.StageCounts = append(rep.StageCounts, *t)
+	}
+	sort.Slice(rep.StageCounts, func(i, j int) bool { return rep.StageCounts[i].Stage < rep.StageCounts[j].Stage })
+	rep.Epochs = epochCol.All()
+	sort.Slice(rep.Epochs, func(i, j int) bool { return rep.Epochs[i].Epoch < rep.Epochs[j].Epoch })
+	return rep, nil
+}
+
+// replay feeds the log as input epochs aligned with the subject epochs:
+// callback events go to the input epoch matching their own Epoch, and
+// epochless system events (frontier, frames, scheduler quanta) ride along
+// in whichever batch is open when they occur. The log is harvested
+// time-ordered, but callback epochs can interleave near boundaries (epochs
+// overlap in a streaming system), so the feeder buckets rather than splits.
+func replay(input *lib.Input[trace.Event], log []trace.Event) {
+	batches := make(map[int64][]trace.Event)
+	var maxEpoch int64 = -1
+	current := int64(0)
+	for _, e := range log {
+		switch e.Kind {
+		case trace.EvOnRecv, trace.EvOnNotify:
+			ep := e.Epoch
+			if ep < 0 {
+				ep = current
+			} else if ep > current {
+				current = ep
+			}
+			batches[ep] = append(batches[ep], e)
+			if ep > maxEpoch {
+				maxEpoch = ep
+			}
+		default:
+			batches[current] = append(batches[current], e)
+			if current > maxEpoch {
+				maxEpoch = current
+			}
+		}
+	}
+	for ep := int64(0); ep <= maxEpoch; ep++ {
+		input.OnNext(batches[ep]...)
+	}
+}
+
+// Counts returns the report's stage counts as a map for comparison against
+// runtime.MetricsSnapshot.
+func (r *Report) Counts() map[int32]StageCount {
+	m := make(map[int32]StageCount, len(r.StageCounts))
+	for _, c := range r.StageCounts {
+		m[c.Stage] = c
+	}
+	return m
+}

@@ -62,6 +62,7 @@ type Tracker struct {
 	reachTo   [][]reach    // per location: locations that can reach it, with Ψ
 	frontier  []Pointstamp // cached frontier, valid when !dirty
 	dirty     bool         // frontier cache invalidated by an (de)activation
+	gen       uint64       // bumped on every (de)activation; see Gen
 }
 
 // NewTracker returns a tracker over the given frozen graph.
@@ -257,6 +258,7 @@ func (t *Tracker) forEachSuccessor(pli int, u ts.Timestamp, f func(tm ts.Timesta
 func (t *Tracker) activate(p Pointstamp, e *entry) {
 	t.active++
 	t.dirty = true
+	t.gen++
 	pli := t.g.LocIndex(p.Loc)
 	e.prec = t.countPrecursors(pli, p.Time)
 	t.forEachSuccessor(pli, p.Time, func(_ ts.Timestamp, _ graph.Location, qe *entry) {
@@ -271,6 +273,7 @@ func (t *Tracker) activate(p Pointstamp, e *entry) {
 func (t *Tracker) deactivate(p Pointstamp, e *entry) {
 	t.active--
 	t.dirty = true
+	t.gen++
 	pli := t.g.LocIndex(p.Loc)
 	// Remove p first so the pass does not see it as its own successor.
 	t.removeTime(pli, p.Time)
@@ -316,6 +319,12 @@ func (t *Tracker) Frontier() []Pointstamp {
 
 // Active returns the number of active pointstamps.
 func (t *Tracker) Active() int { return t.active }
+
+// Gen returns a counter that changes whenever the set of active pointstamps
+// changes (any activation or deactivation). Observers that derive state from
+// the frontier — the tracer's frontier-movement hook — compare generations
+// to skip recomputation when nothing moved.
+func (t *Tracker) Gen() uint64 { return t.gen }
 
 // Empty reports whether no pointstamp is active: every event in the
 // computation (as seen by this view) has drained.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"naiad/internal/codec"
+	"naiad/internal/trace"
 )
 
 // Checkpointer is the fault tolerance interface of §3.4: stateful vertices
@@ -141,6 +142,10 @@ func (c *Computation) rendezvous(op controlOp, cp *checkpointState) error {
 // checkpointVertices runs on the worker thread: it flushes queued local
 // deliveries and serializes the worker's stateful vertices.
 func (w *worker) checkpointVertices(cp *checkpointState) error {
+	var t0 int64
+	if w.tracer != nil {
+		t0 = w.tracer.Now()
+	}
 	w.deliverAll()
 	for _, vs := range w.vsList {
 		cpr, ok := vs.vertex.(Checkpointer)
@@ -158,12 +163,22 @@ func (w *worker) checkpointVertices(cp *checkpointState) error {
 		m[vs.vertexIdx] = append([]byte(nil), enc.Bytes()...)
 		cp.mu.Unlock()
 	}
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{
+			Kind: trace.EvCheckpoint, Worker: int32(w.id), Stage: -1, Loc: -1,
+			Epoch: -1, Dur: w.tracer.Now() - t0,
+		})
+	}
 	return nil
 }
 
 // restoreVertices runs on the worker thread: it hands each stateful vertex
 // its checkpointed bytes.
 func (w *worker) restoreVertices(cp *checkpointState) error {
+	var t0 int64
+	if w.tracer != nil {
+		t0 = w.tracer.Now()
+	}
 	for _, vs := range w.vsList {
 		cpr, ok := vs.vertex.(Checkpointer)
 		if !ok {
@@ -176,6 +191,12 @@ func (w *worker) restoreVertices(cp *checkpointState) error {
 			continue
 		}
 		cpr.Restore(codec.NewDecoder(data))
+	}
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{
+			Kind: trace.EvRestore, Worker: int32(w.id), Stage: -1, Loc: -1,
+			Epoch: -1, Dur: w.tracer.Now() - t0,
+		})
 	}
 	return nil
 }

@@ -267,6 +267,12 @@ func (c *Computation) Start() error {
 		}
 		c.trans = hb
 	}
+	if tr := c.cfg.Tracer; tr != nil {
+		if err := c.attachTracer(tr); err != nil {
+			return err
+		}
+		c.trans = observeTransport(c.trans, tr)
+	}
 
 	// Safety monitor (§3.3's invariants, checked for real): seed the
 	// ground truth exactly as every worker seeds its tracker.

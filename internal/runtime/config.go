@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"naiad/internal/trace"
 	"naiad/internal/transport"
 )
 
@@ -111,6 +112,13 @@ type Config struct {
 	// worker policy. Ablation knob: delivering messages first reduces the
 	// amount of queued data.
 	NotificationsFirst bool
+	// Tracer, when non-nil, receives typed events and callback latencies
+	// from every layer of the runtime (see internal/trace and
+	// docs/observability.md). A nil Tracer costs one predictable branch per
+	// hook; tracing never blocks the dataflow. The same Tracer may be
+	// passed to successive incarnations of the same computation (the
+	// supervisor does) and keeps accumulating.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a single-process, multi-worker configuration with

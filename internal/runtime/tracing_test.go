@@ -1,0 +1,177 @@
+package runtime
+
+import (
+	"testing"
+
+	"naiad/internal/codec"
+	"naiad/internal/trace"
+)
+
+// countEvents tallies an event log by kind, with per-stage breakdowns for
+// the callback kinds.
+func countEvents(log []trace.Event) (byKind map[trace.Kind]int, recvByStage, notifyByStage map[int32]int64) {
+	byKind = make(map[trace.Kind]int)
+	recvByStage = make(map[int32]int64)
+	notifyByStage = make(map[int32]int64)
+	for _, ev := range log {
+		byKind[ev.Kind]++
+		switch ev.Kind {
+		case trace.EvOnRecv:
+			recvByStage[ev.Stage]++
+		case trace.EvOnNotify:
+			notifyByStage[ev.Stage]++
+		}
+	}
+	return
+}
+
+// TestTracerRuntimeIntegration runs the metrics pipeline with a tracer and
+// checks the event log against the runtime's own counters: the tracer hooks
+// sit on exactly the code paths that increment MetricsSnapshot, so the two
+// must agree event-for-event when no ring overflowed.
+func TestTracerRuntimeIntegration(t *testing.T) {
+	tr := trace.New(trace.Config{RingBits: 16})
+	cfg := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, Tracer: tr}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	dbl := mapStage(c, "double", func(v int64) int64 { return 2 * v })
+	c.Connect(in.Stage(), 0, dbl, hashPart, codec.Int64())
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(dbl, 0, snk, func(Message) uint64 { return 0 }, codec.Int64())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Workers() != 4 {
+		t.Fatalf("tracer attached to %d workers, want 4", tr.Workers())
+	}
+	for e := 0; e < 5; e++ {
+		in.OnNext(int64(3*e), int64(3*e+1), int64(3*e+2))
+	}
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d events; ring sized too small for the run", tr.Dropped())
+	}
+
+	log := tr.Harvest()
+	byKind, recvByStage, notifyByStage := countEvents(log)
+
+	// Per-stage event counts must equal the runtime's own counters.
+	for _, sm := range c.Metrics().Stages {
+		if got := recvByStage[int32(sm.Stage)]; got != sm.Records {
+			t.Errorf("stage %s: %d EvOnRecv events, metrics says %d records", sm.Name, got, sm.Records)
+		}
+		if got := notifyByStage[int32(sm.Stage)]; got != sm.Notifications {
+			t.Errorf("stage %s: %d EvOnNotify events, metrics says %d notifications", sm.Name, got, sm.Notifications)
+		}
+		if h := tr.StageLatency(int32(sm.Stage), false); int64(h.Count()) != sm.Records {
+			t.Errorf("stage %s: latency histogram has %d samples, metrics says %d records", sm.Name, h.Count(), sm.Records)
+		}
+	}
+
+	// Every layer must have reported in: scheduler quanta, progress posts
+	// and applies, frontier movements, and (2 processes) transport frames.
+	for _, k := range []trace.Kind{
+		trace.EvSchedule, trace.EvProgressPost, trace.EvProgressApply,
+		trace.EvFrontier, trace.EvFrameSend, trace.EvFrameRecv,
+	} {
+		if byKind[k] == 0 {
+			t.Errorf("no %v events in the log", k)
+		}
+	}
+
+	// The computation drained, so every location must have retired from the
+	// frontier-lag gauge.
+	if lags := tr.FrontierLags(); len(lags) != 0 {
+		t.Errorf("frontier-lag gauge still holds %d locations after drain: %+v", len(lags), lags)
+	}
+
+	// Progress-post batch sizes must sum to at least the applies seen (each
+	// post fans out to every worker's tracker).
+	var posted, applied int64
+	for _, ev := range log {
+		switch ev.Kind {
+		case trace.EvProgressPost:
+			posted += ev.N
+		case trace.EvProgressApply:
+			applied += ev.N
+		}
+	}
+	if posted == 0 || applied == 0 {
+		t.Fatalf("progress accounting empty: posted=%d applied=%d", posted, applied)
+	}
+}
+
+// TestTracerCheckpointEvents checks that a checkpoint/restore rendezvous
+// lands worker-level events in the log.
+func TestTracerCheckpointEvents(t *testing.T) {
+	tr := trace.New(trace.Config{RingBits: 12})
+	cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal, Tracer: tr}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	dbl := mapStage(c, "double", func(v int64) int64 { return 2 * v })
+	c.Connect(in.Stage(), 0, dbl, hashPart, nil)
+	probe := c.NewProbe(dbl)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(1), int64(2))
+	probe.WaitFor(0)
+	snap, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	byKind, _, _ := countEvents(tr.Harvest())
+	if byKind[trace.EvCheckpoint] != 2 {
+		t.Errorf("EvCheckpoint = %d, want one per worker (2)", byKind[trace.EvCheckpoint])
+	}
+	if byKind[trace.EvRestore] != 2 {
+		t.Errorf("EvRestore = %d, want one per worker (2)", byKind[trace.EvRestore])
+	}
+}
+
+// TestTracerDisabledIsInert pins the contract that a nil tracer changes
+// nothing: the pipeline runs identically and no tracing state is allocated.
+func TestTracerDisabledIsInert(t *testing.T) {
+	cfg := Config{Processes: 1, WorkersPerProcess: 2, Accumulation: AccLocalGlobal}
+	c, err := NewComputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInput("in")
+	s := newSink()
+	snk := sinkStage(c, s, "sink")
+	c.Connect(in.Stage(), 0, snk, func(Message) uint64 { return 0 }, nil)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(int64(7))
+	in.Close()
+	if err := c.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.byEpoch[0]; len(got) != 1 || got[0] != 7 {
+		t.Fatalf("sink saw %v", s.byEpoch)
+	}
+	for _, w := range c.workers {
+		if w.tracer != nil || w.traceFrontier != nil {
+			t.Fatal("tracing state allocated without a tracer")
+		}
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"time"
 
 	"naiad/internal/graph"
 	"naiad/internal/progress"
 	ts "naiad/internal/timestamp"
+	"naiad/internal/trace"
 	"naiad/internal/transport"
 )
 
@@ -90,6 +92,14 @@ type worker struct {
 	notifyCands []notifyCand // deliverable candidates, guarantee order
 	notifyDirty bool         // candidate queue invalidated by a tracker change
 	spare       []mailItem
+
+	// Tracing state. tracer is nil when tracing is off — every hook is a
+	// single predictable branch in that case. The frontier-diff fields are
+	// only touched by worker 0 (one conservative local view is enough for
+	// the frontier-movement event stream).
+	tracer        *trace.Tracer
+	traceGen      uint64
+	traceFrontier map[graph.Location]int64
 }
 
 func newWorker(c *Computation, id, proc int) *worker {
@@ -101,6 +111,7 @@ func newWorker(c *Computation, id, proc int) *worker {
 		pbuf:        progress.NewBuffer(),
 		outData:     make(map[outKey][]Message),
 		notifyDirty: true,
+		tracer:      c.cfg.Tracer,
 	}
 }
 
@@ -120,6 +131,11 @@ func (w *worker) run() {
 		if !ok {
 			return // aborted
 		}
+		var quantum0 int64
+		traceQ := w.tracer != nil && len(items) > 0
+		if traceQ {
+			quantum0 = w.tracer.Now()
+		}
 		for i := range items {
 			w.handleItem(&items[i])
 		}
@@ -127,7 +143,16 @@ func (w *worker) run() {
 		w.deliverAll()
 		w.flushData()
 		w.flushProgress()
+		if traceQ {
+			w.tracer.Emit(trace.Event{
+				Kind: trace.EvSchedule, Worker: int32(w.id), Stage: -1, Loc: -1,
+				Epoch: -1, Dur: w.tracer.Now() - quantum0, N: int64(len(items)),
+			})
+		}
 		if w.id == 0 {
+			if w.tracer != nil {
+				w.emitFrontierMoves()
+			}
 			w.checkProbes()
 		}
 		if w.tracker.Empty() && w.notifyCount == 0 && !w.haveLocalQ() && w.mailbox.empty() {
@@ -209,6 +234,12 @@ func (w *worker) handleItem(it *mailItem) {
 	case mailProgress:
 		w.tracker.Apply(it.updates)
 		w.notifyDirty = true // frontier may have moved; candidates are stale
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{
+				Kind: trace.EvProgressApply, Worker: int32(w.id), Stage: -1,
+				Loc: -1, Epoch: -1, N: int64(len(it.updates)),
+			})
+		}
 		if w.comp.cfg.CheckInvariants {
 			w.tracker.CheckInvariants()
 		}
@@ -326,7 +357,13 @@ func (w *worker) invokeRecv(vs *vertexState, input int, rec Message, t ts.Timest
 	w.comp.counters.records[vs.si.id].Add(1)
 	vs.timeStack = append(vs.timeStack, timeFrame{t: t, canSend: true})
 	vs.ctx.executing++
-	vs.vertex.OnRecv(input, rec, t)
+	if tr := w.tracer; tr != nil {
+		t0 := tr.Now()
+		vs.vertex.OnRecv(input, rec, t)
+		tr.Callback(w.id, int32(vs.si.id), t.Epoch, false, time.Duration(tr.Now()-t0))
+	} else {
+		vs.vertex.OnRecv(input, rec, t)
+	}
 	vs.ctx.executing--
 	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
 }
@@ -406,7 +443,13 @@ func (w *worker) deliverOneNotify() bool {
 		w.comp.counters.notifications[vs.si.id].Add(1)
 		vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
 		vs.ctx.executing++
-		vs.vertex.OnNotify(nr.guarantee)
+		if tr := w.tracer; tr != nil {
+			t0 := tr.Now()
+			vs.vertex.OnNotify(nr.guarantee)
+			tr.Callback(w.id, int32(vs.si.id), nr.guarantee.Epoch, true, time.Duration(tr.Now()-t0))
+		} else {
+			vs.vertex.OnNotify(nr.guarantee)
+		}
 		vs.ctx.executing--
 		vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
 		if nr.hasCap {
@@ -586,19 +629,26 @@ func (w *worker) flushPend() {
 // flushProgress broadcasts this worker's pending updates (§3.3).
 func (w *worker) flushProgress() {
 	w.flushPend()
+	var us []update
 	if w.comp.cfg.Accumulation == AccNone {
 		if len(w.raw) == 0 {
 			return
 		}
-		us := w.raw
+		us = w.raw
 		w.raw = nil
-		w.comp.routeWorkerFlush(w.proc, us)
-		return
+	} else {
+		if w.pbuf.Empty() {
+			return
+		}
+		us = w.pbuf.Drain()
 	}
-	if w.pbuf.Empty() {
-		return
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{
+			Kind: trace.EvProgressPost, Worker: int32(w.id), Stage: -1,
+			Loc: -1, Epoch: -1, N: int64(len(us)),
+		})
 	}
-	w.comp.routeWorkerFlush(w.proc, w.pbuf.Drain())
+	w.comp.routeWorkerFlush(w.proc, us)
 }
 
 // notifyAt implements Context.NotifyAt and NotifyAtPurge.

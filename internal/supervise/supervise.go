@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"naiad/internal/runtime"
+	"naiad/internal/trace"
 )
 
 // Build is one incarnation of the supervised dataflow, produced by the
@@ -64,6 +65,12 @@ type Config struct {
 	MaxBackoff time.Duration
 	// Seed drives the backoff jitter PRNG (default 1).
 	Seed int64
+	// Tracer, when non-nil, receives supervisor-level recovery events:
+	// EvCheckpoint/EvRestore with Aux=1 (snapshot persisted / restored) and
+	// EvRestart when a recovery episode completes. Pass the same Tracer to
+	// the runtime.Config the Factory builds to interleave these with the
+	// runtime's own events on one clock.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -346,6 +353,10 @@ func (s *Supervisor) maybeCheckpoint() {
 	if s.build.Comp.Failed() {
 		return // the join monitor will deliver the failure
 	}
+	var t0 int64
+	if tr := s.cfg.Tracer; tr != nil {
+		t0 = tr.Now()
+	}
 	snap, err := s.build.Comp.Checkpoint()
 	if err != nil {
 		return // abort in progress; same path as above
@@ -357,6 +368,12 @@ func (s *Supervisor) maybeCheckpoint() {
 	s.lastCP = minFed
 	s.rm.Checkpoints.Add(1)
 	s.rm.CheckpointBytes.Add(int64(len(data)))
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvCheckpoint, Aux: 1, Worker: -1, Stage: -1, Loc: -1,
+			Epoch: minFed, Dur: tr.Now() - t0, N: int64(len(data)),
+		})
+	}
 	s.pruneLog()
 }
 
@@ -430,6 +447,13 @@ func (s *Supervisor) recover(cause error) bool {
 		s.build = build
 		s.rm.Restarts.Add(1)
 		s.rm.LastRecoveryNanos.Store(time.Since(t0).Nanoseconds())
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.Emit(trace.Event{
+				Kind: trace.EvRestart, Aux: int32(attempt), Worker: -1,
+				Stage: -1, Loc: -1, Epoch: minFed,
+				Dur: time.Since(t0).Nanoseconds(),
+			})
+		}
 		go s.monitor(build.Comp)
 		return true
 	}
@@ -464,6 +488,12 @@ func (s *Supervisor) restoreInto(build *Build) error {
 			// unusable as a corrupt one, but the rendezvous may have
 			// touched vertex state — don't risk a half-restored build.
 			return err
+		}
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.Emit(trace.Event{
+				Kind: trace.EvRestore, Aux: 1, Worker: -1, Stage: -1, Loc: -1,
+				Epoch: eps[i], N: int64(len(data)),
+			})
 		}
 		return nil
 	}

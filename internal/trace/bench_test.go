@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledHook measures the nil-check fast path exactly as the
+// runtime's hooks spell it: one predictable branch when no tracer is
+// configured. This is the cost every OnRecv pays when tracing is off.
+func BenchmarkDisabledHook(b *testing.B) {
+	var tr *Tracer
+	var n int64
+	for i := 0; i < b.N; i++ {
+		if tr != nil {
+			tr.Callback(0, 0, 0, false, 0)
+		}
+		n++
+	}
+	_ = n
+}
+
+// BenchmarkEmit measures one enabled-path event emission (timestamp + ring
+// push) from a single producer.
+func BenchmarkEmit(b *testing.B) {
+	tr := New(Config{RingBits: 16})
+	if err := tr.Attach(1, []StageMeta{{ID: 0, Name: "bench"}}); err != nil {
+		b.Fatal(err)
+	}
+	ev := Event{Kind: EvSchedule, Worker: 0, Stage: -1, Loc: -1, Epoch: -1, N: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+		if i&0xFFFF == 0xFFFF {
+			// Keep the ring from saturating into the drop path, and drop the
+			// consumed log so the measurement stays the steady state of a
+			// harvest loop rather than an ever-growing re-sort.
+			tr.Harvest()
+			tr.Reset()
+		}
+	}
+}
+
+// BenchmarkCallback measures the full per-invocation cost when tracing is
+// enabled: histogram record + event emission.
+func BenchmarkCallback(b *testing.B) {
+	tr := New(Config{RingBits: 16})
+	if err := tr.Attach(1, []StageMeta{{ID: 0, Name: "bench"}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Callback(0, 0, int64(i), false, 1500*time.Nanosecond)
+		if i&0xFFFF == 0xFFFF {
+			tr.Harvest()
+			tr.Reset()
+		}
+	}
+}
+
+// BenchmarkRingPush isolates the lock-free push (no timestamping).
+func BenchmarkRingPush(b *testing.B) {
+	r := NewRing(16)
+	ev := Event{Kind: EvSchedule}
+	var buf []Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(ev)
+		if i&0xFFFF == 0xFFFF {
+			buf = r.Drain(buf[:0])
+		}
+	}
+}
+
+// BenchmarkHistogramRecord isolates one histogram sample.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := &Histogram{}
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)&0xFFFFF + 100)
+	}
+}

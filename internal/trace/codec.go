@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary trace-log framing: a 4-byte magic with embedded version, a uint32
+// event count, then fixed-width little-endian events. The decoder is
+// defensive — trace files cross process boundaries (dumps, offline
+// analysis), so hostile or truncated bytes must produce an error, never a
+// panic (FuzzTraceDecode enforces this).
+
+// traceMagic identifies a version-1 trace log.
+var traceMagic = [4]byte{'N', 'T', 'R', '1'}
+
+// eventWire is the encoded size of one event in bytes:
+// kind(1) aux(4) worker(4) stage(4) loc(4) epoch(8) t(8) dur(8) n(8).
+const eventWire = 1 + 4*4 + 8*4
+
+// headerWire is the encoded size of the log header.
+const headerWire = 4 + 4
+
+// EncodedSize returns the exact encoding size of a log of n events.
+func EncodedSize(n int) int { return headerWire + n*eventWire }
+
+// EncodeEvents serializes an event log.
+func EncodeEvents(events []Event) []byte {
+	buf := make([]byte, 0, EncodedSize(len(events)))
+	buf = append(buf, traceMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(events)))
+	for _, e := range events {
+		buf = append(buf, byte(e.Kind))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Aux))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Worker))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Stage))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Loc))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Epoch))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.T))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Dur))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.N))
+	}
+	return buf
+}
+
+// DecodeEvents parses a serialized event log. It validates the magic, the
+// declared count against the bytes present, and every event's kind, and
+// returns a descriptive error on any mismatch.
+func DecodeEvents(data []byte) ([]Event, error) {
+	if len(data) < headerWire {
+		return nil, fmt.Errorf("trace: log truncated: %d bytes, need at least %d", len(data), headerWire)
+	}
+	if [4]byte(data[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", data[:4])
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	if want := EncodedSize(n); len(data) != want {
+		return nil, fmt.Errorf("trace: log declares %d events (%d bytes), has %d bytes", n, want, len(data))
+	}
+	events := make([]Event, n)
+	off := headerWire
+	for i := range events {
+		e := &events[i]
+		e.Kind = Kind(data[off])
+		if e.Kind >= numKinds {
+			return nil, fmt.Errorf("trace: event %d has unknown kind %d", i, data[off])
+		}
+		e.Aux = int32(binary.LittleEndian.Uint32(data[off+1:]))
+		e.Worker = int32(binary.LittleEndian.Uint32(data[off+5:]))
+		e.Stage = int32(binary.LittleEndian.Uint32(data[off+9:]))
+		e.Loc = int32(binary.LittleEndian.Uint32(data[off+13:]))
+		e.Epoch = int64(binary.LittleEndian.Uint64(data[off+17:]))
+		e.T = int64(binary.LittleEndian.Uint64(data[off+25:]))
+		e.Dur = int64(binary.LittleEndian.Uint64(data[off+33:]))
+		e.N = int64(binary.LittleEndian.Uint64(data[off+41:]))
+		off += eventWire
+	}
+	return events, nil
+}

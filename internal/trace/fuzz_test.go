@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTraceDecode fuzzes the trace-log decoder: for any input bytes the
+// decoder must return cleanly (error or events) and never panic, and any
+// successfully decoded log must re-encode to the identical bytes
+// (round-trip). Seed corpus covers the empty log, a real log, and a few
+// corruption shapes.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeEvents(nil))
+	sample := []Event{
+		{Kind: EvOnRecv, Worker: 0, Stage: 3, Loc: -1, Epoch: 7, T: 100, Dur: 2500, N: 1},
+		{Kind: EvFrontier, Worker: -1, Stage: -1, Loc: 12, Epoch: 8, T: 200, Aux: 1},
+		{Kind: EvFrameSend, Worker: 1, Stage: -1, Loc: 2, Epoch: -1, T: 300, Aux: 2, N: 4096},
+	}
+	good := EncodeEvents(sample)
+	f.Add(good)
+	f.Add(good[:len(good)-1])              // truncated tail
+	f.Add(append([]byte("XXXX"), good...)) // bad magic
+	bent := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bent[4:], 1<<30) // absurd count
+	f.Add(bent)
+	kinded := append([]byte(nil), good...)
+	kinded[headerWire] = byte(numKinds) + 5 // unknown kind
+	f.Add(kinded)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		re := EncodeEvents(events)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round-trip mismatch: decoded %d events, re-encoded %d bytes from %d input bytes",
+				len(events), len(re), len(data))
+		}
+	})
+}
+
+// TestCodecRoundTrip pins the deterministic encode/decode contract outside
+// the fuzzer: every kind, every field, negative sentinels included.
+func TestCodecRoundTrip(t *testing.T) {
+	var events []Event
+	for k := Kind(0); k < numKinds; k++ {
+		events = append(events, Event{
+			Kind: k, Aux: int32(k) - 1, Worker: int32(k) % 4, Stage: -1,
+			Loc: 100 + int32(k), Epoch: int64(k) * 1000, T: int64(k) * 17,
+			Dur: -1, N: 1 << uint(k),
+		})
+	}
+	data := EncodeEvents(events)
+	if len(data) != EncodedSize(len(events)) {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), EncodedSize(len(events)))
+	}
+	got, err := DecodeEvents(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// TestDecodeRejects pins the decoder's error cases.
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"short-header": []byte("NTR"),
+		"bad-magic":    []byte("XTR1\x00\x00\x00\x00"),
+		"count-lies":   append(EncodeEvents(nil), 0xFF),
+	}
+	good := EncodeEvents([]Event{{Kind: EvOnRecv}})
+	bad := append([]byte(nil), good...)
+	bad[headerWire] = byte(numKinds)
+	cases["unknown-kind"] = bad
+	for name, data := range cases {
+		if _, err := DecodeEvents(data); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+)
+
+// histSubBits sets the histogram resolution: each power-of-two range is
+// split into 2^histSubBits linear sub-buckets, so any recorded value lands
+// in a bucket whose width is at most value/2^histSubBits. Quantile queries
+// return the bucket's upper bound, which bounds the relative error at
+// 1/2^histSubBits (≈3.1%) — the HDR-histogram trade: fixed memory, bounded
+// relative error, O(1) record.
+const histSubBits = 5
+
+// histSubCount is the number of linear sub-buckets per power of two.
+// Values below histSubCount are recorded exactly.
+const histSubCount = 1 << histSubBits
+
+// Histogram is a log-bucketed (HDR-style) histogram of non-negative int64
+// samples, typically latencies in nanoseconds. The zero value is ready to
+// use. Histograms are not safe for concurrent use; the tracer keeps one
+// per worker and merges them on query.
+type Histogram struct {
+	counts   []uint64
+	total    uint64
+	sum      int64
+	min, max int64
+}
+
+// bucketIndex maps a value to its bucket: exact below histSubCount, then
+// histSubCount linear sub-buckets per power of two.
+func bucketIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 1 - histSubBits
+	sub := int(v>>uint(shift)) - histSubCount
+	return histSubCount + shift*histSubCount + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket i.
+func bucketUpper(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	k := i - histSubCount
+	shift := k / histSubCount
+	sub := k % histSubCount
+	lower := int64(histSubCount+sub) << uint(shift)
+	return lower + (int64(1) << uint(shift)) - 1
+}
+
+// Record adds one sample. Negative samples clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.sum += v
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+}
+
+// Merge folds other's samples into h (the worker-histogram → stage-
+// aggregate path).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the exact sample mean (the sum is tracked exactly).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-th quantile (0 ≤ q ≤ 1) under
+// the rank definition rank = ceil(q·count): the value returned is the
+// upper bound of the bucket holding the exact quantile, so it is at most
+// a factor 1/2^histSubBits above it (exact below 2^histSubBits).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max // never report beyond the observed maximum
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{total: h.total, sum: h.sum, min: h.min, max: h.max}
+	c.counts = append([]uint64(nil), h.counts...)
+	return c
+}

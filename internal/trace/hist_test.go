@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"naiad/internal/testutil"
+)
+
+// exactQuantile is the sorted-slice oracle, using the same rank definition
+// as Histogram.Quantile: rank = ceil(q·n), clamped to [1, n].
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	r := int(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return sorted[r-1]
+}
+
+// checkQuantiles cross-checks a histogram against the oracle for a grid of
+// quantiles plus randomized ones: the estimate must be at least the exact
+// value and overshoot by at most the bucket's relative-error bound
+// (exact/2^histSubBits; exact below 2^histSubBits).
+func checkQuantiles(t *testing.T, h *Histogram, samples []int64, rng *rand.Rand) {
+	t.Helper()
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	for i := 0; i < 50; i++ {
+		qs = append(qs, rng.Float64())
+	}
+	for _, q := range qs {
+		exact := exactQuantile(sorted, q)
+		est := h.Quantile(q)
+		if est < exact {
+			t.Fatalf("q=%v: estimate %d below exact %d", q, est, exact)
+		}
+		if bound := exact / histSubCount; est-exact > bound {
+			t.Fatalf("q=%v: estimate %d overshoots exact %d by %d (> bound %d)",
+				q, est, exact, est-exact, bound)
+		}
+	}
+}
+
+// sampleSets generates the randomized distributions the property test runs
+// over: uniform small (exact region), wide uniform, exponential-ish
+// latencies, and a skewed mixture with outliers.
+func sampleSets(rng *rand.Rand) map[string][]int64 {
+	sets := make(map[string][]int64)
+	small := make([]int64, 2000)
+	for i := range small {
+		small[i] = rng.Int63n(histSubCount)
+	}
+	sets["uniform-small"] = small
+
+	wide := make([]int64, 5000)
+	for i := range wide {
+		wide[i] = rng.Int63n(1 << 40)
+	}
+	sets["uniform-wide"] = wide
+
+	exp := make([]int64, 5000)
+	for i := range exp {
+		exp[i] = int64(rng.ExpFloat64() * 250_000) // ~latency ns
+	}
+	sets["exponential"] = exp
+
+	mix := make([]int64, 3000)
+	for i := range mix {
+		switch rng.Intn(10) {
+		case 0:
+			mix[i] = rng.Int63n(1 << 50) // outliers
+		case 1, 2:
+			mix[i] = rng.Int63n(100)
+		default:
+			mix[i] = 50_000 + rng.Int63n(10_000)
+		}
+	}
+	sets["skewed-mix"] = mix
+	return sets
+}
+
+// TestHistogramQuantilesAgainstOracle is the property test of the
+// histogram: randomized samples, every quantile cross-checked against the
+// exact sorted-slice oracle within the bucket's relative-error bound.
+func TestHistogramQuantilesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(testutil.Seed(t)))
+	for name, samples := range sampleSets(rng) {
+		t.Run(name, func(t *testing.T) {
+			h := &Histogram{}
+			var sum int64
+			for _, v := range samples {
+				h.Record(v)
+				sum += v
+			}
+			if got := h.Count(); got != uint64(len(samples)) {
+				t.Fatalf("count %d, want %d", got, len(samples))
+			}
+			if h.Sum() != sum {
+				t.Fatalf("sum %d, want %d", h.Sum(), sum)
+			}
+			checkQuantiles(t, h, samples, rng)
+		})
+	}
+}
+
+// TestHistogramMergeMatchesOracle exercises the merge path (worker
+// histograms → stage aggregate): samples scattered across several
+// histograms, merged, must satisfy the same oracle bound — and agree
+// exactly with a single histogram fed everything.
+func TestHistogramMergeMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(testutil.Seed(t)))
+	for name, samples := range sampleSets(rng) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 7
+			parts := make([]*Histogram, workers)
+			for i := range parts {
+				parts[i] = &Histogram{}
+			}
+			single := &Histogram{}
+			for i, v := range samples {
+				parts[i%workers].Record(v)
+				single.Record(v)
+			}
+			agg := &Histogram{}
+			for _, p := range parts {
+				agg.Merge(p)
+			}
+			if agg.Count() != single.Count() || agg.Sum() != single.Sum() ||
+				agg.Min() != single.Min() || agg.Max() != single.Max() {
+				t.Fatalf("merged summary diverges: merged (n=%d sum=%d min=%d max=%d), single (n=%d sum=%d min=%d max=%d)",
+					agg.Count(), agg.Sum(), agg.Min(), agg.Max(),
+					single.Count(), single.Sum(), single.Min(), single.Max())
+			}
+			for q := 0.0; q <= 1.0; q += 0.05 {
+				if a, s := agg.Quantile(q), single.Quantile(q); a != s {
+					t.Fatalf("q=%v: merged quantile %d != single-histogram quantile %d", q, a, s)
+				}
+			}
+			checkQuantiles(t, agg, samples, rng)
+		})
+	}
+}
+
+// TestHistogramEdgeCases nails the deterministic corners.
+func TestHistogramEdgeCases(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative clamp broken: min=%d max=%d", h.Min(), h.Max())
+	}
+	h.Record(1)
+	h.Record(histSubCount - 1) // exact region boundary
+	if got := h.Quantile(1); got != histSubCount-1 {
+		t.Fatalf("q=1 got %d, want %d", got, histSubCount-1)
+	}
+	// Bucket mapping must be monotone and continuous at power boundaries.
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		i := bucketIndex(v)
+		if i != prev && i != prev+1 {
+			t.Fatalf("bucketIndex not contiguous at %d: %d after %d", v, i, prev)
+		}
+		if up := bucketUpper(i); up < v {
+			t.Fatalf("bucketUpper(%d)=%d below member %d", i, up, v)
+		}
+		prev = i
+	}
+}

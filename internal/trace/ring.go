@@ -1,0 +1,91 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a bounded lock-free multi-producer, single-consumer event queue
+// (the Vyukov bounded-queue discipline): each slot carries a sequence
+// number that gates visibility, so a consumer never observes a torn event
+// and producers on different goroutines never overwrite each other. When
+// the ring is full, Push drops the event and counts it — tracing sheds
+// load instead of applying backpressure to the dataflow.
+//
+// Producers may be any goroutine; Drain must only be called from one
+// goroutine at a time.
+type Ring struct {
+	mask    uint64
+	slots   []slot
+	_       [48]byte // keep the hot cursors off the slots' cache lines
+	enq     atomic.Uint64
+	_       [56]byte
+	deq     uint64 // single consumer: no atomicity needed beyond slot seqs
+	dropped atomic.Uint64
+}
+
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// NewRing returns a ring with capacity 2^bits events.
+func NewRing(bits int) *Ring {
+	if bits < 1 || bits > 30 {
+		panic("trace: ring bits out of range [1,30]")
+	}
+	n := uint64(1) << bits
+	r := &Ring{mask: n - 1, slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Push enqueues ev, returning false (and counting a drop) when the ring is
+// full. Safe for concurrent use by any number of producers.
+func (r *Ring) Push(ev Event) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.ev = ev
+				s.seq.Store(pos + 1) // release: the event is visible
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			// The slot still holds an unconsumed event a full lap behind:
+			// the ring is full.
+			r.dropped.Add(1)
+			return false
+		default:
+			// Another producer claimed this slot; reload the cursor.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// Drain appends every consumable event to buf and returns it. Only one
+// goroutine may drain a ring at a time.
+func (r *Ring) Drain(buf []Event) []Event {
+	pos := r.deq
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		if int64(seq)-int64(pos+1) < 0 {
+			break // next slot not yet published
+		}
+		buf = append(buf, s.ev)
+		s.seq.Store(pos + r.mask + 1) // free the slot for the next lap
+		pos++
+	}
+	r.deq = pos
+	return buf
+}
+
+// Dropped returns the number of events shed because the ring was full.
+func (r *Ring) Dropped() uint64 { return r.dropped.Load() }

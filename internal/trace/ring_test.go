@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRingHammer is the concurrency hammer (run under -race via make
+// check): several writer goroutines push uniquely-tagged events while one
+// reader drains continuously. Every pushed event must either arrive intact
+// (no loss, no tearing, no duplication) or be counted as dropped, and at
+// most capacity events may be in flight at any moment.
+func TestRingHammer(t *testing.T) {
+	const (
+		bits    = 8 // small ring (256) so the hammer actually fills it
+		writers = 8
+		perW    = 20_000
+	)
+	r := NewRing(bits)
+
+	var pushed atomic.Int64 // successfully pushed (not dropped)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				id := int64(w)*perW + int64(i)
+				// Tear detector: every field derives from id; a torn event
+				// (fields from two different writes) breaks the relations.
+				ev := Event{
+					Kind:   EvSchedule,
+					Worker: int32(w),
+					Stage:  int32(id % 1000),
+					Loc:    int32(w),
+					Epoch:  id,
+					Dur:    id * 3,
+					N:      id * 7,
+				}
+				if r.Push(ev) {
+					pushed.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	seen := make(map[int64]bool, writers*perW)
+	var buf []Event
+	check := func() {
+		buf = r.Drain(buf[:0])
+		for _, ev := range buf {
+			id := ev.Epoch
+			if id < 0 || id >= writers*perW {
+				t.Errorf("impossible event id %d", id)
+				return
+			}
+			if ev.Worker != int32(id/perW) || ev.Stage != int32(id%1000) ||
+				ev.Dur != id*3 || ev.N != id*7 {
+				t.Errorf("torn event: id=%d worker=%d stage=%d dur=%d n=%d",
+					id, ev.Worker, ev.Stage, ev.Dur, ev.N)
+				return
+			}
+			if seen[id] {
+				t.Errorf("event %d delivered twice", id)
+				return
+			}
+			seen[id] = true
+		}
+	}
+	running := true
+	for running {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		check()
+		if t.Failed() {
+			return
+		}
+	}
+	check() // final drain after all writers finished
+
+	total := int64(writers * perW)
+	dropped := int64(r.Dropped())
+	if got := int64(len(seen)); got != pushed.Load() {
+		t.Fatalf("delivered %d events, but %d pushes succeeded", got, pushed.Load())
+	}
+	if pushed.Load()+dropped != total {
+		t.Fatalf("accounting broken: %d delivered + %d dropped != %d written",
+			pushed.Load(), dropped, total)
+	}
+	if dropped == 0 {
+		t.Fatalf("hammer never filled the %d-slot ring; not exercising the drop path", r.Cap())
+	}
+	t.Logf("delivered %d, dropped %d of %d (ring capacity %d)", len(seen), dropped, total, r.Cap())
+}
+
+// TestRingFIFOWithinCapacity: with a single producer staying within
+// capacity between drains, nothing is lost or reordered.
+func TestRingFIFOWithinCapacity(t *testing.T) {
+	r := NewRing(6) // 64 slots
+	next := int64(0)
+	var buf []Event
+	for round := 0; round < 100; round++ {
+		for i := 0; i < r.Cap(); i++ {
+			if !r.Push(Event{Epoch: next}) {
+				t.Fatalf("push %d failed below capacity", next)
+			}
+			next++
+		}
+		buf = r.Drain(buf[:0])
+		if len(buf) != r.Cap() {
+			t.Fatalf("round %d: drained %d, want %d", round, len(buf), r.Cap())
+		}
+		for i := 1; i < len(buf); i++ {
+			if buf[i].Epoch != buf[i-1].Epoch+1 {
+				t.Fatalf("round %d: order broken at %d: %d after %d", round, i, buf[i].Epoch, buf[i-1].Epoch)
+			}
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d events without ever exceeding capacity", r.Dropped())
+	}
+}
+
+// TestRingDropAccountingSingleProducer: past capacity, every rejected push
+// is counted and the ring's contents survive untouched.
+func TestRingDropAccountingSingleProducer(t *testing.T) {
+	r := NewRing(4) // 16 slots
+	for i := 0; i < r.Cap(); i++ {
+		if !r.Push(Event{Epoch: int64(i)}) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if r.Push(Event{Epoch: 999}) {
+			t.Fatal("push succeeded on a full ring")
+		}
+	}
+	if r.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", r.Dropped())
+	}
+	got := r.Drain(nil)
+	if len(got) != r.Cap() {
+		t.Fatalf("drained %d, want %d", len(got), r.Cap())
+	}
+	for i, ev := range got {
+		if ev.Epoch != int64(i) {
+			t.Fatalf("slot %d holds epoch %d after overflow pushes", i, ev.Epoch)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the dump schema: one object per event, kinds by name. The
+// schema is documented in docs/observability.md.
+type jsonEvent struct {
+	Kind   string `json:"kind"`
+	T      int64  `json:"t_ns"`
+	Worker int32  `json:"worker"`
+	Stage  int32  `json:"stage,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Loc    int32  `json:"loc,omitempty"`
+	Epoch  int64  `json:"epoch,omitempty"`
+	Aux    int32  `json:"aux,omitempty"`
+	Dur    int64  `json:"dur_ns,omitempty"`
+	N      int64  `json:"n,omitempty"`
+}
+
+// WriteJSON dumps an event log as a JSON array, one object per event.
+// names may be nil; otherwise it resolves stage ids (Tracer.StageName).
+func WriteJSON(w io.Writer, events []Event, names func(int32) string) error {
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		je := jsonEvent{
+			Kind: e.Kind.String(), T: e.T, Worker: e.Worker,
+			Stage: e.Stage, Loc: e.Loc, Epoch: e.Epoch,
+			Aux: e.Aux, Dur: e.Dur, N: e.N,
+		}
+		if names != nil && e.Stage >= 0 {
+			je.Name = names(e.Stage)
+		}
+		out[i] = je
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteText dumps an event log as one fixed-width line per event.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := bw.WriteString(e.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,287 @@
+// Package trace is the runtime's self-introspection subsystem: low-overhead
+// event tracing, per-stage latency histograms, and frontier-lag
+// observability (Naiad §5–§6 diagnoses micro-stragglers and slow frontier
+// advancement from exactly this kind of internal instrumentation; see
+// docs/observability.md).
+//
+// Design constraints, in order:
+//
+//  1. A disabled tracer costs one predictable nil-check branch per hook —
+//     the runtime holds a *Tracer and skips everything when it is nil.
+//  2. An enabled tracer never blocks the dataflow: events go into
+//     fixed-size lock-free rings (one per worker, one shared for
+//     non-worker sources) and are dropped — with accounting — when a ring
+//     fills between harvests.
+//  3. The raw event log is analyzable by the system itself: it can be
+//     replayed as a naiad input stream (package introspect), following the
+//     online-analysis approach of Sandstede's timely-dataflow diagnostics.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config sizes a Tracer.
+type Config struct {
+	// RingBits is the log2 capacity of each event ring (one per worker
+	// plus one shared); 0 means the default of 14 (16384 events).
+	RingBits int
+}
+
+func (c Config) ringBits() int {
+	if c.RingBits > 0 {
+		return c.RingBits
+	}
+	return 14
+}
+
+// StageMeta names one stage for reports and dumps.
+type StageMeta struct {
+	ID   int32
+	Name string
+}
+
+// LagSample is one location's frontier age: how long ago its frontier
+// element last moved. A location whose frontier sits still while others
+// advance is where the computation is stuck.
+type LagSample struct {
+	Loc   int32
+	Epoch int64 // the location's current minimum frontier epoch
+	Age   time.Duration
+}
+
+// lagState tracks one location's last observed frontier movement.
+type lagState struct {
+	epoch int64
+	at    int64 // tracer-relative nanos of the movement
+}
+
+// Tracer collects events and per-stage latency histograms for one
+// computation (or several incarnations of the same computation, under the
+// supervisor). Create it with New, pass it in runtime.Config.Tracer, and
+// read it after the computation quiesces (Harvest, StageLatency) or live
+// for the gauges (FrontierLags, Dropped).
+type Tracer struct {
+	cfg    Config
+	start  time.Time
+	shared *Ring
+
+	mu       sync.Mutex
+	attached bool
+	workers  int
+	stages   []StageMeta
+	names    map[int32]string
+	rings    []*Ring
+	recvH    [][]*Histogram // [worker][stage]: OnRecv callback latencies
+	notifyH  [][]*Histogram // [worker][stage]: OnNotify callback latencies
+	log      []Event
+	lag      map[int32]lagState
+}
+
+// New returns an empty tracer. It becomes fully operational when a
+// computation attaches at Start; events emitted before that go to the
+// shared ring.
+func New(cfg Config) *Tracer {
+	return &Tracer{
+		cfg:    cfg,
+		start:  time.Now(),
+		shared: NewRing(cfg.ringBits()),
+		names:  make(map[int32]string),
+		lag:    make(map[int32]lagState),
+	}
+}
+
+// Attach binds the tracer to a computation shape: per-worker rings and
+// per-worker, per-stage histogram rows. The runtime calls it during Start.
+// Attaching again with the same shape is a no-op (the supervisor rebuilds
+// the same graph across incarnations and histograms keep accumulating);
+// a different shape is an error.
+func (t *Tracer) Attach(workers int, stages []StageMeta) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attached {
+		if workers == t.workers && len(stages) == len(t.stages) {
+			return nil
+		}
+		return fmt.Errorf("trace: tracer already attached to %d workers / %d stages, cannot re-attach to %d / %d",
+			t.workers, len(t.stages), workers, len(stages))
+	}
+	t.attached = true
+	t.workers = workers
+	t.stages = append([]StageMeta(nil), stages...)
+	maxID := int32(-1)
+	for _, s := range stages {
+		t.names[s.ID] = s.Name
+		if s.ID > maxID {
+			maxID = s.ID
+		}
+	}
+	t.rings = make([]*Ring, workers)
+	t.recvH = make([][]*Histogram, workers)
+	t.notifyH = make([][]*Histogram, workers)
+	for w := 0; w < workers; w++ {
+		t.rings[w] = NewRing(t.cfg.ringBits())
+		t.recvH[w] = make([]*Histogram, maxID+1)
+		t.notifyH[w] = make([]*Histogram, maxID+1)
+		for s := range t.recvH[w] {
+			t.recvH[w][s] = &Histogram{}
+			t.notifyH[w][s] = &Histogram{}
+		}
+	}
+	return nil
+}
+
+// Now returns the tracer-relative timestamp in nanoseconds (what Event.T
+// records).
+func (t *Tracer) Now() int64 { return int64(time.Since(t.start)) }
+
+// Emit stamps ev.T and enqueues the event on its worker's ring (ev.Worker
+// < 0, or an unknown worker, routes to the shared ring). Safe for
+// concurrent use; never blocks — a full ring drops and counts.
+func (t *Tracer) Emit(ev Event) {
+	ev.T = int64(time.Since(t.start))
+	r := t.shared
+	if w := ev.Worker; w >= 0 && int(w) < len(t.rings) {
+		r = t.rings[w]
+	}
+	r.Push(ev)
+	if ev.Kind == EvFrontier {
+		t.noteFrontier(ev)
+	}
+}
+
+// Callback records one OnRecv/OnNotify invocation: the duration goes into
+// the worker's per-stage histogram (never dropped) and an event into the
+// worker's ring. Only the owning worker may call this for its worker id —
+// the histogram row is single-writer.
+func (t *Tracer) Callback(worker int, stage int32, epoch int64, notify bool, dur time.Duration) {
+	kind := EvOnRecv
+	hs := t.recvH
+	if notify {
+		kind = EvOnNotify
+		hs = t.notifyH
+	}
+	if worker >= 0 && worker < len(hs) && int(stage) < len(hs[worker]) {
+		hs[worker][stage].Record(int64(dur))
+	}
+	t.Emit(Event{
+		Kind: kind, Aux: 0, Worker: int32(worker), Stage: stage, Loc: -1,
+		Epoch: epoch, Dur: int64(dur), N: 1,
+	})
+}
+
+// noteFrontier maintains the frontier-lag gauge from EvFrontier events.
+func (t *Tracer) noteFrontier(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ev.Aux == 1 {
+		delete(t.lag, ev.Loc)
+		return
+	}
+	t.lag[ev.Loc] = lagState{epoch: ev.Epoch, at: ev.T}
+}
+
+// FrontierLags returns the current frontier age of every location that
+// still has a frontier element, sorted oldest-first: the wall-clock time
+// since that location's frontier last moved. Safe to call while the
+// computation runs.
+func (t *Tracer) FrontierLags() []LagSample {
+	now := t.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LagSample, 0, len(t.lag))
+	for loc, st := range t.lag {
+		out = append(out, LagSample{Loc: loc, Epoch: st.epoch, Age: time.Duration(now - st.at)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Age != out[j].Age {
+			return out[i].Age > out[j].Age
+		}
+		return out[i].Loc < out[j].Loc
+	})
+	return out
+}
+
+// Harvest drains every ring into the tracer's accumulated log and returns
+// a copy of the full log, time-ordered. Call after the computation
+// quiesces (between epochs, or after Join); concurrent emitters only risk
+// their newest events landing in the next harvest.
+func (t *Tracer) Harvest() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.log = t.shared.Drain(t.log)
+	for _, r := range t.rings {
+		t.log = r.Drain(t.log)
+	}
+	sort.SliceStable(t.log, func(i, j int) bool { return t.log[i].T < t.log[j].T })
+	return append([]Event(nil), t.log...)
+}
+
+// Reset discards the accumulated event log (the histograms, gauges, and
+// drop counters are untouched). A long-running harvest loop calls it after
+// consuming each Harvest so the log does not grow without bound.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.log = t.log[:0]
+}
+
+// Dropped returns the total number of events shed across all rings.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	rings := t.rings
+	t.mu.Unlock()
+	n := t.shared.Dropped()
+	for _, r := range rings {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// StageName returns the attached name of a stage id ("stage<N>" when
+// unknown).
+func (t *Tracer) StageName(id int32) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n, ok := t.names[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("stage%d", id)
+}
+
+// Stages returns the attached stage metadata.
+func (t *Tracer) Stages() []StageMeta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageMeta(nil), t.stages...)
+}
+
+// Workers returns the attached worker count (0 before Attach).
+func (t *Tracer) Workers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.workers
+}
+
+// StageLatency merges the per-worker histograms of one stage into a single
+// aggregate: OnRecv latencies, or OnNotify when notify is set. Call after
+// the computation quiesces — worker histograms are written without locks
+// on the hot path.
+func (t *Tracer) StageLatency(stage int32, notify bool) *Histogram {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	agg := &Histogram{}
+	hs := t.recvH
+	if notify {
+		hs = t.notifyH
+	}
+	for w := range hs {
+		if int(stage) < len(hs[w]) {
+			agg.Merge(hs[w][stage])
+		}
+	}
+	return agg
+}
