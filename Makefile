@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet bench bench-smoke chaos soak fuzz cover
+.PHONY: build test check vet bench bench-smoke chaos soak soak-recovery fuzz cover
 
 build:
 	$(GO) build ./...
@@ -72,10 +72,28 @@ soak:
 			./internal/supervise/ ./internal/kexposure/ ./internal/runtime/ ./internal/transport/; \
 	done
 
-# Short fuzz passes over the codec, frame, and trace-log parsers.
+# Barrier-snapshot soak: the seeded asynchronous-barrier suites — marker
+# chaos, the randomized recovery simulation, selective rollback, and the
+# quiesce differential oracle — under the race detector, SOAK_ITERS times
+# with distinct seeds. Each iteration's schedule is drawn from its seed,
+# so a failure replays exactly with the printed NAIAD_TEST_SEED; the suite
+# itself uses no wall-clock scheduling beyond the bounded cut-settle and
+# revival timeouts.
+soak-recovery:
+	@set -e; for i in $$(seq 1 $(SOAK_ITERS)); do \
+		seed=$$((20130101 + 1000 * i)); \
+		echo "== soak-recovery iteration $$i/$(SOAK_ITERS) (NAIAD_TEST_SEED=$$seed) =="; \
+		NAIAD_TEST_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'TestSeededRecoverySimulation|TestSimulationMidBarrierWorkerCrash|TestBarrierChaos|TestBarrierCrash|TestSelectiveRollback|TestCutSettleTimeout|TestDifferentialQuiesceVsBarrierCut' \
+			./internal/supervise/; \
+	done
+
+# Short fuzz passes over the codec, frame, barrier, and trace-log parsers.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecoder -fuzztime=10s ./internal/codec/
 	$(GO) test -run=^$$ -fuzz=FuzzParseFrameHeader -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeProgress -fuzztime=10s ./internal/runtime/
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalSnapshot -fuzztime=10s ./internal/runtime/
+	$(GO) test -run=^$$ -fuzz=FuzzBarrierDecode -fuzztime=10s ./internal/runtime/
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalCut -fuzztime=10s ./internal/runtime/
 	$(GO) test -run=^$$ -fuzz=FuzzTraceDecode -fuzztime=10s ./internal/trace/

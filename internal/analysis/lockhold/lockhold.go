@@ -3,9 +3,11 @@
 // internal/supervise.
 //
 // The blocking operations of interest are channel sends and receives,
-// selects without a default, Transport.Send, and cross-goroutine enqueues
+// selects without a default, Transport.Send, cross-goroutine enqueues
 // (mailbox.push and friends — each acquires the receiving goroutine's own
-// lock and wakes it). Holding a lock across one of them couples two
+// lock and wakes it), and the Computation barrier/recovery control
+// broadcasts (InjectBarrier, AbortCut, RetireCut, CrashWorker,
+// ReviveWorker), each of which enqueues into every worker mailbox. Holding a lock across one of them couples two
 // goroutines' lock orders through the scheduler: the classic shape is a
 // producer holding its own mutex while pushing into a worker mailbox whose
 // owner is blocked trying to reach the producer — a deadlock the chaos
@@ -41,13 +43,28 @@ const (
 // Analyzer is the lockhold pass.
 var Analyzer = &framework.Analyzer{
 	Name: "lockhold",
-	Doc:  "flag locks held across blocking operations (channel ops, Transport.Send, mailbox enqueue) in internal/runtime, internal/transport, and internal/supervise",
+	Doc:  "flag locks held across blocking operations (channel ops, Transport.Send, mailbox enqueue, barrier/recovery control broadcasts) in internal/runtime, internal/transport, and internal/supervise",
 	Run:  run,
 }
 
 // enqueueMethods are the cross-goroutine handoff methods of the two scoped
 // packages: each locks the receiving goroutine's mutex and signals it.
 var enqueueMethods = map[string]bool{"push": true, "enqueue": true}
+
+// barrierControlMethods are the Computation control-plane entry points of
+// the asynchronous-barrier snapshot and selective-recovery paths. Each one
+// fans a control message out into worker mailboxes (and CrashWorker /
+// ReviveWorker additionally park or replay a worker loop), so every one is
+// a cross-goroutine handoff: the supervisor calling them while holding one
+// of its own mutexes would couple its lock order to every worker's — the
+// exact shape the barrier chaos tests can only hit probabilistically.
+var barrierControlMethods = map[string]bool{
+	"InjectBarrier": true,
+	"AbortCut":      true,
+	"RetireCut":     true,
+	"CrashWorker":   true,
+	"ReviveWorker":  true,
+}
 
 // inScope limits the analysis to the packages whose goroutine topology it
 // models. analysistest fixtures named after them stand in during tests.
@@ -166,14 +183,40 @@ func (c *checker) directBlocking(n ast.Node) string {
 			return ""
 		}
 		recv := sig.Recv().Type()
-		if fn.Name() == "Send" && framework.DeclaredIn(recv, transportPath) {
+		if fn.Name() == "Send" && declaredIn(recv, transportPath) {
 			return "Transport.Send"
 		}
-		if enqueueMethods[fn.Name()] && (framework.DeclaredIn(recv, runtimePath) || framework.DeclaredIn(recv, transportPath)) {
+		if enqueueMethods[fn.Name()] && (declaredIn(recv, runtimePath) || declaredIn(recv, transportPath)) {
 			return "mailbox enqueue (" + fn.Name() + ")"
+		}
+		if barrierControlMethods[fn.Name()] && declaredIn(recv, runtimePath) {
+			return "barrier control broadcast (" + fn.Name() + " enqueues into every worker mailbox)"
 		}
 	}
 	return ""
+}
+
+// declaredIn reports whether t's named type lives in the given real
+// package, or in the analysistest fixture standing in for it
+// (testdata/src/<basename>), so fixtures can exercise the cross-package
+// method recognition too.
+func declaredIn(t types.Type, path string) bool {
+	if framework.DeclaredIn(t, path) {
+		return true
+	}
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "testdata/src/"+path[strings.LastIndex(path, "/")+1:])
 }
 
 // samePkgCallee resolves a call to a function or method declared in this

@@ -1,0 +1,65 @@
+// The barrier-control half of the fixture: a Computation-shaped type whose
+// control-plane methods (InjectBarrier, AbortCut, ...) are recognized by
+// name and receiver package, not by body — each fans control messages out
+// into every worker mailbox, so calling one under a mutex couples the
+// caller's lock order to every worker's.
+package fixture
+
+import "sync"
+
+type computation struct{}
+
+// The bodies are deliberately non-blocking: the analyzer must flag these
+// calls from the method-name recognition alone, the same way it sees the
+// real runtime.Computation from the supervise package.
+func (c *computation) InjectBarrier(cut, epoch int64) error { return nil }
+func (c *computation) AbortCut(cut int64)                   {}
+func (c *computation) RetireCut(cut int64)                  {}
+func (c *computation) CrashWorker(w int) error              { return nil }
+func (c *computation) ReviveWorker(w int, cut int64) error  { return nil }
+
+type cutDriver struct {
+	mu   sync.Mutex
+	comp *computation
+	seq  int64
+}
+
+func (d *cutDriver) badInject(epoch int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	d.comp.InjectBarrier(d.seq, epoch) // want `barrier control broadcast \(InjectBarrier enqueues into every worker mailbox\) while holding d.mu`
+}
+
+func (d *cutDriver) badAbort(cut int64) {
+	d.mu.Lock()
+	d.comp.AbortCut(cut) // want `barrier control broadcast \(AbortCut enqueues into every worker mailbox\) while holding d.mu`
+	d.mu.Unlock()
+}
+
+func (d *cutDriver) badRevive(w int, cut int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.comp.ReviveWorker(w, cut) // want `barrier control broadcast \(ReviveWorker enqueues into every worker mailbox\) while holding d.mu`
+}
+
+// Legal: snapshot the state under the lock, broadcast after releasing it.
+func (d *cutDriver) goodInject(epoch int64) {
+	d.mu.Lock()
+	d.seq++
+	cut := d.seq
+	d.mu.Unlock()
+	d.comp.InjectBarrier(cut, epoch)
+}
+
+// Legal: the helper itself holds no lock; only a lock-holding caller is at
+// fault, and taint propagates to it through the call graph.
+func (d *cutDriver) retire(cut int64) {
+	d.comp.RetireCut(cut)
+}
+
+func (d *cutDriver) badRetireViaHelper(cut int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.retire(cut) // want `call to retire \(barrier control broadcast \(RetireCut enqueues into every worker mailbox\)\) while holding d.mu`
+}

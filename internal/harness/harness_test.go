@@ -122,14 +122,15 @@ func TestFig8Smoke(t *testing.T) {
 
 func TestRecoverySmoke(t *testing.T) {
 	rep, err := Recovery(RecoveryOptions{Processes: 2, WorkersPerProcess: 2,
-		Epochs: 6, RecordsPerEpoch: 16, Trials: 1, CrashAtCheckpoint: 2, Seed: 20130101})
+		Epochs: 6, RecordsPerEpoch: 16, Trials: 1, CrashAtCheckpoint: 2,
+		LatencyEpochs: 20, Seed: 20130101})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 1 {
-		t.Fatalf("rows = %d", len(rep.Rows))
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d:\n%s", len(rep.Rows), rep)
 	}
-	if !strings.Contains(rep.String(), "exact") {
+	if !strings.Contains(rep.String(), "selective rollback") {
 		t.Fatalf("render:\n%s", rep)
 	}
 }

@@ -29,10 +29,13 @@ type Snapshot struct {
 }
 
 // checkpointState is the rendezvous object shared by the workers while a
-// checkpoint or restore is in progress.
+// checkpoint or restore is in progress. cut is set when restoring an
+// asynchronous-barrier cut: vertex fragments travel in snap, and the cut's
+// pending notifications and in-flight channel batches ride alongside.
 type checkpointState struct {
 	mu   sync.Mutex
 	snap *Snapshot
+	cut  *CutSnapshot
 }
 
 // Checkpoint pauses each worker in turn at a quantum boundary, flushes its
@@ -106,6 +109,48 @@ func (c *Computation) Restore(snap *Snapshot) error {
 	}
 	for _, in := range c.inputs {
 		if e, ok := snap.InputEpochs[in.stage]; ok && e > in.Epoch() {
+			in.AdvanceTo(e)
+		}
+	}
+	return nil
+}
+
+// RestoreCut loads an asynchronous-barrier cut into a freshly started
+// computation. Cut fragments sit exactly on the cut's epoch boundary, so a
+// full restore is the same operation as restoring a stop-the-world
+// Snapshot taken there: vertex fragments restore on their owning workers
+// and the inputs advance to their cut positions. The caller owns
+// redelivery of everything past the boundary — exactly as for Restore —
+// by replaying its input log from the restored epochs; that replay also
+// regenerates the cut's pending notifications and deferred channel
+// batches, which therefore must NOT be re-injected here (doing so would
+// deliver them twice). They exist for selective rollback (ReviveWorker),
+// where the delivery log — not a replayed feed — reconstructs the
+// post-boundary execution. The same forward-only input rule and
+// UnknownStageError validation as Restore apply.
+func (c *Computation) RestoreCut(cut *CutSnapshot) error {
+	if !c.started {
+		return fmt.Errorf("runtime: RestoreCut before Start")
+	}
+	for sid := range cut.Vertices {
+		if int(sid) < 0 || int(sid) >= len(c.stages) {
+			return &UnknownStageError{Stage: sid}
+		}
+	}
+	for sid := range cut.InputEpochs {
+		if int(sid) < 0 || int(sid) >= len(c.stages) {
+			return &UnknownStageError{Stage: sid}
+		}
+	}
+	cp := &checkpointState{
+		snap: &Snapshot{Vertices: cut.Vertices, InputEpochs: cut.InputEpochs},
+		cut:  cut,
+	}
+	if err := c.rendezvous(ctlRestore, cp); err != nil {
+		return err
+	}
+	for _, in := range c.inputs {
+		if e, ok := cut.InputEpochs[in.stage]; ok && e > in.Epoch() {
 			in.AdvanceTo(e)
 		}
 	}
@@ -192,11 +237,33 @@ func (w *worker) restoreVertices(cp *checkpointState) error {
 		}
 		cpr.Restore(codec.NewDecoder(data))
 	}
+	if cut := cp.cut; cut != nil {
+		if err := w.restoreCutExtras(cut); err != nil {
+			return err
+		}
+	}
 	if w.tracer != nil {
 		w.tracer.Emit(trace.Event{
 			Kind: trace.EvRestore, Worker: int32(w.id), Stage: -1, Loc: -1,
 			Epoch: -1, Dur: w.tracer.Now() - t0,
 		})
+	}
+	return nil
+}
+
+// restoreCutExtras records the cut as the worker's revival baseline for
+// selective rollback before the next complete cut. Nothing else from the
+// cut is applied on a full restore: the fragments sit exactly on the cut's
+// epoch boundary, and the feeding client's replay of every epoch at or
+// past it regenerates the cut's pending notifications and deferred channel
+// batches — applying them here too would deliver each twice. The baseline
+// is stripped to what was actually applied (fragments and input positions)
+// so a later snap-less revival replays the whole post-restore delivery log
+// against the same starting state the live worker had.
+func (w *worker) restoreCutExtras(cut *CutSnapshot) error {
+	w.restoredCut = &CutSnapshot{
+		Cut: cut.Cut, Epoch: cut.Epoch,
+		Vertices: cut.Vertices, InputEpochs: cut.InputEpochs,
 	}
 	return nil
 }

@@ -118,6 +118,12 @@ type Computation struct {
 
 	maxEpoch atomic.Int64 // highest epoch opened across inputs
 	started  bool
+	// running is set at the very end of a successful Start. CrashWorker
+	// gates on it: the supervisor rebuilds computations on its own
+	// goroutine, so a fault-injecting caller can race Start on the new
+	// incarnation — the acquire/release pair orders Start's writes (the
+	// worker table, the installed handlers) before any crash injection.
+	running  atomic.Bool
 	finished atomic.Bool
 	aborted  atomic.Bool
 	abortCh  chan struct{} // closed on the first fail/Abort
@@ -126,6 +132,13 @@ type Computation struct {
 
 	monitor  *progress.SafetyMonitor
 	activity atomic.Int64 // bumped on every mailbox push and worker quantum
+
+	// Asynchronous barrier snapshots / selective rollback (see barrier.go).
+	onCut         func(cut int64, snap *CutSnapshot, err error)
+	onWorkerCrash func(worker int)
+	cutMu         sync.Mutex
+	curCut        *cutState
+	lastCutID     int64
 
 	logMu    sync.Mutex
 	logSink  LogSink
@@ -224,6 +237,17 @@ func (c *Computation) Start() error {
 			if c.conns[cid].cod == nil {
 				return fmt.Errorf("runtime: Logged stage %s needs a codec on connector from %s",
 					si.name, c.stages[c.conns[cid].src].name)
+			}
+		}
+	}
+	if c.onCut != nil || c.onWorkerCrash != nil {
+		// Barrier snapshots log in-flight channel batches serialized, and
+		// delivery logs re-decode batches on replay: every connector needs a
+		// codec even in single-process configurations.
+		for _, ci := range c.conns {
+			if ci.cod == nil {
+				return fmt.Errorf("runtime: barrier snapshots need a codec on connector %s→%s",
+					c.stages[ci.src].name, c.stages[ci.dst].name)
 			}
 		}
 	}
@@ -327,6 +351,7 @@ func (c *Computation) Start() error {
 	if c.cfg.Watchdog > 0 {
 		go c.watchdog()
 	}
+	c.running.Store(true)
 	return nil
 }
 

@@ -8,17 +8,23 @@ import (
 	ts "naiad/internal/timestamp"
 )
 
-// Data frames carry one batch of records for a single (connector,
-// destination vertex, timestamp) triple:
+// Data frames carry one batch of records for a single (connector, source
+// vertex, destination vertex, timestamp) tuple:
 //
-//	connector u32 | dstVertex u32 | epoch i64 | depth u8 | counters 8·d |
-//	count u32 | records (connector codec)
+//	connector u32 | dstVertex u32 | srcVertex u32 | epoch i64 | depth u8 |
+//	counters 8·d | count u32 | records (connector codec)
+//
+// The source vertex identifies the logical channel (connector, srcVertex)
+// the batch travelled on — the unit of barrier alignment: a cut snapshot
+// logs in-flight batches per channel and a barrier marker retires exactly
+// one channel.
 
 // encodeData serializes a record batch for transmission.
-func encodeData(ci *connInfo, dstVertex int, t ts.Timestamp, records []Message) []byte {
+func encodeData(ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, records []Message) []byte {
 	e := codec.NewEncoder(32 + 16*len(records))
 	e.PutUint32(uint32(ci.id))
 	e.PutUint32(uint32(dstVertex))
+	e.PutUint32(uint32(srcVertex))
 	e.PutInt64(t.Epoch)
 	e.PutUint8(t.Depth)
 	for i := uint8(0); i < t.Depth; i++ {
@@ -38,14 +44,15 @@ func peekDataHeader(payload []byte) (graph.ConnectorID, int) {
 }
 
 // decodeData parses a full data frame using the connector's codec.
-func decodeData(c *Computation, payload []byte) (ci *connInfo, dstVertex int, t ts.Timestamp, records []Message) {
+func decodeData(c *Computation, payload []byte) (ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, records []Message) {
 	d := codec.NewDecoder(payload)
 	ci = c.conn(graph.ConnectorID(d.Uint32()))
 	dstVertex = int(d.Uint32())
+	srcVertex = int(d.Uint32())
 	t = decodeTime(d)
 	n := d.Count(1)
 	records = ci.cod.DecodeBatch(d, n)
-	return ci, dstVertex, t, records
+	return ci, dstVertex, srcVertex, t, records
 }
 
 // decodeTime reads the wire form of a timestamp (epoch, depth, counters)

@@ -21,6 +21,11 @@ const (
 	mailProgress
 	// mailControl is a runtime control message.
 	mailControl
+	// mailBarrier is a barrier marker from a worker in the same process:
+	// conn and src identify the channel, barrier the cut, count the
+	// sender's per-channel batch counter at marker emission, and time
+	// carries the cut's epoch boundary (ts.Root(epoch)).
+	mailBarrier
 )
 
 // mailItem is one unit of work delivered to a worker.
@@ -29,7 +34,9 @@ type mailItem struct {
 
 	// mailLocalData: the destination vertex is implied — the receiving
 	// worker hosts exactly one vertex of the connector's destination stage.
+	// src is the sending vertex index (the channel's other endpoint).
 	conn    graph.ConnectorID
+	src     int
 	time    ts.Timestamp
 	records []Message
 
@@ -38,6 +45,10 @@ type mailItem struct {
 
 	// mailProgress:
 	updates []update
+
+	// mailBarrier (also uses conn, src):
+	barrier int64
+	count   int64
 
 	// mailControl:
 	ctl *controlMsg
@@ -52,6 +63,19 @@ const (
 	ctlInputClose
 	ctlCheckpoint
 	ctlRestore
+	// ctlBarrier starts an asynchronous snapshot cut at this worker's
+	// input-stage vertices (cut carries the cut id, epoch its boundary).
+	ctlBarrier
+	// ctlBarrierAbort cancels an in-flight cut: vertices discard partial
+	// alignment state, deferred records are released, and delivery-log
+	// segments merge back (cut identifies it).
+	ctlBarrierAbort
+	// ctlCutRetire prunes delivery-log segments older than a completed,
+	// persisted cut (cut identifies it).
+	ctlCutRetire
+	// ctlCrash parks the worker at the next quantum boundary, simulating a
+	// single-worker failure for selective-rollback tests.
+	ctlCrash
 )
 
 // controlMsg carries input and checkpoint commands from the user thread
@@ -60,6 +84,7 @@ type controlMsg struct {
 	op      controlOp
 	stage   StageID
 	epoch   int64
+	cut     int64 // ctlBarrier / ctlBarrierAbort / ctlCutRetire
 	records []Message
 	// checkpoint/restore rendezvous:
 	cp  *checkpointState
@@ -109,6 +134,24 @@ func (m *mailbox) drain(block bool, spare []mailItem) ([]mailItem, bool) {
 	closed := m.closed
 	m.mu.Unlock()
 	return items, !closed
+}
+
+// requeue prepends items ahead of everything queued, preserving their
+// order — used by a crashing worker to push back the drained-but-unhandled
+// suffix of its quantum so no delivery is lost across a park/revive cycle.
+// The items are copied: the caller's slice aliases its drain buffer.
+func (m *mailbox) requeue(items []mailItem) {
+	if len(items) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if !m.closed {
+		merged := make([]mailItem, 0, len(items)+len(m.items))
+		merged = append(merged, items...)
+		merged = append(merged, m.items...)
+		m.items = merged
+	}
+	m.mu.Unlock()
 }
 
 // empty reports whether the queue is currently empty.

@@ -48,16 +48,30 @@ type RecoveryMetrics struct {
 	// HeartbeatMisses counts overdue heartbeat deadlines observed by the
 	// failure detector (one per overdue link per sweep).
 	HeartbeatMisses atomic.Int64
+	// Cuts counts completed asynchronous-barrier snapshot cuts; CutBytes
+	// sums their serialized sizes; CutAborts counts cuts abandoned because
+	// a marker was lost, duplicated, or reordered (or a worker crashed
+	// mid-alignment).
+	Cuts      atomic.Int64
+	CutBytes  atomic.Int64
+	CutAborts atomic.Int64
+	// SelectiveRevivals counts single-worker rollbacks that restored only
+	// the crashed worker while the rest of the cluster kept running.
+	SelectiveRevivals atomic.Int64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
 func (r *RecoveryMetrics) Snapshot() RecoverySnapshot {
 	return RecoverySnapshot{
-		Checkpoints:     r.Checkpoints.Load(),
-		CheckpointBytes: r.CheckpointBytes.Load(),
-		Restarts:        r.Restarts.Load(),
-		LastRecovery:    time.Duration(r.LastRecoveryNanos.Load()),
-		HeartbeatMisses: r.HeartbeatMisses.Load(),
+		Checkpoints:       r.Checkpoints.Load(),
+		CheckpointBytes:   r.CheckpointBytes.Load(),
+		Restarts:          r.Restarts.Load(),
+		LastRecovery:      time.Duration(r.LastRecoveryNanos.Load()),
+		HeartbeatMisses:   r.HeartbeatMisses.Load(),
+		Cuts:              r.Cuts.Load(),
+		CutBytes:          r.CutBytes.Load(),
+		CutAborts:         r.CutAborts.Load(),
+		SelectiveRevivals: r.SelectiveRevivals.Load(),
 	}
 }
 
@@ -68,6 +82,11 @@ type RecoverySnapshot struct {
 	Restarts        int64
 	LastRecovery    time.Duration
 	HeartbeatMisses int64
+
+	Cuts              int64
+	CutBytes          int64
+	CutAborts         int64
+	SelectiveRevivals int64
 }
 
 // String renders the snapshot as an aligned table.
@@ -82,6 +101,10 @@ func (m *MetricsSnapshot) String() string {
 	if r := m.Recovery; r.Checkpoints > 0 || r.Restarts > 0 || r.HeartbeatMisses > 0 {
 		fmt.Fprintf(&sb, "recovery: %d checkpoints / %d bytes, %d restarts (last recovery %v), %d heartbeat misses\n",
 			r.Checkpoints, r.CheckpointBytes, r.Restarts, r.LastRecovery, r.HeartbeatMisses)
+	}
+	if r := m.Recovery; r.Cuts > 0 || r.CutAborts > 0 || r.SelectiveRevivals > 0 {
+		fmt.Fprintf(&sb, "barriers: %d cuts / %d bytes, %d aborted, %d selective revivals\n",
+			r.Cuts, r.CutBytes, r.CutAborts, r.SelectiveRevivals)
 	}
 	return sb.String()
 }

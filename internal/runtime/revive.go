@@ -1,0 +1,320 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"naiad/internal/codec"
+	"naiad/internal/graph"
+	ts "naiad/internal/timestamp"
+	"naiad/internal/trace"
+)
+
+// Selective rollback: when SetWorkerCrashHandler is installed, every worker
+// keeps an in-memory delivery log — the exact sequence of state-changing
+// events its vertices observed — segmented by snapshot cut. A crashed
+// worker loses its vertex state but not its mailbox or log; revival rebuilds
+// the vertices, restores the latest complete cut's fragments, and replays
+// the log from that cut's boundary with all side effects suppressed (the
+// original execution already sent the messages and posted the occurrence
+// counts). Healthy workers never stop. This is the Falkirk-Wheel style of
+// replay-with-output-suppression, driven by the cut structure instead of
+// epochs.
+
+// vlogEntryKind tags delivery-log entries.
+type vlogEntryKind uint8
+
+const (
+	// vlogRecv is one delivered data batch (encoded data frame).
+	vlogRecv vlogEntryKind = iota
+	// vlogNotify is one delivered notification (identified by guarantee).
+	vlogNotify
+	// vlogAdvance moved an input vertex to a new epoch.
+	vlogAdvance
+	// vlogClose closed an input vertex.
+	vlogClose
+)
+
+type vlogEntry struct {
+	kind      vlogEntryKind
+	payload   []byte       // vlogRecv
+	guarantee ts.Timestamp // vlogNotify (capability comes from the pending list)
+	epoch     int64        // vlogAdvance
+}
+
+// vlogSeg is the run of entries a vertex observed after snapshotting for
+// `cut` (the first segment, tagged 0, covers everything since start or
+// since the last full restore).
+type vlogSeg struct {
+	cut     int64
+	entries []vlogEntry
+}
+
+// vlog is one vertex's delivery log.
+type vlog struct {
+	segs []vlogSeg
+}
+
+func newVlog() *vlog {
+	return &vlog{segs: []vlogSeg{{cut: 0}}}
+}
+
+func (l *vlog) add(e vlogEntry) {
+	s := &l.segs[len(l.segs)-1]
+	s.entries = append(s.entries, e)
+}
+
+// begin opens a new segment at a cut's snapshot boundary.
+func (l *vlog) begin(cut int64) {
+	l.segs = append(l.segs, vlogSeg{cut: cut})
+}
+
+// abortSeg merges an aborted cut's segment back into its predecessor: the
+// snapshot boundary no longer exists, but the entries still happened.
+func (l *vlog) abortSeg(cut int64) {
+	for i := 1; i < len(l.segs); i++ {
+		if l.segs[i].cut == cut {
+			l.segs[i-1].entries = append(l.segs[i-1].entries, l.segs[i].entries...)
+			l.segs = append(l.segs[:i], l.segs[i+1:]...)
+			return
+		}
+	}
+}
+
+// retire prunes segments made obsolete by a completed, persisted cut:
+// revival will never start before that cut's boundary again.
+func (l *vlog) retire(cut int64) {
+	for len(l.segs) >= 2 && l.segs[1].cut <= cut {
+		l.segs = l.segs[1:]
+	}
+}
+
+// from returns the segments at and after the one tagged `cut`, or an error
+// when the boundary has been pruned (the caller's snapshot is too old).
+func (l *vlog) from(cut int64) ([]vlogSeg, error) {
+	if cut == 0 {
+		return l.segs, nil
+	}
+	for i := range l.segs {
+		if l.segs[i].cut == cut {
+			return l.segs[i:], nil
+		}
+	}
+	return nil, fmt.Errorf("runtime: delivery log has no segment for cut %d (pruned?)", cut)
+}
+
+// reviveReq is the supervisor→worker revival handshake.
+type reviveReq struct {
+	snap *CutSnapshot // nil: fall back to the full-restore baseline
+	ack  chan error
+}
+
+// CrashWorker simulates the failure of a single worker: at its next quantum
+// boundary the worker discards all vertex state and parks, firing the
+// crash handler installed with SetWorkerCrashHandler. Its mailbox keeps
+// accepting traffic — the rest of the cluster runs on. Only valid when a
+// crash handler is installed. Safe to call concurrently with Start (a
+// supervisor rebuilding the computation races external fault injection):
+// until Start completes it errors without touching the worker table.
+func (c *Computation) CrashWorker(worker int) error {
+	if !c.running.Load() {
+		return fmt.Errorf("runtime: CrashWorker before Start")
+	}
+	if c.onWorkerCrash == nil {
+		return fmt.Errorf("runtime: CrashWorker without a worker-crash handler")
+	}
+	if worker < 0 || worker >= len(c.workers) {
+		return fmt.Errorf("runtime: no worker %d", worker)
+	}
+	c.workers[worker].mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{op: ctlCrash}})
+	return nil
+}
+
+// ReviveWorker restores a parked worker from a completed cut snapshot and
+// replays its delivery log from that cut's boundary, then resumes it. Pass
+// nil to revive from the computation's full-restore baseline (or from
+// scratch when there is none) by replaying the whole log. Blocks until the
+// worker acknowledges; an error leaves the computation aborted only if the
+// worker's replay failed mid-way (state can no longer be trusted).
+func (c *Computation) ReviveWorker(worker int, snap *CutSnapshot) error {
+	if worker < 0 || worker >= len(c.workers) {
+		return fmt.Errorf("runtime: no worker %d", worker)
+	}
+	w := c.workers[worker]
+	req := reviveReq{snap: snap, ack: make(chan error, 1)}
+	select {
+	case w.reviveCh <- req:
+	case <-c.abortCh:
+		return fmt.Errorf("runtime: revive interrupted by abort: %w", c.Err())
+	}
+	select {
+	case err := <-req.ack:
+		return err
+	case <-c.abortCh:
+		return fmt.Errorf("runtime: revive interrupted by abort: %w", c.Err())
+	}
+}
+
+// park holds a crashed worker until revival. The worker reaches here at a
+// quantum boundary with its local queue drained and output flushed, so the
+// delivery log is exactly the state the mailbox's remaining contents expect.
+// Returns false when the worker should exit (abort, or failed revival).
+func (w *worker) park() bool {
+	c := w.comp
+	if h := c.onWorkerCrash; h != nil {
+		go h(w.id)
+	}
+	select {
+	case req := <-w.reviveCh:
+		err := w.revive(req.snap)
+		req.ack <- err
+		if err != nil {
+			c.fail(fmt.Errorf("runtime: worker %d revival failed: %w", w.id, err))
+			return false
+		}
+		w.crashed = false
+		return true
+	case <-c.abortCh:
+		return false
+	}
+}
+
+// revive rebuilds the worker's vertices and reconstructs their state:
+// restore the cut's fragments (state bytes, pending notifications, input
+// positions), then replay the delivery log from the cut boundary with side
+// effects suppressed. The progress tracker, channel counters, and delivery
+// log itself survive the crash — they describe the channels, which never
+// stopped.
+func (w *worker) revive(snap *CutSnapshot) error {
+	var t0 int64
+	if w.tracer != nil {
+		t0 = w.tracer.Now()
+	}
+	base := snap
+	segFrom := int64(0)
+	if base != nil {
+		segFrom = base.Cut
+	} else {
+		base = w.restoredCut
+	}
+	w.buildVertices()
+	if base != nil {
+		for _, vs := range w.vsList {
+			if frag, ok := base.Vertices[vs.si.id][vs.vertexIdx]; ok {
+				cpr, isCp := vs.vertex.(Checkpointer)
+				if !isCp {
+					return fmt.Errorf("runtime: cut %d has state for stage %s, which does not checkpoint", base.Cut, vs.si.name)
+				}
+				dec := codec.NewDecoder(frag)
+				if err := codec.Catch(func() { cpr.Restore(dec) }); err != nil {
+					return fmt.Errorf("runtime: restoring stage %s vertex %d: %w", vs.si.name, vs.vertexIdx, err)
+				}
+			}
+			for _, pn := range base.Pending[vs.si.id][vs.vertexIdx] {
+				insertPending(vs, notifyReq{guarantee: pn.Guarantee, capability: pn.Capability, hasCap: pn.HasCap})
+			}
+			if e, ok := base.InputEpochs[vs.si.id]; ok && vs.si.role == graph.RoleInput {
+				vs.inputEpoch = e
+			}
+		}
+	}
+	if err := w.replayLogs(segFrom); err != nil {
+		return err
+	}
+	// Rebuild derived notification state from the reconstructed pending
+	// lists; the next frontier movement re-surfaces deliverable candidates.
+	w.notifyCount = 0
+	for _, vs := range w.vsList {
+		w.notifyCount += len(vs.pending)
+	}
+	w.notifyCands = w.notifyCands[:0]
+	w.notifyDirty = true
+	if tr := w.tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvRestart, Aux: -1, Worker: int32(w.id), Stage: -1, Loc: -1,
+			Epoch: segFrom, Dur: tr.Now() - t0,
+		})
+	}
+	return nil
+}
+
+// insertPending inserts a notification request sorted by guarantee, without
+// posting occurrence counts (revival paths only: the counts were posted by
+// the original execution and never released).
+func insertPending(vs *vertexState, nr notifyReq) {
+	i := sort.Search(len(vs.pending), func(i int) bool {
+		return nr.guarantee.Compare(vs.pending[i].guarantee) < 0
+	})
+	vs.pending = append(vs.pending, notifyReq{})
+	copy(vs.pending[i+1:], vs.pending[i:])
+	vs.pending[i] = nr
+}
+
+// replayLogs re-runs each hosted vertex's delivery log from the given cut
+// boundary (0 = from the log's beginning). Vertex states are independent
+// under suppression — sends were already delivered and logged at their
+// receivers — so per-vertex sequential replay reproduces the pre-crash
+// interleaving's effects exactly.
+func (w *worker) replayLogs(cut int64) error {
+	if w.dlogs == nil {
+		if cut != 0 {
+			return fmt.Errorf("runtime: no delivery logs to replay cut %d from", cut)
+		}
+		return nil
+	}
+	w.replaying = true
+	defer func() { w.replaying = false }()
+	for _, vs := range w.vsList {
+		lg := w.dlogs[vs.si.id]
+		if lg == nil {
+			continue
+		}
+		segs, err := lg.from(cut)
+		if err != nil {
+			return fmt.Errorf("runtime: stage %s vertex %d: %w", vs.si.name, vs.vertexIdx, err)
+		}
+		for _, seg := range segs {
+			for i := range seg.entries {
+				if err := w.replayEntry(vs, &seg.entries[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (w *worker) replayEntry(vs *vertexState, e *vlogEntry) error {
+	switch e.kind {
+	case vlogRecv:
+		ci, _, _, t, records := decodeData(w.comp, e.payload)
+		input := ci.inputIdx
+		for _, rec := range records {
+			vs.timeStack = append(vs.timeStack, timeFrame{t: t, canSend: true})
+			vs.ctx.executing++
+			vs.vertex.OnRecv(input, rec, t)
+			vs.ctx.executing--
+			vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+		}
+	case vlogNotify:
+		i := sort.Search(len(vs.pending), func(i int) bool {
+			return e.guarantee.Compare(vs.pending[i].guarantee) <= 0
+		})
+		if i >= len(vs.pending) || vs.pending[i].guarantee != e.guarantee {
+			return fmt.Errorf("runtime: replay of stage %s vertex %d: logged notification at %v has no pending request",
+				vs.si.name, vs.vertexIdx, e.guarantee)
+		}
+		nr := vs.pending[i]
+		vs.pending = append(vs.pending[:i], vs.pending[i+1:]...)
+		vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
+		vs.ctx.executing++
+		vs.vertex.OnNotify(nr.guarantee)
+		vs.ctx.executing--
+		vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+	case vlogAdvance:
+		vs.inputEpoch = e.epoch
+	case vlogClose:
+		vs.inputClosed = true
+	}
+	return nil
+}

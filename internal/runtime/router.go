@@ -7,6 +7,7 @@ import (
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
 	"naiad/internal/transport"
 )
 
@@ -209,7 +210,26 @@ func (p *process) onFrame(from int, kind transport.Kind, payload []byte) {
 			p.comp.deliverProgressLocal(p.id, us)
 		}
 	case transport.KindControl:
-		// Control traffic is coordinated in shared memory in this
-		// all-in-one build; no frames of this kind are sent.
+		// Barrier markers are the only control frames: decode, validate, and
+		// route to the worker hosting the destination vertex. The transport's
+		// cross-kind per-link FIFO keeps the marker behind the data frames
+		// sent before it.
+		m, err := DecodeBarrierMarker(payload)
+		if err != nil {
+			panic(err) // recovered above: aborts with a clean error
+		}
+		if int(m.Conn) < 0 || int(m.Conn) >= len(p.comp.conns) {
+			panic(fmt.Sprintf("runtime: barrier marker references unknown connector %d", m.Conn))
+		}
+		ci := p.comp.conn(m.Conn)
+		dstSi := p.comp.stage(ci.dst)
+		if m.Dst < 0 || m.Dst >= dstSi.parallelism(p.comp.cfg.Workers()) {
+			panic(fmt.Sprintf("runtime: barrier marker references vertex %d of stage %s", m.Dst, dstSi.name))
+		}
+		wid := dstSi.workerFor(m.Dst)
+		p.comp.workers[wid].mailbox.push(mailItem{
+			kind: mailBarrier, conn: m.Conn, src: m.Src, time: ts.Root(m.Epoch),
+			barrier: m.Cut, count: m.Count,
+		})
 	}
 }

@@ -41,6 +41,27 @@ type vertexState struct {
 	// input-stage bookkeeping:
 	inputEpoch  int64
 	inputClosed bool
+
+	// Barrier alignment state (asynchronous snapshots). barrierCut is the
+	// cut this vertex is currently aligning (0 = none) and barrierEpoch its
+	// epoch boundary E; lastCut the last cut it finished. barrierWait holds
+	// the channels (chanKey) whose marker is still outstanding. While
+	// aligning, the vertex processes epoch-<E work normally; epoch-≥E
+	// batches are logged into barrierChans (the cut's in-flight channel
+	// state) and held in barrierDefer, in arrival order, until the snapshot
+	// completes. barrierFrag/barrierPending capture the fragment at the
+	// snapshot instant — after every marker has arrived and every sub-
+	// boundary notification has fired, so the fragment sits exactly on the
+	// epoch boundary.
+	barrierCut     int64
+	lastCut        int64
+	barrierWait    map[uint64]bool
+	barrierFrag    []byte
+	barrierPending []PendingNotification
+	barrierChans   [][]byte
+	barrierDefer   []delivery
+	barrierEpoch   int64
+	barrierT0      int64
 }
 
 // outKey identifies one pending outgoing batch.
@@ -50,12 +71,29 @@ type outKey struct {
 	time      ts.Timestamp
 }
 
-// delivery is a queued batch of messages awaiting local delivery.
+// delivery is a queued batch of messages awaiting local delivery, or — when
+// marker is set — a barrier marker travelling through the same queue so it
+// stays FIFO with the data batches around it.
 type delivery struct {
 	ci      *connInfo
 	vs      *vertexState
 	time    ts.Timestamp
 	records []Message
+	src     int // sending vertex index (channel endpoint)
+
+	// marker deliveries (cut/count per BarrierMarker; time carries the
+	// cut's epoch boundary as ts.Root(epoch)). fenced markers hold a
+	// localFence reference forcing later same-connector sends to queue
+	// behind them instead of taking the synchronous fast path.
+	marker bool
+	fenced bool
+	cut    int64
+	count  int64
+
+	// uncounted batches already advanced the receive-side channel counter:
+	// deferred batches count at deferral, so their redelivery after the
+	// snapshot must not count again.
+	uncounted bool
 }
 
 // notifyCand is one entry of the deliverable-candidate queue: a vertex
@@ -93,6 +131,28 @@ type worker struct {
 	notifyDirty bool         // candidate queue invalidated by a tracker change
 	spare       []mailItem
 
+	// Barrier-snapshot state (nil/zero unless a cut handler is installed).
+	// chanSent counts batches sent per (connector, dst vertex); chanRecv
+	// counts batches delivered per (connector, src vertex) — markers carry
+	// the former and are checked against the latter. localFence counts
+	// markers queued locally per connector, forcing later sends behind them.
+	// cutDone is the highest retired-or-aborted cut id.
+	chanSent   map[uint64]int64
+	chanRecv   map[uint64]int64
+	localFence map[graph.ConnectorID]int
+	cutDone    int64
+
+	// Selective-rollback state (nil unless a worker-crash handler is
+	// installed). dlogs holds one delivery log per hosted stage; all of it —
+	// like the channel counters — survives a simulated crash: the crash
+	// destroys vertex state, not the channels. replaying suppresses sends
+	// and occurrence posts during log replay.
+	dlogs       []*vlog
+	crashed     bool
+	replaying   bool
+	reviveCh    chan reviveReq
+	restoredCut *CutSnapshot // full-restore baseline for snap-less revival
+
 	// Tracing state. tracer is nil when tracing is off — every hook is a
 	// single predictable branch in that case. The frontier-diff fields are
 	// only touched by worker 0 (one conservative local view is enough for
@@ -112,6 +172,7 @@ func newWorker(c *Computation, id, proc int) *worker {
 		outData:     make(map[outKey][]Message),
 		notifyDirty: true,
 		tracer:      c.cfg.Tracer,
+		reviveCh:    make(chan reviveReq),
 	}
 }
 
@@ -138,11 +199,27 @@ func (w *worker) run() {
 		}
 		for i := range items {
 			w.handleItem(&items[i])
+			if w.crashed && i+1 < len(items) {
+				// The quantum ends here: hand the unprocessed suffix back so
+				// no delivery is lost across the park/revive cycle.
+				w.mailbox.requeue(items[i+1:])
+				break
+			}
 		}
 		w.spare = items
 		w.deliverAll()
 		w.flushData()
 		w.flushProgress()
+		if w.crashed {
+			// Park at a clean quantum boundary: the local queue has drained
+			// and output is flushed, so the delivery log matches exactly the
+			// prefix the mailbox's remaining contents continue from.
+			if !w.park() {
+				return
+			}
+			idle = false
+			continue
+		}
 		if traceQ {
 			w.tracer.Emit(trace.Event{
 				Kind: trace.EvSchedule, Worker: int32(w.id), Stage: -1, Loc: -1,
@@ -171,10 +248,32 @@ func (w *worker) run() {
 	w.shutdownVertices()
 }
 
-// initVertices instantiates this worker's partition of every stage.
+// initVertices builds this worker's vertices and the per-worker machinery
+// that outlives them (tracker, channel counters, delivery logs).
 func (w *worker) initVertices() {
 	c := w.comp
+	w.buildVertices()
+	w.tracker = progress.NewTracker(c.lg)
+	if c.onCut != nil {
+		w.chanSent = make(map[uint64]int64)
+		w.chanRecv = make(map[uint64]int64)
+		w.localFence = make(map[graph.ConnectorID]int)
+	}
+	if c.onWorkerCrash != nil {
+		w.dlogs = make([]*vlog, len(c.stages))
+		for _, vs := range w.vsList {
+			w.dlogs[vs.si.id] = newVlog()
+		}
+	}
+}
+
+// buildVertices instantiates this worker's partition of every stage. It is
+// called at startup and again on revival after a simulated crash — vertex
+// state is rebuilt from scratch, everything else on the worker survives.
+func (w *worker) buildVertices() {
+	c := w.comp
 	w.vertices = make([]*vertexState, len(c.stages))
+	w.vsList = w.vsList[:0]
 	for _, si := range c.stages {
 		var idx int
 		switch {
@@ -203,7 +302,6 @@ func (w *worker) initVertices() {
 		w.vertices[si.id] = vs
 		w.vsList = append(w.vsList, vs)
 	}
-	w.tracker = progress.NewTracker(c.lg)
 }
 
 // seedInputs installs the initial input pointstamps (§2.3) directly into
@@ -227,10 +325,23 @@ func (w *worker) handleItem(it *mailItem) {
 	switch it.kind {
 	case mailLocalData:
 		ci := w.comp.conn(it.conn)
-		w.enqueueLocal(ci, it.time, it.records)
+		w.enqueueLocal(ci, it.src, it.time, it.records)
 	case mailRawData:
-		ci, _, t, records := decodeData(w.comp, it.payload)
-		w.enqueueLocal(ci, t, records)
+		ci, _, src, t, records := decodeData(w.comp, it.payload)
+		w.enqueueLocal(ci, src, t, records)
+	case mailBarrier:
+		// Markers join the local queue so they stay FIFO with data batches
+		// already queued for the same vertex.
+		ci := w.comp.conn(it.conn)
+		vs := w.vertices[ci.dst]
+		if vs == nil {
+			panic(fmt.Sprintf("runtime: worker %d received marker for unhosted stage %s",
+				w.id, w.comp.stage(ci.dst).name))
+		}
+		w.localQ = append(w.localQ, delivery{
+			ci: ci, vs: vs, marker: true, cut: it.barrier, src: it.src,
+			count: it.count, time: it.time,
+		})
 	case mailProgress:
 		w.tracker.Apply(it.updates)
 		w.notifyDirty = true // frontier may have moved; candidates are stale
@@ -253,13 +364,13 @@ func (w *worker) handleItem(it *mailItem) {
 	}
 }
 
-func (w *worker) enqueueLocal(ci *connInfo, t ts.Timestamp, records []Message) {
+func (w *worker) enqueueLocal(ci *connInfo, src int, t ts.Timestamp, records []Message) {
 	vs := w.vertices[ci.dst]
 	if vs == nil {
 		panic(fmt.Sprintf("runtime: worker %d received batch for unhosted stage %s",
 			w.id, w.comp.stage(ci.dst).name))
 	}
-	w.localQ = append(w.localQ, delivery{ci: ci, vs: vs, time: t, records: records})
+	w.localQ = append(w.localQ, delivery{ci: ci, vs: vs, src: src, time: t, records: records})
 }
 
 func (w *worker) handleControl(ctl *controlMsg) {
@@ -285,16 +396,34 @@ func (w *worker) handleControl(ctl *controlMsg) {
 			w.postUpdate(progress.Pointstamp{Time: ts.Root(e), Loc: loc}, -1)
 		}
 		vs.inputEpoch = ctl.epoch
+		if w.dlogs != nil {
+			if lg := w.dlogs[ctl.stage]; lg != nil {
+				lg.add(vlogEntry{kind: vlogAdvance, epoch: ctl.epoch})
+			}
+		}
 	case ctlInputClose:
 		vs := w.vertices[ctl.stage]
 		if !vs.inputClosed {
 			vs.inputClosed = true
 			w.postUpdate(progress.Pointstamp{Time: ts.Root(vs.inputEpoch), Loc: graph.StageLoc(ctl.stage)}, -1)
+			if w.dlogs != nil {
+				if lg := w.dlogs[ctl.stage]; lg != nil {
+					lg.add(vlogEntry{kind: vlogClose})
+				}
+			}
 		}
 	case ctlCheckpoint:
 		ctl.ack <- w.checkpointVertices(ctl.cp)
 	case ctlRestore:
 		ctl.ack <- w.restoreVertices(ctl.cp)
+	case ctlBarrier:
+		w.startInputBarriers(ctl.cut, ctl.epoch)
+	case ctlBarrierAbort:
+		w.abortBarrierCtl(ctl.cut)
+	case ctlCutRetire:
+		w.retireCutCtl(ctl.cut)
+	case ctlCrash:
+		w.crashed = true
 	}
 }
 
@@ -314,7 +443,14 @@ func (w *worker) deliverAll() {
 			d := w.localQ[w.localQHead]
 			w.localQ[w.localQHead] = delivery{}
 			w.localQHead++
-			w.deliverBatch(d)
+			if d.marker {
+				if d.fenced {
+					w.localFence[d.ci.id]--
+				}
+				w.handleMarker(d)
+			} else {
+				w.deliverBatch(d)
+			}
 			progressed = true
 		}
 		if w.localQHead == len(w.localQ) {
@@ -341,9 +477,26 @@ func (w *worker) deliverBatch(d delivery) {
 	if len(d.records) == 0 {
 		return
 	}
-	if d.vs.si.logged {
-		w.comp.logBatch(d.vs.si.id, encodeData(d.ci, d.vs.vertexIdx, d.time, d.records))
+	vs := d.vs
+	if vs.barrierCut != 0 && d.time.Epoch >= vs.barrierEpoch {
+		// The batch is on the far side of the cut's epoch boundary: log it
+		// into the cut as in-flight channel state and hold it, unprocessed,
+		// until the snapshot completes. The channel counter advances now —
+		// the batch has arrived; only its processing is deferred — and the
+		// uncounted flag keeps redelivery from counting it twice.
+		if w.chanRecv != nil && !d.uncounted {
+			w.chanRecv[chanKey(d.ci.id, d.src)]++
+		}
+		vs.barrierChans = append(vs.barrierChans,
+			encodeData(d.ci, vs.vertexIdx, d.src, d.time, d.records))
+		d.uncounted = true
+		vs.barrierDefer = append(vs.barrierDefer, d)
+		return
 	}
+	if d.vs.si.logged {
+		w.comp.logBatch(d.vs.si.id, encodeData(d.ci, d.vs.vertexIdx, d.src, d.time, d.records))
+	}
+	w.noteDelivery(d.ci, d.vs, d.src, d.time, d.records, d.uncounted)
 	input := d.ci.inputIdx
 	for _, rec := range d.records {
 		w.invokeRecv(d.vs, input, rec, d.time)
@@ -368,6 +521,15 @@ func (w *worker) invokeRecv(vs *vertexState, input int, rec Message, t ts.Timest
 	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
 }
 
+// notifyGated reports whether a pending notification is held back by an
+// in-progress cut alignment: requests at or above the cut's epoch boundary
+// belong to the post-snapshot execution, so they fire only after the
+// vertex's fragment is captured. Sub-boundary requests are never gated —
+// the snapshot waits for them, not the other way round.
+func notifyGated(vs *vertexState, guarantee ts.Timestamp) bool {
+	return vs.barrierCut != 0 && guarantee.Epoch >= vs.barrierEpoch
+}
+
 // rebuildNotifyCands rescans every vertex's pending list and collects the
 // requests whose guarantee has no active precursor in the local view,
 // ordered by guarantee time (stage id breaking ties). The local tracker
@@ -384,6 +546,9 @@ func (w *worker) rebuildNotifyCands() {
 		loc := graph.StageLoc(vs.si.id)
 		deliverable := false
 		for i, nr := range vs.pending {
+			if notifyGated(vs, nr.guarantee) {
+				continue // resurfaces when the cut settles (clearBarrier)
+			}
 			// pending is guarantee-sorted: equal guarantees share a verdict.
 			if i == 0 || vs.pending[i-1].guarantee != nr.guarantee {
 				deliverable = !w.tracker.SomePrecursorOf(progress.Pointstamp{Time: nr.guarantee, Loc: loc})
@@ -423,6 +588,12 @@ func (w *worker) deliverOneNotify() bool {
 		if i >= len(vs.pending) || vs.pending[i].guarantee != cand.guarantee {
 			continue // already delivered; a duplicate candidate went stale
 		}
+		if notifyGated(vs, cand.guarantee) {
+			// An alignment began after this candidate was queued; the request
+			// is post-boundary now. clearBarrier marks the queue dirty, so the
+			// rebuild after the cut settles resurfaces it.
+			continue
+		}
 		loc := graph.StageLoc(vs.si.id)
 		p := progress.Pointstamp{Time: cand.guarantee, Loc: loc}
 		if w.tracker.SomePrecursorOf(p) {
@@ -439,6 +610,11 @@ func (w *worker) deliverOneNotify() bool {
 		nr := vs.pending[i]
 		vs.pending = append(vs.pending[:i], vs.pending[i+1:]...)
 		w.notifyCount--
+		if w.dlogs != nil {
+			if lg := w.dlogs[vs.si.id]; lg != nil {
+				lg.add(vlogEntry{kind: vlogNotify, guarantee: nr.guarantee})
+			}
+		}
 		w.comp.activity.Add(1)
 		w.comp.counters.notifications[vs.si.id].Add(1)
 		vs.timeStack = append(vs.timeStack, timeFrame{t: nr.capability, canSend: nr.hasCap})
@@ -455,6 +631,11 @@ func (w *worker) deliverOneNotify() bool {
 		if nr.hasCap {
 			w.postUpdate(progress.Pointstamp{Time: nr.capability, Loc: loc}, -1)
 		}
+		if vs.barrierCut != 0 {
+			// A sub-boundary notification just fired on an aligning vertex;
+			// it may have been the last thing the snapshot was waiting for.
+			w.tryCompleteBarrier(vs)
+		}
 		return true
 	}
 	return false
@@ -464,6 +645,11 @@ func (w *worker) deliverOneNotify() bool {
 // stages, occurrence-count updates, routing, and the synchronous local
 // fast path with re-entrancy bounding (§3.2).
 func (w *worker) sendBy(vs *vertexState, port int, msg Message, t ts.Timestamp) {
+	if w.replaying {
+		// Replay reconstructs state only: every send of the original
+		// execution was already delivered (and logged at its receiver).
+		return
+	}
 	si := vs.si
 	if n := len(vs.timeStack); n > 0 {
 		top := vs.timeStack[n-1]
@@ -490,14 +676,15 @@ func (w *worker) sendBy(vs *vertexState, port int, msg Message, t ts.Timestamp) 
 		}
 	}
 	for _, cid := range si.outPorts[port] {
-		w.routeMessage(w.comp.conn(cid), msg, outT)
+		w.routeMessage(vs, w.comp.conn(cid), msg, outT)
 	}
 }
 
 // routeMessage delivers msg on one connector: synchronously when the
 // destination vertex is local and not too deeply re-entered, queued
-// locally otherwise, or batched for transmission.
-func (w *worker) routeMessage(ci *connInfo, msg Message, t ts.Timestamp) {
+// locally otherwise, or batched for transmission. vsSrc is the sending
+// vertex (the channel's source endpoint).
+func (w *worker) routeMessage(vsSrc *vertexState, ci *connInfo, msg Message, t ts.Timestamp) {
 	c := w.comp
 	dstSi := c.stage(ci.dst)
 	peers := dstSi.parallelism(c.cfg.Workers())
@@ -511,9 +698,13 @@ func (w *worker) routeMessage(ci *connInfo, msg Message, t ts.Timestamp) {
 		dstVertex = w.id
 	}
 	dstWorker := dstSi.workerFor(dstVertex)
+	src := vsSrc.vertexIdx
 	w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, 1)
 
 	if dstWorker == w.id {
+		if w.chanSent != nil {
+			w.chanSent[chanKey(ci.id, dstVertex)]++
+		}
 		vsDst := w.vertices[ci.dst]
 		limit := dstSi.reentrancy
 		if limit == 0 {
@@ -522,14 +713,20 @@ func (w *worker) routeMessage(ci *connInfo, msg Message, t ts.Timestamp) {
 		if c.cfg.DisableLocalFastPath {
 			limit = 0
 		}
-		if vsDst.ctx.executing < limit {
+		// A queued marker on this connector fences the fast path: delivering
+		// synchronously would put a post-snapshot record ahead of the marker.
+		// Likewise a destination aligning a cut must see its epoch-≥boundary
+		// records through the queue, where deliverBatch defers them.
+		if w.localFence[ci.id] == 0 && vsDst.ctx.executing < limit &&
+			!(vsDst.barrierCut != 0 && t.Epoch >= vsDst.barrierEpoch) {
 			if dstSi.logged {
-				w.comp.logBatch(dstSi.id, encodeData(ci, dstVertex, t, []Message{msg}))
+				w.comp.logBatch(dstSi.id, encodeData(ci, dstVertex, src, t, []Message{msg}))
 			}
+			w.noteDelivery(ci, vsDst, src, t, []Message{msg}, false)
 			w.invokeRecv(vsDst, ci.inputIdx, msg, t)
 			w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, -1)
 		} else {
-			w.localQ = append(w.localQ, delivery{ci: ci, vs: vsDst, time: t, records: []Message{msg}})
+			w.localQ = append(w.localQ, delivery{ci: ci, vs: vsDst, src: src, time: t, records: []Message{msg}})
 		}
 		return
 	}
@@ -552,14 +749,23 @@ func (w *worker) flushOne(key outKey) {
 	if dstSi.pinned >= 0 {
 		dstVertex = 0
 	}
+	// The channel's source endpoint is this worker's vertex of the source
+	// stage (a connector has exactly one sender per worker).
+	src := w.id
+	if c.stage(ci.src).pinned >= 0 {
+		src = 0
+	}
+	if w.chanSent != nil {
+		w.chanSent[chanKey(ci.id, dstVertex)]++
+	}
 	if dstProc == w.proc {
 		c.workers[key.dstWorker].mailbox.push(mailItem{
-			kind: mailLocalData, conn: key.conn,
+			kind: mailLocalData, conn: key.conn, src: src,
 			time: key.time, records: records,
 		})
 		return
 	}
-	payload := encodeData(ci, dstVertex, key.time, records)
+	payload := encodeData(ci, dstVertex, src, key.time, records)
 	c.trans.Send(w.proc, dstProc, transport.KindData, payload)
 }
 
@@ -596,6 +802,11 @@ func (w *worker) flushData() {
 // discipline see the same history. AccNone keeps the raw per-event stream:
 // it exists to measure the uncombined protocol.
 func (w *worker) postUpdate(p progress.Pointstamp, delta int64) {
+	if w.replaying {
+		// The original execution posted these counts; they were broadcast
+		// and never retracted, so replay must not post them again.
+		return
+	}
 	if m := w.comp.monitor; m != nil {
 		if err := m.Post(p, delta); err != nil {
 			panic(err)
@@ -685,9 +896,15 @@ func (w *worker) notifyAtChecked(vs *vertexState, guarantee, capability ts.Times
 	copy(vs.pending[i+1:], vs.pending[i:])
 	vs.pending[i] = nr
 	w.notifyCount++
+	if w.replaying {
+		return // counts recomputed after replay; no candidate bookkeeping
+	}
 	// Evaluate deliverability at insertion: the candidate queue is only
 	// rebuilt on frontier movement, and an already-deliverable request
 	// would otherwise wait for a progress batch that may never come.
+	if notifyGated(vs, guarantee) {
+		return // post-boundary request; resurfaces when the cut settles
+	}
 	if !w.notifyDirty && w.tracker != nil &&
 		!w.tracker.SomePrecursorOf(progress.Pointstamp{Time: guarantee, Loc: graph.StageLoc(vs.si.id)}) {
 		j := sort.Search(len(w.notifyCands), func(j int) bool {

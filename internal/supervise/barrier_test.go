@@ -1,0 +1,416 @@
+package supervise_test
+
+// Tests for the asynchronous-barrier snapshot path: the quiesce
+// differential oracle, marker-level chaos (drop / duplicate / reorder must
+// stall or abort a cut, never tear it), crash-during-alignment fallback,
+// selective single-worker rollback, and the settle-timer liveness bound.
+
+import (
+	"testing"
+	"time"
+
+	"naiad/internal/codec"
+	"naiad/internal/runtime"
+	"naiad/internal/supervise"
+	"naiad/internal/testutil"
+	"naiad/internal/transport"
+)
+
+// feedPow2 feeds epochs 0..n-1 with the single value 1<<e, so the counter
+// total at any epoch boundary E is the recognizable prefix sum (1<<E)-1.
+func feedPow2(t *testing.T, sup *supervise.Supervisor, n int) {
+	t.Helper()
+	for e := 0; e < n; e++ {
+		if err := sup.OnNext("in", int64(1)<<e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// decodeCounterTotal digs the counter stage's single int64 out of a
+// snapshot's vertex fragments. Exactly one stage checkpoints in the
+// counter pipeline, so the fragment map must hold exactly one entry.
+func decodeCounterTotal(t *testing.T, vertices map[runtime.StageID]map[int][]byte) int64 {
+	t.Helper()
+	if len(vertices) != 1 {
+		t.Fatalf("snapshot has fragments for %d stages, want 1 (the counter)", len(vertices))
+	}
+	for _, m := range vertices {
+		if len(m) != 1 {
+			t.Fatalf("counter stage has %d fragments, want 1", len(m))
+		}
+		for _, frag := range m {
+			return codec.NewDecoder(frag).Int64()
+		}
+	}
+	panic("unreachable")
+}
+
+// auditCutStore decodes every retained cut and checks the semantic
+// torn-cut invariant: a cut persisted under epoch E must carry exactly the
+// counter state of a stop-the-world checkpoint at boundary E — the prefix
+// sum (1<<E)-1 under the feedPow2 schedule — and must say so in its own
+// Epoch field. CRC and framing are validated by UnmarshalCut itself.
+func auditCutStore(t *testing.T, store supervise.SnapshotStore) int {
+	t.Helper()
+	eps, err := store.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eps {
+		data, err := store.Load(e)
+		if err != nil {
+			t.Fatalf("loading cut at epoch %d: %v", e, err)
+		}
+		ver, err := runtime.SnapshotFormatVersion(data)
+		if err != nil || ver < 2 {
+			t.Fatalf("epoch %d: version %d, %v — barrier path persisted a non-cut", e, ver, err)
+		}
+		cut, err := runtime.UnmarshalCut(data)
+		if err != nil {
+			t.Fatalf("epoch %d: persisted cut does not decode: %v", e, err)
+		}
+		if cut.Epoch != e {
+			t.Fatalf("cut %d persisted under epoch %d but records boundary %d", cut.Cut, e, cut.Epoch)
+		}
+		want := int64(1)<<e - 1
+		if got := decodeCounterTotal(t, cut.Vertices); got != want {
+			t.Fatalf("torn cut: epoch-%d snapshot has counter total %d, want %d", e, got, want)
+		}
+	}
+	return len(eps)
+}
+
+// TestDifferentialQuiesceVsBarrierCut is the oracle test: the same
+// workload checkpointed by the legacy stop-the-world quiesce path and by
+// asynchronous barrier cuts must persist identical vertex state and input
+// positions at every epoch boundary both paths snapshotted.
+func TestDifferentialQuiesceVsBarrierCut(t *testing.T) {
+	const epochs = 6
+	run := func(quiesce bool) supervise.SnapshotStore {
+		store := supervise.NewMemStore(epochs)
+		s := newEpochSink()
+		fact, _ := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+			return &counter{ctx: ctx}
+		}, nil)
+		sup, err := supervise.New(supervise.Config{
+			Factory: fact, Store: store, Quiesce: quiesce, Seed: testutil.Seed(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedPow2(t, sup, epochs)
+		if err := sup.CloseInput("in"); err != nil {
+			t.Fatal(err)
+		}
+		if err := sup.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.values(epochs - 1); len(got) != 1 || got[0] != int64(1)<<epochs-1 {
+			t.Fatalf("quiesce=%v: final epoch = %v, want [%d]", quiesce, got, int64(1)<<epochs-1)
+		}
+		return store
+	}
+	oracle := run(true)
+	barrier := run(false)
+
+	oracleEps, err := oracle.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrierSet := make(map[int64]bool)
+	if eps, err := barrier.Epochs(); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, e := range eps {
+			barrierSet[e] = true
+		}
+	}
+	compared := 0
+	for _, e := range oracleEps {
+		if !barrierSet[e] {
+			continue // the pipelined barrier path may legally skip boundaries
+		}
+		odata, err := oracle.Load(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver, _ := runtime.SnapshotFormatVersion(odata); ver != 1 {
+			t.Fatalf("quiesce path wrote format version %d, want 1", ver)
+		}
+		snap, err := runtime.UnmarshalSnapshot(odata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bdata, err := barrier.Load(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut, err := runtime.UnmarshalCut(bdata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := decodeCounterTotal(t, cut.Vertices), decodeCounterTotal(t, snap.Vertices); got != want {
+			t.Fatalf("epoch %d: barrier cut holds counter total %d, quiesce oracle %d", e, got, want)
+		}
+		if len(cut.InputEpochs) != len(snap.InputEpochs) {
+			t.Fatalf("epoch %d: input-epoch maps differ: %v vs %v", e, cut.InputEpochs, snap.InputEpochs)
+		}
+		for sid, oe := range snap.InputEpochs {
+			if be, ok := cut.InputEpochs[sid]; !ok || be != oe {
+				t.Fatalf("epoch %d: input stage %d at %d in the cut, %d in the oracle", e, sid, be, oe)
+			}
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatal("no common snapshot boundary between the two paths — differential test compared nothing")
+	}
+	// The final boundary must exist on both sides: the deferred close
+	// forces the barrier path to take its last cut there.
+	if !barrierSet[epochs] {
+		t.Fatalf("barrier path never snapshotted the final boundary %d", epochs)
+	}
+}
+
+// barrierChaosRun drives the pow-2 workload through a chaos transport with
+// the given control-frame faults on every link and incarnation, then
+// audits every persisted cut for tearing. Marker loss stalls cuts (the
+// settle timer aborts them), duplicates and reorders poison them — none
+// of it may corrupt a snapshot or kill the run.
+func barrierChaosRun(t *testing.T, fault transport.Fault, epochs int) runtime.RecoverySnapshot {
+	t.Helper()
+	seed := testutil.Seed(t)
+	store := supervise.NewMemStore(4)
+	s := newEpochSink()
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		cfg.Transport = transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
+			Seed: seed + inc, Default: fault,
+		})
+		cfg.SafetyChecks = true
+	})
+	sup, err := supervise.New(supervise.Config{
+		Factory: fact, Store: store, Seed: seed,
+		CutSettleTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPow2(t, sup, epochs)
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("run under marker chaos failed: %v", err)
+	}
+	want := int64(1)<<epochs - 1
+	if got := s.values(int64(epochs) - 1); len(got) != 1 || got[0] != want {
+		t.Fatalf("final epoch = %v, want [%d]: marker chaos corrupted the dataflow", got, want)
+	}
+	rec := sup.Recovery()
+	if rec.Restarts != 0 {
+		t.Fatalf("marker chaos restarted the computation %d times; it may only cost snapshots (%+v)", rec.Restarts, rec)
+	}
+	if incarnations.Load() != 1 {
+		t.Fatalf("built %d incarnations, want 1", incarnations.Load())
+	}
+	auditCutStore(t, store)
+	return rec
+}
+
+// TestBarrierChaosMarkerFaultsNeverTearCuts: each marker-level fault mode,
+// and all of them combined, at probabilities high enough that many cuts
+// are hit. The runs must complete with exact output, zero restarts, and
+// only untorn cuts in the store.
+func TestBarrierChaosMarkerFaultsNeverTearCuts(t *testing.T) {
+	const epochs = 12
+	t.Run("drop", func(t *testing.T) {
+		barrierChaosRun(t, transport.Fault{DropControlProb: 0.25}, epochs)
+	})
+	t.Run("dup", func(t *testing.T) {
+		barrierChaosRun(t, transport.Fault{DupControlProb: 0.25}, epochs)
+	})
+	t.Run("reorder", func(t *testing.T) {
+		barrierChaosRun(t, transport.Fault{ReorderControlProb: 0.3}, epochs)
+	})
+	t.Run("all", func(t *testing.T) {
+		rec := barrierChaosRun(t, transport.Fault{
+			DropControlProb: 0.15, DupControlProb: 0.15, ReorderControlProb: 0.15,
+		}, epochs)
+		if rec.Cuts == 0 && rec.CutAborts == 0 {
+			t.Fatalf("combined chaos run neither completed nor aborted any cut: %+v", rec)
+		}
+	})
+}
+
+// TestBarrierCrashMidAlignmentFallsBack: with every cross-process marker
+// eaten, no cut can ever complete — cut 1 is permanently mid-alignment
+// when the process crashes. Recovery must fall back to the last complete
+// snapshot (here: none — a full epoch-0 replay) and still produce the
+// reference output; the second, healthy incarnation then checkpoints
+// normally.
+func TestBarrierCrashMidAlignmentFallsBack(t *testing.T) {
+	seed := testutil.Seed(t)
+	store := supervise.NewMemStore(4)
+	s := newEpochSink()
+	var chaos0 *transport.Chaos
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		ccfg := transport.ChaosConfig{Seed: seed + inc}
+		if inc == 0 {
+			ccfg.Default = transport.Fault{DropControlProb: 1.0}
+		}
+		ct := transport.NewChaos(transport.NewMem(2), ccfg)
+		if inc == 0 {
+			chaos0 = ct
+		}
+		cfg.Transport = ct
+	})
+	sup, err := supervise.New(supervise.Config{
+		Factory: fact, Store: store, Seed: seed,
+		CutSettleTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPow2(t, sup, 3) // cut 1 injected at epoch 1 and stuck aligning forever
+	chaos0.Crash(1)
+	if err := sup.OnNext("in", int64(1)<<3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("crash during alignment did not recover: %v", err)
+	}
+	if got := s.values(3); len(got) != 1 || got[0] != 15 {
+		t.Fatalf("epoch 3 = %v, want [15]", got)
+	}
+	rec := sup.Recovery()
+	if rec.Restarts != 1 || incarnations.Load() != 2 {
+		t.Fatalf("restarts = %d, incarnations = %d; want 1 and 2 (%+v)", rec.Restarts, incarnations.Load(), rec)
+	}
+	if rec.Checkpoints == 0 {
+		t.Fatalf("healthy incarnation never completed a cut: %+v", rec)
+	}
+	auditCutStore(t, store)
+}
+
+// TestSelectiveRollbackKeepsHealthyWorkersRunning: with Selective enabled,
+// a single-worker crash is repaired by restoring only that worker from the
+// latest complete cut and replaying its delivery log — no teardown, no new
+// incarnation, healthy workers never stop.
+func TestSelectiveRollbackKeepsHealthyWorkersRunning(t *testing.T) {
+	seed := testutil.Seed(t)
+	s := newEpochSink()
+	var comp *runtime.Computation
+	fact, incarnations := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		cfg.Transport = transport.NewMem(2)
+	})
+	wrapped := supervise.Factory(func() (*supervise.Build, error) {
+		b, err := fact()
+		if err == nil {
+			comp = b.Comp
+		}
+		return b, err
+	})
+	sup, err := supervise.New(supervise.Config{
+		Factory: wrapped, Selective: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPow2(t, sup, 2)
+	waitForCheckpoints(t, sup, 1)
+	// Crash worker 0 — it hosts the pinned counter, so its lost state can
+	// only come back from the cut fragment plus the delivery-log replay.
+	if err := comp.CrashWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Recovery().SelectiveRevivals == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("selective revival never happened: %+v", sup.Recovery())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	feedPow2All := []int64{1 << 2, 1 << 3}
+	for _, v := range feedPow2All {
+		if err := sup.OnNext("in", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Wait(); err != nil {
+		t.Fatalf("run after selective revival failed: %v", err)
+	}
+	if got := s.values(3); len(got) != 1 || got[0] != 15 {
+		t.Fatalf("epoch 3 = %v, want [15]: revival lost or duplicated state", got)
+	}
+	rec := sup.Recovery()
+	if rec.SelectiveRevivals != 1 {
+		t.Fatalf("selective revivals = %d, want 1 (%+v)", rec.SelectiveRevivals, rec)
+	}
+	if rec.Restarts != 0 {
+		t.Fatalf("selective rollback restarted the whole computation: %+v", rec)
+	}
+	if incarnations.Load() != 1 {
+		t.Fatalf("built %d incarnations, want 1: healthy workers were not left running", incarnations.Load())
+	}
+	if rec.LastRecovery <= 0 {
+		t.Fatalf("revival duration not recorded: %+v", rec)
+	}
+}
+
+// TestCutSettleTimeoutReleasesDeferredClose: when the network eats every
+// marker, the final cut never settles; the settle timer must abort it so
+// the deferred CloseInput → Wait completes instead of hanging forever.
+func TestCutSettleTimeoutReleasesDeferredClose(t *testing.T) {
+	seed := testutil.Seed(t)
+	s := newEpochSink()
+	fact, _ := counterFactory(s, func(ctx *runtime.Context) runtime.Vertex {
+		return &counter{ctx: ctx}
+	}, func(inc int64, cfg *runtime.Config) {
+		cfg.Transport = transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
+			Seed: seed + inc, Default: transport.Fault{DropControlProb: 1.0},
+		})
+	})
+	sup, err := supervise.New(supervise.Config{
+		Factory: fact, Seed: seed, CutSettleTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPow2(t, sup, 3)
+	if err := sup.CloseInput("in"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sup.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait hung: the stalled cut blocked the deferred close forever")
+	}
+	if got := s.values(2); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("epoch 2 = %v, want [7]", got)
+	}
+	rec := sup.Recovery()
+	if rec.CutAborts == 0 {
+		t.Fatalf("stalled cut was never aborted: %+v", rec)
+	}
+	if rec.Checkpoints != 0 {
+		t.Fatalf("a cut completed with every marker dropped: %+v", rec)
+	}
+}

@@ -1,11 +1,21 @@
 // Package supervise makes a timely dataflow computation self-healing: a
 // Supervisor owns the computation's lifecycle, takes periodic consistent
-// checkpoints at epoch boundaries (§3.4), detects failures through the
-// runtime's heartbeat detector and watchdog, and on failure rebuilds the
-// graph, restores the latest decodable snapshot, and replays the logged
-// inputs — rollback recovery over logical time, in the spirit of the
-// Falkirk Wheel (Isard & Abadi): the epoch structure tells recovery
-// exactly which inputs to replay and which results are already durable.
+// snapshots, detects failures through the runtime's heartbeat detector and
+// watchdog, and on failure rebuilds the graph, restores the latest
+// decodable snapshot, and replays the logged inputs — rollback recovery
+// over logical time, in the spirit of the Falkirk Wheel (Isard & Abadi):
+// the epoch structure tells recovery exactly which inputs to replay and
+// which results are already durable.
+//
+// Snapshots are asynchronous barrier cuts by default: the supervisor
+// injects barrier markers at the input stages and the cut assembles while
+// traffic keeps flowing — no quiesce, no pause (see runtime/barrier.go).
+// The legacy stop-the-world checkpoint path (quiesce on the probe, pause
+// every worker, serialize) is retained behind Config.Quiesce as a test
+// oracle: both paths must restore to identical state at the same epoch.
+// With Config.Selective, a single-worker failure is repaired by selective
+// rollback — only the crashed worker is restored from the latest cut and
+// replayed from its delivery log; healthy workers never stop.
 //
 // The contract with the application is the paper's: checkpointed vertex
 // state plus replayed input epochs reproduce the lost portion of the
@@ -65,6 +75,24 @@ type Config struct {
 	MaxBackoff time.Duration
 	// Seed drives the backoff jitter PRNG (default 1).
 	Seed int64
+	// CutSettleTimeout bounds every barrier cut's lifetime (default 1s).
+	// A cut normally settles in microseconds; one that outlives the
+	// timeout has lost a marker (a lossy network), and leaving it pending
+	// would block all future checkpoints — and any deferred CloseInput —
+	// forever. The stale cut is aborted: a lost snapshot, never lost data.
+	CutSettleTimeout time.Duration
+	// Quiesce selects the legacy stop-the-world checkpoint path instead of
+	// asynchronous barrier cuts: quiesce on the probe at an epoch boundary,
+	// pause every worker, serialize. Kept as the differential-test oracle
+	// for the barrier path.
+	Quiesce bool
+	// Selective enables single-worker rollback: the runtime keeps per-worker
+	// delivery logs, and a simulated single-worker crash
+	// (runtime.Computation.CrashWorker) is repaired by restoring only that
+	// worker from the latest complete cut and replaying its log — healthy
+	// workers keep running. Requires the barrier path (ignored with
+	// Quiesce).
+	Selective bool
 	// Tracer, when non-nil, receives supervisor-level recovery events:
 	// EvCheckpoint/EvRestore with Aux=1 (snapshot persisted / restored) and
 	// EvRestart when a recovery episode completes. Pass the same Tracer to
@@ -92,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.CutSettleTimeout <= 0 {
+		c.CutSettleTimeout = time.Second
+	}
 	return c
 }
 
@@ -116,6 +147,27 @@ type command struct {
 	records []runtime.Message
 }
 
+type supEventKind uint8
+
+const (
+	evCutDone  supEventKind = iota // a barrier cut assembled completely
+	evCutFail                      // a barrier cut was poisoned or aborted
+	evCutStale                     // the settle timer expired on a pending cut
+	evCrash                        // a single worker parked (Selective mode)
+)
+
+// supEvent carries a runtime callback onto the supervisor's run loop. gen
+// tags the incarnation that produced it: callbacks from a torn-down
+// computation race with recovery, and a stale generation must be ignored.
+type supEvent struct {
+	gen    int
+	kind   supEventKind
+	cut    int64
+	snap   *runtime.CutSnapshot
+	err    error
+	worker int
+}
+
 // Supervisor owns a computation's lifecycle: feed it through OnNext /
 // CloseInput, wait for the terminal state with Wait. All state transitions
 // happen on a single internal goroutine, so the public methods are safe
@@ -126,6 +178,7 @@ type Supervisor struct {
 
 	cmdCh  chan command
 	joinCh chan error
+	evCh   chan supEvent
 	doneCh chan struct{}
 
 	inputs map[string]bool // the graph's input names, fixed at New
@@ -135,8 +188,27 @@ type Supervisor struct {
 	log      map[string]map[int64][]runtime.Message // input → epoch → batch
 	fed      map[string]int64                       // epochs fed per input
 	closedIn map[string]bool
-	lastCP   int64
-	rng      *rand.Rand
+	// closeDeferred holds inputs the application has closed while a barrier
+	// cut covering their final epochs was still possible or in flight; the
+	// actual Close is applied once the cut settles (unused with Quiesce —
+	// the quiesce path checkpoints synchronously, so closes never race a
+	// snapshot).
+	closeDeferred map[string]bool
+	lastCP        int64
+	rng           *rand.Rand
+
+	// Barrier-cut state (unused with Quiesce). gen counts incarnations;
+	// cutSeq issues monotone cut ids across them. pendingCut is the one cut
+	// in flight (0 = none) and pendingCutEpoch the input epoch it was
+	// injected at. lastCut is the newest complete cut, kept in memory so a
+	// selective revival can hand it to the parked worker.
+	gen             int
+	cutSeq          int64
+	pendingCut      int64
+	pendingCutEpoch int64
+	settleArmed     int64 // cut id with a settle timer running, 0 = none
+	lastCut         *runtime.CutSnapshot
+	lastCutID       int64
 
 	errMu    sync.Mutex
 	finalErr error
@@ -153,11 +225,13 @@ func New(cfg Config) (*Supervisor, error) {
 		rm:       &runtime.RecoveryMetrics{},
 		cmdCh:    make(chan command, 64),
 		joinCh:   make(chan error, 1),
+		evCh:     make(chan supEvent, 16),
 		doneCh:   make(chan struct{}),
-		inputs:   make(map[string]bool),
-		log:      make(map[string]map[int64][]runtime.Message),
-		fed:      make(map[string]int64),
-		closedIn: make(map[string]bool),
+		inputs:        make(map[string]bool),
+		log:           make(map[string]map[int64][]runtime.Message),
+		fed:           make(map[string]int64),
+		closedIn:      make(map[string]bool),
+		closeDeferred: make(map[string]bool),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	build, err := s.spawn()
@@ -189,6 +263,33 @@ func (s *Supervisor) spawn() (*Build, error) {
 		return nil, fmt.Errorf("supervise: factory must return a computation, at least one input, and a probe")
 	}
 	build.Comp.SetRecoveryMetrics(s.rm)
+	// Handlers must be installed before Start. They run on runtime
+	// goroutines; forwarding through evCh serializes them onto the run loop,
+	// and the gen tag lets the loop drop callbacks from a torn-down
+	// incarnation. The doneCh case keeps a late callback from blocking
+	// forever after the supervisor has finished.
+	s.gen++
+	gen := s.gen
+	if !s.cfg.Quiesce {
+		build.Comp.SetCutHandler(func(cut int64, snap *runtime.CutSnapshot, err error) {
+			ev := supEvent{gen: gen, kind: evCutDone, cut: cut, snap: snap}
+			if err != nil {
+				ev.kind, ev.err = evCutFail, err
+			}
+			select {
+			case s.evCh <- ev:
+			case <-s.doneCh:
+			}
+		})
+		if s.cfg.Selective {
+			build.Comp.SetWorkerCrashHandler(func(worker int) {
+				select {
+				case s.evCh <- supEvent{gen: gen, kind: evCrash, worker: worker}:
+				case <-s.doneCh:
+				}
+			})
+		}
+	}
 	if err := build.Comp.Start(); err != nil {
 		return nil, fmt.Errorf("supervise: start: %w", err)
 	}
@@ -275,6 +376,8 @@ func (s *Supervisor) run() {
 		select {
 		case cmd := <-s.cmdCh:
 			s.handle(cmd)
+		case ev := <-s.evCh:
+			s.handleEvent(ev)
 		case err := <-s.joinCh:
 			if err == nil {
 				s.finish(nil)
@@ -282,6 +385,13 @@ func (s *Supervisor) run() {
 			}
 			if !s.recover(err) {
 				return // finish() already called by recover
+			}
+			if !s.cfg.Quiesce {
+				// The failed incarnation's in-flight cut died with it. Give
+				// the healthy rebuild a snapshot at the current boundary,
+				// then apply closes the failure interrupted.
+				s.maybeCheckpoint()
+				s.applyDeferredCloses()
 			}
 		}
 	}
@@ -295,7 +405,7 @@ func (s *Supervisor) finish(err error) {
 }
 
 func (s *Supervisor) handle(cmd command) {
-	if s.closedIn[cmd.input] {
+	if s.closedIn[cmd.input] || s.closeDeferred[cmd.input] {
 		return // feeding or re-closing a closed input is a no-op
 	}
 	in := s.build.Inputs[cmd.input]
@@ -309,17 +419,35 @@ func (s *Supervisor) handle(cmd command) {
 		in.OnNext(cmd.records...)
 		s.maybeCheckpoint()
 	case cmdClose:
+		// On the barrier path, hold the close while a cut covering the
+		// input's final epochs is in flight or still possible: closing
+		// drains the computation, and workers that exit mid-alignment would
+		// strand the cut. If the final cut has not been injected yet (e.g.
+		// the previous one was aborted and no feed followed), inject it now
+		// — no later feed will. The close is applied when the cut settles;
+		// the settle timer bounds the wait on a lossy network.
+		if !s.cfg.Quiesce && (s.pendingCut != 0 || s.cutReady()) {
+			s.closeDeferred[cmd.input] = true
+			if s.pendingCut == 0 {
+				s.maybeCheckpoint()
+			}
+			s.applyDeferredCloses()
+			return
+		}
 		s.closedIn[cmd.input] = true
 		in.Close()
 	}
 }
 
-// maybeCheckpoint takes a snapshot when every open input has moved
-// CheckpointEvery epochs past the last one: quiesce on the probe, pause
-// the workers, serialize, persist, prune the replay log below the oldest
-// retained snapshot. Skipped once any input has closed — the computation
-// is draining toward completion and its workers may exit before a
-// checkpoint rendezvous could finish.
+// maybeCheckpoint decides, after each feed, whether to take a snapshot.
+// Both paths share the same guards: skipped once any input has closed (the
+// computation is draining toward completion), and only at an epoch where
+// every input sits at the same fed count — a snapshot taken while one
+// input is fed ahead of another would capture the leading input's epochs
+// half-processed, and the restore/replay protocol is keyed by a single
+// epoch. s.fed covers every input from New (never-fed inputs pin minFed at
+// 0), so the guard also blocks acting on a frontier a still-seeded input
+// could never release. Single-input graphs are always aligned.
 func (s *Supervisor) maybeCheckpoint() {
 	for _, closed := range s.closedIn {
 		if closed {
@@ -335,15 +463,11 @@ func (s *Supervisor) maybeCheckpoint() {
 			maxFed = f
 		}
 	}
-	// Only checkpoint when every input sits at the same epoch: a snapshot
-	// taken while one input is fed ahead of another would capture the
-	// leading input's epochs half-processed (they cannot complete until the
-	// lagging input catches up), and Checkpoint's contract requires no
-	// in-flight work. s.fed covers every input from New (never-fed inputs
-	// pin minFed at 0), so the guard also blocks quiescing on a frontier a
-	// still-seeded input could never release. Single-input graphs are
-	// always aligned.
 	if minFed != maxFed {
+		return
+	}
+	if !s.cfg.Quiesce {
+		s.maybeCut(minFed)
 		return
 	}
 	if minFed <= 0 || minFed-s.lastCP < s.cfg.CheckpointEvery {
@@ -377,6 +501,189 @@ func (s *Supervisor) maybeCheckpoint() {
 	s.pruneLog()
 }
 
+// maybeCut injects an asynchronous barrier at the input stages. Unlike the
+// quiesce path there is no Probe.WaitFor: the cut assembles downstream
+// while the supervisor keeps feeding — the whole point of the barrier
+// design. At most one cut is in flight, and every cut's lifetime is
+// bounded by the settle timer: a healthy cut assembles in microseconds,
+// so one that outlives CutSettleTimeout has lost a marker and is aborted
+// to unblock the next boundary. The feed rate deliberately plays no part —
+// a feeder that outruns cut assembly must not get its healthy cuts
+// aborted.
+func (s *Supervisor) maybeCut(minFed int64) {
+	if s.pendingCut != 0 {
+		return
+	}
+	if minFed <= 0 || minFed-s.lastCP < s.cfg.CheckpointEvery {
+		return
+	}
+	s.cutSeq++
+	s.pendingCut = s.cutSeq
+	s.pendingCutEpoch = minFed
+	if err := s.build.Comp.InjectBarrier(s.cutSeq, minFed); err != nil {
+		s.pendingCut = 0 // e.g. the computation is already failed
+		return
+	}
+	s.armSettleTimer()
+}
+
+// cutReady reports whether maybeCut would inject a cut right now: no cut
+// pending, every input at the same fed epoch, and the boundary at least
+// CheckpointEvery past the last persisted snapshot.
+func (s *Supervisor) cutReady() bool {
+	if s.pendingCut != 0 {
+		return false
+	}
+	minFed, maxFed := int64(-1), int64(-1)
+	for _, f := range s.fed {
+		if minFed < 0 || f < minFed {
+			minFed = f
+		}
+		if f > maxFed {
+			maxFed = f
+		}
+	}
+	return minFed == maxFed && minFed > 0 && minFed-s.lastCP >= s.cfg.CheckpointEvery
+}
+
+// applyDeferredCloses closes inputs whose Close was held back for an
+// in-flight cut, once no cut is pending anymore. While one still is, the
+// settle timer armed at its injection bounds the wait: a cut that never
+// settles — markers eaten by the network — cannot block the closes
+// forever.
+func (s *Supervisor) applyDeferredCloses() {
+	if len(s.closeDeferred) == 0 || s.pendingCut != 0 {
+		return
+	}
+	for name := range s.closeDeferred {
+		delete(s.closeDeferred, name)
+		s.closedIn[name] = true
+		s.build.Inputs[name].Close()
+	}
+}
+
+// armSettleTimer starts (at most once per cut) a timer that aborts the
+// pending cut if it has not settled within CutSettleTimeout. The timer
+// fires through evCh with the incarnation and cut id pinned, so a cut that
+// settled — or a later incarnation — ignores it; aborting a genuinely
+// stalled cut costs the snapshot, never data.
+func (s *Supervisor) armSettleTimer() {
+	if s.pendingCut == 0 || s.settleArmed == s.pendingCut {
+		return
+	}
+	s.settleArmed = s.pendingCut
+	gen, cut := s.gen, s.pendingCut
+	time.AfterFunc(s.cfg.CutSettleTimeout, func() {
+		select {
+		case s.evCh <- supEvent{gen: gen, kind: evCutStale, cut: cut}:
+		case <-s.doneCh:
+		}
+	})
+}
+
+// handleEvent applies one runtime callback on the run loop. Events from a
+// previous incarnation are dropped: the computation that produced them is
+// gone and their cut ids or worker states mean nothing to the current one.
+func (s *Supervisor) handleEvent(ev supEvent) {
+	if ev.gen != s.gen {
+		return
+	}
+	switch ev.kind {
+	case evCutDone:
+		if ev.cut != s.pendingCut {
+			return // a cut we already gave up on
+		}
+		epoch := s.pendingCutEpoch
+		s.pendingCut = 0
+		data := runtime.EncodeCut(ev.snap)
+		if err := s.cfg.Store.Save(epoch, data); err != nil {
+			// Keep the previous baseline: AbortCut merges the cut's delivery-
+			// log segments back so selective revival from the older cut still
+			// has a contiguous log.
+			s.build.Comp.AbortCut(ev.cut)
+			s.rm.CutAborts.Add(1)
+			return
+		}
+		s.lastCP = epoch
+		s.lastCut = ev.snap
+		s.lastCutID = ev.cut
+		// Retiring prunes delivery-log segments below this cut and makes the
+		// workers drop any late duplicate markers for it.
+		s.build.Comp.RetireCut(ev.cut)
+		s.rm.Checkpoints.Add(1)
+		s.rm.CheckpointBytes.Add(int64(len(data)))
+		s.rm.Cuts.Add(1)
+		s.rm.CutBytes.Add(int64(len(data)))
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.Emit(trace.Event{
+				Kind: trace.EvCheckpoint, Aux: 1, Worker: -1, Stage: -1, Loc: -1,
+				Epoch: epoch, N: int64(len(data)),
+			})
+		}
+		s.pruneLog()
+		// Pipeline: feeds kept flowing while this cut assembled, so the
+		// inputs may already sit CheckpointEvery past it — start the next
+		// cut immediately instead of waiting for the next feed. Then apply
+		// any Close held back for the settled cut (a no-op if a new cut
+		// just started; the next settle re-checks).
+		s.maybeCheckpoint()
+		s.applyDeferredCloses()
+	case evCutFail:
+		if ev.cut != s.pendingCut {
+			return
+		}
+		s.pendingCut = 0
+		s.rm.CutAborts.Add(1)
+		// The poisoning worker settled the cut, but other workers may still
+		// be aligning on it and holding delivery-log segments open. AbortCut
+		// broadcasts the cleanup; it is idempotent on the already-settled
+		// cut state.
+		s.build.Comp.AbortCut(ev.cut)
+		// Deferred closes are applied without retrying the cut: under a
+		// network that keeps eating markers, retry-on-fail would spin
+		// forever while the application waits on Wait. The next feed (if
+		// any) retries naturally.
+		s.applyDeferredCloses()
+	case evCutStale:
+		// The settle timer expired. AbortCut is idempotent: if the cut
+		// settled in the meantime this is a no-op; otherwise the poison
+		// comes back as evCutFail, which releases the deferred closes.
+		if ev.cut == s.pendingCut {
+			s.build.Comp.AbortCut(ev.cut)
+		}
+	case evCrash:
+		s.reviveWorker(ev.worker)
+	}
+}
+
+// reviveWorker repairs a single parked worker by selective rollback:
+// restore only that worker from the newest complete cut (nil means segment
+// zero of its delivery log — replay from birth) and replay its logged
+// deliveries. Healthy workers never stop. If revival fails, fall back to
+// the full teardown/rebuild path by aborting the computation.
+func (s *Supervisor) reviveWorker(worker int) {
+	t0 := time.Now()
+	if s.pendingCut != 0 {
+		// The crash tore any in-flight alignment; abandon the cut before
+		// reviving so the worker's merged log segments stay contiguous.
+		s.build.Comp.AbortCut(s.pendingCut)
+		s.pendingCut = 0
+		s.rm.CutAborts.Add(1)
+	}
+	if err := s.build.Comp.ReviveWorker(worker, s.lastCut); err != nil {
+		s.build.Comp.Abort(fmt.Errorf("supervise: selective revival of worker %d: %w", worker, err))
+		return // the join monitor delivers the failure; recover() takes over
+	}
+	s.rm.SelectiveRevivals.Add(1)
+	s.rm.LastRecoveryNanos.Store(time.Since(t0).Nanoseconds())
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvRestart, Aux: -1, Worker: int32(worker), Stage: -1, Loc: -1,
+			Epoch: s.lastCutID, Dur: time.Since(t0).Nanoseconds(),
+		})
+	}
+}
+
 // pruneLog drops replay batches below the oldest retained snapshot: no
 // recovery can start earlier than that, so they can never be replayed.
 func (s *Supervisor) pruneLog() {
@@ -401,6 +708,14 @@ func (s *Supervisor) pruneLog() {
 // Returns false after exhausting the restart budget (terminal gave-up).
 func (s *Supervisor) recover(cause error) bool {
 	t0 := time.Now()
+	// Barrier state died with the incarnation: any in-flight cut is gone,
+	// and the in-memory lastCut belongs to worker delivery logs that no
+	// longer exist. The next incarnation rebuilds its baseline from the
+	// store (restoreInto) and from fresh cuts; a selective revival before
+	// the first new cut falls back to the worker's restored segment zero.
+	s.pendingCut = 0
+	s.lastCut = nil
+	s.lastCutID = 0
 	for attempt := 1; attempt <= s.cfg.MaxRestarts; attempt++ {
 		if attempt > 1 {
 			s.backoff(attempt)
@@ -478,16 +793,35 @@ func (s *Supervisor) restoreInto(build *Build) error {
 			lastErr = err
 			continue
 		}
-		snap, err := runtime.UnmarshalSnapshot(data)
+		ver, err := runtime.SnapshotFormatVersion(data)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if err := build.Comp.Restore(snap); err != nil {
-			// A snapshot the graph rejects (UnknownStageError) is as
-			// unusable as a corrupt one, but the rendezvous may have
-			// touched vertex state — don't risk a half-restored build.
-			return err
+		// The store may hold a mix of quiesce snapshots (v1) and barrier
+		// cuts (v2) — e.g. after toggling Quiesce, or in the differential
+		// tests. Either restores into a fresh build; a restore the graph
+		// rejects (UnknownStageError) is as unusable as a corrupt snapshot,
+		// but the rendezvous may have touched vertex state — don't risk a
+		// half-restored build, fail the attempt.
+		if ver >= 2 {
+			cut, err := runtime.UnmarshalCut(data)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if err := build.Comp.RestoreCut(cut); err != nil {
+				return err
+			}
+		} else {
+			snap, err := runtime.UnmarshalSnapshot(data)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if err := build.Comp.Restore(snap); err != nil {
+				return err
+			}
 		}
 		if tr := s.cfg.Tracer; tr != nil {
 			tr.Emit(trace.Event{

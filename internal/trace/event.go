@@ -39,8 +39,22 @@ const (
 	EvRestore
 	// EvRestart is a completed supervised recovery: Dur = failure detection
 	// to the replayed computation catching up, Epoch = the epoch recovery
-	// replayed to.
+	// replayed to. Aux = the restart attempt for a full teardown/rebuild
+	// recovery, or -1 for a selective single-worker revival (then Worker =
+	// the revived worker).
 	EvRestart
+	// EvBarrierInject is a barrier injected at the input stages for an
+	// asynchronous snapshot cut: Epoch = the cut id.
+	EvBarrierInject
+	// EvBarrierAlign is one vertex completing barrier alignment: Stage,
+	// Worker, Epoch = cut id, Dur = first-marker to last-marker wall time,
+	// N = in-flight channel batches logged into the cut.
+	EvBarrierAlign
+	// EvBarrierCut is a completed (all vertices aligned) asynchronous
+	// snapshot cut: Epoch = cut id, N = encoded bytes, Dur = injection to
+	// completion wall time. Aux = 1 when the cut was persisted by the
+	// supervisor.
+	EvBarrierCut
 
 	numKinds
 )
@@ -70,6 +84,12 @@ func (k Kind) String() string {
 		return "restore"
 	case EvRestart:
 		return "restart"
+	case EvBarrierInject:
+		return "barrier-inject"
+	case EvBarrierAlign:
+		return "barrier-align"
+	case EvBarrierCut:
+		return "barrier-cut"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

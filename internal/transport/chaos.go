@@ -57,6 +57,20 @@ type Fault struct {
 	// frame. Only for negative tests of the progress protocol's safety
 	// assumptions; real networks with TCP framing never do this.
 	ReorderProb float64
+	// DropControlProb silently drops KindControl frames (barrier markers)
+	// with this probability. Only for negative tests of the asynchronous-
+	// barrier protocol: a dropped marker must stall the cut, never tear it.
+	DropControlProb float64
+	// DupControlProb enqueues KindControl frames twice with this
+	// probability — a duplicate barrier marker must poison the cut, never
+	// produce a torn snapshot.
+	DupControlProb float64
+	// ReorderControlProb lets a KindControl frame jump ahead of the
+	// previously queued frame with this probability, without disturbing
+	// the relative order of data frames. A marker overtaking the records
+	// it counted (or lagging behind later ones) must be detected by the
+	// receiver's channel counters and poison the cut, never tear it.
+	ReorderControlProb float64
 }
 
 // Partition disconnects process groups for a window of wall-clock time:
@@ -252,6 +266,16 @@ func (c *Chaos) Send(from, to int, kind Kind, payload []byte) {
 		l.mu.Unlock()
 		return
 	}
+	dup := false
+	if kind == KindControl {
+		if p := l.fault.DropControlProb; p > 0 && l.rng.Float64() < p {
+			l.mu.Unlock()
+			return // marker lost in flight; the cut stalls, it never tears
+		}
+		if p := l.fault.DupControlProb; p > 0 && l.rng.Float64() < p {
+			dup = true
+		}
+	}
 	delay := l.fault.Latency
 	if l.fault.Jitter > 0 {
 		delay += time.Duration(l.rng.Int63n(int64(l.fault.Jitter)))
@@ -275,13 +299,22 @@ func (c *Chaos) Send(from, to int, kind Kind, payload []byte) {
 		at = l.lastAt // FIFO: never deliver before an earlier frame
 	}
 	f := chaosFrame{from: from, to: to, kind: kind, payload: payload, at: at}
-	if l.fault.ReorderProb > 0 && len(l.queue) > 0 && l.rng.Float64() < l.fault.ReorderProb {
+	reorder := l.fault.ReorderProb
+	if kind == KindControl && l.fault.ReorderControlProb > 0 {
+		reorder = l.fault.ReorderControlProb
+	}
+	if reorder > 0 && len(l.queue) > 0 && l.rng.Float64() < reorder {
 		// Deliberate FIFO violation: jump ahead of the queue tail.
 		l.queue = append(l.queue, chaosFrame{})
 		copy(l.queue[len(l.queue)-1:], l.queue[len(l.queue)-2:])
 		l.queue[len(l.queue)-2] = f
 	} else {
 		l.queue = append(l.queue, f)
+	}
+	if dup {
+		d := f
+		d.payload = append([]byte(nil), f.payload...)
+		l.queue = append(l.queue, d)
 	}
 	l.mu.Unlock()
 	l.cond.Signal()

@@ -53,7 +53,12 @@ const FrameOverhead = 9
 
 // Handler consumes a frame delivered to a process. The payload slice is
 // owned by the receiver. Handlers must be safe for concurrent invocation
-// from different links; frames on one (from, kind) link arrive in order.
+// from different links; frames on one (from, to) link arrive in send
+// order, across kinds — every built-in transport funnels a directed link's
+// traffic through a single queue (Mem), delay line (Chaos), or socket
+// (TCP). The asynchronous-barrier protocol depends on this: a KindControl
+// barrier marker must never overtake the KindData frames sent before it on
+// the same link (TestCrossKindLinkFIFO pins the guarantee).
 type Handler func(from int, kind Kind, payload []byte)
 
 // Transport delivers frames between processes 0..N-1.
