@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet bench bench-smoke chaos soak soak-recovery fuzz cover
+.PHONY: build test check vet vet-fixtures bench bench-smoke chaos soak soak-recovery fuzz cover
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ vet:
 	else \
 		echo "vet: govulncheck not installed; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
+
+# The analyzer test suites: framework facts/call-graph/recovery tests plus
+# every analyzer's `// want`-annotated testdata fixtures, including the
+# quiesce-deadlock shape lockorder must keep catching.
+vet-fixtures:
+	$(GO) test -count=1 ./internal/analysis/...
 
 # Progress + runtime microbenchmarks, then the harness comparison of the
 # indexed tracker against the scan-based reference oracle, written to the

@@ -1,30 +1,44 @@
 // naiad-vet is the repository's static-analysis gate: a multichecker over
-// the timely-dataflow vertex-contract analyzers in internal/analysis.
+// the timely-dataflow vertex-contract analyzers in internal/analysis, plus
+// the whole-program concurrency analyzers (lock-order cycles, atomics
+// discipline, goroutine lifecycles) built on the framework's facts and
+// call-graph layer.
 //
 // Usage:
 //
-//	naiad-vet [-list] [-analyzers=a,b,...] [packages]
+//	naiad-vet [-list] [-json] [-analyzers=a,b,...] [packages]
 //
 // With no packages, ./... is checked. The exit status is 1 when any
-// diagnostic survives suppression, 2 on operational failure. Intentional
-// violations (e.g. negative tests that provoke the runtime's own dynamic
-// check) are suppressed with a comment on the flagged line or the line
-// above it:
+// diagnostic survives suppression, 2 on operational failure. With -json,
+// diagnostics are emitted as one JSON object per line on stdout
+// (file/line/column/analyzer/message), for machine consumption in CI.
+// Intentional violations (e.g. negative tests that provoke the runtime's
+// own dynamic check) are suppressed with a comment on the flagged line or
+// the line above it:
 //
 //	//lint:naiad-vet:timemono <reason>
+//
+// When the full suite runs (no -analyzers subset), suppression comments
+// that did not suppress anything are themselves reported as "suppression"
+// diagnostics, so stale waivers cannot linger after the code they excused
+// is gone.
 //
 // See docs/static-analysis.md for each analyzer's contract and the paper
 // invariant behind it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"naiad/internal/analysis/atomicmix"
 	"naiad/internal/analysis/framework"
+	"naiad/internal/analysis/golife"
 	"naiad/internal/analysis/lockhold"
+	"naiad/internal/analysis/lockorder"
 	"naiad/internal/analysis/seedrand"
 	"naiad/internal/analysis/timemono"
 	"naiad/internal/analysis/tsimmut"
@@ -38,10 +52,23 @@ var all = []*framework.Analyzer{
 	vertexctx.Analyzer,
 	lockhold.Analyzer,
 	seedrand.Analyzer,
+	lockorder.Analyzer,
+	atomicmix.Analyzer,
+	golife.Analyzer,
+}
+
+// jsonFinding is the machine-readable diagnostic shape emitted by -json.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON Lines on stdout")
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	flag.Parse()
 
@@ -53,7 +80,9 @@ func main() {
 	}
 
 	analyzers := all
+	fullSuite := true
 	if *names != "" {
+		fullSuite = false
 		byName := make(map[string]*framework.Analyzer)
 		for _, a := range all {
 			byName[a.Name] = a
@@ -80,11 +109,31 @@ func main() {
 	if err != nil {
 		fatalf("naiad-vet: %v", err)
 	}
-	findings, suppressed, err := framework.ApplySuppressions(findings)
+	findings, suppressed, used, err := framework.ApplySuppressions(findings)
 	if err != nil {
 		fatalf("naiad-vet: %v", err)
 	}
+	// Stale-suppression sweep: only meaningful when every analyzer ran,
+	// since a subset run leaves other analyzers' waivers legitimately
+	// unexercised.
+	if fullSuite {
+		findings = append(findings, framework.StaleSuppressions(pkgs, used)...)
+		framework.SortFindings(findings)
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
+		if *asJSON {
+			if err := enc.Encode(jsonFinding{
+				File:     f.Position.Filename,
+				Line:     f.Position.Line,
+				Column:   f.Position.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}); err != nil {
+				fatalf("naiad-vet: %v", err)
+			}
+			continue
+		}
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {

@@ -1,0 +1,256 @@
+// Package atomicmix flags struct fields and package-level variables that
+// are accessed both through sync/atomic functions and by plain read/write
+// anywhere in the program.
+//
+// A field accessed with atomic.LoadX in one place and a bare assignment in
+// another has no synchronization at all on the plain side: the atomic
+// accesses order nothing for it, the race detector only catches the
+// schedules a test explores, and the failure is the PR 6 readiness-flag
+// class — a worker's Start observing a half-written flag that CrashWorker
+// wrote plainly. The discipline must hold program-wide, not per package:
+// a field consistently atomic inside its package and poked plainly by an
+// importer is exactly the cross-package shape per-package analysis misses.
+// Each package pass exports, as facts, the variables it passes by address
+// into sync/atomic; the Finish step sweeps every package for plain
+// accesses to any of them.
+//
+// Not flagged: fields of the typed atomic.Int64/Uint32/Bool/... wrappers
+// (the type system already forbids plain access), composite-literal keys
+// (`s{flag: 1}` names the field, it does not access it), and fields only
+// ever accessed plainly (mutex-guarded state is the guard's business —
+// see lockhold/lockorder). Known false negatives: plain access through a
+// previously taken pointer (`p := &s.n; *p = 1`) and accesses in _test.go
+// files (test variants model test-only schedules).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"naiad/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &framework.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "flag fields accessed both through sync/atomic and by plain read/write anywhere in the program",
+	Run:       run,
+	Finish:    finish,
+	FactTypes: []framework.Fact{&AtomicUsesFact{}},
+}
+
+// AtomicUse records one variable passed by address into sync/atomic.
+type AtomicUse struct {
+	Key  string // framework.ObjectKey of the field or variable
+	Name string // display name, e.g. runtime.worker.ready
+	Pos  token.Pos
+}
+
+// AtomicUsesFact is a package fact: every atomic use site in the package.
+type AtomicUsesFact struct{ Uses []AtomicUse }
+
+func (*AtomicUsesFact) AFact() {}
+
+func run(pass *framework.Pass) (any, error) {
+	var uses []AtomicUse
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			target := atomicOperand(pass.TypesInfo, call)
+			if target == nil {
+				return true
+			}
+			obj, name := resolveVar(pass.TypesInfo, target)
+			if obj == nil {
+				return true
+			}
+			uses = append(uses, AtomicUse{
+				Key:  framework.ObjectKey(pass.Fset, obj),
+				Name: name,
+				Pos:  target.Pos(),
+			})
+			return true
+		})
+	}
+	if len(uses) > 0 {
+		pass.ExportPackageFact(&AtomicUsesFact{Uses: uses})
+	}
+	return nil, nil
+}
+
+// atomicOperand returns the expression whose address is passed to a
+// sync/atomic free function (atomic.AddInt64(&x, 1) → x), or nil.
+func atomicOperand(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil // typed atomic wrappers are safe by construction
+	}
+	unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	return ast.Unparen(unary.X)
+}
+
+// resolveVar resolves an expression to the struct field or variable it
+// names.
+func resolveVar(info *types.Info, e ast.Expr) (*types.Var, string) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return nil, ""
+			}
+			name := v.Name()
+			if tn := namedTypeName(sel.Recv()); tn != "" {
+				name = tn + "." + name
+			}
+			if v.Pkg() != nil {
+				name = v.Pkg().Name() + "." + name
+			}
+			return v, name
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok { // pkg-qualified var
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		// Bare idents can only name package-level variables here: a field
+		// always appears under a SelectorExpr (handled above; counting its
+		// Sel ident too would double-report).
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && !v.IsField() && !isLocal(v) {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return nil, ""
+}
+
+// isLocal reports whether v is function-local (uninteresting: a local
+// passed to atomic and read plainly in one frame is visible to the race
+// detector and usually a loop-local accumulator).
+func isLocal(v *types.Var) bool {
+	return v.Pkg() == nil || (v.Parent() != nil && v.Parent() != v.Pkg().Scope())
+}
+
+func namedTypeName(t types.Type) string {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// finish sweeps every package for plain accesses to the atomically-used
+// variables.
+func finish(wp *framework.WholeProgram) error {
+	atomicUses := make(map[string]AtomicUse) // key → first use (earliest position)
+	wp.EachPackageFact(&AtomicUsesFact{}, func(_ string, fact framework.Fact) {
+		for _, u := range fact.(*AtomicUsesFact).Uses {
+			if prev, ok := atomicUses[u.Key]; !ok || u.Pos < prev.Pos {
+				atomicUses[u.Key] = u
+			}
+		}
+	})
+	if len(atomicUses) == 0 {
+		return nil
+	}
+
+	seenFile := make(map[string]bool)
+	for _, pkg := range wp.Pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			name := wp.Fset.Position(file.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") || seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			sweepFile(wp, pkg, file, atomicUses)
+		}
+	}
+	return nil
+}
+
+// sweepFile reports plain accesses in one file.
+func sweepFile(wp *framework.WholeProgram, pkg *framework.Package, file *ast.File, atomicUses map[string]AtomicUse) {
+	// Pre-pass: positions that are sanctioned mentions of the variable —
+	// the &x operand of an atomic call, and composite-literal keys.
+	sanctioned := make(map[token.Pos]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if target := atomicOperand(pkg.TypesInfo, n); target != nil {
+				sanctioned[target.Pos()] = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					sanctioned[kv.Key.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var plains []AtomicUse
+	ast.Inspect(file, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+		default:
+			return true
+		}
+		if sanctioned[e.Pos()] {
+			return false // skip the subtree: &x operands, composite keys
+		}
+		obj, name := resolveVar(pkg.TypesInfo, e)
+		if obj == nil {
+			return true
+		}
+		key := framework.ObjectKey(wp.Fset, obj)
+		if _, ok := atomicUses[key]; !ok {
+			return true
+		}
+		// A selector's Sel ident would double-report; only count the
+		// outermost expression (the SelectorExpr itself), which is the one
+		// Selections resolves.
+		plains = append(plains, AtomicUse{Key: key, Name: name, Pos: e.Pos()})
+		return false // don't descend into x.Sel
+	})
+
+	sort.Slice(plains, func(i, j int) bool { return plains[i].Pos < plains[j].Pos })
+	for _, p := range plains {
+		u := atomicUses[p.Key]
+		ap := wp.Fset.Position(u.Pos)
+		wp.Reportf(p.Pos, "plain (non-atomic) access of %s, which is accessed atomically (e.g. at %s:%d); every access must go through sync/atomic — mixing orders nothing and races on the plain side", p.Name, shortFile(ap.Filename), ap.Line)
+	}
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

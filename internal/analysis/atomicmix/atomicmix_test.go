@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/atomicmix"
+)
+
+// TestAtomicmix runs the two-package fixture: a mixed field, a
+// consistently-atomic field, a mutex-guarded plain field (clean), a
+// composite-literal key (clean), and a cross-package plain write to a
+// field the defining package only ever touches atomically.
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "a", "b")
+}

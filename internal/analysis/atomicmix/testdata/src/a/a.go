@@ -1,0 +1,52 @@
+// Package a is the atomicmix fixture: one field accessed both atomically
+// and plainly (flagged), one consistently atomic (clean), one only ever
+// plain under a mutex (clean — that is lockhold/lockorder's territory),
+// and an exported field whose plain access lives in another package.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mixed   int64
+	clean   int64
+	guarded int64
+	mu      sync.Mutex
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.mixed, 1)
+	atomic.AddInt64(&c.clean, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.mixed // want `plain \(non-atomic\) access of a\.counter\.mixed, which is accessed atomically`
+}
+
+func (c *counter) readClean() int64 {
+	return atomic.LoadInt64(&c.clean)
+}
+
+func (c *counter) bumpGuarded() {
+	c.mu.Lock()
+	c.guarded++
+	c.mu.Unlock()
+}
+
+// Shared's Flag is stored atomically here and poked plainly by package b:
+// the cross-package inconsistency only a whole-program pass can see.
+type Shared struct {
+	Flag uint32
+}
+
+func Arm(s *Shared) {
+	atomic.StoreUint32(&s.Flag, 1)
+}
+
+// NewShared's composite-literal key is a field name, not a field access;
+// it must not be flagged.
+func NewShared() *Shared {
+	return &Shared{Flag: 0}
+}

@@ -1,0 +1,9 @@
+// Package b pokes package a's atomically-disciplined field with a plain
+// write — the cross-package half of the atomicmix fixture.
+package b
+
+import a "naiad/internal/analysis/atomicmix/testdata/src/a"
+
+func Disarm(s *a.Shared) {
+	s.Flag = 0 // want `plain \(non-atomic\) access of a\.Shared\.Flag, which is accessed atomically`
+}

@@ -1,0 +1,271 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds a lightweight whole-program call graph from static call
+// sites, for analyzers whose Finish step needs reachability (lock-order
+// cycles, goroutine lifecycles). Resolution rules:
+//
+//   - Direct calls and method calls on concrete receivers resolve through
+//     types.Info.Uses to the callee's declaration.
+//   - Interface method calls resolve with class-hierarchy analysis: the
+//     callees are that method on every concrete named type in the analyzed
+//     package set that implements the interface. This over-approximates
+//     (any implementation, not the ones actually bound) but is what makes
+//     callback shapes — a runtime worker invoking a supervisor-registered
+//     hook — visible to lock-order analysis.
+//   - Calls through plain function values, method values, and reflection
+//     are not resolved (a documented false-negative class).
+//
+// Function literals are not graph nodes: a literal's body runs on its own
+// schedule (often a different goroutine), so its call sites are not
+// attributed to the enclosing declaration. Analyzers that care about
+// literal bodies walk them directly.
+
+// CallGraph is the static call graph over a set of analyzed packages,
+// keyed by ObjectKey.
+type CallGraph struct {
+	Fset *token.FileSet
+	// Funcs maps a function's object key to its node. Only functions whose
+	// declaration (with body) is in the analyzed set appear.
+	Funcs map[string]*FuncNode
+
+	// impls maps an interface method's object key to the keys of the
+	// concrete methods implementing it, for Resolve.
+	impls map[string][]string
+}
+
+// FuncNode is one declared function or method.
+type FuncNode struct {
+	Key  string
+	Name string // qualified display name, e.g. (*runtime.worker).run
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Callees are this function's resolved static call sites, in source
+	// order (interface sites expanded to every implementation).
+	Callees []CallSite
+}
+
+// CallSite is one resolved call edge.
+type CallSite struct {
+	Callee  string // object key of the target
+	Pos     token.Pos
+	Dynamic bool // resolved via interface implementation matching
+}
+
+// FuncDisplayName renders fn as pkgname.Func or (*pkgname.Recv).Method.
+func FuncDisplayName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkg + fn.Name()
+	}
+	rt := sig.Recv().Type()
+	star := ""
+	if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+		rt, star = p.Elem(), "*"
+	}
+	name := rt.String()
+	if n, ok := types.Unalias(rt).(*types.Named); ok {
+		name = n.Obj().Name()
+	}
+	return "(" + star + pkg + name + ")." + fn.Name()
+}
+
+// BuildCallGraph constructs the call graph over pkgs. Packages sharing
+// files (a base package and its test variant) are deduplicated by
+// declaration position, so each function appears once.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: make(map[string]*FuncNode), impls: make(map[string][]string)}
+	if len(pkgs) > 0 {
+		g.Fset = pkgs[0].Fset
+	}
+
+	// Pass 1: index every function declaration with a body.
+	type declInfo struct {
+		node *FuncNode
+		pkg  *Package
+	}
+	var order []string
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := ObjectKey(pkg.Fset, fn)
+				if _, dup := g.Funcs[key]; dup {
+					continue // same file under a test variant
+				}
+				g.Funcs[key] = &FuncNode{Key: key, Name: FuncDisplayName(fn), Decl: fd, Pkg: pkg}
+				order = append(order, key)
+			}
+		}
+	}
+
+	// Pass 2: collect the named types of the analyzed set, for interface
+	// resolution. Uninstantiated generic types are skipped: their method
+	// sets cannot be queried with types.Implements.
+	var concrete []types.Type
+	var ifaces []*types.Named
+	seenTypes := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := types.Unalias(tn.Type()).(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			key := ObjectKey(pkg.Fset, tn)
+			if seenTypes[key] {
+				continue
+			}
+			seenTypes[key] = true
+			if types.IsInterface(named) {
+				ifaces = append(ifaces, named)
+			} else {
+				concrete = append(concrete, named)
+			}
+		}
+	}
+	for _, in := range ifaces {
+		iface, ok := in.Underlying().(*types.Interface)
+		if !ok || iface.NumMethods() == 0 {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			mkey := ObjectKey(g.Fset, m)
+			for _, ct := range concrete {
+				recv := ct
+				if !types.Implements(recv, iface) {
+					recv = types.NewPointer(ct)
+					if !types.Implements(recv, iface) {
+						continue
+					}
+				}
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+				impl, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				ikey := ObjectKey(g.Fset, impl)
+				if _, inSet := g.Funcs[ikey]; inSet {
+					g.impls[mkey] = append(g.impls[mkey], ikey)
+				}
+			}
+			sort.Strings(g.impls[mkey])
+		}
+	}
+
+	// Pass 3: resolve each function's call sites.
+	for _, key := range order {
+		node := g.Funcs[key]
+		info := node.Pkg.TypesInfo
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			for _, cs := range g.resolve(fn, call.Pos()) {
+				node.Callees = append(node.Callees, cs)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// CalleeFunc resolves a call expression's target to a *types.Func (a
+// declared function, a concrete method, or an interface method), or nil for
+// function-value calls, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// resolve expands fn at pos into concrete call sites: itself for a static
+// target, or every known implementation for an interface method.
+func (g *CallGraph) resolve(fn *types.Func, pos token.Pos) []CallSite {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		var out []CallSite
+		for _, ikey := range g.impls[ObjectKey(g.Fset, fn)] {
+			out = append(out, CallSite{Callee: ikey, Pos: pos, Dynamic: true})
+		}
+		return out
+	}
+	return []CallSite{{Callee: ObjectKey(g.Fset, fn), Pos: pos}}
+}
+
+// Resolve maps a call target's object key to the keys of the function
+// bodies it may execute: the key itself for a declared function in the
+// set, or the implementing methods for an interface method's key.
+func (g *CallGraph) Resolve(key string) []string {
+	if impls, ok := g.impls[key]; ok {
+		return impls
+	}
+	if _, ok := g.Funcs[key]; ok {
+		return []string{key}
+	}
+	return nil
+}
+
+// IsInterfaceMethod reports whether fn is declared on an interface.
+func IsInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// SortCallSites orders sites by position then callee, for deterministic
+// consumers.
+func SortCallSites(sites []CallSite) {
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Pos != sites[j].Pos {
+			return sites[i].Pos < sites[j].Pos
+		}
+		return strings.Compare(sites[i].Callee, sites[j].Callee) < 0
+	})
+}

@@ -1,0 +1,236 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// This file implements the whole-program Facts mechanism: the serialized
+// observations an analyzer's pass on one package exports for the passes of
+// the packages that import it, mirroring go/analysis facts.
+//
+// Facts are keyed by object (a function, a struct field, a package-level
+// variable) or by package. Because the loader type-checks a package and its
+// test variant separately, the "same" source object can be represented by
+// two distinct types.Object values; keys are therefore derived from the
+// object's declaration position (shared token.FileSet, same files, same
+// position) plus its name, which unifies the variants. Fact payloads are
+// gob-encoded on export and decoded on import, so a fact that would not
+// survive a process boundary fails loudly here too.
+
+// ObjectKey returns the stable whole-program key for obj: its declaration
+// position and name. Objects without a valid position (universe objects)
+// fall back to a package-path-qualified name.
+func ObjectKey(fset *token.FileSet, obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	if obj.Pos().IsValid() {
+		p := fset.Position(obj.Pos())
+		return fmt.Sprintf("%s:%d:%d/%s", p.Filename, p.Line, p.Column, obj.Name())
+	}
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return path + "." + obj.Name()
+}
+
+// BasePath strips the test-variant suffix from an import path:
+// "pkg [pkg.test]" becomes "pkg". Plain paths pass through unchanged.
+func BasePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// factEntry is one serialized fact.
+type factEntry struct {
+	typeName string
+	data     []byte
+	pos      token.Pos // declaration position of the keyed object (NoPos for package facts)
+}
+
+// factStore holds one run's facts for every whole-program analyzer,
+// keyed analyzer → object-or-package key → entry.
+type factStore struct {
+	objects  map[string]map[string]factEntry
+	packages map[string]map[string]factEntry
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objects:  make(map[string]map[string]factEntry),
+		packages: make(map[string]map[string]factEntry),
+	}
+}
+
+// encodeFact serializes fact, validating that its concrete type was
+// declared in the analyzer's FactTypes.
+func encodeFact(a *Analyzer, fact Fact) factEntry {
+	declared := false
+	for _, ft := range a.FactTypes {
+		if reflect.TypeOf(ft) == reflect.TypeOf(fact) {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		panic(fmt.Sprintf("framework: analyzer %s exports fact of undeclared type %T (add it to FactTypes)", a.Name, fact))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		panic(fmt.Sprintf("framework: analyzer %s: encoding %T: %v", a.Name, fact, err))
+	}
+	return factEntry{typeName: reflect.TypeOf(fact).String(), data: buf.Bytes()}
+}
+
+// decodeFact deserializes an entry into fact (a pointer of the matching
+// concrete type), reporting whether the types agreed.
+func decodeFact(e factEntry, fact Fact) bool {
+	if e.typeName != reflect.TypeOf(fact).String() {
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(e.data)).Decode(fact); err != nil {
+		panic(fmt.Sprintf("framework: decoding fact %s: %v", e.typeName, err))
+	}
+	return true
+}
+
+// ExportObjectFact associates fact with obj for the passes of downstream
+// packages and for the analyzer's Finish step. Only whole-program analyzers
+// (non-nil FactTypes) may export facts.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("framework: analyzer %s exports facts but declares no FactTypes", p.Analyzer.Name))
+	}
+	e := encodeFact(p.Analyzer, fact)
+	e.pos = obj.Pos()
+	m := p.facts.objects[p.Analyzer.Name]
+	if m == nil {
+		m = make(map[string]factEntry)
+		p.facts.objects[p.Analyzer.Name] = m
+	}
+	m[ObjectKey(p.Fset, obj)] = e
+}
+
+// ImportObjectFact decodes the fact previously exported for obj into fact,
+// reporting whether one of the matching type existed. The fact arrives
+// through the serialized store even for same-process passes, so round-trip
+// fidelity is exercised on every import.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	e, ok := p.facts.objects[p.Analyzer.Name][ObjectKey(p.Fset, obj)]
+	return ok && decodeFact(e, fact)
+}
+
+// ExportPackageFact associates fact with the package under analysis.
+// Exporting twice overwrites: the last pass wins, which lets a base package
+// and its test variant (analyzed under the same base path) refine one entry.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("framework: analyzer %s exports facts but declares no FactTypes", p.Analyzer.Name))
+	}
+	m := p.facts.packages[p.Analyzer.Name]
+	if m == nil {
+		m = make(map[string]factEntry)
+		p.facts.packages[p.Analyzer.Name] = m
+	}
+	m[p.pkgBase] = encodeFact(p.Analyzer, fact)
+}
+
+// ImportPackageFact decodes the fact exported by the package with the given
+// base import path.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	e, ok := p.facts.packages[p.Analyzer.Name][BasePath(path)]
+	return ok && decodeFact(e, fact)
+}
+
+// WholeProgram is the view handed to an analyzer's Finish step: every
+// analyzed package, the shared FileSet, and the facts accumulated by the
+// per-package passes.
+type WholeProgram struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	// Report publishes one diagnostic.
+	Report func(Diagnostic)
+
+	facts *factStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (wp *WholeProgram) Reportf(pos token.Pos, format string, args ...any) {
+	wp.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectFact decodes the fact stored under the given object key.
+func (wp *WholeProgram) ObjectFact(key string, fact Fact) bool {
+	e, ok := wp.facts.objects[wp.Analyzer.Name][key]
+	return ok && decodeFact(e, fact)
+}
+
+// EachObjectFact visits every stored object fact whose type matches sample,
+// in deterministic key order. The fact passed to fn is a freshly decoded
+// value; fn may retain it.
+func (wp *WholeProgram) EachObjectFact(sample Fact, fn func(key string, pos token.Pos, fact Fact)) {
+	m := wp.facts.objects[wp.Analyzer.Name]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := reflect.TypeOf(sample)
+	for _, k := range keys {
+		e := m[k]
+		if e.typeName != want.String() {
+			continue
+		}
+		fresh := reflect.New(want.Elem()).Interface().(Fact)
+		if decodeFact(e, fresh) {
+			fn(k, e.pos, fresh)
+		}
+	}
+}
+
+// EachPackageFact visits every stored package fact whose type matches
+// sample, in deterministic package order.
+func (wp *WholeProgram) EachPackageFact(sample Fact, fn func(pkgPath string, fact Fact)) {
+	m := wp.facts.packages[wp.Analyzer.Name]
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	want := reflect.TypeOf(sample)
+	for _, p := range paths {
+		e := m[p]
+		if e.typeName != want.String() {
+			continue
+		}
+		fresh := reflect.New(want.Elem()).Interface().(Fact)
+		if decodeFact(e, fresh) {
+			fn(p, fresh)
+		}
+	}
+}
+
+// IsTestFile reports whether the file at pos lives in a _test.go file.
+// Whole-program analyzers that model only production goroutine topology use
+// it to skip test sources (which the loader folds into test variants).
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

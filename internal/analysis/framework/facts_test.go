@@ -1,0 +1,305 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads testdata/src/<dirs...> through the real loader.
+func loadFixture(t *testing.T, dirs ...string) []*Package {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, d := range dirs {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		patterns = append(patterns, abs)
+	}
+	pkgs, err := NewLoader(root).Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loaded %d packages for %v", len(pkgs), dirs)
+	}
+	return pkgs
+}
+
+// callCountFact is the round-trip payload: the number of call expressions
+// in a function's body.
+type callCountFact struct{ Calls int }
+
+func (*callCountFact) AFact() {}
+
+// TestFactsRoundTrip proves facts exported by an upstream package's pass
+// are importable — through the serialized store — by the pass of a package
+// that imports it, in a two-package dependency chain. The packages are fed
+// to Run in reverse dependency order to prove the runner reorders them.
+func TestFactsRoundTrip(t *testing.T) {
+	pkgs := loadFixture(t, "facta", "factb")
+	// Reverse: factb (dependent) first; topoOrder must put facta back ahead.
+	reversed := []*Package{pkgs[1], pkgs[0]}
+	if !strings.HasSuffix(BasePath(reversed[0].ImportPath), "factb") {
+		t.Fatalf("fixture order assumption broken: %v", reversed[0].ImportPath)
+	}
+
+	var order []string
+	a := &Analyzer{
+		Name:      "factprobe",
+		Doc:       "test analyzer",
+		FactTypes: []Fact{&callCountFact{}},
+		Run: func(pass *Pass) (any, error) {
+			order = append(order, pass.Pkg.Name())
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+					calls := 0
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						if _, ok := n.(*ast.CallExpr); ok {
+							calls++
+						}
+						return true
+					})
+					pass.ExportObjectFact(fn, &callCountFact{Calls: calls})
+					// In the downstream package, read back the facts of
+					// every resolvable callee and report what arrived.
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						callee := CalleeFunc(pass.TypesInfo, call)
+						if callee == nil || callee.Pkg() == pass.Pkg {
+							return true
+						}
+						var imported callCountFact
+						if pass.ImportObjectFact(callee, &imported) {
+							pass.Reportf(call.Pos(), "callee %s has %d calls", callee.Name(), imported.Calls)
+						}
+						return true
+					})
+				}
+			}
+			return nil, nil
+		},
+	}
+	findings, err := Run(reversed, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "facta" || order[1] != "factb" {
+		t.Fatalf("packages analyzed in order %v, want [facta factb]", order)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	// factb.Do calls Base (whose body has 0 calls) and factb.Use calls
+	// Helper (whose body has 2).
+	want := map[string]bool{
+		"callee Base has 0 calls":   false,
+		"callee Helper has 2 calls": false,
+	}
+	for _, m := range got {
+		if _, ok := want[m]; ok {
+			want[m] = true
+		}
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Errorf("missing finding %q in %v", m, got)
+		}
+	}
+}
+
+// TestPackageFactsRoundTrip checks the package-level fact channel and the
+// Finish step's fact enumeration.
+func TestPackageFactsRoundTrip(t *testing.T) {
+	pkgs := loadFixture(t, "facta", "factb")
+	type seenEntry struct {
+		path  string
+		calls int
+	}
+	var atFinish []seenEntry
+	a := &Analyzer{
+		Name:      "pkgfactprobe",
+		Doc:       "test analyzer",
+		FactTypes: []Fact{&callCountFact{}},
+		Run: func(pass *Pass) (any, error) {
+			pass.ExportPackageFact(&callCountFact{Calls: len(pass.Files)})
+			if pass.Pkg.Name() == "factb" {
+				var up callCountFact
+				for _, imp := range pass.Pkg.Imports() {
+					if strings.HasSuffix(imp.Path(), "facta") && pass.ImportPackageFact(imp.Path(), &up) {
+						pass.Reportf(pass.Files[0].Package, "facta has %d files", up.Calls)
+					}
+				}
+			}
+			return nil, nil
+		},
+		Finish: func(wp *WholeProgram) error {
+			wp.EachPackageFact(&callCountFact{}, func(path string, fact Fact) {
+				atFinish = append(atFinish, seenEntry{path, fact.(*callCountFact).Calls})
+			})
+			return nil
+		},
+	}
+	findings, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Message != "facta has 1 files" {
+		t.Fatalf("want the downstream pass to import facta's package fact, got %v", findings)
+	}
+	if len(atFinish) != 2 {
+		t.Fatalf("Finish saw %d package facts, want 2: %v", len(atFinish), atFinish)
+	}
+}
+
+// TestCallGraph checks static and interface-resolved edges.
+func TestCallGraph(t *testing.T) {
+	pkgs := loadFixture(t, "facta", "factb")
+	g := BuildCallGraph(pkgs)
+
+	find := func(name string) *FuncNode {
+		t.Helper()
+		for _, n := range g.Funcs {
+			if n.Name == name {
+				return n
+			}
+		}
+		t.Fatalf("no node %q in %v", name, func() []string {
+			var names []string
+			for _, n := range g.Funcs {
+				names = append(names, n.Name)
+			}
+			return names
+		}())
+		return nil
+	}
+
+	use := find("factb.Use")
+	helper := find("facta.Helper")
+	hasEdge := func(n *FuncNode, callee string, dynamic bool) bool {
+		for _, cs := range n.Callees {
+			if cs.Callee == callee && cs.Dynamic == dynamic {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(use, helper.Key, false) {
+		t.Errorf("missing static edge factb.Use → facta.Helper: %+v", use.Callees)
+	}
+
+	dispatch := find("facta.Dispatch")
+	do := find("(factb.Impl).Do")
+	if !hasEdge(dispatch, do.Key, true) {
+		t.Errorf("missing interface-resolved edge facta.Dispatch → (factb.Impl).Do: %+v", dispatch.Callees)
+	}
+}
+
+// TestRunnerRecoversPanics is the regression test for the make-vet failure
+// mode where one analyzer's panic aborted the whole run with no partial
+// results: the crash must surface as a diagnostic and the remaining
+// analyzers must still report.
+func TestRunnerRecoversPanics(t *testing.T) {
+	pkgs := loadFixture(t, "facta")
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "always panics",
+		Run:  func(pass *Pass) (any, error) { panic("kaboom") },
+	}
+	steady := &Analyzer{
+		Name: "steady",
+		Doc:  "reports one finding per package",
+		Run: func(pass *Pass) (any, error) {
+			pass.Reportf(pass.Files[0].Package, "steady saw %s", pass.Pkg.Name())
+			return nil, nil
+		},
+	}
+	findings, err := Run(pkgs, []*Analyzer{boom, steady})
+	if err != nil {
+		t.Fatalf("a panicking analyzer must not abort the run: %v", err)
+	}
+	var crash, steadySeen bool
+	for _, f := range findings {
+		if f.Analyzer == CrashAnalyzerName && strings.Contains(f.Message, "boom panicked") && strings.Contains(f.Message, "kaboom") {
+			crash = true
+		}
+		if f.Analyzer == "steady" {
+			steadySeen = true
+		}
+	}
+	if !crash {
+		t.Errorf("missing crash diagnostic in %v", findings)
+	}
+	if !steadySeen {
+		t.Errorf("the non-panicking analyzer was skipped: %v", findings)
+	}
+
+	// Whole-program variant: a panic in Finish is likewise contained.
+	boomFinish := &Analyzer{
+		Name:      "boomfinish",
+		Doc:       "panics at Finish",
+		FactTypes: []Fact{&callCountFact{}},
+		Run:       func(pass *Pass) (any, error) { return nil, nil },
+		Finish:    func(wp *WholeProgram) error { panic("late kaboom") },
+	}
+	findings, err = Run(pkgs, []*Analyzer{boomFinish, steady})
+	if err != nil {
+		t.Fatalf("a panicking Finish must not abort the run: %v", err)
+	}
+	crash = false
+	for _, f := range findings {
+		if f.Analyzer == CrashAnalyzerName && strings.Contains(f.Message, "late kaboom") {
+			crash = true
+		}
+	}
+	if !crash {
+		t.Errorf("missing Finish crash diagnostic in %v", findings)
+	}
+}
+
+// TestExportUndeclaredFactPanics pins the misuse guard: exporting a fact
+// type not declared in FactTypes is an analyzer bug, reported as a crash
+// finding by the runner's recovery.
+func TestExportUndeclaredFactPanics(t *testing.T) {
+	pkgs := loadFixture(t, "facta")
+	type otherFact struct{ X int }
+	sneaky := &Analyzer{
+		Name:      "sneaky",
+		Doc:       "exports an undeclared fact type",
+		FactTypes: []Fact{&callCountFact{}},
+		Run: func(pass *Pass) (any, error) {
+			pass.ExportPackageFact(factPtr(&otherFact{X: 1}))
+			return nil, nil
+		},
+	}
+	findings, err := Run(pkgs, []*Analyzer{sneaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != CrashAnalyzerName || !strings.Contains(findings[0].Message, "undeclared type") {
+		t.Fatalf("want one crash finding about the undeclared fact type, got %v", findings)
+	}
+}
+
+// factPtr adapts a plain struct pointer into a Fact for the misuse test.
+type factWrapper[T any] struct{ V *T }
+
+func (factWrapper[T]) AFact() {}
+
+func factPtr[T any](v *T) Fact { return factWrapper[T]{V: v} }

@@ -33,7 +33,28 @@ type Analyzer struct {
 	// pass.Report. The return value is ignored by this driver; it exists to
 	// keep the signature compatible with go/analysis.
 	Run func(pass *Pass) (any, error)
+
+	// FactTypes declares the fact types the analyzer exports and imports
+	// (as pointer samples, e.g. []Fact{&myFact{}}). A non-nil FactTypes —
+	// or a non-nil Finish — promotes the analyzer to whole-program mode:
+	// the runner visits packages in dependency order and carries facts
+	// (serialized, go/analysis-style) from each package pass to the passes
+	// of the packages that import it.
+	FactTypes []Fact
+
+	// Finish, when set, runs once after every package pass, with access to
+	// the accumulated facts and the full package set. Global analyses that
+	// need the whole program at once (a lock-order graph, a cross-package
+	// access census) assemble and report here.
+	Finish func(wp *WholeProgram) error
 }
+
+// Fact is an observation an analyzer exports about a types.Object or a
+// package, to be imported by the passes of downstream packages. Fact types
+// are pointers to plain structs with exported, gob-encodable fields; the
+// AFact marker method keeps arbitrary types from being used by accident.
+// Mirrors golang.org/x/tools/go/analysis.Fact.
+type Fact interface{ AFact() }
 
 // Pass carries one package's syntax and type information to an analyzer,
 // mirroring golang.org/x/tools/go/analysis.Pass.
@@ -46,6 +67,12 @@ type Pass struct {
 
 	// Report publishes one diagnostic.
 	Report func(Diagnostic)
+
+	// facts is the whole-program fact store; nil for per-package analyzers.
+	facts *factStore
+	// pkgBase is the base import path of the package under analysis (test
+	// variants stripped), the key under which package facts are stored.
+	pkgBase string
 }
 
 // Reportf reports a formatted diagnostic at pos.

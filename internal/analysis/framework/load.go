@@ -28,6 +28,10 @@ type Package struct {
 	ForTest string
 	// Standard marks GOROOT packages.
 	Standard bool
+	// Imports are the package's resolved direct imports (ImportMap
+	// applied), as reported by go list. The whole-program runner orders
+	// package passes by these edges so facts flow dependency-first.
+	Imports []string
 
 	Fset      *token.FileSet
 	Files     []*ast.File
@@ -220,11 +224,19 @@ func (l *Loader) pkg(importPath string) (*Package, error) {
 		return nil, fmt.Errorf("framework: type-checking %s: %v", importPath, err)
 	}
 
+	imports := make([]string, 0, len(lp.Imports))
+	for _, imp := range lp.Imports {
+		if mapped, ok := lp.ImportMap[imp]; ok {
+			imp = mapped
+		}
+		imports = append(imports, imp)
+	}
 	p := &Package{
 		ImportPath: importPath,
 		Dir:        lp.Dir,
 		ForTest:    lp.ForTest,
 		Standard:   lp.Standard,
+		Imports:    imports,
 		Fset:       l.fset,
 		Files:      files,
 		Types:      tpkg,

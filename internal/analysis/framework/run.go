@@ -20,37 +20,204 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
+// CrashAnalyzerName labels the synthetic diagnostics the runner emits when
+// an analyzer panics: the crash is reported as a finding (so the run fails)
+// and the remaining analyzers still execute, instead of one bad pass
+// aborting the whole run with no partial results.
+const CrashAnalyzerName = "crash"
+
 // Run applies each analyzer to each package and returns the findings in
 // source order, deduplicated. (A package and its test variant share the
 // non-test files, so the same diagnostic can otherwise surface twice.)
+//
+// Analyzers with FactTypes or a Finish step run in whole-program mode:
+// their package passes are ordered dependency-first (facts exported by a
+// package are importable by the packages that import it) and their Finish
+// step runs once at the end with the accumulated facts.
+//
+// A panic in one analyzer's pass is contained: it becomes a finding
+// attributed to CrashAnalyzerName and the run continues.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	seen := make(map[string]bool)
 	var findings []Finding
+	report := func(analyzer string, pos token.Position, msg string) {
+		f := Finding{Analyzer: analyzer, Position: pos, Message: msg}
+		key := fmt.Sprintf("%s\x00%s\x00%s", f.Analyzer, f.Position, f.Message)
+		if !seen[key] {
+			seen[key] = true
+			findings = append(findings, f)
+		}
+	}
+
+	var perPkg, whole []*Analyzer
+	for _, a := range analyzers {
+		if a.FactTypes != nil || a.Finish != nil {
+			whole = append(whole, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+
+	runPass := func(a *Analyzer, pkg *Package, facts *factStore) error {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			facts:     facts,
+			pkgBase:   BasePath(pkg.ImportPath),
+		}
+		pass.Report = func(d Diagnostic) {
+			report(a.Name, pkg.Fset.Position(d.Pos), d.Message)
+		}
+		err, panicked := protect(func() error {
+			_, err := a.Run(pass)
+			return err
+		})
+		if panicked != nil {
+			report(CrashAnalyzerName, crashPosition(pkg), fmt.Sprintf("analyzer %s panicked on %s: %v", a.Name, pkg.ImportPath, panicked))
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("framework: analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		return nil
+	}
+
 	for _, pkg := range pkgs {
 		if pkg.Types == nil || pkg.TypesInfo == nil {
 			continue
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d Diagnostic) {
-				f := Finding{Analyzer: a.Name, Position: pkg.Fset.Position(d.Pos), Message: d.Message}
-				key := fmt.Sprintf("%s\x00%s\x00%s", f.Analyzer, f.Position, f.Message)
-				if !seen[key] {
-					seen[key] = true
-					findings = append(findings, f)
-				}
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("framework: analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		for _, a := range perPkg {
+			if err := runPass(a, pkg, nil); err != nil {
+				return nil, err
 			}
 		}
 	}
+
+	if len(whole) > 0 {
+		ordered := topoOrder(pkgs)
+		facts := newFactStore()
+		for _, a := range whole {
+			for _, pkg := range ordered {
+				if pkg.Types == nil || pkg.TypesInfo == nil {
+					continue
+				}
+				if err := runPass(a, pkg, facts); err != nil {
+					return nil, err
+				}
+			}
+			if a.Finish == nil {
+				continue
+			}
+			wp := &WholeProgram{Analyzer: a, Fset: fsetOf(ordered), Pkgs: ordered, facts: facts}
+			wp.Report = func(d Diagnostic) {
+				report(a.Name, wp.Fset.Position(d.Pos), d.Message)
+			}
+			err, panicked := protect(func() error { return a.Finish(wp) })
+			if panicked != nil {
+				report(CrashAnalyzerName, token.Position{}, fmt.Sprintf("analyzer %s panicked in Finish: %v", a.Name, panicked))
+			} else if err != nil {
+				return nil, fmt.Errorf("framework: analyzer %s Finish: %v", a.Name, err)
+			}
+		}
+	}
+
+	SortFindings(findings)
+	return findings, nil
+}
+
+// protect runs f, converting a panic into a non-nil second return.
+func protect(f func() error) (err error, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+		}
+	}()
+	return f(), nil
+}
+
+// crashPosition anchors a crash finding at the package's first file.
+func crashPosition(pkg *Package) token.Position {
+	if len(pkg.Files) > 0 {
+		return pkg.Fset.Position(pkg.Files[0].Package)
+	}
+	return token.Position{Filename: pkg.ImportPath}
+}
+
+func fsetOf(pkgs []*Package) *token.FileSet {
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			return p.Fset
+		}
+	}
+	return token.NewFileSet()
+}
+
+// topoOrder sorts pkgs dependency-first by their import edges (restricted
+// to the given set, test variants folded onto their base path), so facts
+// exported by a package exist before any importer's pass runs. Ties and
+// cycles (which go list would have rejected) fall back to import-path
+// order.
+func topoOrder(pkgs []*Package) []*Package {
+	byBase := make(map[string]int, len(pkgs)) // base path → index
+	for i, p := range pkgs {
+		base := BasePath(p.ImportPath)
+		if j, ok := byBase[base]; !ok || pkgs[j].ForTest == "" {
+			// Prefer the test variant as the representative: it is a
+			// superset of the base package's files.
+			byBase[base] = i
+		}
+	}
+	indeg := make([]int, len(pkgs))
+	dependents := make([][]int, len(pkgs))
+	for i, p := range pkgs {
+		for _, imp := range p.Imports {
+			j, ok := byBase[BasePath(imp)]
+			if !ok || j == i {
+				continue
+			}
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	// Kahn's algorithm with a deterministic (import-path-ordered) ready set.
+	idx := make([]int, 0, len(pkgs))
+	for i := range pkgs {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return pkgs[idx[a]].ImportPath < pkgs[idx[b]].ImportPath })
+	var ready []int
+	for _, i := range idx {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var order []*Package
+	emitted := make([]bool, len(pkgs))
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, pkgs[i])
+		emitted[i] = true
+		for _, d := range dependents[i] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	for _, i := range idx { // cycle remnants, if any
+		if !emitted[i] {
+			order = append(order, pkgs[i])
+		}
+	}
+	return order
+}
+
+// SortFindings orders findings by file, line, column, then analyzer.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -64,7 +231,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // suppressionMarker introduces an intentional-violation comment. Accepted
@@ -78,10 +244,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 // deliberate (e.g. a negative test that provokes the runtime's own check).
 const suppressionMarker = "//lint:naiad-vet"
 
+// SuppressionSite identifies one suppression comment by the file and line
+// it sits on.
+type SuppressionSite struct {
+	File string
+	Line int
+}
+
 // ApplySuppressions removes findings covered by //lint:naiad-vet comments
-// in the source, returning the survivors and the number suppressed.
-func ApplySuppressions(findings []Finding) ([]Finding, int, error) {
+// in the source, returning the survivors, the number suppressed, and the
+// set of suppression sites that did the suppressing (for staleness
+// checking).
+func ApplySuppressions(findings []Finding) ([]Finding, int, map[SuppressionSite]bool, error) {
 	lines := make(map[string][]string)
+	used := make(map[SuppressionSite]bool)
 	kept := findings[:0]
 	suppressed := 0
 	for _, f := range findings {
@@ -90,17 +266,63 @@ func ApplySuppressions(findings []Finding) ([]Finding, int, error) {
 			var err error
 			ls, err = readLines(f.Position.Filename)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, nil, err
 			}
 			lines[f.Position.Filename] = ls
 		}
-		if suppressesOn(ls, f.Position.Line, f.Analyzer) || suppressesOn(ls, f.Position.Line-1, f.Analyzer) {
+		switch {
+		case suppressesOn(ls, f.Position.Line, f.Analyzer):
+			used[SuppressionSite{f.Position.Filename, f.Position.Line}] = true
 			suppressed++
-			continue
+		case suppressesOn(ls, f.Position.Line-1, f.Analyzer):
+			used[SuppressionSite{f.Position.Filename, f.Position.Line - 1}] = true
+			suppressed++
+		default:
+			kept = append(kept, f)
 		}
-		kept = append(kept, f)
 	}
-	return kept, suppressed, nil
+	return kept, suppressed, used, nil
+}
+
+// StaleSuppressions scans the packages' comments for //lint:naiad-vet
+// markers that suppressed nothing in this run and reports each as a
+// finding, so dead waivers cannot accumulate (staticcheck-style). Only
+// comments that literally begin with the marker count: prose that merely
+// mentions the syntax (documentation, string literals) is ignored. Callers
+// should invoke this only when the full analyzer suite ran — under a
+// subset, a suppression for an unexercised analyzer is not stale.
+func StaleSuppressions(pkgs []*Package, used map[SuppressionSite]bool) []Finding {
+	var findings []Finding
+	seen := make(map[SuppressionSite]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, suppressionMarker) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					site := SuppressionSite{pos.Filename, pos.Line}
+					if seen[site] || used[site] {
+						continue
+					}
+					seen[site] = true
+					names := "every analyzer"
+					if rest, ok := strings.CutPrefix(c.Text[len(suppressionMarker):], ":"); ok {
+						list, _, _ := strings.Cut(rest, " ")
+						names = list
+					}
+					findings = append(findings, Finding{
+						Analyzer: "suppression",
+						Position: pos,
+						Message:  fmt.Sprintf("stale suppression (%s): no diagnostic here to suppress; remove the comment or fix the analyzer name", names),
+					})
+				}
+			}
+		}
+	}
+	SortFindings(findings)
+	return findings
 }
 
 // suppressesOn reports whether source line n (1-based) carries a

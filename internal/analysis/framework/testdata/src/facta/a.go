@@ -1,0 +1,14 @@
+// Package facta is the upstream half of the framework's facts fixture: the
+// runner's dependency ordering must analyze it before factb, so facts
+// exported here are importable there.
+package facta
+
+// Doer is implemented in factb; Dispatch's interface call exercises the
+// call graph's implementation matching.
+type Doer interface{ Do() int }
+
+func Base() int { return 1 }
+
+func Helper() int { return Base() + Base() }
+
+func Dispatch(d Doer) int { return d.Do() }

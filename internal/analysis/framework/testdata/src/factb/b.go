@@ -1,0 +1,11 @@
+// Package factb is the downstream half of the framework's facts fixture:
+// it imports facta, so its pass sees facta's exported facts.
+package factb
+
+import facta "naiad/internal/analysis/framework/testdata/src/facta"
+
+type Impl struct{}
+
+func (Impl) Do() int { return facta.Base() }
+
+func Use() int { return facta.Helper() }

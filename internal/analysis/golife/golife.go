@@ -1,0 +1,407 @@
+// Package golife checks goroutine lifecycles in internal/runtime,
+// internal/transport, and internal/supervise.
+//
+// Two checks:
+//
+//  1. Leaked goroutines: a `go` statement whose goroutine runs an infinite
+//     loop (`for` with no condition) with no reachable shutdown signal — no
+//     channel operation or select, no context.Context check, no
+//     sync.Cond.Wait, no sync.WaitGroup.Done, and no exit path (return,
+//     break, panic) — can never be stopped or observed; it outlives the
+//     computation it serves and holds its captures forever. The property
+//     is computed transitively: a goroutine body that calls a function is
+//     credited with that callee's signals, across packages via facts
+//     (dependency-ordered passes make a callee's summary available to
+//     every importer's `go` sites).
+//
+//  2. WaitGroup registration races: `sync.WaitGroup.Add` inside the
+//     spawned goroutine instead of before the `go` statement. The parent's
+//     `Wait` can run before the goroutine is scheduled, observe a zero
+//     counter, and return while the work is still pending — the classic
+//     Add/Wait race, detectable only structurally.
+//
+// Known false-negative classes: goroutines spawned through plain function
+// values (`go h(cut)`) are not resolvable from static call sites; a body
+// with any exit path or signal anywhere is trusted even if that path is
+// unreachable in practice; Add calls reached through a helper called by
+// the goroutine are not attributed to the `go` statement.
+package golife
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"naiad/internal/analysis/framework"
+)
+
+const (
+	runtimePath   = "naiad/internal/runtime"
+	transportPath = "naiad/internal/transport"
+	supervisePath = "naiad/internal/supervise"
+)
+
+// Analyzer is the golife pass.
+var Analyzer = &framework.Analyzer{
+	Name:      "golife",
+	Doc:       "flag goroutines with no reachable shutdown signal and sync.WaitGroup.Add calls inside the spawned goroutine in internal/runtime, internal/transport, and internal/supervise",
+	Run:       run,
+	FactTypes: []framework.Fact{&LifeFact{}},
+}
+
+// LifeFact is an object fact on a function: the lifecycle summary its
+// callers' `go` statements are judged by.
+type LifeFact struct {
+	// Signal: the body (transitively) performs a channel operation,
+	// select, context check, Cond.Wait, or WaitGroup.Done.
+	Signal bool
+	// Forever: the body (transitively) reaches an infinite loop with no
+	// escape (no signal, return, break, or panic inside it).
+	Forever bool
+}
+
+func (*LifeFact) AFact() {}
+
+func inScope(path string) bool {
+	switch strings.TrimSuffix(path, "_test") {
+	case runtimePath, transportPath, supervisePath:
+		return true
+	}
+	return strings.HasSuffix(path, "testdata/src/runtime") ||
+		strings.HasSuffix(path, "testdata/src/transport") ||
+		strings.HasSuffix(path, "testdata/src/supervise")
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !inScope(framework.BasePath(pass.Pkg.Path())) {
+		return nil, nil
+	}
+	c := &checker{
+		pass:    pass,
+		summary: make(map[*types.Func]*LifeFact),
+		callees: make(map[*types.Func][]*types.Func),
+		direct:  make(map[*types.Func]*LifeFact),
+		bodies:  make(map[*types.Func]*ast.FuncDecl),
+	}
+
+	// Pass 1: direct properties and same-package call lists for every
+	// declared function.
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.bodies[fn] = fd
+			c.direct[fn] = c.directSummary(fd.Body)
+			c.callees[fn] = c.calleeList(fd.Body)
+		}
+	}
+
+	// Pass 2: same-package fixpoint over the call lists, folding in
+	// imported facts for cross-package callees.
+	for fn := range c.direct {
+		c.resolve(fn, make(map[*types.Func]bool))
+	}
+	for fn, s := range c.summary {
+		pass.ExportObjectFact(fn, s)
+	}
+
+	// Pass 3: judge every go statement.
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			c.checkGo(gs)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *framework.Pass
+	summary map[*types.Func]*LifeFact // resolved (transitive) summaries
+	direct  map[*types.Func]*LifeFact
+	callees map[*types.Func][]*types.Func
+	bodies  map[*types.Func]*ast.FuncDecl
+}
+
+// resolve computes fn's transitive summary, cycling safely.
+func (c *checker) resolve(fn *types.Func, visiting map[*types.Func]bool) *LifeFact {
+	if s, ok := c.summary[fn]; ok {
+		return s
+	}
+	if visiting[fn] {
+		return c.direct[fn] // recursion: settle for the direct view
+	}
+	visiting[fn] = true
+	d := c.direct[fn]
+	if d == nil {
+		// Not declared in this package: consult the exported facts of the
+		// (already analyzed) defining package.
+		var imported LifeFact
+		if c.pass.ImportObjectFact(fn, &imported) {
+			return &imported
+		}
+		return nil
+	}
+	s := &LifeFact{Signal: d.Signal, Forever: d.Forever}
+	for _, callee := range c.callees[fn] {
+		cs := c.resolve(callee, visiting)
+		if cs == nil {
+			continue
+		}
+		s.Signal = s.Signal || cs.Signal
+		s.Forever = s.Forever || cs.Forever
+	}
+	delete(visiting, fn)
+	c.summary[fn] = s
+	return s
+}
+
+// lookup returns the summary for a called function: local, or imported
+// from a dependency's facts.
+func (c *checker) lookup(fn *types.Func) *LifeFact {
+	if fn == nil {
+		return nil
+	}
+	if s, ok := c.summary[fn]; ok {
+		return s
+	}
+	var imported LifeFact
+	if c.pass.ImportObjectFact(fn, &imported) {
+		return &imported
+	}
+	return nil
+}
+
+// checkGo judges one go statement.
+func (c *checker) checkGo(gs *ast.GoStmt) {
+	var s *LifeFact
+	var what string
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		s = c.literalSummary(fun)
+		what = "goroutine"
+		c.checkAddInside(gs, fun)
+	default:
+		fn := framework.CalleeFunc(c.pass.TypesInfo, gs.Call)
+		if fn == nil || framework.IsInterfaceMethod(fn) {
+			return // function value or dynamic dispatch: not resolvable
+		}
+		s = c.lookup(fn)
+		what = "goroutine (" + framework.FuncDisplayName(fn) + ")"
+	}
+	if s == nil {
+		return
+	}
+	if s.Forever && !s.Signal {
+		c.pass.Reportf(gs.Pos(), "%s loops forever with no reachable shutdown signal (no channel operation, context check, Cond.Wait, or WaitGroup.Done); it can never be stopped or awaited — give it a done channel, context, or WaitGroup registration", what)
+	}
+}
+
+// literalSummary computes the transitive summary of a goroutine literal's
+// body.
+func (c *checker) literalSummary(lit *ast.FuncLit) *LifeFact {
+	s := c.directSummary(lit.Body)
+	for _, callee := range c.calleeList(lit.Body) {
+		if cs := c.lookup(callee); cs != nil {
+			s.Signal = s.Signal || cs.Signal
+			s.Forever = s.Forever || cs.Forever
+		}
+	}
+	return s
+}
+
+// checkAddInside flags sync.WaitGroup.Add calls in the spawned literal's
+// body (nested literals excluded: they are not "the goroutine" itself).
+func (c *checker) checkAddInside(gs *ast.GoStmt, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := c.syncMethod(call); fn == "Add" {
+			c.pass.Reportf(call.Pos(), "sync.WaitGroup.Add inside the spawned goroutine; the parent's Wait can observe a zero counter before this runs — call Add before the go statement")
+		}
+		return true
+	})
+}
+
+// directSummary scans one body (excluding nested function literals) for
+// signals and no-escape infinite loops.
+func (c *checker) directSummary(body *ast.BlockStmt) *LifeFact {
+	s := &LifeFact{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !c.loopEscapes(n.Body) {
+				s.Forever = true
+			}
+		}
+		if c.isSignal(n) {
+			s.Signal = true
+		}
+		return true
+	})
+	return s
+}
+
+// loopEscapes reports whether an infinite loop's body contains any way
+// out or any shutdown signal: return, break, goto, panic/exit, a channel
+// operation, a context check, Cond.Wait, WaitGroup.Done, or a call to a
+// function that (transitively) has a signal.
+func (c *checker) loopEscapes(body *ast.BlockStmt) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			escapes = true
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				escapes = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					escapes = true
+				}
+			}
+			if fn := framework.CalleeFunc(c.pass.TypesInfo, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Exit" {
+					escapes = true
+				}
+				if ls := c.lookupForLoop(fn); ls != nil && ls.Signal {
+					escapes = true
+				}
+			}
+		}
+		if c.isSignal(n) {
+			escapes = true
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// lookupForLoop is lookup without triggering resolution cycles: inside
+// directSummary the same-package fixpoint may not have run yet, so settle
+// for direct summaries or imported facts.
+func (c *checker) lookupForLoop(fn *types.Func) *LifeFact {
+	if s, ok := c.summary[fn]; ok {
+		return s
+	}
+	if d, ok := c.direct[fn]; ok {
+		return d
+	}
+	var imported LifeFact
+	if c.pass.ImportObjectFact(fn, &imported) {
+		return &imported
+	}
+	return nil
+}
+
+// isSignal classifies n as a shutdown-signal operation.
+func (c *checker) isSignal(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt, *ast.SelectStmt:
+		return true
+	case *ast.UnaryExpr:
+		return n.Op.String() == "<-"
+	case *ast.RangeStmt:
+		if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "context":
+			return true // ctx.Done / Err / Deadline: context-aware
+		case "sync":
+			return fn.Name() == "Wait" || fn.Name() == "Done"
+		}
+	}
+	return false
+}
+
+// calleeList resolves the body's static call sites to functions (same
+// package or imported), excluding nested literals.
+func (c *checker) calleeList(body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := framework.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil || framework.IsInterfaceMethod(fn) || seen[fn] {
+			return true
+		}
+		// Only module-local callees carry summaries; std-library calls
+		// never loop forever on our behalf.
+		if fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "naiad") {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	return out
+}
+
+// syncMethod returns the name of a sync-package method call, or "".
+func (c *checker) syncMethod(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !framework.IsNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+		return ""
+	}
+	return fn.Name()
+}

@@ -1,0 +1,16 @@
+package golife_test
+
+import (
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/golife"
+)
+
+// TestGolife runs the runtime-shaped fixture (leaked literal, leaked named
+// spawn, done-channel and bounded negatives, Add-inside-goroutine) together
+// with the supervise-shaped fixture whose spawned body lives in the runtime
+// fixture — the leak verdict there rides on the exported lifecycle fact.
+func TestGolife(t *testing.T) {
+	analysistest.Run(t, golife.Analyzer, "runtime", "supervise")
+}

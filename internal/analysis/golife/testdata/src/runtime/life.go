@@ -1,0 +1,85 @@
+// Package life is the runtime-shaped fixture for the golife analyzer (its
+// directory name, testdata/src/runtime, puts it in scope): goroutine
+// spawns with and without reachable shutdown signals, and WaitGroup
+// registration on both sides of the go statement.
+package life
+
+import "sync"
+
+func work() {}
+
+// SpinForever loops with no exit path and no signal; spawning it leaks.
+// Exported so the supervise fixture can prove the summary crosses
+// packages as a fact.
+func SpinForever() {
+	for {
+		work()
+	}
+}
+
+// Pump drains a channel forever: the channel receive is its shutdown
+// signal (close(ch) stops it), so spawning it is fine.
+func Pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func spawnLeak() {
+	go func() { // want `goroutine loops forever with no reachable shutdown signal`
+		for {
+			work()
+		}
+	}()
+}
+
+func spawnNamedLeak() {
+	go SpinForever() // want `goroutine \(life\.SpinForever\) loops forever with no reachable shutdown signal`
+}
+
+// spawnDone is the sanctioned shape: the loop polls a done channel.
+func spawnDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+// spawnBounded exits on its own: an escape path (return) means the loop is
+// not unconditionally infinite.
+func spawnBounded() {
+	go func() {
+		for {
+			if ready() {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func ready() bool { return true }
+
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `sync\.WaitGroup\.Add inside the spawned goroutine`
+		defer wg.Done()
+		work()
+	}()
+}
+
+// addBefore is the sanctioned shape: registered before the goroutine can
+// race Wait.
+func addBefore(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}

@@ -1,0 +1,19 @@
+// Package watch is the supervisor-shaped fixture for the golife analyzer:
+// it spawns a goroutine whose body is declared in another package, so the
+// leak verdict depends on the lifecycle fact exported by the runtime
+// fixture's (dependency-ordered) pass.
+package watch
+
+import (
+	life "naiad/internal/analysis/golife/testdata/src/runtime"
+)
+
+func spawnRemoteLeak() {
+	go life.SpinForever() // want `goroutine \(life\.SpinForever\) loops forever with no reachable shutdown signal`
+}
+
+// spawnRemotePump is fine: the callee's channel receive, visible through
+// its fact, is the shutdown signal.
+func spawnRemotePump(ch chan int) {
+	go life.Pump(ch)
+}

@@ -1,0 +1,664 @@
+// Package lockorder lifts lockhold's per-function held-sets into a global
+// lock-acquisition-order graph across internal/runtime, internal/transport,
+// and internal/supervise, and reports cycles as potential deadlocks.
+//
+// Two goroutines that acquire the same pair of locks in opposite orders can
+// deadlock; so can longer chains threaded through any number of packages.
+// The shape this repo has actually shipped is cross-package: the PR 3
+// multi-input checkpoint quiesce held the supervisor's mutex while probing
+// the computation (supervisor lock before computation lock) while a worker
+// advancing an epoch held the computation's mutex and called back into the
+// supervisor's progress hook (computation lock before supervisor lock). No
+// per-package analyzer can see that cycle: each package's order is locally
+// consistent. This analyzer therefore runs whole-program: each package pass
+// records, as serialized facts, the lock classes every function acquires
+// and every acquisition or call performed while a lock is held; the Finish
+// step resolves calls through the cross-package call graph (interface
+// callbacks included, via implementation matching) into a single directed
+// lock-order graph and reports every strongly connected component.
+//
+// Locks are tracked as classes — the declaration of the mutex field or
+// variable — not instances. Two edges between the same pair of classes in
+// opposite orders are a cycle even if at runtime they could involve four
+// distinct mutexes; ordering within one class (locking two workers'
+// mutexes by worker id) is invisible, so same-class self-edges are not
+// reported. Known false-negative classes: locks reached only through plain
+// function values, locks acquired in function literals on behalf of an
+// enclosing caller's summary (literal bodies contribute their own edges but
+// not to their encloser's acquire set), and locks hidden behind packages
+// outside the analysis scope.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"naiad/internal/analysis/framework"
+)
+
+const (
+	runtimePath   = "naiad/internal/runtime"
+	transportPath = "naiad/internal/transport"
+	supervisePath = "naiad/internal/supervise"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &framework.Analyzer{
+	Name:      "lockorder",
+	Doc:       "build the whole-program lock-acquisition-order graph over internal/runtime, internal/transport, and internal/supervise and report cycles as potential deadlocks",
+	Run:       run,
+	Finish:    finish,
+	FactTypes: []framework.Fact{&AcquiresFact{}, &EdgesFact{}},
+}
+
+// LockID identifies a lock class: the declaration of the sync.Mutex /
+// sync.RWMutex field or variable.
+type LockID struct {
+	Key  string // framework.ObjectKey of the mutex object
+	Name string // display name, e.g. supervise.Supervisor.mu
+}
+
+// AcquiresFact is an object fact on a function: the lock classes its body
+// acquires directly (outside function literals).
+type AcquiresFact struct{ Locks []LockID }
+
+func (*AcquiresFact) AFact() {}
+
+// EdgesFact is a package fact: the lock-order observations of one package.
+type EdgesFact struct {
+	// Edges are direct nested acquisitions: From was held when To was
+	// acquired.
+	Edges []Edge
+	// Calls are call sites executed while at least one lock was held; the
+	// Finish step expands each callee's transitive acquire set into edges.
+	Calls []HeldCall
+}
+
+func (*EdgesFact) AFact() {}
+
+// Edge is one observed acquisition order: From held, To acquired at Pos.
+type Edge struct {
+	From, To LockID
+	Pos      token.Pos
+	// Via describes an indirect edge ("via call to X"); empty for a direct
+	// nested acquisition.
+	Via string
+}
+
+// HeldCall is a call site executed under held locks.
+type HeldCall struct {
+	Held       []LockID
+	Callee     string // object key of the target (possibly an interface method)
+	CalleeName string
+	Pos        token.Pos
+}
+
+// inScope limits the analysis to the packages whose goroutine topology it
+// models. analysistest fixtures named after them stand in during tests.
+func inScope(path string) bool {
+	switch strings.TrimSuffix(path, "_test") {
+	case runtimePath, transportPath, supervisePath:
+		return true
+	}
+	return strings.HasSuffix(path, "testdata/src/runtime") ||
+		strings.HasSuffix(path, "testdata/src/transport") ||
+		strings.HasSuffix(path, "testdata/src/supervise")
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !inScope(framework.BasePath(pass.Pkg.Path())) {
+		return nil, nil
+	}
+	c := &collector{pass: pass, acquires: make(map[*types.Func][]LockID)}
+	for _, file := range pass.Files {
+		if framework.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			c.fn = fn
+			c.walk(fd.Body, map[string]LockID{})
+		}
+	}
+	for fn, locks := range c.acquires {
+		c.pass.ExportObjectFact(fn, &AcquiresFact{Locks: dedupeLocks(locks)})
+	}
+	if len(c.edges) > 0 || len(c.calls) > 0 {
+		pass.ExportPackageFact(&EdgesFact{Edges: c.edges, Calls: c.calls})
+	}
+	return nil, nil
+}
+
+type collector struct {
+	pass     *framework.Pass
+	fn       *types.Func // enclosing declaration (nil inside literals)
+	edges    []Edge
+	calls    []HeldCall
+	acquires map[*types.Func][]LockID
+}
+
+// walk simulates straight-line execution of a statement list, tracking the
+// held lock classes. Branch bodies get a copy of the held-set; the parent
+// continues with its own (a lock taken inside a branch is assumed released
+// there). Function literals are walked with an empty held-set: their bodies
+// run on their own schedule, but the edges they create are global facts.
+func (c *collector) walk(stmt ast.Stmt, held map[string]LockID) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.walk(st, held)
+		}
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, held)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			c.applyLockOp(call, held)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function exit; other
+		// deferred calls run after the body. Either way the held-set is
+		// unchanged at this point, but the deferred expression's literals
+		// still deserve a scan.
+		c.scanExpr(s.Call.Fun, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.SendStmt:
+		c.scanExpr(s.Value, held)
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					c.walk(st, sub)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walk(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		c.walk(s.Body, copyHeld(held))
+		if s.Else != nil {
+			c.walk(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walk(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		c.walk(s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		c.walk(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walk(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					c.walk(st, sub)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, st := range cc.Body {
+					c.walk(st, sub)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the held-set; its literal
+		// body (if any) is scanned with a fresh one.
+		c.scanExpr(s.Call.Fun, map[string]LockID{})
+	case *ast.LabeledStmt:
+		c.walk(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanExpr records calls made under held locks and descends into function
+// literals with a fresh held-set.
+func (c *collector) scanExpr(expr ast.Expr, held map[string]LockID) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			saved := c.fn
+			c.fn = nil // literal acquisitions are not the encloser's
+			c.walk(n.Body, map[string]LockID{})
+			c.fn = saved
+			return false
+		case *ast.CallExpr:
+			c.recordCall(n, held)
+		}
+		return true
+	})
+}
+
+// recordCall notes a call executed under held locks, unless it is a sync
+// lock operation (handled by applyLockOp) or unresolvable.
+func (c *collector) recordCall(call *ast.CallExpr, held map[string]LockID) {
+	if len(held) == 0 {
+		return
+	}
+	fn := framework.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "sync" {
+		return
+	}
+	c.calls = append(c.calls, HeldCall{
+		Held:       sortedHeld(held),
+		Callee:     framework.ObjectKey(c.pass.Fset, fn),
+		CalleeName: framework.FuncDisplayName(fn),
+		Pos:        call.Pos(),
+	})
+}
+
+// applyLockOp updates the held-set for a statement-level Lock/Unlock call,
+// recording acquisition-order edges and the enclosing function's acquire
+// set.
+func (c *collector) applyLockOp(call *ast.CallExpr, held map[string]LockID) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	id, ok := c.lockID(sel.X)
+	if !ok {
+		return
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		for _, h := range held {
+			if h.Key != id.Key {
+				c.edges = append(c.edges, Edge{From: h, To: id, Pos: call.Pos()})
+			}
+		}
+		held[id.Key] = id
+		if c.fn != nil {
+			c.acquires[c.fn] = append(c.acquires[c.fn], id)
+		}
+	case "Unlock", "RUnlock":
+		delete(held, id.Key)
+	}
+}
+
+// lockID resolves the receiver expression of a sync lock call to its lock
+// class: the declared field or variable.
+func (c *collector) lockID(e ast.Expr) (LockID, bool) {
+	e = ast.Unparen(e)
+	var obj types.Object
+	var recvName string
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[x]; ok {
+			obj = sel.Obj()
+			recvName = namedTypeName(sel.Recv())
+		} else {
+			obj = c.pass.TypesInfo.Uses[x.Sel] // package-qualified var
+		}
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[x]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return LockID{}, false
+	}
+	name := v.Name()
+	if recvName != "" {
+		name = recvName + "." + name
+	}
+	if v.Pkg() != nil {
+		name = v.Pkg().Name() + "." + name
+	}
+	return LockID{Key: framework.ObjectKey(c.pass.Fset, v), Name: name}, true
+}
+
+func namedTypeName(t types.Type) string {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// finish assembles the global lock-order graph and reports cycles.
+func finish(wp *framework.WholeProgram) error {
+	cg := framework.BuildCallGraph(wp.Pkgs)
+
+	// Transitive acquire sets, seeded from the per-function facts and
+	// propagated over the call graph to a fixpoint.
+	acquires := make(map[string]map[string]LockID) // func key → lock key → id
+	wp.EachObjectFact(&AcquiresFact{}, func(key string, _ token.Pos, fact framework.Fact) {
+		set := make(map[string]LockID)
+		for _, l := range fact.(*AcquiresFact).Locks {
+			set[l.Key] = l
+		}
+		acquires[key] = set
+	})
+	funcKeys := make([]string, 0, len(cg.Funcs))
+	for k := range cg.Funcs {
+		funcKeys = append(funcKeys, k)
+	}
+	sort.Strings(funcKeys)
+	for changed := true; changed; {
+		changed = false
+		for _, fk := range funcKeys {
+			node := cg.Funcs[fk]
+			for _, cs := range node.Callees {
+				for lk, l := range acquires[cs.Callee] {
+					set := acquires[fk]
+					if set == nil {
+						set = make(map[string]LockID)
+						acquires[fk] = set
+					}
+					if _, ok := set[lk]; !ok {
+						set[lk] = l
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// The edge set: direct nested acquisitions plus, for every call made
+	// under held locks, edges to everything the callee may acquire.
+	var edges []Edge
+	wp.EachPackageFact(&EdgesFact{}, func(_ string, fact framework.Fact) {
+		ef := fact.(*EdgesFact)
+		edges = append(edges, ef.Edges...)
+		for _, hc := range ef.Calls {
+			for _, target := range cg.Resolve(hc.Callee) {
+				for _, l := range acquires[target] {
+					for _, h := range hc.Held {
+						if h.Key == l.Key {
+							continue
+						}
+						via := "via call to " + hc.CalleeName
+						if target != hc.Callee {
+							if tn := cg.Funcs[target]; tn != nil {
+								via += " → " + tn.Name
+							}
+						}
+						edges = append(edges, Edge{From: h, To: l, Pos: hc.Pos, Via: via})
+					}
+				}
+			}
+		}
+	})
+	if len(edges) == 0 {
+		return nil
+	}
+
+	// Deduplicate to one representative edge per ordered class pair (the
+	// earliest position, direct edges preferred over call-derived ones).
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From.Key != b.From.Key {
+			return a.From.Key < b.From.Key
+		}
+		if a.To.Key != b.To.Key {
+			return a.To.Key < b.To.Key
+		}
+		if (a.Via == "") != (b.Via == "") {
+			return a.Via == ""
+		}
+		return a.Pos < b.Pos
+	})
+	adj := make(map[string]map[string]Edge) // from key → to key → edge
+	locks := make(map[string]LockID)
+	for _, e := range edges {
+		locks[e.From.Key], locks[e.To.Key] = e.From, e.To
+		m := adj[e.From.Key]
+		if m == nil {
+			m = make(map[string]Edge)
+			adj[e.From.Key] = m
+		}
+		if _, ok := m[e.To.Key]; !ok {
+			m[e.To.Key] = e
+		}
+	}
+
+	for _, comp := range sccs(adj) {
+		if len(comp) < 2 {
+			continue // self-edges are never added: same-class order is untracked
+		}
+		cycle := findCycle(adj, comp)
+		if cycle == nil {
+			continue
+		}
+		reportCycle(wp, locks, cycle)
+	}
+	return nil
+}
+
+// sccs returns the strongly connected components of the lock graph
+// (Tarjan), deterministically ordered.
+func sccs(adj map[string]map[string]Edge) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seenNode := make(map[string]bool)
+	addNode := func(n string) {
+		if !seenNode[n] {
+			seenNode[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for to := range adj[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				low[v] = min(low[v], low[w])
+			} else if onStack[w] {
+				low[v] = min(low[v], index[w])
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// findCycle walks edges within one SCC from its smallest node back to
+// itself, returning the edge path.
+func findCycle(adj map[string]map[string]Edge, comp []string) []Edge {
+	inComp := make(map[string]bool, len(comp))
+	for _, n := range comp {
+		inComp[n] = true
+	}
+	start := comp[0]
+	var path []Edge
+	visited := map[string]bool{start: true}
+	var dfs func(v string) bool
+	dfs = func(v string) bool {
+		var succs []string
+		for to := range adj[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if !inComp[w] {
+				continue
+			}
+			if w == start {
+				path = append(path, adj[v][w])
+				return true
+			}
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			path = append(path, adj[v][w])
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if !dfs(start) {
+		return nil
+	}
+	return path
+}
+
+// reportCycle emits one diagnostic per cycle, anchored at the cycle's
+// earliest edge position so a single suppression can waive it.
+func reportCycle(wp *framework.WholeProgram, locks map[string]LockID, cycle []Edge) {
+	// Rotate so the report anchors at the smallest position.
+	anchor := 0
+	for i, e := range cycle {
+		if posLess(wp, e.Pos, cycle[anchor].Pos) {
+			anchor = i
+		}
+	}
+	rotated := append(append([]Edge{}, cycle[anchor:]...), cycle[:anchor]...)
+
+	var steps []string
+	for _, e := range rotated {
+		p := wp.Fset.Position(e.Pos)
+		step := fmt.Sprintf("%s acquired before %s at %s:%d", e.From.Name, e.To.Name, shortFile(p.Filename), p.Line)
+		if e.Via != "" {
+			step += " (" + e.Via + ")"
+		}
+		steps = append(steps, step)
+	}
+	wp.Reportf(rotated[0].Pos, "potential deadlock: lock-order cycle %s: %s; break the cycle by acquiring these locks in one global order or by releasing before the cross-lock call",
+		cycleName(rotated), strings.Join(steps, "; "))
+	_ = locks
+}
+
+func cycleName(cycle []Edge) string {
+	names := make([]string, 0, len(cycle)+1)
+	for _, e := range cycle {
+		names = append(names, e.From.Name)
+	}
+	names = append(names, cycle[0].From.Name)
+	return strings.Join(names, " → ")
+}
+
+func posLess(wp *framework.WholeProgram, a, b token.Pos) bool {
+	pa, pb := wp.Fset.Position(a), wp.Fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Line < pb.Line
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func copyHeld(held map[string]LockID) map[string]LockID {
+	out := make(map[string]LockID, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedHeld(held map[string]LockID) []LockID {
+	out := make([]LockID, 0, len(held))
+	for _, l := range held {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func dedupeLocks(locks []LockID) []LockID {
+	seen := make(map[string]bool)
+	out := locks[:0]
+	for _, l := range locks {
+		if !seen[l.Key] {
+			seen[l.Key] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,58 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"naiad/internal/analysis/analysistest"
+	"naiad/internal/analysis/framework"
+	"naiad/internal/analysis/lockorder"
+)
+
+// TestLockorderCycles runs the cross-package fixture pair: the PR 3
+// quiesce-deadlock shape (supervisor↔computation through an interface
+// callback), an intra-package inversion, and a consistently-ordered
+// negative.
+func TestLockorderCycles(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "runtime", "supervise")
+}
+
+// TestLockorderSuppression proves a //lint:naiad-vet:lockorder comment on
+// the cycle's anchor line waives the diagnostic, and that a waiver that
+// suppresses nothing is reported stale.
+func TestLockorderSuppression(t *testing.T) {
+	root, err := framework.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "transport"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := framework.NewLoader(root).Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := framework.Run(pkgs, []*framework.Analyzer{lockorder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "lock-order cycle") {
+		t.Fatalf("want exactly one cycle finding pre-suppression, got %v", findings)
+	}
+	kept, suppressed, used, err := framework.ApplySuppressions(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 0 || suppressed != 1 {
+		t.Fatalf("want the cycle suppressed (kept=0, suppressed=1), got kept=%v suppressed=%d", kept, suppressed)
+	}
+	stale := framework.StaleSuppressions(pkgs, used)
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "stale suppression") {
+		t.Fatalf("want exactly one stale-suppression finding, got %v", stale)
+	}
+	if !strings.HasSuffix(stale[0].Position.Filename, "pipe.go") {
+		t.Fatalf("stale finding at unexpected position %v", stale[0].Position)
+	}
+}

@@ -1,0 +1,83 @@
+// Package comp is the runtime-shaped fixture for the lockorder analyzer
+// (its directory name, testdata/src/runtime, puts it in scope). It models
+// the computation half of the PR 3 multi-input checkpoint quiesce
+// deadlock: the worker advancing an epoch holds the computation mutex and
+// reports progress through a supervisor-registered callback, while the
+// supervisor's checkpoint loop holds its own mutex and probes the
+// computation — opposite acquisition orders threaded through two packages
+// and an interface.
+package comp
+
+import "sync"
+
+// Snapshotter is the supervisor-side progress hook the computation calls
+// back into; the analyzer resolves its implementations whole-program.
+type Snapshotter interface {
+	OnQuiesce(epoch int)
+}
+
+type Computation struct {
+	mu   sync.Mutex
+	snap Snapshotter
+	fed  map[int]int
+}
+
+// Probe is called by the supervisor's checkpoint-alignment loop.
+func (c *Computation) Probe(epoch int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fed[epoch] >= 2
+}
+
+// Advance is the worker path: it holds the computation lock while invoking
+// the supervisor callback, completing the cross-package cycle.
+func (c *Computation) Advance(epoch int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fed[epoch]++
+	if c.fed[epoch] >= 2 {
+		c.snap.OnQuiesce(epoch) // want `potential deadlock: lock-order cycle comp\.Computation\.mu → sup\.Supervisor\.mu → comp\.Computation\.mu`
+	}
+}
+
+// queue demonstrates an intra-package inversion: two lock classes taken in
+// both orders by different paths.
+type queue struct {
+	headMu sync.Mutex
+	tailMu sync.Mutex
+}
+
+func (q *queue) pushOrdered() {
+	q.headMu.Lock()
+	q.tailMu.Lock() // want `potential deadlock: lock-order cycle comp\.queue\.headMu → comp\.queue\.tailMu → comp\.queue\.headMu`
+	q.tailMu.Unlock()
+	q.headMu.Unlock()
+}
+
+func (q *queue) popInverted() {
+	q.tailMu.Lock()
+	q.headMu.Lock()
+	q.headMu.Unlock()
+	q.tailMu.Unlock()
+}
+
+// ledger shows the clean shape: every path agrees on one global order, so
+// no cycle exists and nothing is reported.
+type ledger struct {
+	indexMu sync.Mutex
+	dataMu  sync.Mutex
+}
+
+func (l *ledger) read() {
+	l.indexMu.Lock()
+	l.dataMu.Lock()
+	l.dataMu.Unlock()
+	l.indexMu.Unlock()
+}
+
+func (l *ledger) write() {
+	l.indexMu.Lock()
+	defer l.indexMu.Unlock()
+	l.dataMu.Lock()
+	defer l.dataMu.Unlock()
+}

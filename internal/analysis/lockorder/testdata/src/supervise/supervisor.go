@@ -1,0 +1,39 @@
+// Package sup is the supervisor-shaped fixture for the lockorder analyzer:
+// the checkpoint loop holds the supervisor mutex while probing the
+// computation (supervisor lock before computation lock), and the progress
+// callback the computation invokes takes the supervisor mutex (computation
+// lock before supervisor lock) — the PR 3 quiesce-deadlock shape. The
+// cycle's diagnostic is anchored at its earliest edge, which lives in the
+// runtime fixture.
+package sup
+
+import (
+	"sync"
+
+	comp "naiad/internal/analysis/lockorder/testdata/src/runtime"
+)
+
+type Supervisor struct {
+	mu   sync.Mutex
+	comp *comp.Computation
+	seen map[int]bool
+}
+
+// Checkpoint holds the supervisor lock across the computation probe: the
+// supervisor-before-computation half of the cycle.
+func (s *Supervisor) Checkpoint(epoch int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.comp.Probe(epoch) {
+	}
+	s.seen[epoch] = true
+}
+
+// OnQuiesce implements comp.Snapshotter; the computation calls it with its
+// own lock held, and it takes the supervisor lock: the
+// computation-before-supervisor half.
+func (s *Supervisor) OnQuiesce(epoch int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[epoch] = true
+}

@@ -1,0 +1,31 @@
+// Package pipe is the suppression fixture for the lockorder analyzer: a
+// deliberate intra-package lock-order cycle waived with a
+// //lint:naiad-vet:lockorder comment, plus one stale suppression that
+// waives nothing. The driver-level test asserts the cycle is suppressed
+// and the stale comment is itself reported.
+package pipe
+
+import "sync"
+
+type pipe struct {
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+}
+
+func (p *pipe) drain() {
+	p.readMu.Lock()
+	//lint:naiad-vet:lockorder deliberate inversion: fixture proving suppressions waive cycles
+	p.writeMu.Lock()
+	p.writeMu.Unlock()
+	p.readMu.Unlock()
+}
+
+func (p *pipe) flush() {
+	p.writeMu.Lock()
+	p.readMu.Lock()
+	p.readMu.Unlock()
+	p.writeMu.Unlock()
+}
+
+//lint:naiad-vet:lockorder stale waiver: nothing on the next line violates anything
+func (p *pipe) idle() {}
