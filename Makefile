@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet vet-fixtures bench bench-smoke chaos soak soak-recovery fuzz cover
+.PHONY: build test check vet vet-fixtures bench bench-smoke bench-ingress chaos soak soak-recovery soak-ingress fuzz cover
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,15 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/progress/ ./internal/runtime/
 	$(GO) run ./cmd/naiad-bench -exp=progress
 
+# Serving-front-door load harness: N server processes × M simulated
+# clients (streamers, slow readers, mid-epoch disconnectors, floods),
+# written to the committed BENCH_ingress.json baseline. The overload row
+# must show shedding engaging with every offered record accounted and a
+# bounded heap (see docs/serving.md).
+bench-ingress:
+	$(GO) run ./cmd/naiad-bench -exp=ingress -json=BENCH_ingress.json
+	@echo "wrote BENCH_ingress.json"
+
 # Fault-injection smoke battery (see docs/protocol.md).
 chaos:
 	$(GO) run ./cmd/naiad-bench -exp=chaos
@@ -92,6 +101,20 @@ soak-recovery:
 		NAIAD_TEST_SEED=$$seed $(GO) test -race -count=1 \
 			-run 'TestSeededRecoverySimulation|TestSimulationMidBarrierWorkerCrash|TestBarrierChaos|TestBarrierCrash|TestSelectiveRollback|TestCutSettleTimeout|TestDifferentialQuiesceVsBarrierCut' \
 			./internal/supervise/; \
+	done
+
+# Serving-front-door soak: the full overload cycle (steady state, a
+# never-backing-off flood against a slowed dataflow, drain, recovery)
+# under the race detector, SOAK_ITERS times with distinct seeds and a
+# longer flood than the ordinary test run (see docs/serving.md). Asserts
+# sheds engage, the heap stays bounded by the credit pools, and every
+# offered record is accounted accepted or shed.
+soak-ingress:
+	@set -e; for i in $$(seq 1 $(SOAK_ITERS)); do \
+		seed=$$((20130101 + 10 * i)); \
+		echo "== soak-ingress iteration $$i/$(SOAK_ITERS) (NAIAD_TEST_SEED=$$seed) =="; \
+		NAIAD_TEST_SEED=$$seed NAIAD_SOAK_INGRESS_MS=1500 $(GO) test -race -count=1 \
+			-run 'TestSoakIngress' ./internal/serve/; \
 	done
 
 # Short fuzz passes over the codec, frame, barrier, and trace-log parsers.

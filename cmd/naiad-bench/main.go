@@ -16,20 +16,39 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"naiad/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress,trace or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress,trace,ingress or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	jsonPath := flag.String("json", "", "also write the reports of the run experiments to this file as JSON")
 	traceOut := flag.String("trace-out", "", "with -exp=trace: dump the traced run's event log as JSON to this file")
+	// Child mode: -exp=ingress re-execs this binary as the server processes.
+	ingressServer := flag.Bool("ingress-server", false, "run as an ingress server child process (internal; used by -exp=ingress)")
+	ingressCredits := flag.Int("ingress-credits", 0, "ingress server child: global credit pool (0 = steady default)")
+	ingressSlowMS := flag.Int("ingress-slow-ms", 0, "ingress server child: per-epoch dataflow slowdown in ms")
+	ingressSeed := flag.Int64("ingress-seed", 1, "ingress server child: PRNG seed")
 	flag.Parse()
+
+	if *ingressServer {
+		err := harness.IngressServerMain(harness.IngressServerOptions{
+			Credits:     *ingressCredits,
+			SlowEpochMS: *ingressSlowMS,
+			Seed:        *ingressSeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "naiad-bench: ingress server: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress", "trace"} {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress", "trace", "ingress"} {
 			want[e] = true
 		}
 	} else {
@@ -124,6 +143,17 @@ func main() {
 			o.RecordsPerEpoch *= k
 			o.EventsOut = *traceOut
 			return harness.Trace(o)
+		}},
+		{"ingress", func(k int) (*harness.Report, error) {
+			o := harness.DefaultIngress()
+			o.Duration *= time.Duration(k)
+			o.OverloadDuration *= time.Duration(k)
+			bin, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("resolving server binary: %w", err)
+			}
+			o.ServerBin = bin
+			return harness.Ingress(o)
 		}},
 	}
 

@@ -1,5 +1,5 @@
 // Package golife checks goroutine lifecycles in internal/runtime,
-// internal/transport, and internal/supervise.
+// internal/transport, internal/supervise, and internal/serve.
 //
 // Two checks:
 //
@@ -39,12 +39,13 @@ const (
 	runtimePath   = "naiad/internal/runtime"
 	transportPath = "naiad/internal/transport"
 	supervisePath = "naiad/internal/supervise"
+	servePath     = "naiad/internal/serve"
 )
 
 // Analyzer is the golife pass.
 var Analyzer = &framework.Analyzer{
 	Name:      "golife",
-	Doc:       "flag goroutines with no reachable shutdown signal and sync.WaitGroup.Add calls inside the spawned goroutine in internal/runtime, internal/transport, and internal/supervise",
+	Doc:       "flag goroutines with no reachable shutdown signal and sync.WaitGroup.Add calls inside the spawned goroutine in internal/runtime, internal/transport, internal/supervise, and internal/serve",
 	Run:       run,
 	FactTypes: []framework.Fact{&LifeFact{}},
 }
@@ -64,12 +65,13 @@ func (*LifeFact) AFact() {}
 
 func inScope(path string) bool {
 	switch strings.TrimSuffix(path, "_test") {
-	case runtimePath, transportPath, supervisePath:
+	case runtimePath, transportPath, supervisePath, servePath:
 		return true
 	}
 	return strings.HasSuffix(path, "testdata/src/runtime") ||
 		strings.HasSuffix(path, "testdata/src/transport") ||
-		strings.HasSuffix(path, "testdata/src/supervise")
+		strings.HasSuffix(path, "testdata/src/supervise") ||
+		strings.HasSuffix(path, "testdata/src/serve")
 }
 
 func run(pass *framework.Pass) (any, error) {

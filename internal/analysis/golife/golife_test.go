@@ -10,7 +10,9 @@ import (
 // TestGolife runs the runtime-shaped fixture (leaked literal, leaked named
 // spawn, done-channel and bounded negatives, Add-inside-goroutine) together
 // with the supervise-shaped fixture whose spawned body lives in the runtime
-// fixture — the leak verdict there rides on the exported lifecycle fact.
+// fixture — the leak verdict there rides on the exported lifecycle fact —
+// and the serve-shaped fixture (connection handlers that must reach the
+// server's shutdown signal).
 func TestGolife(t *testing.T) {
-	analysistest.Run(t, golife.Analyzer, "runtime", "supervise")
+	analysistest.Run(t, golife.Analyzer, "runtime", "supervise", "serve")
 }

@@ -1,0 +1,63 @@
+// Package door is the serving-front-door-shaped fixture for the golife
+// analyzer (its directory name, testdata/src/serve, puts it in scope):
+// per-connection handler goroutines must be able to reach the server's
+// shutdown signal, or an idle client pins the handler — and its session
+// buffers — for the life of the process.
+package door
+
+type conn struct{}
+
+func (c *conn) serveOne() {}
+
+// handleConnLeak is the bug shape: the accept loop hands each connection a
+// goroutine that polls it forever with no done channel, context, or exit
+// path. Shutdown can never reap these handlers.
+func handleConnLeak(conns []*conn) {
+	for _, c := range conns {
+		c := c
+		go func() { // want `goroutine loops forever with no reachable shutdown signal`
+			for {
+				c.serveOne()
+			}
+		}()
+	}
+}
+
+// handleConnDone is the sanctioned shape: every handler selects on the
+// server's done channel, so Shutdown's close(done) reaches all of them.
+func handleConnDone(conns []*conn, done chan struct{}) {
+	for _, c := range conns {
+		c := c
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c.serveOne()
+			}
+		}()
+	}
+}
+
+// PumpSession drains a session's record channel; the range over the channel
+// is its shutdown signal (the demuxer closes it on session teardown).
+// Exported so cross-package fixtures can spawn it through its fact.
+func PumpSession(records chan []byte) {
+	for r := range records {
+		_ = r
+	}
+}
+
+// reapForever is a named leak: a reaper loop with no ticker-channel receive
+// and no escape. Spawning it is flagged through its lifecycle summary.
+func reapForever(c *conn) {
+	for {
+		c.serveOne()
+	}
+}
+
+func startReaper(c *conn) {
+	go reapForever(c) // want `goroutine \(door\.reapForever\) loops forever with no reachable shutdown signal`
+}

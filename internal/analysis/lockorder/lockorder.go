@@ -1,6 +1,7 @@
 // Package lockorder lifts lockhold's per-function held-sets into a global
 // lock-acquisition-order graph across internal/runtime, internal/transport,
-// and internal/supervise, and reports cycles as potential deadlocks.
+// internal/supervise, and internal/serve, and reports cycles as potential
+// deadlocks.
 //
 // Two goroutines that acquire the same pair of locks in opposite orders can
 // deadlock; so can longer chains threaded through any number of packages.
@@ -44,12 +45,13 @@ const (
 	runtimePath   = "naiad/internal/runtime"
 	transportPath = "naiad/internal/transport"
 	supervisePath = "naiad/internal/supervise"
+	servePath     = "naiad/internal/serve"
 )
 
 // Analyzer is the lockorder pass.
 var Analyzer = &framework.Analyzer{
 	Name:      "lockorder",
-	Doc:       "build the whole-program lock-acquisition-order graph over internal/runtime, internal/transport, and internal/supervise and report cycles as potential deadlocks",
+	Doc:       "build the whole-program lock-acquisition-order graph over internal/runtime, internal/transport, internal/supervise, and internal/serve and report cycles as potential deadlocks",
 	Run:       run,
 	Finish:    finish,
 	FactTypes: []framework.Fact{&AcquiresFact{}, &EdgesFact{}},
@@ -101,12 +103,13 @@ type HeldCall struct {
 // models. analysistest fixtures named after them stand in during tests.
 func inScope(path string) bool {
 	switch strings.TrimSuffix(path, "_test") {
-	case runtimePath, transportPath, supervisePath:
+	case runtimePath, transportPath, supervisePath, servePath:
 		return true
 	}
 	return strings.HasSuffix(path, "testdata/src/runtime") ||
 		strings.HasSuffix(path, "testdata/src/transport") ||
-		strings.HasSuffix(path, "testdata/src/supervise")
+		strings.HasSuffix(path, "testdata/src/supervise") ||
+		strings.HasSuffix(path, "testdata/src/serve")
 }
 
 func run(pass *framework.Pass) (any, error) {

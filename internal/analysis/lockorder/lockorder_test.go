@@ -13,9 +13,10 @@ import (
 // TestLockorderCycles runs the cross-package fixture pair: the PR 3
 // quiesce-deadlock shape (supervisor↔computation through an interface
 // callback), an intra-package inversion, and a consistently-ordered
-// negative.
+// negative — plus the serve-shaped fixture (registry lock held across
+// session I/O vs. session lock held across server accounting).
 func TestLockorderCycles(t *testing.T) {
-	analysistest.Run(t, lockorder.Analyzer, "runtime", "supervise")
+	analysistest.Run(t, lockorder.Analyzer, "runtime", "supervise", "serve")
 }
 
 // TestLockorderSuppression proves a //lint:naiad-vet:lockorder comment on

@@ -1,0 +1,68 @@
+// Package door is the serving-front-door-shaped fixture for the lockorder
+// analyzer (its directory name, testdata/src/serve, puts it in scope). It
+// models the "lock held across session I/O" deadlock the real
+// internal/serve must avoid: a broadcast path holds the server registry
+// mutex while writing to each session (server lock before session lock),
+// while a session's flush path holds its own mutex and calls back into the
+// server's accounting (session lock before server lock). An idle client
+// that stalls the write turns the inversion into a wedged front door.
+package door
+
+import "sync"
+
+type Session struct {
+	mu   sync.Mutex
+	srv  *Server
+	sent int
+}
+
+type Server struct {
+	mu       sync.Mutex
+	sessions []*Session
+	accepted int
+}
+
+// write delivers one frame to the client under the session lock.
+func (s *Session) write(frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sent += len(frame)
+}
+
+// flush holds the session lock across the server accounting callback: the
+// session-before-server half of the cycle. The diagnostic anchors here —
+// the cycle's earliest edge by position.
+func (s *Session) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.account(s.sent) // want `potential deadlock: lock-order cycle door\.Session\.mu → door\.Server\.mu → door\.Session\.mu`
+}
+
+func (sv *Server) account(n int) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.accepted += n
+}
+
+// Broadcast holds the server registry lock while performing session I/O:
+// the server-before-session half.
+func (sv *Server) Broadcast(frame []byte) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	for _, s := range sv.sessions {
+		s.write(frame)
+	}
+}
+
+// SnapshotThenSend is the sanctioned shape: copy the session list under the
+// registry lock, release it, then do the I/O — no lock spans the writes, so
+// no edge into the session class is recorded from under Server.mu.
+func (sv *Server) SnapshotThenSend(frame []byte) {
+	sv.mu.Lock()
+	snap := make([]*Session, len(sv.sessions))
+	copy(snap, sv.sessions)
+	sv.mu.Unlock()
+	for _, s := range snap {
+		s.write(frame)
+	}
+}

@@ -169,3 +169,32 @@ func TestSplitWords(t *testing.T) {
 		t.Fatal("empty doc")
 	}
 }
+
+// TestIngressSmoke runs the serving experiment at miniature scale with
+// in-process servers (no re-exec from a test binary); naiad-bench runs the
+// same driver with real child processes.
+func TestIngressSmoke(t *testing.T) {
+	rep, err := Ingress(IngressOptions{
+		Servers:          2,
+		Streamers:        2,
+		SlowReaders:      1,
+		Disconnectors:    1,
+		Batch:            8,
+		Duration:         300 * time.Millisecond,
+		OverloadDuration: 300 * time.Millisecond,
+		Seed:             20130101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	out := rep.String()
+	if !strings.Contains(out, "steady") || !strings.Contains(out, "overload") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if len(rep.Notes) < 2 || !strings.Contains(rep.Notes[1], "all accounted") {
+		t.Fatalf("notes = %v", rep.Notes)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"naiad/internal/graph"
 	"naiad/internal/progress"
 	ts "naiad/internal/timestamp"
+	"naiad/internal/trace"
 	"naiad/internal/transport"
 )
 
@@ -269,7 +270,18 @@ func (c *Computation) Start() error {
 			})
 		}
 	case c.cfg.UseTCP:
-		t, err := transport.NewTCPLoopback(c.cfg.Processes)
+		var topts transport.TCPOptions
+		if tr := c.cfg.Tracer; tr != nil {
+			// Frame drops bypass the Observed wrapper (they never reach a
+			// send callback), so the transport reports them directly.
+			topts.OnDrop = func(kind transport.Kind, n int) {
+				tr.Emit(trace.Event{
+					Kind: trace.EvFrameDrop, Aux: int32(kind), Worker: -1,
+					Stage: -1, Loc: -1, Epoch: -1, N: int64(n),
+				})
+			}
+		}
+		t, err := transport.NewTCPLoopbackOpts(c.cfg.Processes, topts)
 		if err != nil {
 			return err
 		}

@@ -27,7 +27,12 @@ type MetricsSnapshot struct {
 	DataBytes      int64
 	ProgressFrames int64
 	ProgressBytes  int64
-	LoggedBatches  int64
+	// DroppedFrames counts frames (all kinds) the transport accepted but
+	// never delivered — reconnect-queue overflow, dead links, exhausted
+	// retry budgets. Nonzero means the failure detector has (or will have)
+	// something to say; it must never be silently zero-by-omission.
+	DroppedFrames int64
+	LoggedBatches int64
 	Recovery       RecoverySnapshot // zero unless RecoveryMetrics are attached
 }
 
@@ -98,6 +103,9 @@ func (m *MetricsSnapshot) String() string {
 	}
 	fmt.Fprintf(&sb, "transport: data %d frames / %d bytes, progress %d frames / %d bytes\n",
 		m.DataFrames, m.DataBytes, m.ProgressFrames, m.ProgressBytes)
+	if m.DroppedFrames > 0 {
+		fmt.Fprintf(&sb, "transport: %d frames DROPPED\n", m.DroppedFrames)
+	}
 	if r := m.Recovery; r.Checkpoints > 0 || r.Restarts > 0 || r.HeartbeatMisses > 0 {
 		fmt.Fprintf(&sb, "recovery: %d checkpoints / %d bytes, %d restarts (last recovery %v), %d heartbeat misses\n",
 			r.Checkpoints, r.CheckpointBytes, r.Restarts, r.LastRecovery, r.HeartbeatMisses)
@@ -147,6 +155,7 @@ func (c *Computation) Metrics() *MetricsSnapshot {
 		snap.DataBytes = st.Bytes(transport.KindData)
 		snap.ProgressFrames = st.Frames(transport.KindProgress)
 		snap.ProgressBytes = st.Bytes(transport.KindProgress)
+		snap.DroppedFrames = st.TotalDrops()
 	}
 	return snap
 }

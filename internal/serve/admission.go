@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// creditPool is a bounded pool of admission credits: one credit per record
+// admitted into a dataflow but not yet completed by its flow's probe.
+// Acquire waits (bounded) for capacity — the accept-and-delay half of the
+// ladder — and reports failure when the deadline passes, which the caller
+// turns into a typed shed. Release is called by the ack releasers when
+// epochs complete, and by the admission path itself when a two-pool
+// acquisition fails halfway.
+type creditPool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail int
+	cap   int
+}
+
+func newCreditPool(capacity int) *creditPool {
+	p := &creditPool{avail: capacity, cap: capacity}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// tryAcquire takes n credits immediately, reporting success.
+func (p *creditPool) tryAcquire(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.avail < n {
+		return false
+	}
+	p.avail -= n
+	return true
+}
+
+// acquire takes n credits, waiting until the deadline for capacity. A
+// timer broadcast bounds the wait: sync.Cond has no timed wait, so the
+// timer wakes every waiter at the deadline and each re-checks.
+func (p *creditPool) acquire(n int, deadline time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.avail >= n {
+		p.avail -= n
+		return true
+	}
+	timer := time.AfterFunc(time.Until(deadline), func() { p.cond.Broadcast() })
+	defer timer.Stop()
+	for p.avail < n {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		p.cond.Wait()
+	}
+	p.avail -= n
+	return true
+}
+
+// release returns n credits and wakes waiters.
+func (p *creditPool) release(n int) {
+	p.mu.Lock()
+	p.avail += n
+	if p.avail > p.cap {
+		// Release beyond capacity means an accounting bug; clamp rather
+		// than let the pool grow past its bound.
+		p.avail = p.cap
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// available returns the current free credits.
+func (p *creditPool) available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.avail
+}
+
+// utilization returns the fraction of credits outstanding (0..1).
+func (p *creditPool) utilization() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cap == 0 {
+		return 0
+	}
+	return float64(p.cap-p.avail) / float64(p.cap)
+}
+
+// admit charges n records against the tenant's and the global pool,
+// waiting up to the server's accept-and-delay budget. The tenant pool is
+// charged first: a flooding tenant exhausts its own quota and sheds there
+// without ever contending for the shared pool. On a global-pool timeout
+// the tenant credits are returned. The returned shed code is "" on
+// success.
+func (s *Server) admit(t *tenantState, n int, deadline time.Time) (code string, waited time.Duration) {
+	start := time.Now()
+	if !t.pool.tryAcquire(n) {
+		s.metrics.DelayedRequests.Add(1)
+		if !t.pool.acquire(n, deadline) {
+			return codeQuota, time.Since(start)
+		}
+	}
+	if !s.global.tryAcquire(n) {
+		s.metrics.DelayedRequests.Add(1)
+		if !s.global.acquire(n, deadline) {
+			t.pool.release(n)
+			return codeOverload, time.Since(start)
+		}
+	}
+	return "", time.Since(start)
+}
+
+// refund returns credits for records that were admitted but never sealed
+// into an epoch (ingest failed after admission).
+func (s *Server) refund(t *tenantState, n int) {
+	t.pool.release(n)
+	s.global.release(n)
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"naiad/internal/testutil"
+)
+
+func TestCreditPoolAcquireRelease(t *testing.T) {
+	p := newCreditPool(4)
+	if !p.tryAcquire(4) {
+		t.Fatal("tryAcquire(4) on full pool failed")
+	}
+	if p.tryAcquire(1) {
+		t.Fatal("tryAcquire(1) on empty pool succeeded")
+	}
+	if p.acquire(1, time.Now().Add(10*time.Millisecond)) {
+		t.Fatal("acquire on empty pool beat the deadline")
+	}
+	p.release(2)
+	if !p.acquire(2, time.Now().Add(time.Second)) {
+		t.Fatal("acquire after release failed")
+	}
+	// Release beyond capacity clamps: accounting bugs must not mint credits.
+	p.release(100)
+	if got := p.available(); got != 4 {
+		t.Fatalf("available %d after over-release, want 4", got)
+	}
+	if u := p.utilization(); u != 0 {
+		t.Fatalf("utilization %v, want 0", u)
+	}
+}
+
+func TestCreditPoolWakesWaiter(t *testing.T) {
+	p := newCreditPool(1)
+	p.tryAcquire(1)
+	done := make(chan bool)
+	go func() { done <- p.acquire(1, time.Now().Add(5*time.Second)) }()
+	time.Sleep(5 * time.Millisecond)
+	p.release(1)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter reported timeout despite release")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+// TestCreditPoolStorm hammers one pool from many goroutines under -race:
+// every acquire is eventually matched by a release, and the pool must end
+// exactly full.
+func TestCreditPoolStorm(t *testing.T) {
+	seed := testutil.Seed(t)
+	const capacity = 64
+	p := newCreditPool(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for i := 0; i < 200; i++ {
+				n := 1 + rng.Intn(8)
+				if p.acquire(n, time.Now().Add(time.Second)) {
+					p.release(n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.available(); got != capacity {
+		t.Fatalf("pool ended at %d, want %d", got, capacity)
+	}
+}
+
+func TestDegraderLadderHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DelayLag = 10 * time.Millisecond
+	cfg.ShedNewLag = 20 * time.Millisecond
+	cfg.ShedAllLag = 40 * time.Millisecond
+	cfg.DegradeHold = 3
+	cfg.Seed = testutil.Seed(t)
+	s := NewServer(cfg)
+	d := s.degrade
+
+	// Escalation is immediate, and can jump rungs.
+	d.step(45 * time.Millisecond)
+	if d.mode() != ModeShedAll {
+		t.Fatalf("mode %v after huge signal, want shed-all", d.mode())
+	}
+	// A calm sample does not de-escalate until DegradeHold samples pass.
+	for i := 0; i < cfg.DegradeHold-1; i++ {
+		d.step(time.Millisecond)
+		if d.mode() != ModeShedAll {
+			t.Fatalf("de-escalated after %d calm samples, hold is %d", i+1, cfg.DegradeHold)
+		}
+	}
+	d.step(time.Millisecond)
+	if d.mode() != ModeShedNew {
+		t.Fatalf("mode %v after hold, want shed-new (one rung down)", d.mode())
+	}
+	// A loud sample inside the hold window resets the calm count.
+	d.step(time.Millisecond)
+	d.step(15 * time.Millisecond) // above ShedNewLag/2: not calm
+	d.step(time.Millisecond)
+	d.step(time.Millisecond)
+	if d.mode() != ModeShedNew {
+		t.Fatal("de-escalated despite interrupted calm streak")
+	}
+	d.step(time.Millisecond)
+	if d.mode() != ModeDelay {
+		t.Fatalf("mode %v, want delay", d.mode())
+	}
+	if got := s.Metrics().Escalations.Load(); got != 1 {
+		t.Fatalf("escalations %d, want 1", got)
+	}
+}
+
+func TestRetryAfterScalesWithMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetryAfterBase = 40 * time.Millisecond
+	cfg.Seed = testutil.Seed(t)
+	s := NewServer(cfg)
+	d := s.degrade
+	for mode := ModeHealthy; mode <= ModeShedAll; mode++ {
+		d.cur.Store(int32(mode))
+		base := cfg.RetryAfterBase << uint(mode)
+		for i := 0; i < 100; i++ {
+			got := d.retryAfter()
+			if got < base*3/4 || got > base*5/4 {
+				t.Fatalf("mode %v retryAfter %v outside ±25%% of %v", mode, got, base)
+			}
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		ModeHealthy: "healthy", ModeDelay: "delay",
+		ModeShedNew: "shed-new", ModeShedAll: "shed-all", Mode(9): "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("Mode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable()
+	if _, epoch, ok := tb.Lookup("a"); ok || epoch != -1 {
+		t.Fatalf("fresh table lookup ok=%v epoch=%d", ok, epoch)
+	}
+	tb.Update(0, map[string][]byte{"a": []byte("1"), "b": []byte("2")})
+	tb.Update(1, map[string][]byte{"a": []byte("3"), "b": nil})
+	if v, epoch, ok := tb.Lookup("a"); !ok || string(v) != "3" || epoch != 1 {
+		t.Fatalf("lookup a = %q@%d ok=%v", v, epoch, ok)
+	}
+	if _, _, ok := tb.Lookup("b"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tb.Len() != 1 || tb.Epoch() != 1 {
+		t.Fatalf("len=%d epoch=%d, want 1/1", tb.Len(), tb.Epoch())
+	}
+	// Out-of-order stamps never regress the epoch.
+	tb.Update(0, map[string][]byte{"c": []byte("4")})
+	if tb.Epoch() != 1 {
+		t.Fatalf("epoch regressed to %d", tb.Epoch())
+	}
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"naiad/internal/runtime"
+)
+
+// ingestBatch is one admitted request's records, in flight from an HTTP
+// handler to a flow's edge batcher. The reply channel (buffered, never
+// blocking the batcher) carries back the epoch the records entered: the
+// ack a client can later observe complete via the frontier endpoint.
+type ingestBatch struct {
+	tenant string
+	msgs   []runtime.Message
+	n      int
+	seal   bool       // force-seal request (no records): bounded-latency knob
+	reply  chan int64 // receives the epoch fed (or sealed)
+}
+
+// pendingEpoch is one sealed-at-the-edge epoch awaiting probe completion;
+// its credits are released when the probe passes it.
+type pendingEpoch struct {
+	epoch    int64
+	count    int
+	byTenant map[string]int
+	sealedAt time.Time
+}
+
+// flowState is a registered flow's serving machinery: the single-producer
+// edge batcher feeding the runtime input, and the ack releaser returning
+// credits as the probe advances. The batcher goroutine is the only caller
+// of the input's methods, honoring runtime.Input's single-producer
+// contract.
+type flowState struct {
+	s *Server
+	f Flow
+
+	queue  chan ingestBatch
+	sealCh chan pendingEpoch
+	stopCh chan struct{}
+
+	mu      sync.Mutex
+	pending []pendingEpoch // sealed, not yet completed; FIFO
+	failed  error          // set when the probe reports a dataflow failure
+}
+
+func newFlowState(s *Server, f Flow) *flowState {
+	// Every queued batch and every sealed-incomplete epoch carries at
+	// least one admission credit, so GlobalCredits bounds both; the slack
+	// covers credit-free seal requests.
+	capacity := s.cfg.GlobalCredits + s.cfg.MaxSessions
+	return &flowState{
+		s:      s,
+		f:      f,
+		queue:  make(chan ingestBatch, capacity),
+		sealCh: make(chan pendingEpoch, capacity),
+		stopCh: make(chan struct{}),
+	}
+}
+
+func (fs *flowState) start() {
+	fs.s.wg.Add(2)
+	go fs.batchLoop()
+	go fs.releaseLoop()
+}
+
+// stop asks the batcher to drain, seal, and close the input. Callers
+// guarantee no concurrent ingest pushes (the HTTP server has shut down).
+func (fs *flowState) stop() { close(fs.stopCh) }
+
+// push hands an admitted batch to the batcher and waits for the epoch it
+// lands in — the delayed-ack edge of the backpressure path. Returns -1
+// when the server is stopping.
+func (fs *flowState) push(b ingestBatch) int64 {
+	b.reply = make(chan int64, 1)
+	select {
+	case fs.queue <- b:
+	case <-fs.stopCh:
+		return -1
+	}
+	select {
+	case e := <-b.reply:
+		return e
+	case <-fs.stopCh:
+		return -1
+	}
+}
+
+// batchLoop is the edge batcher: it owns the input, feeds admitted
+// records into the open epoch, and seals epochs on the cadence, the size
+// bound, or an explicit seal request. On stop it drains the queue, seals
+// the remainder, and closes the input so the owning computation can Join.
+func (fs *flowState) batchLoop() {
+	defer fs.s.wg.Done()
+	tick := time.NewTicker(fs.s.cfg.EpochInterval)
+	defer tick.Stop()
+	var open *pendingEpoch
+	feed := func(b ingestBatch) {
+		if b.seal {
+			sealed := fs.seal(&open)
+			b.reply <- sealed
+			return
+		}
+		if len(b.msgs) > 0 {
+			fs.f.Input.Send(b.msgs...)
+		}
+		if open == nil {
+			open = &pendingEpoch{epoch: fs.f.Input.Epoch(), byTenant: make(map[string]int)}
+		}
+		open.count += b.n
+		open.byTenant[b.tenant] += b.n
+		b.reply <- open.epoch
+		if open.count >= fs.s.cfg.EpochMaxRecords {
+			fs.seal(&open)
+		}
+	}
+	for {
+		select {
+		case b := <-fs.queue:
+			feed(b)
+		case <-tick.C:
+			if open != nil {
+				fs.seal(&open)
+			}
+		case <-fs.stopCh:
+			for {
+				select {
+				case b := <-fs.queue:
+					feed(b)
+				default:
+					fs.seal(&open)
+					fs.f.Input.Close()
+					close(fs.sealCh)
+					return
+				}
+			}
+		}
+	}
+}
+
+// seal completes the open epoch at the edge: the input advances, the
+// epoch joins the pending list (the backlog signal), and the releaser is
+// told to await its completion. Returns the sealed epoch, or the last
+// sealed epoch when nothing was open.
+func (fs *flowState) seal(open **pendingEpoch) int64 {
+	if *open == nil {
+		return fs.f.Input.Epoch() - 1
+	}
+	p := **open
+	*open = nil
+	p.sealedAt = time.Now()
+	fs.f.Input.Advance()
+	fs.mu.Lock()
+	fs.pending = append(fs.pending, p)
+	fs.mu.Unlock()
+	fs.s.metrics.EpochsSealed.Add(1)
+	fs.sealCh <- p
+	return p.epoch
+}
+
+// releaseLoop is the ack releaser: for each sealed epoch, wait for the
+// flow's probe to pass it, then return the epoch's credits to the tenant
+// and global pools — the moment backpressure actually relaxes. A probe
+// released by a dataflow failure instead marks the flow failed (ingest
+// starts rejecting) and still returns the credits: the records are gone,
+// holding their credits would wedge the door shut forever.
+func (fs *flowState) releaseLoop() {
+	defer fs.s.wg.Done()
+	for p := range fs.sealCh {
+		err := fs.f.Probe.WaitForErr(p.epoch)
+		fs.mu.Lock()
+		if len(fs.pending) > 0 && fs.pending[0].epoch == p.epoch {
+			fs.pending = fs.pending[1:]
+		}
+		if err != nil && fs.failed == nil {
+			fs.failed = err
+		}
+		fs.mu.Unlock()
+		for tenant, n := range p.byTenant {
+			if t := fs.s.tenant(tenant, false); t != nil {
+				t.pool.release(n)
+			}
+		}
+		fs.s.global.release(p.count)
+		if err != nil {
+			fs.s.metrics.FlowFailures.Add(1)
+			continue
+		}
+		fs.s.metrics.EpochsCompleted.Add(1)
+		fs.s.metrics.RecordAck(int64(time.Since(p.sealedAt)))
+	}
+}
+
+// backlogAge is the degradation signal contribution: how long the oldest
+// sealed-but-incomplete epoch has been waiting on the dataflow.
+func (fs *flowState) backlogAge() time.Duration {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.pending) == 0 {
+		return 0
+	}
+	return time.Since(fs.pending[0].sealedAt)
+}
+
+// err returns the dataflow failure observed by the releaser, if any.
+func (fs *flowState) err() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.failed
+}
+
+// completed returns the probe's highest completed epoch.
+func (fs *flowState) completed() int64 { return fs.f.Probe.Completed() }

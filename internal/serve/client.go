@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// ClientOptions tunes a Client's session protocol behavior.
+type ClientOptions struct {
+	// MaxRetries bounds attempts per operation (default 8). Retries fire
+	// on typed rejections (429/503) and transport errors; 4xx protocol
+	// errors fail immediately.
+	MaxRetries int
+	// Backoff is the initial retry delay (default 10ms); it doubles per
+	// attempt up to MaxBackoff (default 2s) with ±50% jitter, and the
+	// server's retry_after_ms hint acts as a floor — the client never
+	// returns before the server asked it to.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+	// Seed drives the jitter PRNG (default 1).
+	Seed int64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Client speaks the session protocol: it opens a session, streams record
+// batches with jittered exponential backoff honoring the server's
+// retry-after hints, and reads frontier-stamped state.
+type Client struct {
+	base    string
+	tenant  string
+	flow    string
+	session string
+	opts    ClientOptions
+	hc      *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Stats: how the backpressure path treated this client.
+	mu        sync.Mutex
+	retries   int64
+	backoffNS int64
+	shed      int64 // operations abandoned after MaxRetries
+}
+
+// RejectedError is a typed rejection that exhausted the retry budget.
+type RejectedError struct {
+	Status     int
+	Code       string
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("serve: rejected (%d %s): %s", e.Status, e.Code, e.Msg)
+}
+
+// Dial opens a session for tenant on flow at the server's base address
+// (host:port). Session creation itself retries with backoff, so a client
+// arriving during shed-new keeps knocking.
+func Dial(addr, tenant, flow string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{
+		base:   "http://" + addr,
+		tenant: tenant,
+		flow:   flow,
+		opts:   opts,
+		hc:     &http.Client{Timeout: opts.Timeout},
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+	body, _ := json.Marshal(map[string]string{"tenant": tenant, "flow": flow})
+	var resp sessionResponse
+	if err := c.doRetry("POST", c.base+"/v1/sessions", body, http.StatusCreated, &resp); err != nil {
+		return nil, err
+	}
+	c.session = resp.Session
+	return c, nil
+}
+
+// Session returns the session id.
+func (c *Client) Session() string { return c.session }
+
+// Ack is the server's answer to an admitted batch.
+type Ack struct {
+	Accepted int
+	Epoch    int64
+	Mode     string
+}
+
+// Send streams one batch of records (NDJSON lines) and returns the ack.
+func (c *Client) Send(records [][]byte) (Ack, error) {
+	var buf bytes.Buffer
+	for _, r := range records {
+		buf.Write(r)
+		buf.WriteByte('\n')
+	}
+	var resp ingestResponse
+	err := c.doRetry("POST", c.base+"/v1/sessions/"+c.session+"/records", buf.Bytes(), http.StatusOK, &resp)
+	if err != nil {
+		return Ack{}, err
+	}
+	return Ack{Accepted: resp.Accepted, Epoch: resp.Epoch, Mode: resp.Mode}, nil
+}
+
+// SendStrings is Send for string records.
+func (c *Client) SendStrings(records ...string) (Ack, error) {
+	bs := make([][]byte, len(records))
+	for i, r := range records {
+		bs[i] = []byte(r)
+	}
+	return c.Send(bs)
+}
+
+// Advance force-seals the flow's open edge epoch.
+func (c *Client) Advance() (int64, error) {
+	var resp advanceResponse
+	err := c.doRetry("POST", c.base+"/v1/sessions/"+c.session+"/advance", nil, http.StatusOK, &resp)
+	return resp.SealedEpoch, err
+}
+
+// Frontier reads the flow's progress state.
+func (c *Client) Frontier() (completed, open int64, mode string, err error) {
+	var resp frontierResponse
+	err = c.doRetry("GET", c.base+"/v1/flows/"+c.flow+"/frontier", nil, http.StatusOK, &resp)
+	return resp.Completed, resp.Open, resp.Mode, err
+}
+
+// Read looks a key up at a consistent frontier. minEpoch ≥ 0 waits until
+// the probe completes it (read-your-writes: pass the epoch an ack
+// returned). Returns the value and the epoch the state was complete
+// through.
+func (c *Client) Read(key string, minEpoch int64) (string, int64, error) {
+	u := c.base + "/v1/flows/" + c.flow + "/read?key=" + url.QueryEscape(key)
+	if minEpoch >= 0 {
+		u += fmt.Sprintf("&min_epoch=%d", minEpoch)
+	}
+	var resp readResponse
+	if err := c.doRetry("GET", u, nil, http.StatusOK, &resp); err != nil {
+		return "", 0, err
+	}
+	return resp.Value, resp.Epoch, nil
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics() (map[string]any, error) {
+	var resp map[string]any
+	err := c.do("GET", c.base+"/v1/metricz", nil, http.StatusOK, &resp)
+	return resp, err
+}
+
+// Close deletes the session. Best-effort: a 404 (already reaped) is fine.
+func (c *Client) Close() error {
+	req, err := http.NewRequest("DELETE", c.base+"/v1/sessions/"+c.session, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Stats reports the client's backpressure experience: retries performed,
+// total nanoseconds spent backing off, and operations shed after the
+// retry budget.
+func (c *Client) Stats() (retries, backoffNS, shed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries, c.backoffNS, c.shed
+}
+
+// doRetry performs one protocol operation with the retry/backoff loop.
+func (c *Client) doRetry(method, url string, body []byte, wantStatus int, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			d := c.backoffFor(attempt, lastErr)
+			c.mu.Lock()
+			c.retries++
+			c.backoffNS += int64(d)
+			c.mu.Unlock()
+			time.Sleep(d)
+		}
+		err := c.do(method, url, body, wantStatus, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			if rej.Status != http.StatusTooManyRequests && rej.Status != http.StatusServiceUnavailable {
+				return err // protocol error: retrying cannot help
+			}
+			continue
+		}
+		// Transport error: retry too (the server may be mid-restart).
+	}
+	c.mu.Lock()
+	c.shed++
+	c.mu.Unlock()
+	return fmt.Errorf("serve: giving up after %d retries: %w", c.opts.MaxRetries, lastErr)
+}
+
+// backoffFor computes the jittered exponential delay for a retry, floored
+// at the server's retry-after hint when the last rejection carried one.
+func (c *Client) backoffFor(attempt int, lastErr error) time.Duration {
+	d := c.opts.Backoff << uint(attempt-1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	c.rngMu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d)+1))/2
+	c.rngMu.Unlock()
+	var rej *RejectedError
+	if errors.As(lastErr, &rej) && rej.RetryAfter > jittered {
+		jittered = rej.RetryAfter
+	}
+	return jittered
+}
+
+// do performs one HTTP exchange, mapping typed rejections to
+// RejectedError.
+func (c *Client) do(method, url string, body []byte, wantStatus int, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/x-ndjson")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		return &RejectedError{
+			Status: resp.StatusCode, Code: eb.Code, Msg: eb.Error,
+			RetryAfter: time.Duration(eb.RetryAfterMS) * time.Millisecond,
+		}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is a rung of the degradation ladder. Higher modes shed more; every
+// admission decision consults the current mode, and every rejection tells
+// the client which rung produced it.
+type Mode int32
+
+const (
+	// ModeHealthy admits everything within quota.
+	ModeHealthy Mode = iota
+	// ModeDelay admits everything but warns clients: admission waits are
+	// expected and retry-after hints grow. Entered when the backlog signal
+	// crosses DelayLag.
+	ModeDelay
+	// ModeShedNew keeps serving established tenants but refuses sessions
+	// from tenants the server has not seen — load stops growing while the
+	// dataflow catches up. Entered at ShedNewLag.
+	ModeShedNew
+	// ModeShedAll refuses all ingest (reads still serve) — the last rung
+	// before the alternative, which is a worker OOM. Entered at ShedAllLag.
+	ModeShedAll
+)
+
+// String names the mode as the wire protocol spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeHealthy:
+		return "healthy"
+	case ModeDelay:
+		return "delay"
+	case ModeShedNew:
+		return "shed-new"
+	case ModeShedAll:
+		return "shed-all"
+	}
+	return "unknown"
+}
+
+// degrader is the degradation controller: it samples the backlog signal on
+// a fixed cadence and walks the mode ladder with hysteresis (escalation is
+// immediate, de-escalation needs DegradeHold consecutive calm samples so a
+// flapping signal cannot oscillate admissions).
+type degrader struct {
+	s    *Server
+	cfg  Config
+	cur  atomic.Int32
+	calm int // consecutive samples below the step-down threshold
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func newDegrader(s *Server, cfg Config) *degrader {
+	return &degrader{s: s, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (d *degrader) mode() Mode { return Mode(d.cur.Load()) }
+
+// signal computes the overload signal: the age of the oldest epoch that
+// has been sealed at the edge but not completed by its flow's probe — the
+// end-to-end measure of how far the dataflow trails the door. When a
+// tracer is attached its worst frontier lag is folded in, but only while a
+// backlog exists: an idle computation's frontier legitimately sits still,
+// and idleness must read as healthy.
+func (d *degrader) signal() time.Duration {
+	var oldest time.Duration
+	for _, f := range d.s.snapshotFlows() {
+		if age := f.backlogAge(); age > oldest {
+			oldest = age
+		}
+	}
+	if oldest > 0 && d.cfg.Tracer != nil {
+		if lags := d.cfg.Tracer.FrontierLags(); len(lags) > 0 && lags[0].Age > oldest {
+			oldest = lags[0].Age
+		}
+	}
+	return oldest
+}
+
+// target maps a signal to the ladder rung it calls for.
+func (d *degrader) target(sig time.Duration) Mode {
+	switch {
+	case sig >= d.cfg.ShedAllLag:
+		return ModeShedAll
+	case sig >= d.cfg.ShedNewLag:
+		return ModeShedNew
+	case sig >= d.cfg.DelayLag:
+		return ModeDelay
+	}
+	return ModeHealthy
+}
+
+// step advances the ladder one sample: escalate immediately to the
+// target, de-escalate one rung after DegradeHold calm samples (calm =
+// signal below half the current rung's entry threshold).
+func (d *degrader) step(sig time.Duration) {
+	cur := d.mode()
+	want := d.target(sig)
+	switch {
+	case want > cur:
+		d.setMode(want)
+		d.calm = 0
+	case want < cur:
+		if sig < d.entryThreshold(cur)/2 {
+			d.calm++
+			if d.calm >= d.cfg.DegradeHold {
+				d.setMode(cur - 1)
+				d.calm = 0
+			}
+		} else {
+			d.calm = 0
+		}
+	default:
+		d.calm = 0
+	}
+}
+
+// entryThreshold returns the signal level that enters a mode.
+func (d *degrader) entryThreshold(m Mode) time.Duration {
+	switch m {
+	case ModeShedAll:
+		return d.cfg.ShedAllLag
+	case ModeShedNew:
+		return d.cfg.ShedNewLag
+	default:
+		return d.cfg.DelayLag
+	}
+}
+
+func (d *degrader) setMode(m Mode) {
+	old := Mode(d.cur.Swap(int32(m)))
+	if old != m {
+		d.s.metrics.ModeChanges.Add(1)
+		d.s.metrics.CurrentMode.Store(int32(m))
+		if m > old {
+			d.s.metrics.Escalations.Add(1)
+		}
+	}
+}
+
+// run is the controller loop.
+func (d *degrader) run(done <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := time.NewTicker(d.cfg.DegradeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			d.step(d.signal())
+		}
+	}
+}
+
+// retryAfter computes the backoff hint attached to a rejection: the base
+// scaled by ladder depth, with ±25% jitter so a shed client fleet does not
+// return in lockstep.
+func (d *degrader) retryAfter() time.Duration {
+	base := d.cfg.RetryAfterBase << uint(d.mode())
+	d.rngMu.Lock()
+	j := time.Duration(d.rng.Int63n(int64(base)/2+1)) - base/4
+	d.rngMu.Unlock()
+	return base + j
+}

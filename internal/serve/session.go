@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// session is one tenant connection's sequencing context: ingest requests
+// name a session, and the session serializes that client's admission
+// bookkeeping. Sessions are cheap — they hold no credits at rest (credits
+// travel with records) — so an idle session's only cost is this struct
+// until the reaper collects it.
+type session struct {
+	id     string
+	tenant string
+	flow   string
+
+	mu         sync.Mutex
+	lastActive time.Time
+	records    int64 // admitted through this session, for accounting
+	closed     bool
+}
+
+// touch refreshes the idle clock, failing if the session is gone.
+func (ss *session) touch(now time.Time) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return false
+	}
+	ss.lastActive = now
+	return true
+}
+
+// sessionTable owns the live sessions and their idle reaping.
+type sessionTable struct {
+	metrics *Metrics
+
+	mu   sync.Mutex
+	next int64
+	byID map[string]*session
+}
+
+func newSessionTable(m *Metrics) *sessionTable {
+	return &sessionTable{metrics: m, byID: make(map[string]*session)}
+}
+
+// create registers a new session. Caller has already passed admission.
+func (st *sessionTable) create(tenant, flow string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	ss := &session{
+		id:         fmt.Sprintf("s-%d", st.next),
+		tenant:     tenant,
+		flow:       flow,
+		lastActive: time.Now(),
+	}
+	st.byID[ss.id] = ss
+	st.metrics.SessionsOpened.Add(1)
+	st.metrics.OpenSessions.Add(1)
+	return ss
+}
+
+// get resolves a live session.
+func (st *sessionTable) get(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.byID[id]
+}
+
+// count returns open sessions, total and for one tenant.
+func (st *sessionTable) count(tenant string) (total, forTenant int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ss := range st.byID {
+		if ss.tenant == tenant {
+			forTenant++
+		}
+	}
+	return len(st.byID), forTenant
+}
+
+// remove closes and deletes a session, reporting whether it was live.
+func (st *sessionTable) remove(id string) bool {
+	st.mu.Lock()
+	ss := st.byID[id]
+	delete(st.byID, id)
+	st.mu.Unlock()
+	if ss == nil {
+		return false
+	}
+	ss.mu.Lock()
+	ss.closed = true
+	ss.mu.Unlock()
+	st.metrics.SessionsClosed.Add(1)
+	st.metrics.OpenSessions.Add(-1)
+	return true
+}
+
+// reap collects sessions idle past the timeout: a client that vanished
+// mid-epoch (network death, crashed process) must not hold a session slot
+// forever. Runs until the server's done channel closes.
+func (st *sessionTable) reap(done <-chan struct{}, wg *sync.WaitGroup, idle time.Duration) {
+	defer wg.Done()
+	tick := time.NewTicker(idle / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-tick.C:
+			for _, id := range st.idleIDs(now, idle) {
+				if st.remove(id) {
+					st.metrics.SessionsReaped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// idleIDs snapshots the ids idle past the timeout.
+func (st *sessionTable) idleIDs(now time.Time, idle time.Duration) []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []string
+	for id, ss := range st.byID {
+		ss.mu.Lock()
+		stale := now.Sub(ss.lastActive) > idle
+		ss.mu.Unlock()
+		if stale {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	goruntime "runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"naiad/internal/lib"
+	"naiad/internal/runtime"
+	"naiad/internal/testutil"
+)
+
+// soakFloodMS returns the flood duration: 300ms by default (fast enough for
+// the ordinary test run), overridable via NAIAD_SOAK_INGRESS_MS for the
+// longer `make soak-ingress` iterations.
+func soakFloodMS(t *testing.T) time.Duration {
+	if v := os.Getenv("NAIAD_SOAK_INGRESS_MS"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			t.Fatalf("bad NAIAD_SOAK_INGRESS_MS=%q", v)
+		}
+		return time.Duration(ms) * time.Millisecond
+	}
+	return 300 * time.Millisecond
+}
+
+// soakEnv is a front door over a deliberately slowable dataflow: the
+// subscriber sleeps delayNS per epoch, so a flood outruns completion and
+// admission credits run dry — the overload the soak drives — and resetting
+// the delay lets the backlog drain for the recovery phase.
+type soakEnv struct {
+	t       *testing.T
+	scope   *lib.Scope
+	srv     *Server
+	table   *Table
+	delayNS atomic.Int64
+	stop    sync.Once
+}
+
+func startSoakEnv(t *testing.T) *soakEnv {
+	t.Helper()
+	t.Cleanup(testutil.CheckNoLeaks(t))
+	e := &soakEnv{t: t, table: NewTable()}
+
+	cfg := DefaultConfig()
+	cfg.Seed = testutil.Seed(t)
+	cfg.GlobalCredits = 256
+	cfg.TenantCredits = 256
+	cfg.EpochInterval = time.Millisecond
+	cfg.AdmitWait = 10 * time.Millisecond
+	cfg.RequestTimeout = 2 * time.Second
+	cfg.DegradeInterval = 2 * time.Millisecond
+	cfg.RetryAfterBase = time.Millisecond
+	cfg.DelayLag = 10 * time.Millisecond
+	cfg.ShedNewLag = 50 * time.Millisecond
+	// Keep the ladder off its top rung: shed-all rejects before decoding the
+	// body (record count unknown), which would weaken the record-exact
+	// accounting this soak asserts.
+	cfg.ShedAllLag = time.Hour
+
+	scope, err := lib.NewScope(runtime.Config{Processes: 1, WorkersPerProcess: 2})
+	if err != nil {
+		t.Fatalf("NewScope: %v", err)
+	}
+	e.scope = scope
+	in, stream := lib.NewInput[string](scope, "events", nil)
+	sub := lib.Subscribe(stream, func(epoch int64, recs []string) {
+		if d := e.delayNS.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		entries := make(map[string][]byte)
+		for _, r := range recs {
+			if k, v, ok := strings.Cut(r, "="); ok {
+				entries[k] = []byte(v)
+			}
+		}
+		e.table.Update(epoch, entries)
+	})
+	probe := scope.C.NewProbe(sub)
+	if err := scope.C.Start(); err != nil {
+		t.Fatalf("Start computation: %v", err)
+	}
+	e.srv = NewServer(cfg)
+	err = e.srv.Register(Flow{Name: "wc", Input: in.Raw(), Probe: probe, View: e.table})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.srv.Start(); err != nil {
+		t.Fatalf("Start server: %v", err)
+	}
+	t.Cleanup(e.close)
+	return e
+}
+
+func (e *soakEnv) close() {
+	e.stop.Do(func() {
+		e.delayNS.Store(0)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := e.srv.Shutdown(ctx); err != nil {
+			e.t.Errorf("Shutdown: %v", err)
+		}
+		if err := e.scope.C.Join(); err != nil {
+			e.t.Errorf("Join: %v", err)
+		}
+	})
+}
+
+// steadySend pushes count single-record requests through a well-behaved
+// client and returns the observed p99 request latency.
+func (e *soakEnv) steadySend(c *Client, prefix string, count int) (time.Duration, int64) {
+	e.t.Helper()
+	lat := make([]time.Duration, 0, count)
+	var lastEpoch int64
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		ack, err := c.SendStrings(fmt.Sprintf("%s%d=%d", prefix, i, i))
+		if err != nil {
+			e.t.Fatalf("steady send %s%d: %v", prefix, i, err)
+		}
+		lastEpoch = ack.Epoch
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)*99/100], lastEpoch
+}
+
+// floodStats is one flooding goroutine's tally of server decisions.
+type floodStats struct {
+	accepted int64 // records in 200 responses
+	shed     int64 // records in 429/503 responses
+	other    int64 // responses with an unexpected status
+	errs     int64 // transport-level failures (no server decision observed)
+}
+
+// TestSoakIngressBoundedOverload drives the front door through a full
+// overload cycle: steady state, a never-backing-off multi-goroutine flood
+// against a slowed dataflow, drain, and recovery. It proves the robustness
+// claims the package makes: sheds rise instead of queues, the heap stays
+// bounded by the credit pools, every offered record is accounted accepted
+// or shed, and after the flood drains the door returns to healthy-mode
+// latencies. `make soak-ingress` runs it under -race across seeds with a
+// longer flood.
+func TestSoakIngressBoundedOverload(t *testing.T) {
+	e := startSoakEnv(t)
+	c := e.mustDialSoak("steady")
+
+	// Phase A: steady state on a healthy door.
+	p99Pre, _ := e.steadySend(c, "pre", 100)
+	if mode := e.srv.Mode(); mode != ModeHealthy {
+		t.Fatalf("mode after steady phase = %v, want healthy", mode)
+	}
+
+	// Phase B: slow the dataflow and flood it with producers that never
+	// back off — every response is ignored and the next batch follows
+	// immediately.
+	const floodWorkers = 4
+	const batch = 8
+	e.delayNS.Store(int64(3 * time.Millisecond))
+	base := e.srv.Metrics().Snapshot()
+	var baseMem goruntime.MemStats
+	goruntime.GC()
+	goruntime.ReadMemStats(&baseMem)
+
+	var heapMax atomic.Uint64
+	samplerDone := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerDone:
+				return
+			case <-tick.C:
+				var m goruntime.MemStats
+				goruntime.ReadMemStats(&m)
+				if m.HeapAlloc > heapMax.Load() {
+					heapMax.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	ingestURL := "http://" + e.srv.Addr() + "/v1/sessions/" + c.Session() + "/records"
+	httpc := &http.Client{}
+	stats := make([]floodStats, floodWorkers)
+	deadline := time.Now().Add(soakFloodMS(t))
+	var wg sync.WaitGroup
+	for w := 0; w < floodWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			var body bytes.Buffer
+			for i := 0; time.Now().Before(deadline); i++ {
+				body.Reset()
+				for r := 0; r < batch; r++ {
+					fmt.Fprintf(&body, "flood_%d_%d=%d\n", w, i, r)
+				}
+				resp, err := httpc.Post(ingestURL, "application/x-ndjson", bytes.NewReader(body.Bytes()))
+				if err != nil {
+					st.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.accepted += batch
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					st.shed += batch
+				default:
+					st.other++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(samplerDone)
+	samplerWG.Wait()
+
+	var offered, shedSeen, errs, other int64
+	for _, st := range stats {
+		offered += st.accepted + st.shed
+		shedSeen += st.shed
+		errs += st.errs
+		other += st.other
+	}
+	if other != 0 {
+		t.Fatalf("flood saw %d responses with unexpected status", other)
+	}
+	if offered == 0 {
+		t.Fatal("flood made no requests")
+	}
+
+	post := e.srv.Metrics().Snapshot()
+	t.Logf("flood: offered=%d accepted=%d shed=%d (server: accepted=%d shed=%d quota=%d overload=%d mode=%d) transport errs=%d",
+		offered, offered-shedSeen, shedSeen,
+		post.RecordsAccepted-base.RecordsAccepted, post.RecordsShed-base.RecordsShed,
+		post.ShedQuota-base.ShedQuota, post.ShedOverload-base.ShedOverload,
+		post.ShedMode-base.ShedMode, errs)
+
+	// Sheds rose: the slowed dataflow starved the credit pools and the door
+	// rejected instead of queueing.
+	if got := post.RecordsShed - base.RecordsShed; got == 0 {
+		t.Fatal("flood completed without a single shed record; backpressure never engaged")
+	}
+	// Exact accounting: every record the flood offered was either accepted
+	// or shed, nothing lost. Transport-level errors leave the server-side
+	// outcome unobserved, so they loosen the check to an interval.
+	delta := (post.RecordsAccepted - base.RecordsAccepted) + (post.RecordsShed - base.RecordsShed)
+	if errs == 0 {
+		if delta != offered {
+			t.Fatalf("accounting: server accepted+shed delta = %d, flood offered %d", delta, offered)
+		}
+	} else if delta < offered || delta > offered+errs*batch {
+		t.Fatalf("accounting: server accepted+shed delta = %d, flood offered %d (+%d unobserved)", delta, offered, errs*batch)
+	}
+
+	// Bounded memory: in-flight records are capped by the credit pools, so
+	// the flood must not balloon the heap (the bound is generous to absorb
+	// race-detector and GC noise; an unbounded queue grows linearly with
+	// flood duration and blows far past it).
+	if maxH, baseH := heapMax.Load(), baseMem.HeapAlloc; maxH > baseH+128<<20 {
+		t.Fatalf("heap grew from %d to %d during flood; admission is not bounding memory", baseH, maxH)
+	}
+
+	// Phase C: drain. Restore full speed and wait for every sealed epoch to
+	// complete and all credits to return.
+	e.delayNS.Store(0)
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for {
+		snap := e.srv.Metrics().Snapshot()
+		if snap.EpochsCompleted == snap.EpochsSealed && e.srv.global.available() == e.srv.cfg.GlobalCredits {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("backlog never drained: sealed=%d completed=%d credits=%d/%d",
+				snap.EpochsSealed, snap.EpochsCompleted, e.srv.global.available(), e.srv.cfg.GlobalCredits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitMode(t, e.srv, ModeHealthy, 5*time.Second)
+
+	// Phase D: recovery. A fresh steady run sheds nothing and lands back at
+	// interactive latencies.
+	p99Post, lastEpoch := e.steadySend(c, "post", 100)
+	if _, _, shed := c.Stats(); shed != 0 {
+		t.Fatalf("steady client had %d sends shed", shed)
+	}
+	if bound := max(10*p99Pre, 250*time.Millisecond); p99Post > bound {
+		t.Fatalf("post-drain p99 %v exceeds %v (pre-flood p99 %v); door did not recover", p99Post, bound, p99Pre)
+	}
+	// Read-your-writes at the last ack's epoch: the frontier-stamped read
+	// blocks until that epoch completes, so the write must be visible.
+	if v, _, err := c.Read("post99", lastEpoch); err != nil || v != "99" {
+		t.Fatalf("post-drain write not visible: %q %v", v, err)
+	}
+	t.Logf("p99 pre=%v post=%v; heap base=%dKiB max=%dKiB", p99Pre, p99Post, baseMem.HeapAlloc>>10, heapMax.Load()>>10)
+}
+
+func (e *soakEnv) mustDialSoak(tenant string) *Client {
+	e.t.Helper()
+	c, err := Dial(e.srv.Addr(), tenant, "wc", ClientOptions{
+		MaxRetries: 8,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+		Seed:       testutil.Seed(e.t),
+	})
+	if err != nil {
+		e.t.Fatalf("Dial(%s): %v", tenant, err)
+	}
+	return c
+}

@@ -1,0 +1,62 @@
+package serve
+
+import "sync"
+
+// Table is the built-in View: a key→value map maintained from a dataflow
+// subscription and stamped with the epoch it is complete through. The
+// dataflow side calls Update as each epoch's results arrive (lib.Subscribe
+// delivers epochs in order); the serving side reads concurrently.
+//
+// It is deliberately last-writer-wins per key: flows that need
+// retraction semantics fold their diffs before calling Update (see
+// examples/serving).
+type Table struct {
+	mu    sync.RWMutex
+	vals  map[string][]byte
+	epoch int64
+}
+
+// NewTable returns an empty table stamped at epoch -1 (nothing complete).
+func NewTable() *Table {
+	return &Table{vals: make(map[string][]byte), epoch: -1}
+}
+
+// Update applies one completed epoch's entries: nil values delete. The
+// epoch stamp becomes visible with the entries, under one lock.
+func (t *Table) Update(epoch int64, entries map[string][]byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range entries {
+		if v == nil {
+			delete(t.vals, k)
+			continue
+		}
+		t.vals[k] = append([]byte(nil), v...)
+	}
+	if epoch > t.epoch {
+		t.epoch = epoch
+	}
+}
+
+// Lookup returns a key's value and the epoch the table is complete
+// through.
+func (t *Table) Lookup(key string) ([]byte, int64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.vals[key]
+	return v, t.epoch, ok
+}
+
+// Epoch returns the completion stamp.
+func (t *Table) Epoch() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Len returns the number of keys.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.vals)
+}

@@ -38,6 +38,12 @@ type TCPOptions struct {
 	// Seed drives the jitter PRNG (default 1), keeping schedules
 	// reproducible.
 	Seed int64
+	// OnDrop, when non-nil, is invoked for every frame the transport
+	// accepts but cannot deliver (dead link with reconnection disabled,
+	// reconnect queue overflow, or retry-budget exhaustion). It is called
+	// without any link lock held and may block briefly (tracing, metrics);
+	// n is the number of frames of that kind lost at once.
+	OnDrop func(kind Kind, n int)
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -95,6 +101,11 @@ type tcpLink struct {
 	broken    bool
 	redialing bool    // a background redialer is active (single-flight)
 	pending   []frame // frames queued while redialing, flushed in order
+
+	// drops counts frames this link accepted but lost, across socket
+	// generations. Kept per link (in addition to the transport-wide Stats)
+	// so an operator can tell which peer pair is lossy.
+	drops atomic.Int64
 }
 
 // maxPendingFrames bounds the per-link reconnect queue: a link that stays
@@ -334,22 +345,34 @@ func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
 	}
 	l := t.conns[from][to]
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.redialing {
-		t.enqueueLocked(l, from, kind, payload)
+		queued := t.enqueueLocked(l, from, kind, payload)
+		l.mu.Unlock()
+		if !queued {
+			t.noteDrop(l, kind, 1)
+		}
 		return
 	}
 	if l.c != nil && !l.broken && t.writeFrameLocked(l, frameHeader(from, kind, payload), payload) == nil {
 		t.stats.Count(kind, len(payload))
+		l.mu.Unlock()
 		return
 	}
 	if t.opts.ReconnectAttempts <= 0 {
-		return // historical contract: a dead link silently drops frames
+		l.mu.Unlock()
+		// Historical contract: a dead link drops the frame — but the loss
+		// is counted, never silent.
+		t.noteDrop(l, kind, 1)
+		return
 	}
-	t.enqueueLocked(l, from, kind, payload)
+	queued := t.enqueueLocked(l, from, kind, payload)
 	l.redialing = true
 	t.wg.Add(1)
 	go t.redial(from, to, l)
+	l.mu.Unlock()
+	if !queued {
+		t.noteDrop(l, kind, 1)
+	}
 }
 
 // frameHeader builds the wire header for one frame.
@@ -363,12 +386,33 @@ func frameHeader(from int, kind Kind, payload []byte) []byte {
 
 // enqueueLocked queues a frame for delivery after reconnection, copying the
 // payload (the caller may reuse its buffer once Send returns). Beyond the
-// bound the frame is dropped. Callers hold l.mu.
-func (t *TCP) enqueueLocked(l *tcpLink, from int, kind Kind, payload []byte) {
+// bound the frame is refused and the caller must account the drop (the
+// OnDrop hook may block, so it cannot run under l.mu). Callers hold l.mu.
+func (t *TCP) enqueueLocked(l *tcpLink, from int, kind Kind, payload []byte) bool {
 	if len(l.pending) >= maxPendingFrames {
-		return
+		return false
 	}
 	l.pending = append(l.pending, frame{from: from, kind: kind, payload: append([]byte(nil), payload...)})
+	return true
+}
+
+// noteDrop accounts frames a link accepted but lost: the per-link counter,
+// the transport-wide per-kind stats, and the OnDrop hook (which feeds the
+// runtime's tracing and metrics when wired). Callers must not hold l.mu.
+func (t *TCP) noteDrop(l *tcpLink, kind Kind, n int) {
+	l.drops.Add(int64(n))
+	t.stats.CountDrops(kind, n)
+	if t.opts.OnDrop != nil {
+		t.opts.OnDrop(kind, n)
+	}
+}
+
+// LinkDrops returns the frames lost on the directed link from→to.
+func (t *TCP) LinkDrops(from, to int) int64 {
+	if from == to || from < 0 || to < 0 || from >= t.n || to >= t.n {
+		return 0
+	}
+	return t.conns[from][to].drops.Load()
 }
 
 // redial is the background reconnector for one broken link: jittered
@@ -403,9 +447,19 @@ func (t *TCP) redial(from, to int, l *tcpLink) {
 	// Retry budget exhausted: the queued frames are lost with the link. A
 	// later Send will start a fresh redial round.
 	l.mu.Lock()
+	lost := l.pending
 	l.pending = nil
 	l.redialing = false
 	l.mu.Unlock()
+	var perKind [numKinds]int
+	for _, f := range lost {
+		perKind[f.kind]++
+	}
+	for k, n := range perKind {
+		if n > 0 {
+			t.noteDrop(l, Kind(k), n)
+		}
+	}
 }
 
 // flushPendingLocked writes the queued frames in order, retaining the

@@ -80,10 +80,13 @@ type Transport interface {
 
 // Stats tallies frames and bytes per kind across process boundaries.
 // Local (same-process) deliveries are not counted, matching the shared-
-// memory fast path of the real system.
+// memory fast path of the real system. Drops count frames accepted by Send
+// but never delivered — a transport that sheds under failure must say so,
+// or a lost-frame bug is indistinguishable from a quiet network.
 type Stats struct {
 	frames [numKinds]atomic.Int64
 	bytes  [numKinds]atomic.Int64
+	drops  [numKinds]atomic.Int64
 }
 
 // Count records a remote frame of the given kind and payload size.
@@ -92,11 +95,19 @@ func (s *Stats) Count(kind Kind, payloadLen int) {
 	s.bytes[kind].Add(int64(payloadLen + FrameOverhead))
 }
 
+// CountDrops records n frames of a kind that were accepted but dropped.
+func (s *Stats) CountDrops(kind Kind, n int) {
+	s.drops[kind].Add(int64(n))
+}
+
 // Frames returns the number of remote frames of a kind.
 func (s *Stats) Frames(kind Kind) int64 { return s.frames[kind].Load() }
 
 // Bytes returns the number of remote bytes (payload + framing) of a kind.
 func (s *Stats) Bytes(kind Kind) int64 { return s.bytes[kind].Load() }
+
+// Drops returns the number of dropped frames of a kind.
+func (s *Stats) Drops(kind Kind) int64 { return s.drops[kind].Load() }
 
 // TotalBytes sums bytes across kinds.
 func (s *Stats) TotalBytes() int64 {
@@ -107,11 +118,21 @@ func (s *Stats) TotalBytes() int64 {
 	return t
 }
 
+// TotalDrops sums dropped frames across kinds.
+func (s *Stats) TotalDrops() int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		t += s.drops[k].Load()
+	}
+	return t
+}
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	for k := Kind(0); k < numKinds; k++ {
 		s.frames[k].Store(0)
 		s.bytes[k].Store(0)
+		s.drops[k].Store(0)
 	}
 }
 
