@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet vet-fixtures bench bench-smoke bench-ingress chaos soak soak-recovery soak-ingress fuzz cover
+.PHONY: build test check vet vet-fixtures bench bench-smoke bench-ingress bench-pipeline chaos soak soak-recovery soak-ingress fuzz cover
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,17 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/progress/ ./internal/runtime/
 	$(GO) run ./cmd/naiad-bench -exp=progress
+
+# Record data plane: the typed-batch vs boxed per-record comparison plus
+# the Go microbenchmarks and the zero-alloc steady-state gate, written to
+# the committed BENCH_pipeline.json baseline (boxed column = before, typed
+# column = after; the raw pre-batching seed numbers are in
+# bench/BENCH_pipeline_before.txt).
+bench-pipeline:
+	$(GO) test -run='TestPipelineSteadyStateAllocs|TestEncodeFrameAllocs' -count=1 ./internal/runtime/
+	$(GO) test -run='^$$' -bench='BenchmarkPipelineRecords' -benchmem ./internal/runtime/
+	$(GO) run ./cmd/naiad-bench -exp=pipeline -json=BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
 
 # Serving-front-door load harness: N server processes × M simulated
 # clients (streamers, slow readers, mid-epoch disconnectors, floods),
@@ -122,6 +133,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecoder -fuzztime=10s ./internal/codec/
 	$(GO) test -run=^$$ -fuzz=FuzzParseFrameHeader -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeProgress -fuzztime=10s ./internal/runtime/
+	$(GO) test -run=^$$ -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/runtime/
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalSnapshot -fuzztime=10s ./internal/runtime/
 	$(GO) test -run=^$$ -fuzz=FuzzBarrierDecode -fuzztime=10s ./internal/runtime/
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalCut -fuzztime=10s ./internal/runtime/

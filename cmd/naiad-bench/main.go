@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress,trace,ingress or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiments: 6a,6b,6c,6d,6e,t1,7a,7b,7c,8,chaos,recovery,progress,pipeline,trace,ingress or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	jsonPath := flag.String("json", "", "also write the reports of the run experiments to this file as JSON")
 	traceOut := flag.String("trace-out", "", "with -exp=trace: dump the traced run's event log as JSON to this file")
@@ -48,7 +48,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress", "trace", "ingress"} {
+		for _, e := range []string{"6a", "6b", "6c", "6d", "6e", "t1", "7a", "7b", "7c", "8", "chaos", "recovery", "progress", "pipeline", "trace", "ingress"} {
 			want[e] = true
 		}
 	} else {
@@ -137,6 +137,11 @@ func main() {
 			o := harness.DefaultProgress()
 			o.Ops *= k
 			return harness.Progress(o)
+		}},
+		{"pipeline", func(k int) (*harness.Report, error) {
+			o := harness.DefaultPipeline()
+			o.Records *= k
+			return harness.Pipeline(o)
 		}},
 		{"trace", func(k int) (*harness.Report, error) {
 			o := harness.DefaultTrace()

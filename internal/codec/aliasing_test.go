@@ -1,0 +1,105 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Regression tests for the decode-aliasing bug class (the PR 3 replay-log
+// aliasing bug, resurfacing with pooled frame buffers): once the runtime
+// recycles a frame buffer after decoding it, any record that aliases the
+// buffer is silently corrupted. The Codec contract therefore requires
+// decoded records to be self-contained; these tests pin the contract for
+// the shipped codecs and demonstrate the failure mode the contract blocks.
+
+// clobber simulates buffer recycling: the arena hands the frame's backing
+// array to an unrelated producer, which overwrites it.
+func clobber(frame []byte) {
+	for i := range frame {
+		frame[i] = 0xEE
+	}
+}
+
+func TestStringRecordsSurviveBufferRecycle(t *testing.T) {
+	c := String()
+	enc := NewEncoder(64)
+	c.EncodeBatch(enc, []any{"keep-me", "and-me"})
+	frame := append([]byte(nil), enc.Bytes()...)
+	out := c.DecodeBatch(NewDecoder(frame), 2)
+	clobber(frame)
+	if out[0].(string) != "keep-me" || out[1].(string) != "and-me" {
+		t.Fatalf("string records aliased the recycled frame: %q %q", out[0], out[1])
+	}
+}
+
+func TestGobRecordsSurviveBufferRecycle(t *testing.T) {
+	type rec struct {
+		Name string
+		Blob []byte
+	}
+	c := Gob[rec]()
+	enc := NewEncoder(64)
+	c.EncodeBatch(enc, []any{rec{Name: "n", Blob: []byte{1, 2, 3}}})
+	frame := append([]byte(nil), enc.Bytes()...)
+	out := c.DecodeBatch(NewDecoder(frame), 1)
+	clobber(frame)
+	got := out[0].(rec)
+	if got.Name != "n" || !bytes.Equal(got.Blob, []byte{1, 2, 3}) {
+		t.Fatalf("gob records aliased the recycled frame: %+v", got)
+	}
+}
+
+func TestDecoderBytesCopiesBytesViewAliases(t *testing.T) {
+	enc := NewEncoder(32)
+	enc.PutBytes([]byte("payload"))
+	enc.PutBytes([]byte("payload"))
+	frame := append([]byte(nil), enc.Bytes()...)
+
+	d := NewDecoder(frame)
+	owned := d.Bytes()    // contract-compliant: copies
+	view := d.BytesView() // zero-copy view: dies with the frame
+	clobber(frame)
+
+	if string(owned) != "payload" {
+		t.Fatalf("Decoder.Bytes did not copy: %q", owned)
+	}
+	if string(view) == "payload" {
+		t.Fatalf("BytesView unexpectedly copied; the zero-copy fast path is gone")
+	}
+}
+
+// A codec that builds []byte records from BytesView violates the contract;
+// this pins the failure mode so the contract's wording stays honest. If
+// this test ever passes with the aliasing codec, BytesView started copying
+// and the fast path should be re-examined.
+func TestAliasingCodecCorruptsUnderRecycle(t *testing.T) {
+	aliasing := New(
+		func(e *Encoder, v []byte) { e.PutBytes(v) },
+		func(d *Decoder) []byte { return d.BytesView() }, // WRONG: aliases input
+	)
+	fixed := New(
+		func(e *Encoder, v []byte) { e.PutBytes(v) },
+		func(d *Decoder) []byte { return d.Bytes() }, // correct: copies
+	)
+	in := []any{[]byte("abcdef")}
+
+	encode := func(c Codec) []byte {
+		e := NewEncoder(32)
+		c.EncodeBatch(e, in)
+		return append([]byte(nil), e.Bytes()...)
+	}
+
+	frame := encode(aliasing)
+	bad := aliasing.DecodeBatch(NewDecoder(frame), 1)
+	clobber(frame)
+	if bytes.Equal(bad[0].([]byte), []byte("abcdef")) {
+		t.Fatalf("aliasing codec survived recycle — BytesView no longer aliases?")
+	}
+
+	frame = encode(fixed)
+	good := fixed.DecodeBatch(NewDecoder(frame), 1)
+	clobber(frame)
+	if !bytes.Equal(good[0].([]byte), []byte("abcdef")) {
+		t.Fatalf("contract-compliant codec corrupted under recycle: %q", good[0])
+	}
+}

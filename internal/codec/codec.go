@@ -5,11 +5,11 @@
 package codec
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"math"
+
+	"naiad/internal/batchbuf"
 )
 
 // Encoder appends primitive values to a growing byte buffer.
@@ -118,13 +118,26 @@ func (d *Decoder) String() string {
 	return s
 }
 
-// BytesView reads a length-prefixed byte slice, aliasing the input.
+// BytesView reads a length-prefixed byte slice, aliasing the input. The
+// view is valid only while the decoder's underlying buffer is: transport
+// receive buffers and pooled frame buffers are recycled once the frame is
+// decoded, so anything that outlives the decode — decoded records, vertex
+// state, snapshot fragments — must copy (use Bytes) instead of retaining
+// the view. Record codecs in particular must never alias the input; see the
+// Codec contract.
 func (d *Decoder) BytesView() []byte {
 	n := int(d.Uint32())
 	d.need(n)
 	b := d.data[d.off : d.off+n]
 	d.off += n
 	return b
+}
+
+// Bytes reads a length-prefixed byte slice into a fresh copy the caller
+// owns. Use this — not BytesView — whenever the result outlives the frame
+// being decoded.
+func (d *Decoder) Bytes() []byte {
+	return append([]byte(nil), d.BytesView()...)
 }
 
 // Count reads a uint32 element count and validates it against the bytes
@@ -159,6 +172,13 @@ func Catch(fn func()) (err error) {
 
 // Codec serializes batches of records (as []any holding a uniform concrete
 // type) for transmission between processes.
+//
+// Ownership contract: decoded records must be self-contained. The frame a
+// Decoder reads from is typically a pooled transport buffer that is
+// recycled as soon as the batch is decoded, so a codec must never build
+// records that alias the decoder's input (via BytesView or any other
+// zero-copy view) — copy with Decoder.Bytes / Decoder.String instead.
+// Aliasing the input turns buffer recycling into silent record corruption.
 type Codec interface {
 	// EncodeBatch appends the encoding of records to enc.
 	EncodeBatch(enc *Encoder, records []any)
@@ -166,10 +186,30 @@ type Codec interface {
 	DecodeBatch(dec *Decoder, n int) []any
 }
 
+// BatchCodec is the columnar fast path a codec may optionally implement:
+// whole typed record slices ([]T) encode and decode without boxing each
+// record through any. The runtime probes for it with a type assertion and
+// falls back to the boxed Codec methods when either side declines. The
+// byte format MUST be identical to the boxed methods' — a frame written by
+// EncodeColumn is decoded by DecodeBatch on a receiver without the typed
+// path, and vice versa.
+type BatchCodec interface {
+	// EncodeColumn appends the encoding of a typed record slice (a []T, as
+	// returned by batchbuf.Column.Slice) to enc. It reports false — writing
+	// nothing — when the slice's element type is foreign to the codec.
+	EncodeColumn(enc *Encoder, col any) bool
+	// DecodeBatchCol reads n records into a typed batch (one reference,
+	// owned by the caller), or returns nil when the codec has no typed path
+	// for the stream. The same self-containment contract as DecodeBatch
+	// applies: the batch must not alias the decoder's input.
+	DecodeBatchCol(dec *Decoder, n int) *batchbuf.Batch
+}
+
 // funcCodec adapts per-record encode/decode functions for a concrete type.
 type funcCodec[T any] struct {
-	enc func(*Encoder, T)
-	dec func(*Decoder) T
+	enc  func(*Encoder, T)
+	dec  func(*Decoder) T
+	pool *batchbuf.Pool[T]
 }
 
 func (c funcCodec[T]) EncodeBatch(enc *Encoder, records []any) {
@@ -186,9 +226,32 @@ func (c funcCodec[T]) DecodeBatch(dec *Decoder, n int) []any {
 	return out
 }
 
-// New builds a codec for T from per-record encode/decode functions.
+// EncodeColumn implements BatchCodec: same bytes as EncodeBatch, no boxing.
+func (c funcCodec[T]) EncodeColumn(enc *Encoder, col any) bool {
+	data, ok := col.([]T)
+	if !ok {
+		return false
+	}
+	for _, r := range data {
+		c.enc(enc, r)
+	}
+	return true
+}
+
+// DecodeBatchCol implements BatchCodec: decode into a pooled typed batch.
+func (c funcCodec[T]) DecodeBatchCol(dec *Decoder, n int) *batchbuf.Batch {
+	b, cl := c.pool.Get(n)
+	for i := 0; i < n; i++ {
+		cl.Data = append(cl.Data, c.dec(dec))
+	}
+	return b
+}
+
+// New builds a codec for T from per-record encode/decode functions. The
+// result implements BatchCodec, decoding into the process-wide pooled
+// arena for T.
 func New[T any](enc func(*Encoder, T), dec func(*Decoder) T) Codec {
-	return funcCodec[T]{enc: enc, dec: dec}
+	return funcCodec[T]{enc: enc, dec: dec, pool: batchbuf.PoolFor[T]()}
 }
 
 // Int64 returns a codec for int64 records.
@@ -215,38 +278,3 @@ func String() Codec {
 	)
 }
 
-// gobCodec serializes []T batches with encoding/gob, amortizing type
-// information across the batch. It is the fallback for record types
-// without a hand-written codec.
-type gobCodec[T any] struct{}
-
-func (gobCodec[T]) EncodeBatch(enc *Encoder, records []any) {
-	slice := make([]T, len(records))
-	for i, r := range records {
-		slice[i] = r.(T)
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(slice); err != nil {
-		panic(fmt.Sprintf("codec: gob encode: %v", err))
-	}
-	enc.PutBytes(buf.Bytes())
-}
-
-func (gobCodec[T]) DecodeBatch(dec *Decoder, n int) []any {
-	raw := dec.BytesView()
-	var slice []T
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&slice); err != nil {
-		panic(fmt.Sprintf("codec: gob decode: %v", err))
-	}
-	if len(slice) != n {
-		panic(fmt.Sprintf("codec: gob batch length %d, want %d", len(slice), n))
-	}
-	out := make([]any, n)
-	for i, v := range slice {
-		out[i] = v
-	}
-	return out
-}
-
-// Gob returns a gob-backed codec for arbitrary record types.
-func Gob[T any]() Codec { return gobCodec[T]{} }

@@ -23,7 +23,7 @@ import (
 type StageCount struct {
 	Stage         int32
 	Name          string
-	Records       int64 // OnRecv invocations (EvOnRecv events)
+	Records       int64 // records delivered via OnRecv (sum of EvOnRecv N)
 	Notifications int64 // OnNotify invocations (EvOnNotify events)
 	BusyNanos     int64 // total callback wall time
 }
@@ -86,7 +86,7 @@ func Analyze(log []trace.Event, workers int, names func(int32) string) (*Report,
 			c := stageEpochCount{Stage: stage}
 			for _, e := range es {
 				if e.Kind == trace.EvOnRecv {
-					c.Records++
+					c.Records += e.N // one event per invocation, N records each
 				} else {
 					c.Notifications++
 				}
@@ -107,7 +107,7 @@ func Analyze(log []trace.Event, workers int, names func(int32) string) (*Report,
 			byStage := make(map[int32]int64)
 			for _, e := range es {
 				if e.Kind == trace.EvOnRecv {
-					s.Records++
+					s.Records += e.N
 				} else {
 					s.Notifications++
 				}

@@ -1,6 +1,7 @@
 package lib
 
 import (
+	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/runtime"
@@ -10,31 +11,12 @@ import (
 // UnaryBuffer is the generic buffering operator most synchronous library
 // operators build on (§4.2): OnRecv appends records to a list indexed by
 // timestamp; once the time completes, f transforms the list and emits.
-// part, when non-nil, exchanges the input first.
+// part, when non-nil, exchanges the input first. Typed input batches are
+// bulk-appended; the notify-time emission leaves as one pooled batch.
 func UnaryBuffer[A, B any](s *Stream[A], name string, part func(A) uint64,
 	f func(t ts.Timestamp, recs []A, emit func(B)), cod codec.Codec) *Stream[B] {
-	c := s.scope.C
-	st := c.AddStage(name, graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
-		buf := make(map[ts.Timestamp][]A)
-		emit := func(t ts.Timestamp) func(B) {
-			return func(out B) { ctx.SendBy(0, out, t) }
-		}
-		return &vertexOf[A]{
-			recv: func(_ int, rec A, t ts.Timestamp) {
-				if _, ok := buf[t]; !ok {
-					ctx.NotifyAt(t)
-				}
-				buf[t] = append(buf[t], rec)
-			},
-			notify: func(t ts.Timestamp) {
-				recs := buf[t]
-				delete(buf, t)
-				f(t, recs, emit(t))
-			},
-		}
-	})
-	c.Connect(s.stage, s.port, st, partitionBy(part), s.cod)
-	return &Stream[B]{scope: s.scope, stage: st, port: 0, cod: orGob[B](cod), depth: s.depth}
+	return UnaryBufferStateful[A, B](s, name, part,
+		func() func(ts.Timestamp, []A, func(B)) { return f }, cod)
 }
 
 // UnaryBufferStateful is UnaryBuffer for operators with cross-epoch
@@ -47,21 +29,34 @@ func UnaryBufferStateful[A, B any](s *Stream[A], name string, part func(A) uint6
 	st := c.AddStage(name, graph.RoleNormal, s.depth, func(ctx *runtime.Context) runtime.Vertex {
 		f := mk()
 		buf := make(map[ts.Timestamp][]A)
-		return &vertexOf[A]{
-			recv: func(_ int, rec A, t ts.Timestamp) {
-				if _, ok := buf[t]; !ok {
-					ctx.NotifyAt(t)
-				}
-				buf[t] = append(buf[t], rec)
+		pool := batchbuf.PoolFor[B]()
+		note := func(t ts.Timestamp) {
+			if _, ok := buf[t]; !ok {
+				ctx.NotifyAt(t)
+				buf[t] = []A{}
+			}
+		}
+		return &batchVertexOf[A]{
+			vertexOf: vertexOf[A]{
+				recv: func(_ int, rec A, t ts.Timestamp) {
+					note(t)
+					buf[t] = append(buf[t], rec)
+				},
+				notify: func(t ts.Timestamp) {
+					recs := buf[t]
+					delete(buf, t)
+					out, col := pool.Get(len(recs))
+					f(t, recs, func(b B) { col.Data = append(col.Data, b) })
+					ctx.SendBatchBy(0, out, t)
+				},
 			},
-			notify: func(t ts.Timestamp) {
-				recs := buf[t]
-				delete(buf, t)
-				f(t, recs, func(out B) { ctx.SendBy(0, out, t) })
+			recvBatch: func(_ int, data []A, _ *runtime.Batch, t ts.Timestamp) {
+				note(t)
+				buf[t] = append(buf[t], data...)
 			},
 		}
 	})
-	c.Connect(s.stage, s.port, st, partitionBy(part), s.cod)
+	connect(c, s.stage, s.port, st, part, s.cod)
 	return &Stream[B]{scope: s.scope, stage: st, port: 0, cod: orGob[B](cod), depth: s.depth}
 }
 
@@ -100,31 +95,46 @@ func FoldByKey[K comparable, V any, S any](s *Stream[Pair[K, V]],
 			order []K
 		}
 		states := make(map[ts.Timestamp]*epochState)
-		return &vertexOf[Pair[K, V]]{
-			recv: func(_ int, rec Pair[K, V], t ts.Timestamp) {
-				es := states[t]
-				if es == nil {
-					es = &epochState{m: make(map[K]S)}
-					states[t] = es
-					ctx.NotifyAt(t)
-				}
-				st, ok := es.m[rec.Key]
-				if !ok {
-					st = init(rec.Key)
-					es.order = append(es.order, rec.Key)
-				}
-				es.m[rec.Key] = fold(st, rec.Val)
+		pool := batchbuf.PoolFor[Pair[K, S]]()
+		get := func(t ts.Timestamp) *epochState {
+			es := states[t]
+			if es == nil {
+				es = &epochState{m: make(map[K]S)}
+				states[t] = es
+				ctx.NotifyAt(t)
+			}
+			return es
+		}
+		one := func(es *epochState, rec Pair[K, V]) {
+			st, ok := es.m[rec.Key]
+			if !ok {
+				st = init(rec.Key)
+				es.order = append(es.order, rec.Key)
+			}
+			es.m[rec.Key] = fold(st, rec.Val)
+		}
+		return &batchVertexOf[Pair[K, V]]{
+			vertexOf: vertexOf[Pair[K, V]]{
+				recv: func(_ int, rec Pair[K, V], t ts.Timestamp) { one(get(t), rec) },
+				notify: func(t ts.Timestamp) {
+					es := states[t]
+					delete(states, t)
+					out, col := pool.Get(len(es.order))
+					for _, k := range es.order {
+						col.Data = append(col.Data, Pair[K, S]{Key: k, Val: es.m[k]})
+					}
+					ctx.SendBatchBy(0, out, t)
+				},
 			},
-			notify: func(t ts.Timestamp) {
-				es := states[t]
-				delete(states, t)
-				for _, k := range es.order {
-					ctx.SendBy(0, Pair[K, S]{Key: k, Val: es.m[k]}, t)
+			recvBatch: func(_ int, data []Pair[K, V], _ *runtime.Batch, t ts.Timestamp) {
+				es := get(t)
+				for _, rec := range data {
+					one(es, rec)
 				}
 			},
 		}
 	})
-	c.Connect(s.stage, s.port, st, partitionBy(HashPair[K, V]), s.cod)
+	connect(c, s.stage, s.port, st, HashPair[K, V], s.cod)
 	return &Stream[Pair[K, S]]{scope: s.scope, stage: st, port: 0, cod: orGob[Pair[K, S]](cod), depth: s.depth}
 }
 

@@ -179,11 +179,11 @@ func DiffJoin[K comparable, A, B, R any](a *Stream[Diff[Pair[K, A]]], b *Stream[
 			buf:   make(map[ts.Timestamp]*diffJoinPending[K, A, B]),
 		}
 	})
-	c.Connect(a.stage, a.port, st, func(m runtime.Message) uint64 {
-		return Hash(m.(Diff[Pair[K, A]]).Rec.Key)
+	connect(c, a.stage, a.port, st, func(m Diff[Pair[K, A]]) uint64 {
+		return Hash(m.Rec.Key)
 	}, a.cod)
-	c.Connect(b.stage, b.port, st, func(m runtime.Message) uint64 {
-		return Hash(m.(Diff[Pair[K, B]]).Rec.Key)
+	connect(c, b.stage, b.port, st, func(m Diff[Pair[K, B]]) uint64 {
+		return Hash(m.Rec.Key)
 	}, b.cod)
 	return &Stream[Diff[R]]{scope: a.scope, stage: st, port: 0, cod: orGob[Diff[R]](cod), depth: a.depth}
 }

@@ -114,7 +114,7 @@ func IterateBatched[T any](s *Stream[T], maxIters int64, part func(T) uint64,
 			},
 		}
 	}, runtime.Ports(2))
-	c.Connect(inner.stage, inner.port, st, partitionBy(part), inner.cod)
+	connect(c, inner.stage, inner.port, st, part, inner.cod)
 	body := &Stream[T]{scope: s.scope, stage: st, port: 0, cod: s.cod, depth: inner.depth}
 	loop.Return(body)
 	out := &Stream[T]{scope: s.scope, stage: st, port: 1, cod: s.cod, depth: inner.depth}

@@ -36,8 +36,8 @@ func Join[K comparable, A, B, R any](a *Stream[Pair[K, A]], b *Stream[Pair[K, B]
 			},
 		}
 	})
-	c.Connect(a.stage, a.port, st, partitionBy(HashPair[K, A]), a.cod) // input 0
-	c.Connect(b.stage, b.port, st, partitionBy(HashPair[K, B]), b.cod) // input 1
+	connect(c, a.stage, a.port, st, HashPair[K, A], a.cod) // input 0
+	connect(c, b.stage, b.port, st, HashPair[K, B], b.cod) // input 1
 	return &Stream[R]{scope: a.scope, stage: st, port: 0, cod: orGob[R](cod), depth: a.depth}
 }
 
@@ -84,8 +84,8 @@ func JoinByTime[K comparable, A, B, R any](a *Stream[Pair[K, A]], b *Stream[Pair
 			send: func(m any, t ts.Timestamp) { ctx.SendBy(0, m, t) },
 		}
 	})
-	c.Connect(a.stage, a.port, st, partitionBy(HashPair[K, A]), a.cod)
-	c.Connect(b.stage, b.port, st, partitionBy(HashPair[K, B]), b.cod)
+	connect(c, a.stage, a.port, st, HashPair[K, A], a.cod)
+	connect(c, b.stage, b.port, st, HashPair[K, B], b.cod)
 	return &Stream[R]{scope: a.scope, stage: st, port: 0, cod: orGob[R](cod), depth: a.depth}
 }
 
@@ -102,6 +102,29 @@ func (v *joinVertex[K, A, B]) OnRecv(input int, msg runtime.Message, t ts.Timest
 		v.onLeft(msg.(Pair[K, A]), t)
 	} else {
 		v.onRight(msg.(Pair[K, B]), t)
+	}
+}
+
+// OnRecvBatch unpacks a typed batch with one slice assertion per side;
+// boxed or foreign columns fall back to per-record dispatch.
+func (v *joinVertex[K, A, B]) OnRecvBatch(input int, b *runtime.Batch, t ts.Timestamp) {
+	if input == 0 {
+		if data, ok := b.Col().Slice().([]Pair[K, A]); ok {
+			for _, rec := range data {
+				v.onLeft(rec, t)
+			}
+			return
+		}
+	} else {
+		if data, ok := b.Col().Slice().([]Pair[K, B]); ok {
+			for _, rec := range data {
+				v.onRight(rec, t)
+			}
+			return
+		}
+	}
+	for i, n := 0, b.Len(); i < n; i++ {
+		v.OnRecv(input, b.Record(i), t)
 	}
 }
 
@@ -129,6 +152,6 @@ func AggregateMonotonic[K comparable, V any](s *Stream[Pair[K, V]],
 			},
 		}
 	})
-	c.Connect(s.stage, s.port, st, partitionBy(HashPair[K, V]), s.cod)
+	connect(c, s.stage, s.port, st, HashPair[K, V], s.cod)
 	return &Stream[Pair[K, V]]{scope: s.scope, stage: st, port: 0, cod: s.cod, depth: s.depth}
 }

@@ -8,6 +8,7 @@
 package lib
 
 import (
+	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/runtime"
@@ -70,23 +71,26 @@ func NewInput[T any](s *Scope, name string, cod codec.Codec) (*Input[T], *Stream
 	return &Input[T]{raw: raw}, st
 }
 
-// Send introduces records into the current epoch.
+// Send introduces records into the current epoch. The records travel as one
+// pooled typed batch — no per-record boxing.
 func (in *Input[T]) Send(records ...T) {
-	msgs := make([]runtime.Message, len(records))
-	for i, r := range records {
-		msgs[i] = r
+	if len(records) == 0 {
+		return
 	}
-	in.raw.Send(msgs...)
+	b, col := batchbuf.PoolFor[T]().Get(len(records))
+	col.Data = append(col.Data, records...)
+	in.raw.SendBatch(b)
 }
 
 // SendToWorker introduces records at a specific worker (per-computer
-// ingestion, §5.4).
+// ingestion, §5.4) as one pooled typed batch.
 func (in *Input[T]) SendToWorker(worker int, records []T) {
-	msgs := make([]runtime.Message, len(records))
-	for i, r := range records {
-		msgs[i] = r
+	if len(records) == 0 {
+		return
 	}
-	in.raw.SendToWorker(worker, msgs)
+	b, col := batchbuf.PoolFor[T]().Get(len(records))
+	col.Data = append(col.Data, records...)
+	in.raw.SendBatchToWorker(worker, b)
 }
 
 // OnNext supplies one epoch of records and advances (§4.1).
@@ -118,7 +122,22 @@ func partitionBy[T any](h func(T) uint64) runtime.Partitioner {
 	return func(m runtime.Message) uint64 { return h(m.(T)) }
 }
 
-// vertexOf adapts typed callbacks to the runtime Vertex interface.
+// connect wires src→dst with both the scalar and the vectorized form of a
+// typed partitioner, so exchanged batches are hashed column-at-a-time
+// without boxing. h may be nil for unpartitioned edges.
+func connect[T any](c *runtime.Computation, src runtime.StageID, srcPort int,
+	dst runtime.StageID, h func(T) uint64, cod codec.Codec) {
+	if h == nil {
+		c.Connect(src, srcPort, dst, nil, cod)
+		return
+	}
+	part, bpart := runtime.TypedPartitioner(h)
+	c.ConnectBatch(src, srcPort, dst, part, bpart, cod)
+}
+
+// vertexOf adapts typed callbacks to the runtime Vertex interface. It also
+// implements BatchVertex: a typed batch is unpacked with a single slice
+// type-assertion, so per-record delivery inside the library never boxes.
 type vertexOf[T any] struct {
 	recv     func(input int, rec T, t ts.Timestamp)
 	notify   func(t ts.Timestamp)
@@ -127,6 +146,40 @@ type vertexOf[T any] struct {
 
 func (v *vertexOf[T]) OnRecv(input int, msg runtime.Message, t ts.Timestamp) {
 	v.recv(input, msg.(T), t)
+}
+
+// OnRecvBatch delivers a borrowed batch: the typed fast path iterates the
+// []T column directly; boxed or foreign columns fall back to per-record
+// assertion.
+func (v *vertexOf[T]) OnRecvBatch(input int, b *runtime.Batch, t ts.Timestamp) {
+	if data, ok := b.Col().Slice().([]T); ok {
+		for _, rec := range data {
+			v.recv(input, rec, t)
+		}
+		return
+	}
+	for i, n := 0, b.Len(); i < n; i++ {
+		v.recv(input, b.Record(i).(T), t)
+	}
+}
+
+// batchVertexOf extends vertexOf with a whole-batch handler: when the
+// incoming column is a []T, recvBatch sees the slice (and the borrowed
+// batch, for Retain-and-forward operators) in one call. Other column shapes
+// take vertexOf's per-record path.
+type batchVertexOf[T any] struct {
+	vertexOf[T]
+	recvBatch func(input int, data []T, b *runtime.Batch, t ts.Timestamp)
+}
+
+func (v *batchVertexOf[T]) OnRecvBatch(input int, b *runtime.Batch, t ts.Timestamp) {
+	if v.recvBatch != nil {
+		if data, ok := b.Col().Slice().([]T); ok {
+			v.recvBatch(input, data, b, t)
+			return
+		}
+	}
+	v.vertexOf.OnRecvBatch(input, b, t)
 }
 
 func (v *vertexOf[T]) OnNotify(t ts.Timestamp) {

@@ -39,7 +39,7 @@ func Subscribe[T any](s *Stream[T], f func(epoch int64, records []T)) runtime.St
 			},
 		}
 	}, runtime.Pinned(0))
-	c.Connect(s.stage, s.port, st, func(runtime.Message) uint64 { return 0 }, s.cod)
+	connect(c, s.stage, s.port, st, func(T) uint64 { return 0 }, s.cod)
 	return st
 }
 

@@ -95,8 +95,8 @@ func Broadcast[A any](s *Stream[A], cod codec.Codec) *Stream[A] {
 			ctx.SendBy(0, rec.Rec, t)
 		}}
 	})
-	c.Connect(rep, 0, strip, func(m runtime.Message) uint64 {
-		return uint64(m.(tagged).Worker)
+	connect(c, rep, 0, strip, func(m tagged) uint64 {
+		return uint64(m.Worker)
 	}, codec.Gob[tagged]())
 	return &Stream[A]{scope: s.scope, stage: strip, port: 0, cod: cod, depth: s.depth}
 }

@@ -20,6 +20,31 @@ import (
 // the destination vertex co-located with the sender.
 type Partitioner func(Message) uint64
 
+// BatchPartitioner is the vectorized form: it hashes a whole record column
+// (a []T, as stored in a typed batch) into dst in one call, without boxing
+// each record. It reports false when the column's element type is foreign —
+// the router then falls back to the boxed Partitioner per record. dst has
+// exactly the column's length. Both partitioners of a connector must agree
+// on every record's hash.
+type BatchPartitioner func(col any, dst []uint64) bool
+
+// TypedPartitioner builds the boxed and vectorized partitioners of a
+// connector from one typed hash function, guaranteeing they agree.
+func TypedPartitioner[T any](h func(T) uint64) (Partitioner, BatchPartitioner) {
+	part := func(m Message) uint64 { return h(m.(T)) }
+	bpart := func(col any, dst []uint64) bool {
+		data, ok := col.([]T)
+		if !ok {
+			return false
+		}
+		for i, v := range data {
+			dst[i] = h(v)
+		}
+		return true
+	}
+	return part, bpart
+}
+
 // StageID identifies a stage of a Computation (aliasing the logical graph's
 // id space).
 type StageID = graph.StageID
@@ -62,6 +87,7 @@ type connInfo struct {
 	srcPort  int
 	inputIdx int // index among dst's inputs, in connection order
 	part     Partitioner
+	bpart    BatchPartitioner // optional vectorized form of part
 	cod      codec.Codec
 }
 
@@ -188,8 +214,20 @@ func (c *Computation) AddStage(name string, role graph.Role, depth uint8, factor
 // may be nil only in single-process configurations. It returns the input
 // index dst will observe in OnRecv.
 func (c *Computation) Connect(src StageID, srcPort int, dst StageID, part Partitioner, cod codec.Codec) int {
+	return c.ConnectBatch(src, srcPort, dst, part, nil, cod)
+}
+
+// ConnectBatch is Connect with an optional vectorized partitioner: when a
+// whole typed batch crosses the connector, bpart hashes the column in one
+// call instead of boxing each record through part. bpart may be nil; when
+// set, part must still be provided (it remains the fallback for boxed
+// batches) and must agree with bpart on every record.
+func (c *Computation) ConnectBatch(src StageID, srcPort int, dst StageID, part Partitioner, bpart BatchPartitioner, cod codec.Codec) int {
 	if c.started {
 		panic("runtime: Connect after Start")
+	}
+	if bpart != nil && part == nil {
+		panic("runtime: ConnectBatch with a batch partitioner but no record partitioner")
 	}
 	if cod == nil && c.cfg.Processes > 1 {
 		panic(fmt.Sprintf("runtime: connector %s→%s needs a codec in multi-process configurations",
@@ -201,7 +239,7 @@ func (c *Computation) Connect(src StageID, srcPort int, dst StageID, part Partit
 	}
 	id := c.lg.AddConnector(src, dst)
 	ci := &connInfo{id: id, src: src, dst: dst, srcPort: srcPort,
-		inputIdx: len(c.lg.Inputs(dst)) - 1, part: part, cod: cod}
+		inputIdx: len(c.lg.Inputs(dst)) - 1, part: part, bpart: bpart, cod: cod}
 	c.conns = append(c.conns, ci)
 	ss.outPorts[srcPort] = append(ss.outPorts[srcPort], id)
 	return ci.inputIdx

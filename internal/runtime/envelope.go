@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	ts "naiad/internal/timestamp"
@@ -19,19 +20,48 @@ import (
 // logs in-flight batches per channel and a barrier marker retires exactly
 // one channel.
 
-// encodeData serializes a record batch for transmission.
-func encodeData(ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, records []Message) []byte {
-	e := codec.NewEncoder(32 + 16*len(records))
-	e.PutUint32(uint32(ci.id))
-	e.PutUint32(uint32(dstVertex))
-	e.PutUint32(uint32(srcVertex))
-	e.PutInt64(t.Epoch)
-	e.PutUint8(t.Depth)
+// encodeDataInto serializes a record batch into enc. A typed column encodes
+// through the connector codec's BatchCodec fast path when it has one;
+// otherwise records are boxed one by one into scratch (returned for reuse)
+// and encoded through the boxed interface. The frame bytes are identical
+// either way.
+func encodeDataInto(enc *codec.Encoder, ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, b *batchbuf.Batch, scratch []Message) []Message {
+	enc.PutUint32(uint32(ci.id))
+	enc.PutUint32(uint32(dstVertex))
+	enc.PutUint32(uint32(srcVertex))
+	enc.PutInt64(t.Epoch)
+	enc.PutUint8(t.Depth)
 	for i := uint8(0); i < t.Depth; i++ {
-		e.PutInt64(t.Counters[i])
+		enc.PutInt64(t.Counters[i])
 	}
-	e.PutUint32(uint32(len(records)))
-	ci.cod.EncodeBatch(e, records)
+	n := b.Len()
+	enc.PutUint32(uint32(n))
+	if bc, ok := ci.cod.(codec.BatchCodec); ok {
+		if bc.EncodeColumn(enc, b.Col().Slice()) {
+			return scratch
+		}
+	}
+	if boxed, ok := b.Col().Slice().([]Message); ok {
+		ci.cod.EncodeBatch(enc, boxed)
+		return scratch
+	}
+	scratch = scratch[:0]
+	for i := 0; i < n; i++ {
+		scratch = append(scratch, b.Record(i))
+	}
+	ci.cod.EncodeBatch(enc, scratch)
+	clear(scratch)
+	return scratch
+}
+
+// encodeData serializes a record batch into a fresh buffer the caller owns.
+// Hot paths use the worker's pooled frame encoder (worker.encodeFrame)
+// instead; this remains for cold callers and tests.
+func encodeData(ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, records []Message) []byte {
+	e := codec.NewEncoder(64)
+	// The wrapper is dropped, not released: Release would reset (clear) the
+	// caller's record slice, which the batch merely borrows here.
+	encodeDataInto(e, ci, dstVertex, srcVertex, t, batchbuf.Wrap(records), nil)
 	return e.Bytes()
 }
 
@@ -43,7 +73,27 @@ func peekDataHeader(payload []byte) (graph.ConnectorID, int) {
 	return conn, dstVertex
 }
 
-// decodeData parses a full data frame using the connector's codec.
+// decodeDataBatch parses a full data frame into a pooled batch using the
+// connector's codec: typed when the codec has a BatchCodec fast path, boxed
+// otherwise. The batch is self-contained (the Codec contract forbids
+// aliasing the payload), so the caller may recycle payload immediately
+// after the call. The caller owns the returned batch's single reference.
+func decodeDataBatch(c *Computation, payload []byte) (ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, b *batchbuf.Batch) {
+	d := codec.NewDecoder(payload)
+	ci = c.conn(graph.ConnectorID(d.Uint32()))
+	dstVertex = int(d.Uint32())
+	srcVertex = int(d.Uint32())
+	t = decodeTime(d)
+	n := d.Count(1)
+	if bc, ok := ci.cod.(codec.BatchCodec); ok {
+		if b = bc.DecodeBatchCol(d, n); b != nil {
+			return ci, dstVertex, srcVertex, t, b
+		}
+	}
+	return ci, dstVertex, srcVertex, t, batchbuf.Wrap(ci.cod.DecodeBatch(d, n))
+}
+
+// decodeData parses a full data frame into a boxed record slice.
 func decodeData(c *Computation, payload []byte) (ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, records []Message) {
 	d := codec.NewDecoder(payload)
 	ci = c.conn(graph.ConnectorID(d.Uint32()))

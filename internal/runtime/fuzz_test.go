@@ -3,6 +3,7 @@ package runtime
 import (
 	"testing"
 
+	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/progress"
@@ -94,6 +95,52 @@ func FuzzDecodeData(f *testing.F) {
 		}
 		if len(records) > len(data) {
 			t.Fatalf("decoded %d records from %d bytes", len(records), len(data))
+		}
+	})
+}
+
+// FuzzBatchDecode corrupts data-frame envelopes against the typed batch
+// decode path: decodeDataBatch must error through Catch on damage, never
+// over-allocate from the count field, and anything it accepts must agree
+// record-for-record with the boxed decoder — the two paths are one wire
+// format and may never diverge on the same bytes.
+func FuzzBatchDecode(f *testing.F) {
+	c, err := NewComputation(DefaultConfig(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	src := c.AddStage("src", graph.RoleInput, 0, nil)
+	dst := c.AddStage("dst", graph.RoleNormal, 0,
+		func(ctx *Context) Vertex { return &forwardVertex{ctx: ctx} })
+	c.Connect(src, 0, dst, nil, codec.Int64())
+	ci := c.conns[0]
+
+	valid := encodeData(ci, 0, 0, ts.Root(1).PushLoop().Tick(), []Message{int64(10), int64(-20), int64(1 << 40)})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b *batchbuf.Batch
+		err := codec.Catch(func() { _, _, _, _, b = decodeDataBatch(c, data) })
+		if err != nil {
+			return
+		}
+		defer b.Release()
+		if b.Len() > len(data) {
+			t.Fatalf("decoded %d records from %d bytes", b.Len(), len(data))
+		}
+		var records []Message
+		if err := codec.Catch(func() { _, _, _, _, records = decodeData(c, data) }); err != nil {
+			t.Fatalf("batch path accepted a frame the boxed path rejects: %v", err)
+		}
+		if len(records) != b.Len() {
+			t.Fatalf("batch path decoded %d records, boxed path %d", b.Len(), len(records))
+		}
+		for i := range records {
+			if records[i] != b.Record(i) {
+				t.Fatalf("record %d: batch %v != boxed %v", i, b.Record(i), records[i])
+			}
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"naiad/internal/batchbuf"
 	"naiad/internal/graph"
 )
 
@@ -71,6 +72,69 @@ func (in *Input) planSend(records []Message) ([][]Message, int64) {
 		in.rr++
 	}
 	return per, in.epoch
+}
+
+// SendBatch introduces a whole batch into the current epoch, consuming one
+// reference to b. With one worker the batch is handed over intact; with
+// several it is scattered record-by-record, continuing Send's round-robin
+// cursor, into per-worker builder batches of the same column type.
+func (in *Input) SendBatch(b *batchbuf.Batch) {
+	per, epoch := in.planSendBatch(b)
+	if per == nil {
+		if b.Len() > 0 {
+			in.feedBatch(0, epoch, b) // single worker: hand over intact
+		} else {
+			b.Release()
+		}
+		return
+	}
+	for w, sub := range per {
+		if sub != nil {
+			in.feedBatch(w, epoch, sub)
+		}
+	}
+	b.Release()
+}
+
+// planSendBatch scatters under the lock (see planSend for the locking
+// discipline). It returns a nil slice in the single-worker case, where no
+// scatter is needed.
+func (in *Input) planSendBatch(b *batchbuf.Batch) ([]*batchbuf.Batch, int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.checkOpen()
+	workers := in.comp.cfg.Workers()
+	if workers == 1 {
+		return nil, in.epoch
+	}
+	n := b.Len()
+	per := make([]*batchbuf.Batch, workers)
+	for i := 0; i < n; i++ {
+		w := in.rr % workers
+		in.rr++
+		if per[w] == nil {
+			per[w] = b.NewLike((n + workers - 1) / workers)
+		}
+		per[w].AppendIndex(b, i)
+	}
+	return per, in.epoch
+}
+
+// SendBatchToWorker introduces a whole batch into the current epoch at a
+// specific worker's input vertex, consuming one reference to b.
+func (in *Input) SendBatchToWorker(worker int, b *batchbuf.Batch) {
+	epoch := in.planSendToWorker(worker)
+	if b.Len() > 0 {
+		in.feedBatch(worker, epoch, b)
+	} else {
+		b.Release()
+	}
+}
+
+func (in *Input) feedBatch(worker int, epoch int64, b *batchbuf.Batch) {
+	in.comp.workers[worker].mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
+		op: ctlInputFeed, stage: in.stage, epoch: epoch, batch: b,
+	}})
 }
 
 // SendToWorker introduces records into the current epoch at a specific

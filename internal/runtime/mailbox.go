@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"naiad/internal/batchbuf"
 	"naiad/internal/graph"
 	ts "naiad/internal/timestamp"
 )
@@ -34,11 +35,12 @@ type mailItem struct {
 
 	// mailLocalData: the destination vertex is implied — the receiving
 	// worker hosts exactly one vertex of the connector's destination stage.
-	// src is the sending vertex index (the channel's other endpoint).
-	conn    graph.ConnectorID
-	src     int
-	time    ts.Timestamp
-	records []Message
+	// src is the sending vertex index (the channel's other endpoint). The
+	// push transfers the batch's reference to the receiving worker.
+	conn  graph.ConnectorID
+	src   int
+	time  ts.Timestamp
+	batch *batchbuf.Batch
 
 	// mailRawData:
 	payload []byte
@@ -86,6 +88,9 @@ type controlMsg struct {
 	epoch   int64
 	cut     int64 // ctlBarrier / ctlBarrierAbort / ctlCutRetire
 	records []Message
+	// ctlInputFeed batch path (Input.SendBatch); the push transfers the
+	// batch's reference to the worker.
+	batch *batchbuf.Batch
 	// checkpoint/restore rendezvous:
 	cp  *checkpointState
 	ack chan error

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/progress"
@@ -203,6 +204,12 @@ func (p *process) onFrame(from int, kind transport.Kind, payload []byte) {
 		p.comp.workers[wid].mailbox.push(mailItem{kind: mailRawData, payload: payload})
 	case transport.KindProgress:
 		subtype, us := decodeProgress(payload)
+		// decodeProgress copies everything out of the frame, so the buffer
+		// goes straight back to the receive arena. (Data frames are recycled
+		// by the worker after decoding; control frames are not recycled at
+		// all — the chaos transport can deliver a duplicated marker frame
+		// sharing one buffer, which must not be double-pooled.)
+		batchbuf.PutBytes(payload)
 		switch subtype {
 		case progToGlobal:
 			p.comp.globAcc.enqueue(us)

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"naiad/internal/batchbuf"
 	ts "naiad/internal/timestamp"
 )
 
@@ -8,6 +9,10 @@ import (
 // exactly like Naiad's object-typed core — and the operator library layers
 // generic type safety on top.
 type Message = any
+
+// Batch is a pooled, reference-counted batch of records — the unit the data
+// plane moves. See batchbuf's package comment for the ownership rules.
+type Batch = batchbuf.Batch
 
 // Vertex is the low-level timely dataflow vertex API (§2.2). OnRecv is
 // invoked once per delivered message; OnNotify once per delivered
@@ -26,6 +31,24 @@ type Vertex interface {
 	// OnNotify signals that all messages bearing times ≤ t have been
 	// delivered to this vertex.
 	OnNotify(t ts.Timestamp)
+}
+
+// BatchVertex is the typed-batch fast path a vertex may optionally
+// implement. When present, the runtime delivers whole batches through
+// OnRecvBatch instead of boxing each record through OnRecv — one callback,
+// one time-stack frame, and (for a typed batch) a single []T type assertion
+// per batch.
+//
+// The batch is borrowed for the duration of the call: the runtime still
+// owns it and releases it afterwards. A vertex that forwards the batch
+// (ctx.SendBatchBy) or stores it past the callback must Retain it first.
+// The slice obtained from b.Col().Slice() is likewise valid only during
+// the callback unless the vertex holds a retained reference.
+type BatchVertex interface {
+	Vertex
+	// OnRecvBatch delivers one batch that arrived on the input with the
+	// given index. Equivalent to OnRecv once per record, at the same time.
+	OnRecvBatch(input int, b *Batch, t ts.Timestamp)
 }
 
 // Notifiable is implemented by vertices that want a callback when the
@@ -71,6 +94,18 @@ func (c *Context) Workers() int { return len(c.w.comp.workers) }
 // the time of the callback currently executing.
 func (c *Context) SendBy(output int, msg Message, t ts.Timestamp) {
 	c.w.sendBy(c.vs, output, msg, t)
+}
+
+// SendBatchBy emits a whole batch with timestamp t on the stage's output
+// port — SendBy once per record, at batch cost: occurrence counts post once
+// per batch, partitioned connectors hash and scatter the batch into
+// per-destination builders, and local delivery invokes the destination's
+// OnRecvBatch when it has one.
+//
+// The call consumes one reference to b: a vertex forwarding a borrowed
+// batch passes b.Retain(). The batch must not be modified after the call.
+func (c *Context) SendBatchBy(output int, b *Batch, t ts.Timestamp) {
+	c.w.sendBatchBy(c.vs, output, b, t)
 }
 
 // NotifyAt requests an OnNotify(t) callback once no more messages at times

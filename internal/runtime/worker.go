@@ -6,6 +6,8 @@ import (
 	"sort"
 	"time"
 
+	"naiad/internal/batchbuf"
+	"naiad/internal/codec"
 	"naiad/internal/graph"
 	"naiad/internal/progress"
 	ts "naiad/internal/timestamp"
@@ -34,6 +36,7 @@ type vertexState struct {
 	si        *stageInfo
 	ctx       *Context
 	vertex    Vertex
+	bv        BatchVertex // non-nil when vertex implements the batch fast path
 	vertexIdx int
 	timeStack []timeFrame
 	pending   []notifyReq // sorted by guarantee (Compare order)
@@ -73,13 +76,14 @@ type outKey struct {
 
 // delivery is a queued batch of messages awaiting local delivery, or — when
 // marker is set — a barrier marker travelling through the same queue so it
-// stays FIFO with the data batches around it.
+// stays FIFO with the data batches around it. The queue owns one reference
+// to batch; deliverBatch releases it.
 type delivery struct {
-	ci      *connInfo
-	vs      *vertexState
-	time    ts.Timestamp
-	records []Message
-	src     int // sending vertex index (channel endpoint)
+	ci    *connInfo
+	vs    *vertexState
+	time  ts.Timestamp
+	batch *batchbuf.Batch
+	src   int // sending vertex index (channel endpoint)
 
 	// marker deliveries (cut/count per BarrierMarker; time carries the
 	// cut's epoch boundary as ts.Root(epoch)). fenced markers hold a
@@ -123,13 +127,30 @@ type worker struct {
 	raw         []update // AccNone: chronological, uncombined
 	pend        update   // current run of adjacent updates to one pointstamp
 	havePend    bool
-	outData     map[outKey][]Message
+	outBatch    map[outKey]*batchbuf.Batch // pending outgoing batch builders
 	localQ      []delivery
 	localQHead  int
 	notifyCount int
 	notifyCands []notifyCand // deliverable candidates, guarantee order
 	notifyDirty bool         // candidate queue invalidated by a tracker change
 	spare       []mailItem
+
+	// Pooled encode/scatter scratch. frameEnc backs encodeFrame: the worker
+	// is single-threaded, so one reusable encoder serves every frame it
+	// produces (the old per-frame codec.NewEncoder with its undersized
+	// capacity guess was a steady allocation-and-grow tax on the hot path).
+	// scratchBox is the boxing spill for codecs without a typed column path;
+	// hashes is routeBatch's hash buffer (fully consumed before any delivery
+	// can recurse, so one buffer suffices). scatter is a STACK of
+	// per-destination builder tables indexed by scatterDepth: routeBatch's
+	// dispatch loop delivers synchronously and can re-enter routeBatch
+	// (feedback cycles, reentrant vertices), so each nesting level needs its
+	// own table — sharing one corrupts the outer call's pending builders.
+	frameEnc     *codec.Encoder
+	scratchBox   []Message
+	scatter      [][]*batchbuf.Batch
+	scatterDepth int
+	hashes       []uint64
 
 	// Barrier-snapshot state (nil/zero unless a cut handler is installed).
 	// chanSent counts batches sent per (connector, dst vertex); chanRecv
@@ -169,10 +190,11 @@ func newWorker(c *Computation, id, proc int) *worker {
 		proc:        proc,
 		mailbox:     newMailbox(&c.activity),
 		pbuf:        progress.NewBuffer(),
-		outData:     make(map[outKey][]Message),
+		outBatch:    make(map[outKey]*batchbuf.Batch),
 		notifyDirty: true,
 		tracer:      c.cfg.Tracer,
 		reviveCh:    make(chan reviveReq),
+		frameEnc:    codec.NewEncoder(1024),
 	}
 }
 
@@ -299,6 +321,7 @@ func (w *worker) buildVertices() {
 				vs.vertex = &forwardVertex{ctx: vs.ctx}
 			}
 		}
+		vs.bv, _ = vs.vertex.(BatchVertex)
 		w.vertices[si.id] = vs
 		w.vsList = append(w.vsList, vs)
 	}
@@ -325,10 +348,13 @@ func (w *worker) handleItem(it *mailItem) {
 	switch it.kind {
 	case mailLocalData:
 		ci := w.comp.conn(it.conn)
-		w.enqueueLocal(ci, it.src, it.time, it.records)
+		w.enqueueLocal(ci, it.src, it.time, it.batch)
 	case mailRawData:
-		ci, _, src, t, records := decodeData(w.comp, it.payload)
-		w.enqueueLocal(ci, src, t, records)
+		ci, _, src, t, b := decodeDataBatch(w.comp, it.payload)
+		// The decoded batch is self-contained (Codec contract), so the frame
+		// buffer goes back to the receive arena immediately.
+		batchbuf.PutBytes(it.payload)
+		w.enqueueLocal(ci, src, t, b)
 	case mailBarrier:
 		// Markers join the local queue so they stay FIFO with data batches
 		// already queued for the same vertex.
@@ -364,13 +390,13 @@ func (w *worker) handleItem(it *mailItem) {
 	}
 }
 
-func (w *worker) enqueueLocal(ci *connInfo, src int, t ts.Timestamp, records []Message) {
+func (w *worker) enqueueLocal(ci *connInfo, src int, t ts.Timestamp, b *batchbuf.Batch) {
 	vs := w.vertices[ci.dst]
 	if vs == nil {
 		panic(fmt.Sprintf("runtime: worker %d received batch for unhosted stage %s",
 			w.id, w.comp.stage(ci.dst).name))
 	}
-	w.localQ = append(w.localQ, delivery{ci: ci, vs: vs, src: src, time: t, records: records})
+	w.localQ = append(w.localQ, delivery{ci: ci, vs: vs, src: src, time: t, batch: b})
 }
 
 func (w *worker) handleControl(ctl *controlMsg) {
@@ -387,6 +413,9 @@ func (w *worker) handleControl(ctl *controlMsg) {
 		t := ts.Root(ctl.epoch)
 		for _, rec := range ctl.records {
 			w.sendBy(vs, 0, rec, t)
+		}
+		if ctl.batch != nil {
+			w.sendBatchBy(vs, 0, ctl.batch, t)
 		}
 	case ctlInputAdvance:
 		vs := w.vertices[ctl.stage]
@@ -474,7 +503,9 @@ func (w *worker) deliverAll() {
 // causal-chronology discipline is preserved while a 10k-record batch costs
 // one occurrence update instead of 10k.
 func (w *worker) deliverBatch(d delivery) {
-	if len(d.records) == 0 {
+	n := d.batch.Len()
+	if n == 0 {
+		d.batch.Release()
 		return
 	}
 	vs := d.vs
@@ -483,25 +514,68 @@ func (w *worker) deliverBatch(d delivery) {
 		// into the cut as in-flight channel state and hold it, unprocessed,
 		// until the snapshot completes. The channel counter advances now —
 		// the batch has arrived; only its processing is deferred — and the
-		// uncounted flag keeps redelivery from counting it twice.
+		// uncounted flag keeps redelivery from counting it twice. The queue's
+		// reference rides along in barrierDefer until redelivery.
 		if w.chanRecv != nil && !d.uncounted {
 			w.chanRecv[chanKey(d.ci.id, d.src)]++
 		}
 		vs.barrierChans = append(vs.barrierChans,
-			encodeData(d.ci, vs.vertexIdx, d.src, d.time, d.records))
+			w.encodeFrameOwned(d.ci, vs.vertexIdx, d.src, d.time, d.batch))
 		d.uncounted = true
 		vs.barrierDefer = append(vs.barrierDefer, d)
 		return
 	}
-	if d.vs.si.logged {
-		w.comp.logBatch(d.vs.si.id, encodeData(d.ci, d.vs.vertexIdx, d.src, d.time, d.records))
+	if vs.si.logged {
+		w.comp.logBatch(vs.si.id, w.encodeFrameOwned(d.ci, vs.vertexIdx, d.src, d.time, d.batch))
 	}
-	w.noteDelivery(d.ci, d.vs, d.src, d.time, d.records, d.uncounted)
-	input := d.ci.inputIdx
-	for _, rec := range d.records {
-		w.invokeRecv(d.vs, input, rec, d.time)
+	w.noteDelivery(d.ci, vs, d.src, d.time, d.batch, d.uncounted)
+	w.invokeRecvBatch(vs, d.ci.inputIdx, d.batch, d.time)
+	w.postUpdate(progress.Pointstamp{Time: d.time, Loc: graph.ConnLoc(d.ci.id)}, -int64(n))
+	d.batch.Release()
+}
+
+// invokeRecvBatch delivers one batch to a vertex: a single callback through
+// the BatchVertex fast path when the vertex has one, otherwise one OnRecv
+// per record. Either way the batch costs one activity bump and one
+// time-stack frame. The batch is borrowed — the caller keeps its reference.
+func (w *worker) invokeRecvBatch(vs *vertexState, input int, b *batchbuf.Batch, t ts.Timestamp) {
+	w.comp.activity.Add(1)
+	w.comp.counters.records[vs.si.id].Add(int64(b.Len()))
+	vs.timeStack = append(vs.timeStack, timeFrame{t: t, canSend: true})
+	vs.ctx.executing++
+	var t0 int64
+	if tr := w.tracer; tr != nil {
+		t0 = tr.Now()
 	}
-	w.postUpdate(progress.Pointstamp{Time: d.time, Loc: graph.ConnLoc(d.ci.id)}, -int64(len(d.records)))
+	if vs.bv != nil {
+		vs.bv.OnRecvBatch(input, b, t)
+	} else {
+		for i, n := 0, b.Len(); i < n; i++ {
+			vs.vertex.OnRecv(input, b.Record(i), t)
+		}
+	}
+	if tr := w.tracer; tr != nil {
+		tr.CallbackN(w.id, int32(vs.si.id), t.Epoch, false, time.Duration(tr.Now()-t0), int64(b.Len()))
+	}
+	vs.ctx.executing--
+	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+}
+
+// encodeFrame serializes a batch through the worker's pooled frame encoder.
+// The returned bytes are valid only until the next encodeFrame call — long
+// enough for a transport Send (every transport copies or writes before
+// returning) but nothing that outlives the call.
+func (w *worker) encodeFrame(ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, b *batchbuf.Batch) []byte {
+	w.frameEnc.Reset()
+	w.scratchBox = encodeDataInto(w.frameEnc, ci, dstVertex, srcVertex, t, b, w.scratchBox)
+	return w.frameEnc.Bytes()
+}
+
+// encodeFrameOwned is encodeFrame into an exact-size copy the caller owns —
+// for the replay log, barrier channel state, and the log sink, which all
+// retain the frame.
+func (w *worker) encodeFrameOwned(ci *connInfo, dstVertex, srcVertex int, t ts.Timestamp, b *batchbuf.Batch) []byte {
+	return append([]byte(nil), w.encodeFrame(ci, dstVertex, srcVertex, t, b)...)
 }
 
 // invokeRecv runs a single OnRecv callback with time-stack bookkeeping.
@@ -680,6 +754,181 @@ func (w *worker) sendBy(vs *vertexState, port int, msg Message, t ts.Timestamp) 
 	}
 }
 
+// sendBatchBy implements Context.SendBatchBy: sendBy's checks and timestamp
+// actions at whole-batch granularity. It consumes one reference to b.
+func (w *worker) sendBatchBy(vs *vertexState, port int, b *batchbuf.Batch, t ts.Timestamp) {
+	if w.replaying {
+		b.Release() // the original execution already delivered this send
+		return
+	}
+	si := vs.si
+	if n := len(vs.timeStack); n > 0 {
+		top := vs.timeStack[n-1]
+		if !top.canSend {
+			panic(fmt.Sprintf("runtime: %s sent a message from a purge notification", si.name))
+		}
+		if !top.t.LessEq(t) {
+			panic(fmt.Sprintf("runtime: %s sent backwards in time: %v < callback time %v", si.name, t, top.t))
+		}
+	}
+	if port < 0 || port >= si.numPorts {
+		panic(fmt.Sprintf("runtime: stage %s: SendBy on invalid port %d", si.name, port))
+	}
+	outT := t
+	switch si.role {
+	case graph.RoleIngress:
+		outT = t.PushLoop()
+	case graph.RoleEgress:
+		outT = t.PopLoop()
+	case graph.RoleFeedback:
+		outT = t.Tick()
+		if si.hasMaxIter && outT.Inner() >= si.maxIter {
+			b.Release() // iteration bound reached; drop the batch
+			return
+		}
+	}
+	conns := si.outPorts[port]
+	if len(conns) == 0 {
+		b.Release()
+		return
+	}
+	// routeBatch consumes a reference per connector; the batch arrives with
+	// exactly one, so fan-out retains the difference up front.
+	for i := 1; i < len(conns); i++ {
+		b.Retain()
+	}
+	for _, cid := range conns {
+		w.routeBatch(vs, w.comp.conn(cid), b, outT)
+	}
+}
+
+// routeBatch routes a whole batch on one connector, consuming one reference
+// to b. Unpartitioned (or single-peer) connectors forward the batch intact;
+// partitioned ones hash every record — through the connector's batch
+// partitioner when it has one, else the boxed per-record partitioner — and
+// scatter into per-destination builder batches.
+func (w *worker) routeBatch(vsSrc *vertexState, ci *connInfo, b *batchbuf.Batch, t ts.Timestamp) {
+	n := b.Len()
+	if n == 0 {
+		b.Release()
+		return
+	}
+	c := w.comp
+	dstSi := c.stage(ci.dst)
+	peers := dstSi.parallelism(c.cfg.Workers())
+	w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, int64(n))
+	if ci.part == nil || peers == 1 {
+		var dstVertex int
+		switch {
+		case dstSi.pinned >= 0 || peers == 1:
+			dstVertex = 0
+		default:
+			dstVertex = w.id
+		}
+		w.routeBatchTo(vsSrc.vertexIdx, ci, b, dstVertex, t)
+		return
+	}
+	// Vectorized exchange: hash the whole batch, then scatter. The hash
+	// buffer and builder table are worker scratch, reused across calls.
+	if cap(w.hashes) < n {
+		w.hashes = make([]uint64, n)
+	}
+	hashes := w.hashes[:n]
+	if ci.bpart == nil || !ci.bpart(b.Col().Slice(), hashes) {
+		for i := 0; i < n; i++ {
+			hashes[i] = ci.part(b.Record(i))
+		}
+	}
+	depth := w.scatterDepth
+	if depth == len(w.scatter) {
+		w.scatter = append(w.scatter, nil)
+	}
+	if cap(w.scatter[depth]) < peers {
+		w.scatter[depth] = make([]*batchbuf.Batch, peers)
+	}
+	subs := w.scatter[depth][:peers]
+	for i := 0; i < n; i++ {
+		dv := int(hashes[i] % uint64(peers))
+		sub := subs[dv]
+		if sub == nil {
+			sub = b.NewLike(n)
+			subs[dv] = sub
+		}
+		sub.AppendIndex(b, i)
+	}
+	b.Release()
+	// Dispatch under a bumped depth: a synchronous delivery below may
+	// re-enter routeBatch, which must not reuse this level's table.
+	w.scatterDepth++
+	for dv, sub := range subs {
+		if sub != nil {
+			subs[dv] = nil
+			w.routeBatchTo(vsSrc.vertexIdx, ci, sub, dv, t)
+		}
+	}
+	w.scatterDepth--
+}
+
+// routeBatchTo delivers a batch to one destination vertex of a connector,
+// consuming one reference: synchronously when the destination is local and
+// not too deeply re-entered, queued locally otherwise, or merged into the
+// pending outgoing builder for a remote worker. The occurrence counts for
+// the batch were already posted by routeBatch.
+func (w *worker) routeBatchTo(src int, ci *connInfo, b *batchbuf.Batch, dstVertex int, t ts.Timestamp) {
+	c := w.comp
+	dstSi := c.stage(ci.dst)
+	dstWorker := dstSi.workerFor(dstVertex)
+	if dstWorker == w.id {
+		if w.chanSent != nil {
+			w.chanSent[chanKey(ci.id, dstVertex)]++
+		}
+		vsDst := w.vertices[ci.dst]
+		limit := dstSi.reentrancy
+		if limit == 0 {
+			limit = c.cfg.maxReentrancy()
+		}
+		if c.cfg.DisableLocalFastPath {
+			limit = 0
+		}
+		// Fencing and alignment gates as in routeMessage: a queued marker or
+		// an aligning destination forces the batch through the queue.
+		if w.localFence[ci.id] == 0 && vsDst.ctx.executing < limit &&
+			!(vsDst.barrierCut != 0 && t.Epoch >= vsDst.barrierEpoch) {
+			if dstSi.logged {
+				w.comp.logBatch(dstSi.id, w.encodeFrameOwned(ci, dstVertex, src, t, b))
+			}
+			w.noteDelivery(ci, vsDst, src, t, b, false)
+			w.invokeRecvBatch(vsDst, ci.inputIdx, b, t)
+			w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, -int64(b.Len()))
+			b.Release()
+		} else {
+			w.localQ = append(w.localQ, delivery{ci: ci, vs: vsDst, src: src, time: t, batch: b})
+		}
+		return
+	}
+	key := outKey{conn: ci.id, dstWorker: dstWorker, time: t}
+	if cur, ok := w.outBatch[key]; ok {
+		if !cur.AppendBatch(b) {
+			// Mixed record types on one connector: widen the builder to boxed.
+			wide := batchbuf.GetBoxed(cur.Len() + b.Len())
+			wide.AppendBatch(cur)
+			cur.Release()
+			wide.AppendBatch(b)
+			w.outBatch[key] = wide
+			cur = wide
+		}
+		b.Release()
+		if cur.Len() >= w.comp.cfg.batchSize() {
+			w.flushOne(key)
+		}
+		return
+	}
+	w.outBatch[key] = b // builder adopts the reference
+	if b.Len() >= w.comp.cfg.batchSize() {
+		w.flushOne(key)
+	}
+}
+
 // routeMessage delivers msg on one connector: synchronously when the
 // destination vertex is local and not too deeply re-entered, queued
 // locally otherwise, or batched for transmission. vsSrc is the sending
@@ -719,28 +968,46 @@ func (w *worker) routeMessage(vsSrc *vertexState, ci *connInfo, msg Message, t t
 		// records through the queue, where deliverBatch defers them.
 		if w.localFence[ci.id] == 0 && vsDst.ctx.executing < limit &&
 			!(vsDst.barrierCut != 0 && t.Epoch >= vsDst.barrierEpoch) {
-			if dstSi.logged {
-				w.comp.logBatch(dstSi.id, encodeData(ci, dstVertex, src, t, []Message{msg}))
+			if dstSi.logged || w.chanRecv != nil || w.dlogs != nil {
+				one := batchbuf.One(msg)
+				if dstSi.logged {
+					w.comp.logBatch(dstSi.id, w.encodeFrameOwned(ci, dstVertex, src, t, one))
+				}
+				w.noteDelivery(ci, vsDst, src, t, one, false)
+				one.Release()
 			}
-			w.noteDelivery(ci, vsDst, src, t, []Message{msg}, false)
 			w.invokeRecv(vsDst, ci.inputIdx, msg, t)
 			w.postUpdate(progress.Pointstamp{Time: t, Loc: graph.ConnLoc(ci.id)}, -1)
 		} else {
-			w.localQ = append(w.localQ, delivery{ci: ci, vs: vsDst, src: src, time: t, records: []Message{msg}})
+			w.localQ = append(w.localQ, delivery{ci: ci, vs: vsDst, src: src, time: t, batch: batchbuf.One(msg)})
 		}
 		return
 	}
 	key := outKey{conn: ci.id, dstWorker: dstWorker, time: t}
-	w.outData[key] = append(w.outData[key], msg)
-	if len(w.outData[key]) >= w.comp.cfg.batchSize() {
+	bld, ok := w.outBatch[key]
+	if !ok {
+		bld = batchbuf.GetBoxed(w.comp.cfg.batchSize())
+		w.outBatch[key] = bld
+	}
+	if !bld.Append(msg) {
+		// A typed builder (installed by a batch send) met a foreign boxed
+		// record: widen to a boxed builder.
+		wide := batchbuf.GetBoxed(bld.Len() + 1)
+		wide.AppendBatch(bld)
+		bld.Release()
+		wide.Append(msg)
+		w.outBatch[key] = wide
+		bld = wide
+	}
+	if bld.Len() >= w.comp.cfg.batchSize() {
 		w.flushOne(key)
 	}
 }
 
 // flushOne sends one pending outgoing batch.
 func (w *worker) flushOne(key outKey) {
-	records := w.outData[key]
-	delete(w.outData, key)
+	b := w.outBatch[key]
+	delete(w.outBatch, key)
 	c := w.comp
 	ci := c.conn(key.conn)
 	dstProc := key.dstWorker / c.cfg.WorkersPerProcess
@@ -759,23 +1026,27 @@ func (w *worker) flushOne(key outKey) {
 		w.chanSent[chanKey(ci.id, dstVertex)]++
 	}
 	if dstProc == w.proc {
+		// The push transfers the batch's reference to the receiving worker.
 		c.workers[key.dstWorker].mailbox.push(mailItem{
 			kind: mailLocalData, conn: key.conn, src: src,
-			time: key.time, records: records,
+			time: key.time, batch: b,
 		})
 		return
 	}
-	payload := encodeData(ci, dstVertex, src, key.time, records)
+	// Transports copy (or fully write) the payload before Send returns, so
+	// the pooled frame encoder's view is safe to hand over.
+	payload := w.encodeFrame(ci, dstVertex, src, key.time, b)
 	c.trans.Send(w.proc, dstProc, transport.KindData, payload)
+	b.Release()
 }
 
 // flushData sends all pending outgoing batches in a deterministic order.
 func (w *worker) flushData() {
-	if len(w.outData) == 0 {
+	if len(w.outBatch) == 0 {
 		return
 	}
-	keys := make([]outKey, 0, len(w.outData))
-	for k := range w.outData {
+	keys := make([]outKey, 0, len(w.outBatch))
+	for k := range w.outBatch {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -955,6 +1226,12 @@ type forwardVertex struct {
 
 func (v *forwardVertex) OnRecv(_ int, msg Message, t ts.Timestamp) {
 	v.ctx.SendBy(0, msg, t)
+}
+
+// OnRecvBatch forwards the whole batch without unboxing it; the extra
+// Retain balances SendBatchBy consuming a reference the runtime still holds.
+func (v *forwardVertex) OnRecvBatch(_ int, b *Batch, t ts.Timestamp) {
+	v.ctx.SendBatchBy(0, b.Retain(), t)
 }
 
 func (v *forwardVertex) OnNotify(ts.Timestamp) {}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
 	"naiad/internal/graph"
 	ts "naiad/internal/timestamp"
@@ -280,14 +281,14 @@ func (w *worker) retireCutCtl(cut int64) {
 // noteDelivery observes one delivered (not deferred) batch on a channel: it
 // advances the receive counter markers are checked against — unless the
 // batch already counted when it was deferred — and appends it to the
-// vertex's delivery log for selective replay.
-func (w *worker) noteDelivery(ci *connInfo, vs *vertexState, src int, t ts.Timestamp, records []Message, uncounted bool) {
+// vertex's delivery log for selective replay. The batch is borrowed.
+func (w *worker) noteDelivery(ci *connInfo, vs *vertexState, src int, t ts.Timestamp, b *batchbuf.Batch, uncounted bool) {
 	if w.chanRecv != nil && !uncounted {
 		w.chanRecv[chanKey(ci.id, src)]++
 	}
 	if w.dlogs != nil {
 		if lg := w.dlogs[vs.si.id]; lg != nil {
-			lg.add(vlogEntry{kind: vlogRecv, payload: encodeData(ci, vs.vertexIdx, src, t, records)})
+			lg.add(vlogEntry{kind: vlogRecv, payload: w.encodeFrameOwned(ci, vs.vertexIdx, src, t, b)})
 		}
 	}
 }

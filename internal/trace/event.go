@@ -7,8 +7,9 @@ import "fmt"
 type Kind uint8
 
 const (
-	// EvOnRecv is one OnRecv callback: Stage, Epoch, Dur (callback wall
-	// time), N = 1.
+	// EvOnRecv is one OnRecv/OnRecvBatch callback: Stage, Epoch, Dur
+	// (callback wall time), N = records delivered in the invocation (1 for
+	// a single-record OnRecv, the batch length for a batch delivery).
 	EvOnRecv Kind = iota
 	// EvOnNotify is one OnNotify callback: Stage, Epoch, Dur.
 	EvOnNotify

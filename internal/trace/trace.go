@@ -158,6 +158,14 @@ func (t *Tracer) Emit(ev Event) {
 // worker's ring. Only the owning worker may call this for its worker id —
 // the histogram row is single-writer.
 func (t *Tracer) Callback(worker int, stage int32, epoch int64, notify bool, dur time.Duration) {
+	t.CallbackN(worker, stage, epoch, notify, dur, 1)
+}
+
+// CallbackN is Callback for a batch delivery: one invocation that consumed
+// n records. The histogram still records one sample (it measures callback
+// latency, not per-record cost); the event carries N = n so record-count
+// consumers stay exact.
+func (t *Tracer) CallbackN(worker int, stage int32, epoch int64, notify bool, dur time.Duration, n int64) {
 	kind := EvOnRecv
 	hs := t.recvH
 	if notify {
@@ -169,7 +177,7 @@ func (t *Tracer) Callback(worker int, stage int32, epoch int64, notify bool, dur
 	}
 	t.Emit(Event{
 		Kind: kind, Aux: 0, Worker: int32(worker), Stage: stage, Loc: -1,
-		Epoch: epoch, Dur: int64(dur), N: 1,
+		Epoch: epoch, Dur: int64(dur), N: n,
 	})
 }
 

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"naiad/internal/batchbuf"
 )
 
 // TCPOptions hardens the TCP transport against transient network trouble.
@@ -313,7 +315,9 @@ func (t *TCP) readLoop(proc int, c net.Conn) {
 		if err != nil || src < 0 || src >= t.n {
 			return // corrupt stream; drop the link rather than misparse it
 		}
-		payload := make([]byte, size)
+		// Frames come from the pooled receive arena; the final consumer
+		// recycles them (or leaks them to GC, which is also safe).
+		payload := batchbuf.GetBytes(size)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
@@ -337,7 +341,8 @@ func (t *TCP) Send(from, to int, kind Kind, payload []byte) {
 		return
 	}
 	if from == to {
-		cp := append([]byte(nil), payload...)
+		cp := batchbuf.GetBytes(len(payload))
+		copy(cp, payload)
 		if h := t.handlers[to]; h != nil {
 			h(from, kind, cp)
 		}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"naiad/internal/batchbuf"
 )
 
 // Kind tags the payload class of a frame, for dispatch and accounting.
@@ -246,7 +248,11 @@ func (m *Mem) Send(from, to int, kind Kind, payload []byte) {
 	if m.closed.Load() {
 		return
 	}
-	cp := append([]byte(nil), payload...)
+	// The copy comes from the pooled frame arena: the sender may reuse its
+	// buffer the moment Send returns, and the final consumer of the
+	// delivered frame recycles this one.
+	cp := batchbuf.GetBytes(len(payload))
+	copy(cp, payload)
 	if from != to {
 		m.stats.Count(kind, len(cp))
 	}
