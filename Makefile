@@ -45,10 +45,12 @@ vet-fixtures:
 	$(GO) test -count=1 ./internal/analysis/...
 
 # Progress + runtime microbenchmarks, then the harness comparison of the
-# indexed tracker against the scan-based reference oracle, written to the
-# committed BENCH_progress.json baseline (reference column = before,
-# indexed column = after; the raw seed numbers predating the indexed
-# tracker are in bench/BENCH_progress_before.txt).
+# indexed tracker against the scan-based reference oracle and the
+# capability (timestamp-token) layer, written to the committed
+# BENCH_progress.json baseline (reference column = before, indexed column
+# = after; the raw seed numbers predating the indexed tracker are in
+# bench/BENCH_progress_before.txt). The run fails if capability overhead
+# on update/frontier exceeds 1.25x the indexed tracker.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/progress/ ./internal/runtime/
 	$(GO) run ./cmd/naiad-bench -exp=progress -json=BENCH_progress.json
@@ -57,6 +59,8 @@ bench:
 # CI's quick variant: one iteration per Go benchmark proves they still run
 # and the harness experiment still builds its graphs and trackers; no
 # baseline file is written, timings at this length are not meaningful.
+# The harness run is full-length, so the 1.25x capability-overhead guard
+# is enforced here too.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/progress/ ./internal/runtime/
 	$(GO) run ./cmd/naiad-bench -exp=progress
@@ -128,8 +132,11 @@ soak-ingress:
 			-run 'TestSoakIngress' ./internal/serve/; \
 	done
 
-# Short fuzz passes over the codec, frame, barrier, and trace-log parsers.
+# Short fuzz passes over the codec, frame, barrier, and trace-log parsers,
+# plus the capability/tracker differential (three frontier views must agree
+# on every schedule of mint/clone/downgrade/drop).
 fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCapabilityDifferential -fuzztime=10s ./internal/progress/
 	$(GO) test -run=^$$ -fuzz=FuzzDecoder -fuzztime=10s ./internal/codec/
 	$(GO) test -run=^$$ -fuzz=FuzzParseFrameHeader -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeProgress -fuzztime=10s ./internal/runtime/

@@ -20,6 +20,12 @@
 //     counter, and return while the work is still pending — the classic
 //     Add/Wait race, detectable only structurally.
 //
+// A runtime.Capability's DropAsync counts as a shutdown signal, exactly
+// like WaitGroup.Done: a goroutine handed a held capability is registered
+// with the progress tracker — the frontier cannot pass its timestamp until
+// the drop lands — so its completion is awaited by the whole computation
+// (the exactly-once sink's commit goroutines terminate this way).
+//
 // Known false-negative classes: goroutines spawned through plain function
 // values (`go h(cut)`) are not resolvable from static call sites; a body
 // with any exit path or signal anywhere is trusted even if that path is
@@ -45,7 +51,7 @@ const (
 // Analyzer is the golife pass.
 var Analyzer = &framework.Analyzer{
 	Name:      "golife",
-	Doc:       "flag goroutines with no reachable shutdown signal and sync.WaitGroup.Add calls inside the spawned goroutine in internal/runtime, internal/transport, internal/supervise, and internal/serve",
+	Doc:       "flag goroutines with no reachable shutdown signal (channel op, context check, Cond.Wait, WaitGroup.Done, or Capability.DropAsync) and sync.WaitGroup.Add calls inside the spawned goroutine in internal/runtime, internal/transport, internal/supervise, and internal/serve",
 	Run:       run,
 	FactTypes: []framework.Fact{&LifeFact{}},
 }
@@ -358,8 +364,28 @@ func (c *checker) isSignal(n ast.Node) bool {
 		case "sync":
 			return fn.Name() == "Wait" || fn.Name() == "Done"
 		}
+		// Capability.DropAsync is the progress-tracker analogue of
+		// WaitGroup.Done: the frontier waits on the drop, so the goroutine's
+		// lifetime is observed by the computation.
+		if fn.Name() == "DropAsync" && isCapabilityRecv(sig.Recv().Type()) {
+			return true
+		}
 	}
 	return false
+}
+
+// isCapabilityRecv reports whether t is the runtime's Capability type (or
+// the fixture stand-in declared under testdata/src/runtime).
+func isCapabilityRecv(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Name() != "Capability" || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == runtimePath || strings.HasSuffix(path, "testdata/src/runtime")
 }
 
 // calleeList resolves the body's static call sites to functions (same

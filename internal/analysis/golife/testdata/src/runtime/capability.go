@@ -1,0 +1,44 @@
+// The capability half of the fixture: DropAsync on the runtime's held
+// Capability is a shutdown signal — the progress frontier waits on the
+// drop the way a WaitGroup waits on Done — so a commit-retry goroutine
+// whose only observable exit is DropAsync is not a leak, while the same
+// loop without it still is.
+package life
+
+type Capability struct{}
+
+func (h *Capability) DropAsync() {}
+
+// notACapability has the same method name on a type the analyzer must not
+// trust: only the runtime's Capability is wired to the frontier.
+type notACapability struct{}
+
+func (h *notACapability) DropAsync() {}
+
+func try() bool { return false }
+
+// spawnCommitRetry is the exactly-once sink shape: retry the commit
+// forever, signalling completion solely through the capability drop.
+func spawnCommitRetry(hc *Capability) {
+	go func() {
+		for {
+			if try() {
+				hc.DropAsync()
+			}
+			work()
+		}
+	}()
+}
+
+// spawnFakeDrop looks the same but its DropAsync is not the runtime's:
+// nothing observes this goroutine, so it is still a leak.
+func spawnFakeDrop(hc *notACapability) {
+	go func() { // want `goroutine loops forever with no reachable shutdown signal`
+		for {
+			if try() {
+				hc.DropAsync()
+			}
+			work()
+		}
+	}()
+}

@@ -18,6 +18,16 @@
 // releases the associated lock while parked, which is the sanctioned
 // lock-held wait pattern (mailbox.drain, accumulator.run).
 //
+// Held progress capabilities (Context.HoldCapability in internal/runtime
+// and internal/lib) are tracked like locks: a capability pins its
+// pointstamp in every tracker, so a callback that blocks while holding one
+// stalls both the worker thread and the frontier — and if the blocked
+// operation itself waits on progress at or past the held timestamp, it can
+// never complete. The sanctioned pattern is the exactly-once sink's: keep
+// the callback non-blocking, hand the capability to a goroutine, and
+// retire it with DropAsync when the off-thread work finishes. Drop,
+// TryDrop, and DropAsync release the tracked capability.
+//
 // The analysis is an intraprocedural, branch-insensitive walk over each
 // function body (branches are explored with a copy of the held-set), plus a
 // same-package transitive closure so that a helper performing a blocking
@@ -38,12 +48,13 @@ const (
 	runtimePath   = "naiad/internal/runtime"
 	transportPath = "naiad/internal/transport"
 	supervisePath = "naiad/internal/supervise"
+	libPath       = "naiad/internal/lib"
 )
 
 // Analyzer is the lockhold pass.
 var Analyzer = &framework.Analyzer{
 	Name: "lockhold",
-	Doc:  "flag locks held across blocking operations (channel ops, Transport.Send, mailbox enqueue, barrier/recovery control broadcasts) in internal/runtime, internal/transport, and internal/supervise",
+	Doc:  "flag locks and held capabilities carried across blocking operations (channel ops, Transport.Send, mailbox enqueue, barrier/recovery control broadcasts) in internal/runtime, internal/transport, internal/supervise, and internal/lib",
 	Run:  run,
 }
 
@@ -70,12 +81,13 @@ var barrierControlMethods = map[string]bool{
 // models. analysistest fixtures named after them stand in during tests.
 func inScope(path string) bool {
 	switch strings.TrimSuffix(path, "_test") {
-	case runtimePath, transportPath, supervisePath:
+	case runtimePath, transportPath, supervisePath, libPath:
 		return true
 	}
 	return strings.HasSuffix(path, "testdata/src/runtime") ||
 		strings.HasSuffix(path, "testdata/src/transport") ||
-		strings.HasSuffix(path, "testdata/src/supervise")
+		strings.HasSuffix(path, "testdata/src/supervise") ||
+		strings.HasSuffix(path, "testdata/src/lib")
 }
 
 func run(pass *framework.Pass) (any, error) {
@@ -255,6 +267,7 @@ func (c *checker) walk(stmt ast.Stmt, held map[string]ast.Node) {
 		c.checkExpr(s.X, held)
 		if call, ok := s.X.(*ast.CallExpr); ok {
 			c.applyLockOp(call, held, false)
+			c.applyCapDrop(call, held)
 		}
 	case *ast.DeferStmt:
 		// defer mu.Unlock() keeps the lock held to function exit: every
@@ -267,6 +280,7 @@ func (c *checker) walk(stmt ast.Stmt, held map[string]ast.Node) {
 		for _, e := range s.Lhs {
 			c.checkExpr(e, held)
 		}
+		c.applyCapHold(s, held)
 	case *ast.SendStmt:
 		c.report(s.Pos(), "channel send", held)
 		c.checkExpr(s.Value, held)
@@ -399,19 +413,96 @@ func (c *checker) applyLockOp(call *ast.CallExpr, held map[string]ast.Node, defe
 	}
 }
 
+// capPrefix marks held-set keys that are progress capabilities rather than
+// mutexes.
+const capPrefix = "capability "
+
+// applyCapHold records a capability minted by Context.HoldCapability and
+// bound to an identifier: `hc := ctx.HoldCapability(t)`. From that point
+// the callback holds a frontier token; tracking stops at Drop, TryDrop, or
+// DropAsync on the same identifier. A capability whose only binding is an
+// immediate .Seq() (the checkpoint-by-sequence idiom) is deliberately not
+// tracked — the holder is the off-thread committer, not this callback.
+func (c *checker) applyCapHold(s *ast.AssignStmt, held map[string]ast.Node) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !c.isCapMethod(call, "HoldCapability", "Context") {
+			continue
+		}
+		if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			held[capPrefix+id.Name] = call
+		}
+	}
+}
+
+// applyCapDrop releases a tracked capability on a statement-level Drop,
+// TryDrop, or DropAsync call.
+func (c *checker) applyCapDrop(call *ast.CallExpr, held map[string]ast.Node) {
+	if !c.isCapMethod(call, "Drop", "Capability") &&
+		!c.isCapMethod(call, "TryDrop", "Capability") &&
+		!c.isCapMethod(call, "DropAsync", "Capability") {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		delete(held, capPrefix+types.ExprString(sel.X))
+	}
+}
+
+// isCapMethod reports whether call invokes the named method on the
+// runtime's capability API (receiver type recvName declared in
+// internal/runtime, or its fixture stand-in).
+func (c *checker) isCapMethod(call *ast.CallExpr, name, recvName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	// The real API lives in internal/runtime; lib-scoped fixtures declare
+	// their own stand-ins, so testdata/src/lib receivers count too.
+	if !declaredIn(recv, runtimePath) && !declaredIn(recv, libPath) {
+		return false
+	}
+	if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := types.Unalias(recv).(*types.Named)
+	return ok && n.Obj().Name() == recvName
+}
+
 // report emits one finding when a blocking operation executes with locks
-// held, naming the mutexes and where they were taken.
+// or capabilities held, naming them and where they were taken.
 func (c *checker) report(pos token.Pos, desc string, held map[string]ast.Node) {
 	if len(held) == 0 {
 		return
 	}
 	names := make([]string, 0, len(held))
+	caps := 0
 	for k := range held {
 		names = append(names, k)
+		if strings.HasPrefix(k, capPrefix) {
+			caps++
+		}
 	}
 	sort.Strings(names)
-	c.pass.Reportf(pos, "%s while holding %s (locked at line %d); release the lock first — holding it across a cross-goroutine handoff is the deadlock shape chaos partitions only find probabilistically",
-		desc, strings.Join(names, ", "), c.pass.Fset.Position(held[names[0]].Pos()).Line)
+	advice := "release the lock first — holding it across a cross-goroutine handoff is the deadlock shape chaos partitions only find probabilistically"
+	if caps == len(held) {
+		advice = "a blocked callback pins the frontier at the capability's timestamp — drop it first, or move the blocking work to a goroutine that retires it with DropAsync"
+	} else if caps > 0 {
+		advice = "release the lock and drop the capability first — a blocked handoff here couples goroutine lock orders and pins the frontier"
+	}
+	c.pass.Reportf(pos, "%s while holding %s (acquired at line %d); %s",
+		desc, strings.Join(names, ", "), c.pass.Fset.Position(held[names[0]].Pos()).Line, advice)
 }
 
 func copyHeld(held map[string]ast.Node) map[string]ast.Node {

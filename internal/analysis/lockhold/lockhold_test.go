@@ -14,3 +14,7 @@ func TestLockhold(t *testing.T) {
 func TestLockholdSupervise(t *testing.T) {
 	analysistest.Run(t, lockhold.Analyzer, "supervise")
 }
+
+func TestLockholdCapability(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "lib")
+}

@@ -1,0 +1,50 @@
+// Regression fixture for the notification-to-capability migration: the
+// pre-capability sink pattern parked completion on a notification and did
+// its commit I/O inline in the callback — blocking the worker (and, once a
+// capability is held, the frontier) until the store answered. The migrated
+// pattern seals in the notification, hands the capability to a goroutine,
+// and retires it with DropAsync on acknowledgement. The analyzer must keep
+// flagging the old shape and stay quiet on the new one, so a future edit
+// cannot quietly regress the sink to inline blocking commits.
+package fixture
+
+type timestamp struct{ Epoch int64 }
+
+type Context struct{}
+
+func (c *Context) HoldCapability(t timestamp) *Capability { return &Capability{} }
+func (c *Context) NotifyAt(t timestamp)                   {}
+
+type Capability struct{}
+
+func (h *Capability) Drop()      {}
+func (h *Capability) DropAsync() {}
+
+type sinkVertex struct {
+	ctx     *Context
+	commits chan []byte
+	acks    chan error
+}
+
+// The pre-migration shape: commit inline in the notification callback,
+// holding the epoch's capability across a blocking send and the matching
+// acknowledgement receive. The worker thread — and with it every vertex the
+// worker hosts — stalls for the store round-trip.
+func (v *sinkVertex) onNotifyOld(t timestamp, sealed []byte) {
+	hc := v.ctx.HoldCapability(t)
+	v.commits <- sealed // want `channel send while holding capability hc`
+	<-v.acks            // want `channel receive while holding capability hc`
+	hc.Drop()
+}
+
+// The migrated shape: the callback only seals; the commit round-trip runs
+// on its own goroutine under the capability and retires it asynchronously.
+func (v *sinkVertex) onNotifyNew(t timestamp, sealed []byte) {
+	hc := v.ctx.HoldCapability(t)
+	go func() {
+		v.commits <- sealed
+		if err := <-v.acks; err == nil {
+			hc.DropAsync()
+		}
+	}()
+}

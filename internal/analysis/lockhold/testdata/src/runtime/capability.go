@@ -1,0 +1,75 @@
+// The capability half of the fixture: Context / Capability stand-ins for
+// the runtime's held-token API. A capability minted by HoldCapability pins
+// its pointstamp in every progress tracker, so a callback that blocks while
+// holding one stalls the frontier with it — and a blocking operation that
+// itself waits on progress at or past the held timestamp can never finish.
+// Drop, TryDrop, and DropAsync release the tracked token.
+package fixture
+
+import "sync"
+
+type timestamp struct{ Epoch int64 }
+
+type Context struct{}
+
+func (c *Context) HoldCapability(t timestamp) *Capability { return &Capability{} }
+func (c *Context) NotifyAt(t timestamp)                   {}
+
+type Capability struct{}
+
+func (h *Capability) Drop()       {}
+func (h *Capability) TryDrop()    {}
+func (h *Capability) DropAsync()  {}
+func (h *Capability) Seq() uint64 { return 0 }
+
+type committer struct {
+	mu  sync.Mutex
+	ctx *Context
+	ack chan struct{}
+	out chan []byte
+}
+
+func (s *committer) badBlockingCommit(t timestamp, b []byte) {
+	hc := s.ctx.HoldCapability(t)
+	s.out <- b // want `channel send while holding capability hc`
+	hc.Drop()
+}
+
+func (s *committer) badAwaitAck(t timestamp) {
+	hc := s.ctx.HoldCapability(t)
+	<-s.ack // want `channel receive while holding capability hc`
+	hc.Drop()
+}
+
+func (s *committer) badCapAndLock(t timestamp, b []byte) {
+	hc := s.ctx.HoldCapability(t)
+	s.mu.Lock()
+	s.out <- b // want `channel send while holding capability hc, s.mu`
+	s.mu.Unlock()
+	hc.Drop()
+}
+
+// Legal: the sanctioned exactly-once shape — the callback stays
+// non-blocking, the goroutine does the slow send on its own schedule and
+// retires the token with DropAsync.
+func (s *committer) goodAsyncCommit(t timestamp, b []byte) {
+	hc := s.ctx.HoldCapability(t)
+	go func() {
+		s.out <- b
+		hc.DropAsync()
+	}()
+}
+
+// Legal: the token is dropped before the callback blocks.
+func (s *committer) goodDropFirst(t timestamp, b []byte) {
+	hc := s.ctx.HoldCapability(t)
+	hc.Drop()
+	s.out <- b
+}
+
+// Legal: TryDrop also releases.
+func (s *committer) goodTryDropFirst(t timestamp, b []byte) {
+	hc := s.ctx.HoldCapability(t)
+	hc.TryDrop()
+	s.out <- b
+}

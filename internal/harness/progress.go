@@ -77,34 +77,48 @@ func nsPerOp(ops int, f func()) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(ops)
 }
 
-// Progress benchmarks the tracker hot paths — occurrence update,
-// deliverability query, frontier maintenance — for both implementations
-// and reports the speedup. The reference column doubles as the "before"
-// baseline: it is the pre-optimization full-scan tracker, retained as the
-// differential-testing oracle (docs/protocol.md, §Progress-tracking
-// optimizations).
-func Progress(opt ProgressOptions) (*Report, error) {
-	rep := &Report{
-		ID:      "progress",
-		Title:   "progress-tracker hot path: indexed vs scan-based reference (§3.3)",
-		Headers: []string{"workload", "active", "indexed-ns/op", "reference-ns/op", "speedup"},
-	}
-	minSpeedup := 0.0
-	for _, n := range opt.ActiveSizes {
-		type workload struct {
-			name string
-			run  func(tr progressTracker, locs []graph.Location) func()
-		}
-		workloads := []workload{
-			{"update", func(tr progressTracker, locs []graph.Location) func() {
+// capOverheadLimit is the bench guard for the capability layer: the
+// mint/drop token path may cost at most this multiple of the raw indexed
+// tracker on the update and frontier workloads. CI's bench smoke runs
+// -exp=progress, so a regression past the limit fails the build.
+const capOverheadLimit = 1.25
+
+// progressWorkload is one hot-path measurement: run drives a bare tracker,
+// cap (when non-nil) drives the same work through the capability layer —
+// tokens minted and dropped per op, occurrence deltas posted to the indexed
+// tracker through the CapSet sink.
+type progressWorkload struct {
+	name string
+	run  func(tr progressTracker, locs []graph.Location) func()
+	cap  func(cs *progress.CapSet, tr progressTracker, locs []graph.Location) func()
+}
+
+func progressWorkloads(n int) []progressWorkload {
+	return []progressWorkload{
+		{
+			name: "update",
+			run: func(tr progressTracker, locs []graph.Location) func() {
 				p := progress.Pointstamp{Time: ts.Make(int64(n/64), 7), Loc: locs[2]}
 				return func() { tr.Update(p, 1); tr.Update(p, -1) }
-			}},
-			{"precursor", func(tr progressTracker, locs []graph.Location) func() {
+			},
+			cap: func(cs *progress.CapSet, _ progressTracker, locs []graph.Location) func() {
+				p := progress.Pointstamp{Time: ts.Make(int64(n/64), 7), Loc: locs[2]}
+				return func() { cs.Mint(p).Drop() }
+			},
+		},
+		{
+			name: "precursor",
+			run: func(tr progressTracker, locs []graph.Location) func() {
 				p := progress.Pointstamp{Time: ts.Make(0, 0), Loc: locs[0]}
 				return func() { _ = tr.SomePrecursorOf(p) }
-			}},
-			{"frontier", func(tr progressTracker, locs []graph.Location) func() {
+			},
+			// Queries bypass the token layer, so there is no capability
+			// variant to measure.
+			cap: nil,
+		},
+		{
+			name: "frontier",
+			run: func(tr progressTracker, locs []graph.Location) func() {
 				p := progress.Pointstamp{Time: ts.Make(int64(n/64), 9), Loc: locs[3]}
 				return func() {
 					tr.Update(p, 1)
@@ -113,9 +127,53 @@ func Progress(opt ProgressOptions) (*Report, error) {
 					}
 					tr.Update(p, -1)
 				}
-			}},
-		}
-		for _, w := range workloads {
+			},
+			cap: func(cs *progress.CapSet, tr progressTracker, locs []graph.Location) func() {
+				p := progress.Pointstamp{Time: ts.Make(int64(n/64), 9), Loc: locs[3]}
+				return func() {
+					c := cs.Mint(p)
+					if len(tr.Frontier()) == 0 {
+						panic("frontier empty")
+					}
+					c.Drop()
+				}
+			},
+		},
+	}
+}
+
+// measureCap times a workload's capability variant over a fresh indexed
+// tracker fed through a CapSet sink.
+func measureCap(w progressWorkload, n, ops int) (float64, error) {
+	g, locs, err := progressGraph()
+	if err != nil {
+		return 0, err
+	}
+	tr := progress.NewTracker(g)
+	cs := progress.NewCapSet("bench", g, func(p progress.Pointstamp, d int64) { tr.Update(p, d) })
+	fillProgress(tr, locs, n)
+	return nsPerOp(ops, w.cap(cs, tr, locs)), nil
+}
+
+// Progress benchmarks the tracker hot paths — occurrence update,
+// deliverability query, frontier maintenance — for the indexed tracker, the
+// scan-based reference, and the capability (timestamp-token) layer over the
+// indexed tracker. The reference column doubles as the "before" baseline:
+// it is the pre-optimization full-scan tracker, retained as the
+// differential-testing oracle (docs/protocol.md, §Progress tracking). The
+// capability column is guarded: overhead past capOverheadLimit on
+// update/frontier is an error, which CI's bench smoke turns into a failing
+// build.
+func Progress(opt ProgressOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "progress",
+		Title:   "progress-tracker hot path: indexed vs reference vs capability layer (§3.3)",
+		Headers: []string{"workload", "active", "indexed-ns/op", "reference-ns/op", "capability-ns/op", "speedup", "cap-overhead"},
+	}
+	minSpeedup := 0.0
+	worstOverhead := 0.0
+	for _, n := range opt.ActiveSizes {
+		for _, w := range progressWorkloads(n) {
 			var ns [2]float64
 			for i, mk := range []func(*graph.Graph) progressTracker{
 				func(g *graph.Graph) progressTracker { return progress.NewTracker(g) },
@@ -133,14 +191,53 @@ func Progress(opt ProgressOptions) (*Report, error) {
 			if minSpeedup == 0 || speedup < minSpeedup {
 				minSpeedup = speedup
 			}
+			capCol, overheadCol := "-", "-"
+			if w.cap != nil {
+				capNs, err := measureCap(w, n, opt.Ops)
+				if err != nil {
+					return nil, err
+				}
+				overhead := capNs / ns[0]
+				// Re-measure a noisy miss before declaring a regression:
+				// each retry re-times base and capability back to back (an
+				// unpaired retry would compare against a stale baseline) and
+				// the best of three attempts stands.
+				for attempt := 0; overhead > capOverheadLimit && attempt < 2; attempt++ {
+					g, locs, err := progressGraph()
+					if err != nil {
+						return nil, err
+					}
+					tr := progress.NewTracker(g)
+					fillProgress(tr, locs, n)
+					base := nsPerOp(opt.Ops, w.run(tr, locs))
+					again, err := measureCap(w, n, opt.Ops)
+					if err != nil {
+						return nil, err
+					}
+					if o := again / base; o < overhead {
+						capNs, overhead = again, o
+					}
+				}
+				if overhead > worstOverhead {
+					worstOverhead = overhead
+				}
+				capCol = fmt.Sprintf("%.0f", capNs)
+				overheadCol = fmt.Sprintf("%.2fx", overhead)
+			}
 			rep.AddRow(w.name, fmt.Sprint(n),
 				fmt.Sprintf("%.0f", ns[0]), fmt.Sprintf("%.0f", ns[1]),
-				fmt.Sprintf("%.1fx", speedup))
+				capCol, fmt.Sprintf("%.1fx", speedup), overheadCol)
 		}
 	}
 	rep.Notes = append(rep.Notes,
 		"reference = the pre-optimization full-scan tracker (kept as the differential oracle); its column is the 'before' baseline, indexed the 'after'",
+		"capability = mint/drop timestamp tokens posting occurrence deltas through a CapSet into the indexed tracker — the runtime's post-refactor hot path",
 		fmt.Sprintf("acceptance: ≥2x on update/frontier with ≥100 active pointstamps; measured minimum speedup %.1fx", minSpeedup),
+		fmt.Sprintf("guard: capability overhead ≤%.2fx of the indexed tracker on update/frontier; measured worst %.2fx", capOverheadLimit, worstOverhead),
 	)
+	if worstOverhead > capOverheadLimit {
+		return nil, fmt.Errorf("capability layer regresses the indexed tracker %.2fx (limit %.2fx)\n%s",
+			worstOverhead, capOverheadLimit, rep)
+	}
 	return rep, nil
 }

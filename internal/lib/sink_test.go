@@ -1,0 +1,137 @@
+package lib
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"naiad/internal/codec"
+)
+
+func TestSinkCommitsCanonicalBatches(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	store := NewMemSink(0)
+	Sink(Exchange(src, func(v int64) uint64 { return uint64(v) }), store)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(3, 1, 4, 1, 5)
+	in.OnNext(9, 2, 6)
+	in.OnNext() // empty epoch: no batch
+	in.OnNext(8)
+	in.Close()
+	join(t, s)
+
+	if got := store.Epochs(); fmt.Sprint(got) != "[0 1 3]" {
+		t.Fatalf("committed epochs = %v", got)
+	}
+	if c := store.Conflicts(); len(c) != 0 {
+		t.Fatalf("byte conflicts on epochs %v", c)
+	}
+	for e, want := range map[int64][]int64{0: {1, 1, 3, 4, 5}, 1: {2, 6, 9}, 3: {8}} {
+		b, ok := store.Batch(e)
+		if !ok {
+			t.Fatalf("epoch %d missing", e)
+		}
+		if b.Frontier.Epoch != e+1 || b.Frontier.Depth != 0 {
+			t.Fatalf("epoch %d frontier = %v", e, b.Frontier)
+		}
+		if got := sortedInts(DecodeSinkBatch[int64](codec.Int64(), b)); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("epoch %d records = %v, want %v", e, got, want)
+		}
+		if n := store.Commits(e); n != 1 {
+			t.Fatalf("epoch %d committed %d times", e, n)
+		}
+	}
+}
+
+// gatedStore blocks every Commit until released, signalling the first
+// attempt — it lets a test observe the window where an epoch is sealed but
+// not yet durable.
+type gatedStore struct {
+	inner   *MemSink
+	once    sync.Once
+	arrived chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedStore) Commit(b SinkBatch) error {
+	g.once.Do(func() { close(g.arrived) })
+	<-g.release
+	return g.inner.Commit(b)
+}
+
+// TestSinkProbeWaitsForCommit pins the sink's durability semantics: a probe
+// on the sink stage must not report an epoch complete while its batch's
+// commit is still in flight — the held capability keeps the pointstamp
+// occupied until the store acknowledges.
+func TestSinkProbeWaitsForCommit(t *testing.T) {
+	s := newTestScope(t, testCfg())
+	in, src := NewInput[int64](s, "in", codec.Int64())
+	store := &gatedStore{inner: NewMemSink(0), arrived: make(chan struct{}), release: make(chan struct{})}
+	st := Sink(src, store)
+	probe := s.C.NewProbe(st)
+	if err := s.C.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in.OnNext(7, 8)
+	in.Close()
+	<-store.arrived // epoch 0 sealed, commit in flight
+	if probe.Done(0) {
+		t.Fatal("probe reported epoch 0 done before the commit was acknowledged")
+	}
+	close(store.release)
+	probe.WaitFor(0)
+	if _, ok := store.inner.Batch(0); !ok {
+		t.Fatal("probe done but batch not committed")
+	}
+	join(t, s)
+}
+
+func TestCanonicalBytesOrderIndependent(t *testing.T) {
+	cod := codec.Int64()
+	a := canonicalBytes(cod, []int64{5, 3, 9, 3, 1})
+	b := canonicalBytes(cod, []int64{3, 1, 3, 9, 5})
+	if !bytes.Equal(a, b) {
+		t.Fatal("canonical bytes depend on arrival order")
+	}
+	c := canonicalBytes(cod, []int64{5, 3, 9, 1})
+	if bytes.Equal(a, c) {
+		t.Fatal("different multisets collide")
+	}
+	got := sortedInts(DecodeSinkBatch[int64](cod, SinkBatch{Data: a}))
+	if fmt.Sprint(got) != "[1 3 3 5 9]" {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestMemSinkDetectsConflicts(t *testing.T) {
+	m := NewMemSink(1)
+	b := SinkBatch{Epoch: 0, Data: []byte{1}}
+	if err := m.Commit(b); err == nil {
+		t.Fatal("failFirst commit should error")
+	}
+	if err := m.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits(0) != 2 {
+		t.Fatalf("commits = %d", m.Commits(0))
+	}
+	if len(m.Conflicts()) != 0 {
+		t.Fatal("identical recommit flagged as conflict")
+	}
+	if err := m.Commit(SinkBatch{Epoch: 0, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Conflicts(); fmt.Sprint(got) != "[0]" {
+		t.Fatalf("conflicts = %v", got)
+	}
+	if got, _ := m.Batch(0); !bytes.Equal(got.Data, []byte{1}) {
+		t.Fatal("conflicting commit overwrote first bytes")
+	}
+}

@@ -116,6 +116,24 @@ type PendingNotification struct {
 	HasCap     bool
 }
 
+// HeldCapability is one capability a vertex held at the snapshot instant:
+// its per-vertex sequence number (the stable identity vertices checkpoint)
+// and its time at capture.
+type HeldCapability struct {
+	Seq  uint64
+	Time ts.Timestamp
+}
+
+// CapFragment is one vertex's held-capability state at the snapshot
+// instant: the next sequence number it would assign — replayed callbacks
+// must continue the exact numbering — and the capabilities still held.
+// Like Pending, it serves selective rollback only; a full restore ignores
+// it (the input replay regenerates every hold).
+type CapFragment struct {
+	Next uint64
+	Held []HeldCapability
+}
+
 // CutSnapshot is one complete asynchronous snapshot, aligned to the epoch
 // boundary Epoch: every vertex's state after processing exactly the epochs
 // below the boundary, the pending notifications each vertex held at its
@@ -138,6 +156,7 @@ type CutSnapshot struct {
 	InputEpochs map[StageID]int64
 	Pending     map[StageID]map[int][]PendingNotification
 	Channels    [][]byte // encoded data frames deferred across the boundary
+	Caps        map[StageID]map[int]CapFragment
 }
 
 func newCutSnapshot(cut, epoch int64) *CutSnapshot {
@@ -147,13 +166,15 @@ func newCutSnapshot(cut, epoch int64) *CutSnapshot {
 		Vertices:    make(map[StageID]map[int][]byte),
 		InputEpochs: make(map[StageID]int64),
 		Pending:     make(map[StageID]map[int][]PendingNotification),
+		Caps:        make(map[StageID]map[int]CapFragment),
 	}
 }
 
 // cutVersion is the NSNP format version of an encoded CutSnapshot. Version
 // 1 (EncodeSnapshot) remains the quiesce-path format; both share the NSNP
 // header, so a store can hold a mix and SnapshotFormatVersion dispatches.
-const cutVersion = 2
+// Version 3 added the held-capability fragments.
+const cutVersion = 3
 
 // SnapshotFormatVersion reports the NSNP format version of an encoded
 // snapshot or cut without decoding its body.
@@ -217,6 +238,20 @@ func EncodeCut(s *CutSnapshot) []byte {
 	for _, ch := range s.Channels {
 		enc.PutBytes(ch)
 	}
+	enc.PutUint32(uint32(len(s.Caps)))
+	for sid, m := range s.Caps {
+		enc.PutUint32(uint32(sid))
+		enc.PutUint32(uint32(len(m)))
+		for idx, cf := range m {
+			enc.PutUint32(uint32(idx))
+			enc.PutUint64(cf.Next)
+			enc.PutUint32(uint32(len(cf.Held)))
+			for _, h := range cf.Held {
+				enc.PutUint64(h.Seq)
+				putTimestamp(enc, h.Time)
+			}
+		}
+	}
 	body := enc.Bytes()
 	out := make([]byte, snapshotHeaderSize+len(body))
 	binary.LittleEndian.PutUint32(out[0:4], snapshotMagic)
@@ -279,6 +314,22 @@ func UnmarshalCut(data []byte) (*CutSnapshot, error) {
 		s.Channels = make([][]byte, dec.Count(4))
 		for i := range s.Channels {
 			s.Channels[i] = append([]byte(nil), dec.BytesView()...)
+		}
+		for n := dec.Count(16); n > 0; n-- {
+			sid := StageID(dec.Uint32())
+			m := make(map[int]CapFragment)
+			for k := dec.Count(16); k > 0; k-- {
+				idx := int(dec.Uint32())
+				var cf CapFragment
+				cf.Next = dec.Uint64()
+				cf.Held = make([]HeldCapability, dec.Count(17))
+				for i := range cf.Held {
+					cf.Held[i].Seq = dec.Uint64()
+					cf.Held[i].Time = decodeTime(dec)
+				}
+				m[idx] = cf
+			}
+			s.Caps[sid] = m
 		}
 	})
 	if err != nil {
@@ -412,7 +463,7 @@ func (c *Computation) RetireCut(cut int64) {
 // fragment completes the cut and fires the handler from a fresh goroutine
 // (never from a worker thread — the handler may block on disk).
 func (c *Computation) reportCutFragment(cut int64, sid StageID, idx int, frag []byte,
-	pending []PendingNotification, chans [][]byte, isInput bool, inputEpoch int64) {
+	pending []PendingNotification, caps CapFragment, chans [][]byte, isInput bool, inputEpoch int64) {
 	c.cutMu.Lock()
 	cs := c.curCut
 	if cs == nil || cs.cut != cut || cs.settled {
@@ -434,6 +485,14 @@ func (c *Computation) reportCutFragment(cut int64, sid StageID, idx int, frag []
 			cs.snap.Pending[sid] = m
 		}
 		m[idx] = pending
+	}
+	if caps.Next != 0 || len(caps.Held) > 0 {
+		m := cs.snap.Caps[sid]
+		if m == nil {
+			m = make(map[int]CapFragment)
+			cs.snap.Caps[sid] = m
+		}
+		m[idx] = caps
 	}
 	cs.snap.Channels = append(cs.snap.Channels, chans...)
 	if isInput {

@@ -1,0 +1,173 @@
+package runtime
+
+import (
+	"fmt"
+
+	"naiad/internal/graph"
+	"naiad/internal/progress"
+	ts "naiad/internal/timestamp"
+)
+
+// Held capabilities: the runtime face of the progress package's timestamp
+// tokens. A vertex callback may hold a capability at a time ≥ its callback
+// time; the token keeps that pointstamp occupied in every tracker — stalling
+// notifications and probes at or after it — until the holder downgrades it
+// away or drops it. This is how an operator withholds completion across
+// asynchronous work (the exactly-once sink holds one across its commit I/O)
+// without keeping a callback on the worker thread.
+//
+// Identity across crash and replay: each vertex numbers its capabilities
+// with a per-vertex sequence counter. Replayed callbacks re-execute in log
+// order, so re-held capabilities receive the same sequence numbers the
+// pre-crash execution assigned, and capabilities held at a snapshot instant
+// are recorded (seq, time) in the cut and re-minted on revival. Asynchronous
+// drops therefore address the token by (stage, seq) against the *current*
+// vertex incarnation — a drop queued before a crash still retires the
+// re-minted token after replay, and a duplicate drop (the pre-crash
+// goroutine and its replayed twin both reporting) is a no-op.
+
+// Capability is a held timestamp token bound to one vertex. Time, Downgrade,
+// Drop, SendBy, and SendBatchBy must run on the owning worker thread (from a
+// vertex callback); DropAsync is safe from any goroutine and is the only
+// method an async holder should touch after capturing what it needs.
+type Capability struct {
+	w     *worker
+	stage StageID
+	seq   uint64
+	pc    *progress.Capability
+}
+
+// HoldCapability mints a capability at time t, which must be ≥ the current
+// callback time. Only valid inside a sending callback (not a purge
+// notification): the capability inherits the callback's right to act at t.
+func (c *Context) HoldCapability(t ts.Timestamp) *Capability {
+	w, vs := c.w, c.vs
+	n := len(vs.timeStack)
+	if n == 0 {
+		panic(fmt.Sprintf("runtime: %s: HoldCapability outside a callback", vs.si.name))
+	}
+	top := vs.timeStack[n-1]
+	if !top.canSend {
+		panic(fmt.Sprintf("runtime: %s: HoldCapability from a purge notification", vs.si.name))
+	}
+	if !top.t.LessEq(t) {
+		panic(fmt.Sprintf("runtime: %s: HoldCapability at %v before callback time %v", vs.si.name, t, top.t))
+	}
+	seq := vs.nextCapSeq
+	vs.nextCapSeq++
+	pc := w.caps.Mint(progress.Pointstamp{Time: t, Loc: graph.StageLoc(vs.si.id)})
+	pc.SetSeq(seq)
+	hc := &Capability{w: w, stage: vs.si.id, seq: seq, pc: pc}
+	if vs.heldCaps == nil {
+		vs.heldCaps = make(map[uint64]*Capability)
+	}
+	vs.heldCaps[seq] = hc
+	return hc
+}
+
+// HeldCap returns the currently held capability with the given sequence
+// number, or nil if it has been dropped. A vertex restored from a snapshot
+// uses this to reattach to capabilities it recorded by Seq in its state
+// (the snapshot re-mints them; the vertex's old pointers died with it).
+// Worker-thread only.
+func (c *Context) HeldCap(seq uint64) *Capability {
+	return c.vs.heldCaps[seq]
+}
+
+// Seq returns the capability's per-vertex sequence number — the stable
+// identity a vertex checkpoints to find the token again after a restore.
+func (hc *Capability) Seq() uint64 { return hc.seq }
+
+// Time returns the capability's current time. Worker-thread only (a
+// concurrent Downgrade would race); async holders capture it before leaving
+// the callback.
+func (hc *Capability) Time() ts.Timestamp { return hc.pc.Time() }
+
+// Dropped reports whether the token has been retired. Worker-thread only.
+func (hc *Capability) Dropped() bool { return hc.pc.Dropped() }
+
+// Downgrade moves the capability forward to time t (≥ its current time),
+// relinquishing the right to act at earlier times. Worker-thread only.
+func (hc *Capability) Downgrade(t ts.Timestamp) {
+	cur := hc.current("Downgrade")
+	cur.pc.Downgrade(t)
+}
+
+// Drop retires the capability synchronously. Worker-thread only; dropping a
+// capability twice panics (use DropAsync from racy paths — it is idempotent).
+func (hc *Capability) Drop() {
+	w := hc.w
+	vs := w.vertices[hc.stage]
+	cur, ok := vs.heldCaps[hc.seq]
+	if !ok {
+		panic(fmt.Sprintf("runtime: %s: double drop of capability %d", vs.si.name, hc.seq))
+	}
+	delete(vs.heldCaps, hc.seq)
+	cur.pc.Drop()
+}
+
+// DropAsync retires the capability from any goroutine by queueing the drop
+// through the worker's mailbox. Idempotent at the protocol level: the drop
+// resolves by (stage, seq) against the vertex's current incarnation, so a
+// duplicate — or a drop whose token was already retired by a replayed log
+// entry — is a no-op. This is the only Capability method an asynchronous
+// holder may call.
+func (hc *Capability) DropAsync() {
+	hc.w.mailbox.push(mailItem{kind: mailControl, ctl: &controlMsg{
+		op: ctlCapDrop, stage: hc.stage, hseq: hc.seq,
+	}})
+}
+
+// SendBy emits a message at time t ≥ the capability's time, under the
+// capability's authority — usable from callbacks whose own time has passed t
+// (including purge notifications). Worker-thread only.
+func (hc *Capability) SendBy(output int, msg Message, t ts.Timestamp) {
+	cur := hc.current("SendBy")
+	w, vs := hc.w, hc.w.vertices[hc.stage]
+	vs.timeStack = append(vs.timeStack, timeFrame{t: cur.pc.Time(), canSend: true})
+	w.sendBy(vs, output, msg, t)
+	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+}
+
+// SendBatchBy is SendBy for a whole batch, consuming one reference to b.
+func (hc *Capability) SendBatchBy(output int, b *Batch, t ts.Timestamp) {
+	cur := hc.current("SendBatchBy")
+	w, vs := hc.w, hc.w.vertices[hc.stage]
+	vs.timeStack = append(vs.timeStack, timeFrame{t: cur.pc.Time(), canSend: true})
+	w.sendBatchBy(vs, output, b, t)
+	vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+}
+
+// current resolves the capability against the vertex's current incarnation,
+// panicking if it was dropped.
+func (hc *Capability) current(op string) *Capability {
+	vs := hc.w.vertices[hc.stage]
+	cur, ok := vs.heldCaps[hc.seq]
+	if !ok {
+		panic(fmt.Sprintf("runtime: %s: %s on dropped capability %d", vs.si.name, op, hc.seq))
+	}
+	return cur
+}
+
+// dropHeldCap handles ctlCapDrop on the worker thread. Missing (stage, seq)
+// means the token was already retired — a duplicate async drop, or a drop
+// that landed before a crash and was reproduced from the delivery log — and
+// is silently ignored; exactly one resolution posts the -1. Live drops are
+// logged so a revived worker's replay retires the re-minted token too.
+func (w *worker) dropHeldCap(stage StageID, seq uint64) {
+	vs := w.vertices[stage]
+	if vs == nil {
+		return
+	}
+	cur, ok := vs.heldCaps[seq]
+	if !ok {
+		return
+	}
+	if w.dlogs != nil {
+		if lg := w.dlogs[stage]; lg != nil {
+			lg.add(vlogEntry{kind: vlogCapDrop, seq: seq})
+		}
+	}
+	delete(vs.heldCaps, seq)
+	cur.pc.TryDrop()
+}

@@ -8,6 +8,7 @@ import (
 
 	"naiad/internal/codec"
 	"naiad/internal/graph"
+	"naiad/internal/progress"
 	"naiad/internal/testutil"
 	ts "naiad/internal/timestamp"
 	"naiad/internal/transport"
@@ -95,6 +96,7 @@ func checkEpochSums(t *testing.T, s *sink) {
 // never-hang backstop. Every schedule must complete with outputs identical
 // to the fault-free reference.
 func TestChaosSchedulesOutputEquivalent(t *testing.T) {
+	progress.AuditCaps(t)
 	seed := testutil.Seed(t)
 	base := Config{Processes: 2, WorkersPerProcess: 2, Accumulation: AccLocalGlobal,
 		SafetyChecks: true, Watchdog: 20 * time.Second}
@@ -151,6 +153,7 @@ func TestChaosSchedulesOutputEquivalent(t *testing.T) {
 // must return a descriptive error within a bounded time — never hang on
 // frames that will never arrive.
 func TestChaosCrashSurfacesFromJoin(t *testing.T) {
+	progress.AuditCaps(t)
 	ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
 		Seed:    testutil.Seed(t),
 		Default: transport.Fault{Latency: 2 * time.Millisecond},
@@ -183,6 +186,7 @@ func TestChaosCrashSurfacesFromJoin(t *testing.T) {
 // before the crash and outputs of the recovered run must equal the
 // fault-free reference — no lost epochs, no re-executed ones.
 func TestChaosCrashThenCheckpointRecovery(t *testing.T) {
+	progress.AuditCaps(t)
 	ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
 		Seed:    testutil.Seed(t),
 		Default: transport.Fault{Latency: time.Millisecond, Jitter: 2 * time.Millisecond},
@@ -246,6 +250,7 @@ func TestChaosCrashThenCheckpointRecovery(t *testing.T) {
 // result — the degenerate "restore from nothing" end of the recovery
 // spectrum that internal/supervise exercises automatically.
 func TestChaosPartitionWatchdogAbortThenReplayRecovery(t *testing.T) {
+	progress.AuditCaps(t)
 	ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
 		Seed:      testutil.Seed(t),
 		Partition: &transport.Partition{Groups: [][]int{{0}, {1}}, Duration: time.Hour},
@@ -293,6 +298,7 @@ func TestChaosPartitionWatchdogAbortThenReplayRecovery(t *testing.T) {
 // catch the resulting local-frontier overrun loudly instead of letting
 // the computation deliver early notifications or terminate wrongly.
 func TestChaosFIFOViolationCaughtByMonitor(t *testing.T) {
+	progress.AuditCaps(t)
 	base := testutil.Seed(t)
 	// Whether a reorder materializes a *causally* bad interleaving depends
 	// on queue occupancy, so drive a few derived seeds; the monitor must
@@ -343,6 +349,7 @@ func runFIFOViolation(t *testing.T, seed int64) error {
 // and surface from Join within a bounded timeout even while chaos-induced
 // delivery delays keep frames in flight.
 func TestVertexPanicUnderChaosDelay(t *testing.T) {
+	progress.AuditCaps(t)
 	ct := transport.NewChaos(transport.NewMem(2), transport.ChaosConfig{
 		Seed:    testutil.Seed(t),
 		Default: transport.Fault{Latency: 10 * time.Millisecond, Jitter: 10 * time.Millisecond},
@@ -473,6 +480,7 @@ func TestChaosTransportProcessMismatch(t *testing.T) {
 // false positives on a healthy cluster under any accumulation mode and a
 // mildly adversarial (but FIFO-preserving) transport.
 func TestSafetyChecksCleanOnAllAccumulations(t *testing.T) {
+	progress.AuditCaps(t)
 	seed := testutil.Seed(t)
 	for _, acc := range []Accumulation{AccNone, AccLocal, AccGlobal, AccLocalGlobal} {
 		t.Run(acc.String(), func(t *testing.T) {

@@ -78,6 +78,11 @@ const (
 	// ctlCrash parks the worker at the next quantum boundary, simulating a
 	// single-worker failure for selective-rollback tests.
 	ctlCrash
+	// ctlCapDrop retires a held capability from an asynchronous holder
+	// (Capability.DropAsync): stage and hseq identify the token against the
+	// vertex's current incarnation, so the drop is idempotent across crash,
+	// replay, and duplicate reports.
+	ctlCapDrop
 )
 
 // controlMsg carries input and checkpoint commands from the user thread
@@ -86,7 +91,8 @@ type controlMsg struct {
 	op      controlOp
 	stage   StageID
 	epoch   int64
-	cut     int64 // ctlBarrier / ctlBarrierAbort / ctlCutRetire
+	cut     int64  // ctlBarrier / ctlBarrierAbort / ctlCutRetire
+	hseq    uint64 // ctlCapDrop (with stage): held-capability sequence number
 	records []Message
 	// ctlInputFeed batch path (Input.SendBatch); the push transfers the
 	// batch's reference to the worker.

@@ -6,6 +6,7 @@ import (
 
 	"naiad/internal/codec"
 	"naiad/internal/graph"
+	"naiad/internal/progress"
 	ts "naiad/internal/timestamp"
 	"naiad/internal/trace"
 )
@@ -33,6 +34,10 @@ const (
 	vlogAdvance
 	// vlogClose closed an input vertex.
 	vlogClose
+	// vlogCapDrop retired a held capability through the asynchronous drop
+	// path (identified by its per-vertex sequence number). Synchronous drops
+	// are not logged: they happen inside callbacks, which replay re-executes.
+	vlogCapDrop
 )
 
 type vlogEntry struct {
@@ -40,6 +45,7 @@ type vlogEntry struct {
 	payload   []byte       // vlogRecv
 	guarantee ts.Timestamp // vlogNotify (capability comes from the pending list)
 	epoch     int64        // vlogAdvance
+	seq       uint64       // vlogCapDrop
 }
 
 // vlogSeg is the run of entries a vertex observed after snapshotting for
@@ -198,8 +204,26 @@ func (w *worker) revive(snap *CutSnapshot) error {
 		base = w.restoredCut
 	}
 	w.buildVertices()
+	// The dead incarnation's token book is void: its tokens' occurrence
+	// counts live on in every tracker (posts were broadcast and never
+	// retracted), and the reconstruction below re-mints seeded stand-ins for
+	// exactly the tokens that were live at the snapshot instant.
+	w.caps.Reset()
 	if base != nil {
 		for _, vs := range w.vsList {
+			// Re-mint capabilities held at the snapshot instant before the
+			// fragment restores, so Restore can reattach to them by Seq.
+			if frag, ok := base.Caps[vs.si.id][vs.vertexIdx]; ok {
+				vs.nextCapSeq = frag.Next
+				for _, h := range frag.Held {
+					pc := w.caps.MintSeeded(progress.Pointstamp{Time: h.Time, Loc: graph.StageLoc(vs.si.id)})
+					pc.SetSeq(h.Seq)
+					if vs.heldCaps == nil {
+						vs.heldCaps = make(map[uint64]*Capability)
+					}
+					vs.heldCaps[h.Seq] = &Capability{w: w, stage: vs.si.id, seq: h.Seq, pc: pc}
+				}
+			}
 			if frag, ok := base.Vertices[vs.si.id][vs.vertexIdx]; ok {
 				cpr, isCp := vs.vertex.(Checkpointer)
 				if !isCp {
@@ -211,11 +235,23 @@ func (w *worker) revive(snap *CutSnapshot) error {
 				}
 			}
 			for _, pn := range base.Pending[vs.si.id][vs.vertexIdx] {
-				insertPending(vs, notifyReq{guarantee: pn.Guarantee, capability: pn.Capability, hasCap: pn.HasCap})
+				nr := notifyReq{guarantee: pn.Guarantee, capability: pn.Capability, hasCap: pn.HasCap}
+				if pn.HasCap {
+					nr.cap = w.caps.MintSeeded(progress.Pointstamp{Time: pn.Capability, Loc: graph.StageLoc(vs.si.id)})
+				}
+				insertPending(vs, nr)
 			}
 			if e, ok := base.InputEpochs[vs.si.id]; ok && vs.si.role == graph.RoleInput {
 				vs.inputEpoch = e
 			}
+		}
+	}
+	// Every input vertex gets its seed token back at its restored epoch;
+	// replayed advances and closes move it (with posts suppressed) to exactly
+	// where the pre-crash token stood.
+	for _, vs := range w.vsList {
+		if vs.si.role == graph.RoleInput {
+			vs.inputCap = w.caps.MintSeeded(progress.Pointstamp{Time: ts.Root(vs.inputEpoch), Loc: graph.StageLoc(vs.si.id)})
 		}
 	}
 	if err := w.replayLogs(segFrom); err != nil {
@@ -311,10 +347,27 @@ func (w *worker) replayEntry(vs *vertexState, e *vlogEntry) error {
 		vs.vertex.OnNotify(nr.guarantee)
 		vs.ctx.executing--
 		vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
+		if nr.cap != nil {
+			nr.cap.Drop() // suppressed post; the original delivery posted the -1
+		}
 	case vlogAdvance:
+		if vs.inputCap != nil && !vs.inputCap.Dropped() {
+			vs.inputCap.Downgrade(ts.Root(e.epoch))
+		}
 		vs.inputEpoch = e.epoch
 	case vlogClose:
 		vs.inputClosed = true
+		if vs.inputCap != nil {
+			vs.inputCap.TryDrop()
+		}
+	case vlogCapDrop:
+		// The asynchronous drop landed before the crash; retire the re-minted
+		// token the same way. A missing seq means a replayed callback already
+		// dropped it synchronously.
+		if cur, ok := vs.heldCaps[e.seq]; ok {
+			delete(vs.heldCaps, e.seq)
+			cur.pc.TryDrop()
+		}
 	}
 	return nil
 }

@@ -16,11 +16,15 @@ import (
 )
 
 // notifyReq is a pending notification request (§2.2, generalized per §2.4
-// with separate guarantee and capability times).
+// with separate guarantee and capability times). cap is the timestamp token
+// the request holds in the worker's capability book (nil for purge
+// notifications): minted when the request is filed, dropped when the
+// notification delivers.
 type notifyReq struct {
 	guarantee  ts.Timestamp
 	capability ts.Timestamp
 	hasCap     bool
+	cap        *progress.Capability
 }
 
 // frame is one entry of a vertex's callback-time stack: the timestamp the
@@ -41,9 +45,20 @@ type vertexState struct {
 	timeStack []timeFrame
 	pending   []notifyReq // sorted by guarantee (Compare order)
 
-	// input-stage bookkeeping:
+	// input-stage bookkeeping. inputCap is the vertex's seed token: minted
+	// seeded at Root(0) (the occurrence is installed directly by seedInputs),
+	// downgraded on every epoch advance, dropped at close — the input's
+	// frontier contribution is exactly this token's trajectory.
 	inputEpoch  int64
 	inputClosed bool
+	inputCap    *progress.Capability
+
+	// Held-capability bookkeeping (Context.HoldCapability). heldCaps maps the
+	// per-vertex sequence number to the live token; nextCapSeq numbers the
+	// next hold. Replayed callbacks re-execute in log order, so sequence
+	// assignment is deterministic across crash and revival.
+	heldCaps   map[uint64]*Capability
+	nextCapSeq uint64
 
 	// Barrier alignment state (asynchronous snapshots). barrierCut is the
 	// cut this vertex is currently aligning (0 = none) and barrierEpoch its
@@ -123,6 +138,7 @@ type worker struct {
 	vsList   []*vertexState // hosted vertices, in stage order
 
 	tracker     *progress.Tracker
+	caps        *progress.CapSet // this worker's book of live timestamp tokens
 	pbuf        *progress.Buffer
 	raw         []update // AccNone: chronological, uncombined
 	pend        update   // current run of adjacent updates to one pointstamp
@@ -276,6 +292,11 @@ func (w *worker) initVertices() {
 	c := w.comp
 	w.buildVertices()
 	w.tracker = progress.NewTracker(c.lg)
+	// Every occurrence delta a token generates flows through postUpdate, so
+	// capability accounting rides the ordinary broadcast path (and is
+	// suppressed during replay like any other post).
+	w.caps = progress.NewCapSet(fmt.Sprintf("worker %d", w.id), c.lg,
+		func(p progress.Pointstamp, d int64) { w.postUpdate(p, d) })
 	if c.onCut != nil {
 		w.chanSent = make(map[uint64]int64)
 		w.chanRecv = make(map[uint64]int64)
@@ -330,7 +351,10 @@ func (w *worker) buildVertices() {
 // seedInputs installs the initial input pointstamps (§2.3) directly into
 // the local tracker. Every worker seeds identically — one occurrence per
 // physical input vertex — so local views are conservative from the first
-// instant without any broadcast.
+// instant without any broadcast. The worker's own hosted input vertices get
+// a seeded token standing for their occurrence: minted without posting (the
+// seed is already in every tracker), but downgraded and dropped through the
+// ordinary broadcast path as epochs advance and close.
 func (w *worker) seedInputs() {
 	for _, si := range w.comp.stages {
 		if si.role != graph.RoleInput {
@@ -338,6 +362,9 @@ func (w *worker) seedInputs() {
 		}
 		n := int64(si.parallelism(w.comp.cfg.Workers()))
 		w.tracker.Update(progress.Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(si.id)}, n)
+		if vs := w.vertices[si.id]; vs != nil {
+			vs.inputCap = w.caps.MintSeeded(progress.Pointstamp{Time: ts.Root(0), Loc: graph.StageLoc(si.id)})
+		}
 	}
 }
 
@@ -419,10 +446,11 @@ func (w *worker) handleControl(ctl *controlMsg) {
 		}
 	case ctlInputAdvance:
 		vs := w.vertices[ctl.stage]
-		loc := graph.StageLoc(ctl.stage)
+		// Each downgrade posts +1 at the new epoch before -1 at the old one —
+		// the same positives-first pair the pre-capability code posted, now
+		// derived from the seed token's movement.
 		for e := vs.inputEpoch; e < ctl.epoch; e++ {
-			w.postUpdate(progress.Pointstamp{Time: ts.Root(e + 1), Loc: loc}, 1)
-			w.postUpdate(progress.Pointstamp{Time: ts.Root(e), Loc: loc}, -1)
+			vs.inputCap.Downgrade(ts.Root(e + 1))
 		}
 		vs.inputEpoch = ctl.epoch
 		if w.dlogs != nil {
@@ -434,7 +462,7 @@ func (w *worker) handleControl(ctl *controlMsg) {
 		vs := w.vertices[ctl.stage]
 		if !vs.inputClosed {
 			vs.inputClosed = true
-			w.postUpdate(progress.Pointstamp{Time: ts.Root(vs.inputEpoch), Loc: graph.StageLoc(ctl.stage)}, -1)
+			vs.inputCap.Drop()
 			if w.dlogs != nil {
 				if lg := w.dlogs[ctl.stage]; lg != nil {
 					lg.add(vlogEntry{kind: vlogClose})
@@ -453,6 +481,8 @@ func (w *worker) handleControl(ctl *controlMsg) {
 		w.retireCutCtl(ctl.cut)
 	case ctlCrash:
 		w.crashed = true
+	case ctlCapDrop:
+		w.dropHeldCap(ctl.stage, ctl.hseq)
 	}
 }
 
@@ -702,8 +732,8 @@ func (w *worker) deliverOneNotify() bool {
 		}
 		vs.ctx.executing--
 		vs.timeStack = vs.timeStack[:len(vs.timeStack)-1]
-		if nr.hasCap {
-			w.postUpdate(progress.Pointstamp{Time: nr.capability, Loc: loc}, -1)
+		if nr.cap != nil {
+			nr.cap.Drop()
 		}
 		if vs.barrierCut != 0 {
 			// A sub-boundary notification just fired on an aligning vertex;
@@ -1155,10 +1185,13 @@ func (w *worker) notifyAtChecked(vs *vertexState, guarantee, capability ts.Times
 				vs.si.name, capability, top.t))
 		}
 	}
-	if hasCap {
-		w.postUpdate(progress.Pointstamp{Time: capability, Loc: graph.StageLoc(vs.si.id)}, 1)
-	}
 	nr := notifyReq{guarantee: guarantee, capability: capability, hasCap: hasCap}
+	if hasCap {
+		// The request holds a token at its capability time. During replay the
+		// mint's +1 is suppressed (the pre-crash request already posted it) but
+		// the token still registers, so the replayed pending list is live.
+		nr.cap = w.caps.Mint(progress.Pointstamp{Time: capability, Loc: graph.StageLoc(vs.si.id)})
+	}
 	// Insert sorted by guarantee so earlier notifications deliver first.
 	i := sort.Search(len(vs.pending), func(i int) bool {
 		return guarantee.Compare(vs.pending[i].guarantee) < 0
@@ -1208,13 +1241,17 @@ func (w *worker) checkProbes() {
 	}
 }
 
-// shutdownVertices delivers OnShutdown to vertices that want it.
+// shutdownVertices delivers OnShutdown to vertices that want it, then
+// reports any still-live capabilities to the leak audit. Only the clean
+// termination path reaches here (aborts return early), so a reported token
+// is a genuine leak — a permanent frontier stall — not a torn-down test.
 func (w *worker) shutdownVertices() {
 	for _, vs := range w.vsList {
 		if n, ok := vs.vertex.(Notifiable); ok {
 			n.OnShutdown()
 		}
 	}
+	w.caps.ReportLeaks()
 }
 
 // forwardVertex is the system vertex of ingress, egress, and feedback

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 
 	"naiad/internal/batchbuf"
 	"naiad/internal/codec"
@@ -104,6 +105,17 @@ func (w *worker) finishBarrier(vs *vertexState) {
 			}
 		}
 	}
+	// Capture the held-capability fragment: the sequence counter (replay must
+	// continue the exact numbering) and any capabilities still held — e.g. a
+	// sink whose commit I/O for a sealed epoch has not reported back yet.
+	capFrag := CapFragment{Next: vs.nextCapSeq}
+	if len(vs.heldCaps) > 0 {
+		capFrag.Held = make([]HeldCapability, 0, len(vs.heldCaps))
+		for seq, hc := range vs.heldCaps {
+			capFrag.Held = append(capFrag.Held, HeldCapability{Seq: seq, Time: hc.pc.Time()})
+		}
+		sort.Slice(capFrag.Held, func(i, j int) bool { return capFrag.Held[i].Seq < capFrag.Held[j].Seq })
+	}
 	if w.dlogs != nil {
 		if lg := w.dlogs[vs.si.id]; lg != nil {
 			lg.begin(cut)
@@ -120,7 +132,7 @@ func (w *worker) finishBarrier(vs *vertexState) {
 		})
 	}
 	w.comp.reportCutFragment(cut, vs.si.id, vs.vertexIdx, vs.barrierFrag,
-		vs.barrierPending, vs.barrierChans, vs.si.role == graph.RoleInput, vs.inputEpoch)
+		vs.barrierPending, capFrag, vs.barrierChans, vs.si.role == graph.RoleInput, vs.inputEpoch)
 	vs.lastCut = cut
 	w.clearBarrier(vs)
 }

@@ -67,6 +67,10 @@ type readResponse struct {
 	Value string `json:"value"`
 	// Epoch stamps the frontier the value is complete through.
 	Epoch int64 `json:"epoch"`
+	// Frontier, when the flow's view rides the exactly-once sink
+	// (FrontierView), is the sink's guarantee-derived timestamp stamp: no
+	// record below it will ever reach the view. Empty otherwise.
+	Frontier string `json:"frontier,omitempty"`
 }
 
 // advanceResponse acks a forced edge seal.
@@ -371,12 +375,22 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	val, epoch, ok := fs.f.View.Lookup(key)
 	w.Header().Set("X-Naiad-Frontier", fmt.Sprintf("%d", fs.completed()))
+	// A view maintained through the exactly-once sink carries a durable
+	// frontier stamp of its own. The probe wait above already covers it:
+	// the sink's held capability keeps the probe from completing an epoch
+	// until the view's commit is acknowledged, so by the time waitCompleted
+	// returns the view is at least as fresh as the probe frontier.
+	var stamp string
+	if fv, isFV := fs.f.View.(FrontierView); isFV {
+		stamp = fv.Frontier().String()
+		w.Header().Set("X-Naiad-View-Frontier", stamp)
+	}
 	if !ok {
 		s.reject(w, http.StatusNotFound, codeNotFound, "no value for key "+key)
 		return
 	}
 	s.metrics.ReadsServed.Add(1)
-	writeJSON(w, http.StatusOK, readResponse{Key: key, Value: string(val), Epoch: epoch})
+	writeJSON(w, http.StatusOK, readResponse{Key: key, Value: string(val), Epoch: epoch, Frontier: stamp})
 }
 
 // waitCompleted polls the probe until it passes epoch or the deadline

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"naiad/internal/progress"
 	"naiad/internal/runtime"
 	"naiad/internal/supervise"
 	"naiad/internal/testutil"
@@ -94,6 +95,7 @@ func drawSchedule(rng *rand.Rand) simSchedule {
 // invariants. It returns the recovery counters for the caller's logging.
 func runSimulation(t *testing.T, seed int64) runtime.RecoverySnapshot {
 	t.Helper()
+	progress.AuditCaps(t)
 	rng := rand.New(rand.NewSource(seed))
 	sch := drawSchedule(rng)
 	t.Logf("schedule: %d epochs, fault %+v, procCrashAt %d, workerCrashAt %v, selective %v, settle %v, every %d",
@@ -199,6 +201,7 @@ func TestSeededRecoverySimulation(t *testing.T) {
 // the previous complete cut (or its birth log), and the output must come
 // out exact.
 func TestSimulationMidBarrierWorkerCrash(t *testing.T) {
+	progress.AuditCaps(t)
 	seed := testutil.Seed(t)
 	s := newEpochSink()
 	target := &simTarget{}
@@ -236,7 +239,7 @@ func TestSimulationMidBarrierWorkerCrash(t *testing.T) {
 	if err := sup.OnNext("in", int64(1)); err != nil { // epoch 0
 		t.Fatal(err)
 	}
-	waitCp(1) // cut at boundary 1 complete: the revival baseline exists
+	waitCp(1)                                          // cut at boundary 1 complete: the revival baseline exists
 	if err := sup.OnNext("in", int64(2)); err != nil { // epoch 1: injects the next cut
 		t.Fatal(err)
 	}
